@@ -1,0 +1,94 @@
+// Figure 7: trading FLOPs for regularity — speedup of batched matmul
+// grouping over separate matmul as a function of the number of groups,
+// for the first sparse convolution layer of MinkUNet (0.5x) on
+// SemanticKITTI.
+//
+// Paper reference: speedup rises from 1.0x (26 groups = separate, center
+// excluded) to ~1.5x around 6 groups, then padding overhead erodes it
+// toward 1 group (dense-like).
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hpp"
+#include "engines/presets.hpp"
+#include "engines/runner.hpp"
+#include "engines/workloads.hpp"
+#include "gpusim/device.hpp"
+#include "tune/group_tuner.hpp"
+
+using namespace ts;
+
+int main() {
+  bench::header("Figure 7: speedup vs number of matmul groups",
+                "paper Fig. 7 (MinkUNet-0.5x first layer, SemanticKITTI)");
+
+  Workload w = make_minkunet_workload("SK-MinkUNet (0.5x)", "SemanticKITTI",
+                                      0.5, 1, 7001, 1.0, 1);
+  const auto records = record_workloads(w.model, {w.input}, rtx2080ti(),
+                                        torchsparse_config());
+  // First submanifold conv layer at full feature width (the stem's
+  // 4-channel input layer is launch-bound and uninformative).
+  const LayerRecord* layer = nullptr;
+  for (const LayerRecord& r : records[0]) {
+    if (r.submanifold && r.map_sizes.size() == 27 && r.c_in >= 16) {
+      layer = &r;
+      break;
+    }
+  }
+  if (layer == nullptr) {
+    std::printf("no submanifold layer found\n");
+    return 1;
+  }
+  std::printf("layer workload: %zu map entries, C_in=%zu, C_out=%zu\n",
+              [&] {
+                std::size_t t = 0;
+                for (auto s : layer->map_sizes) t += s;
+                return t;
+              }(),
+              layer->c_in, layer->c_out);
+
+  const CostModel cost(rtx2080ti());
+  const double separate = grouped_matmul_seconds(
+      *layer, GroupingStrategy::kSeparate, GroupParams{}, cost,
+      Precision::kFP16);
+
+  // Sweep epsilon from 0 (symmetric pairs) to 1 (one group); count the
+  // resulting groups (center excluded, matching the paper's x-axis note).
+  std::map<int, double> best_by_groups;
+  for (double eps = 0.0; eps <= 1.0001; eps += 0.02) {
+    const GroupParams p{eps, 1e18};
+    const auto groups =
+        plan_groups(layer->map_sizes, true, GroupingStrategy::kAdaptive, p);
+    int n_groups = 0;
+    for (const auto& g : groups)
+      if (!g.is_center) ++n_groups;
+    const double t = grouped_matmul_seconds(
+        *layer, GroupingStrategy::kAdaptive, p, cost, Precision::kFP16);
+    const double speedup = separate / t;
+    auto it = best_by_groups.find(n_groups);
+    if (it == best_by_groups.end() || speedup > it->second)
+      best_by_groups[n_groups] = speedup;
+  }
+  // The separate end of the axis.
+  const auto sep_groups = plan_groups(layer->map_sizes, true,
+                                      GroupingStrategy::kSeparate,
+                                      GroupParams{});
+  best_by_groups[static_cast<int>(sep_groups.size()) - 1] = 1.0;
+
+  std::printf("\n%8s %18s\n", "#groups", "speedup vs separate");
+  double best = 0;
+  int best_groups = 0;
+  for (auto it = best_by_groups.rbegin(); it != best_by_groups.rend();
+       ++it) {
+    std::printf("%8d %12.2fx\n", it->first, it->second);
+    if (it->second > best) {
+      best = it->second;
+      best_groups = it->first;
+    }
+  }
+  std::printf("\npeak speedup %.2fx at %d groups (paper: ~1.5x around 6 "
+              "groups; 1-group padding overhead erodes the gain)\n",
+              best, best_groups);
+  return 0;
+}

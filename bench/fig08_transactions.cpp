@@ -1,0 +1,52 @@
+// Figure 8: memory transactions per feature row for scalar vs vectorized
+// scatter/gather at each storage precision (C = 256 channels, as drawn in
+// the paper's figure).
+//
+// Paper reference: FP32 scalar fully utilizes 128-byte transactions
+// (8 warps cover c0..c255); FP16 scalar issues the SAME number of
+// transactions at 50% utilization; FP16 vectorized (half2) restores 100%
+// utilization with half the transactions.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "gpusim/coalesce.hpp"
+
+using namespace ts;
+
+int main() {
+  bench::header("Figure 8: transaction coalescing",
+                "paper Fig. 8 + §4.3.1 (incl. the INT8 diminishing-return "
+                "argument)");
+
+  struct Row {
+    const char* name;
+    Precision p;
+    bool vec;
+  };
+  const Row rows[] = {
+      {"FP32 scalar", Precision::kFP32, false},
+      {"FP16 scalar", Precision::kFP16, false},
+      {"FP16 vectorized (half2)", Precision::kFP16, true},
+      {"INT8 scalar", Precision::kINT8, false},
+      {"INT8 vectorized (char4)", Precision::kINT8, true},
+  };
+
+  for (std::size_t channels : {64u, 128u, 256u}) {
+    std::printf("\nfeature row of %zu channels:\n", channels);
+    std::printf("  %-26s %14s %13s\n", "access mode", "transactions",
+                "utilization");
+    for (const Row& r : rows) {
+      std::printf("  %-26s %14zu %12.0f%%\n", r.name,
+                  transactions_per_row(channels, r.p, r.vec),
+                  transaction_utilization(r.p, r.vec) * 100);
+    }
+  }
+
+  std::printf(
+      "\npaper check (C=256): FP32 scalar = FP16 scalar transaction count "
+      "(%zu == %zu), FP16 vectorized halves it (%zu)\n",
+      transactions_per_row(256, Precision::kFP32, false),
+      transactions_per_row(256, Precision::kFP16, false),
+      transactions_per_row(256, Precision::kFP16, true));
+  return 0;
+}

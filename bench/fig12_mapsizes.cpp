@@ -1,0 +1,85 @@
+// Figure 12: kernel map size per weight index for the first sparse conv
+// layer of MinkUNet on SemanticKITTI vs nuScenes.
+//
+// Paper reference: sizes span an order of magnitude; the center weight is
+// by far the largest; nuScenes maps are much smaller than SemanticKITTI
+// (hence its more aggressive grouping: 8 vs 10 groups in the paper's
+// example).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "engines/presets.hpp"
+#include "engines/runner.hpp"
+#include "engines/workloads.hpp"
+#include "gpusim/device.hpp"
+#include "tune/group_tuner.hpp"
+
+using namespace ts;
+
+namespace {
+
+const LayerRecord* first_submanifold(const std::vector<LayerRecord>& recs) {
+  for (const LayerRecord& r : recs)
+    if (r.submanifold && r.map_sizes.size() == 27) return &r;
+  return nullptr;
+}
+
+void report(const char* dataset, const LayerRecord& layer,
+            const CostModel& cost) {
+  std::printf("\n%s first-layer map sizes per weight index:\n", dataset);
+  std::size_t total = 0, min_sz = SIZE_MAX, max_sz = 0;
+  for (int n = 0; n < 27; ++n) {
+    const std::size_t s = layer.map_sizes[static_cast<std::size_t>(n)];
+    std::printf("  W%-3d %8zu%s\n", n, s, n == 13 ? "   <- center" : "");
+    total += s;
+    if (s) min_sz = std::min(min_sz, s);
+    max_sz = std::max(max_sz, s);
+  }
+  std::printf("  total %zu, min %zu, max %zu (max/min = %.1fx)\n", total,
+              min_sz, max_sz,
+              static_cast<double>(max_sz) / static_cast<double>(min_sz));
+
+  // Show the tuned grouping this distribution induces (the paper's
+  // "8 groups vs 10 groups" observation).
+  const TuneResult tr = tune_groups({{layer}}, cost, Precision::kFP16);
+  const auto groups = plan_groups(layer.map_sizes, true,
+                                  GroupingStrategy::kAdaptive,
+                                  tr.params.at(layer.layer_id));
+  std::printf("  tuned adaptive grouping: %zu groups (epsilon=%.2f, "
+              "S=%.0f)\n",
+              groups.size(), tr.params.at(layer.layer_id).epsilon,
+              tr.params.at(layer.layer_id).s_threshold);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 12: kernel map size distributions",
+                "paper Fig. 12 (MinkUNet on SemanticKITTI vs nuScenes)");
+  const CostModel cost(rtx2080ti());
+
+  Workload sk = make_minkunet_workload("SK-MinkUNet (1.0x)",
+                                       "SemanticKITTI", 1.0, 1, 12001, 1.0,
+                                       1);
+  Workload ns = make_minkunet_workload("NS-MinkUNet (1f)", "nuScenes", 1.0,
+                                       1, 12002, 1.0, 1);
+  const auto sk_rec = record_workloads(sk.model, {sk.input}, rtx2080ti(),
+                                       torchsparse_config());
+  const auto ns_rec = record_workloads(ns.model, {ns.input}, rtx2080ti(),
+                                       torchsparse_config());
+  const LayerRecord* sk_layer = first_submanifold(sk_rec[0]);
+  const LayerRecord* ns_layer = first_submanifold(ns_rec[0]);
+  if (!sk_layer || !ns_layer) return 1;
+
+  report("SemanticKITTI", *sk_layer, cost);
+  report("nuScenes", *ns_layer, cost);
+
+  std::size_t sk_total = 0, ns_total = 0;
+  for (auto s : sk_layer->map_sizes) sk_total += s;
+  for (auto s : ns_layer->map_sizes) ns_total += s;
+  std::printf("\nSemanticKITTI/nuScenes total map-size ratio: %.1fx "
+              "(paper: nuScenes maps are much smaller)\n",
+              static_cast<double>(sk_total) /
+                  static_cast<double>(ns_total));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 13: speedup breakdown of the mapping optimizations on the
+// 3-frame CenterPoint detector (Waymo): grid hashmap, fused downsample
+// kernel, simplified control logic, and map symmetry.
+//
+// Paper reference (cumulative end-to-end mapping speedups):
+//   + grid hashmap       1.6x
+//   + fused kernel       1.5x   (output construction itself 2.1x)
+//   + simplified control 1.8x
+//   + symmetry           1.1x
+//   total                ~4.6x
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "engines/presets.hpp"
+#include "engines/runner.hpp"
+#include "engines/workloads.hpp"
+#include "gpusim/device.hpp"
+
+using namespace ts;
+
+namespace {
+
+struct Step {
+  const char* name;
+  MapBackend backend;
+  bool fused_downsample, simplified, symmetry;
+  double paper_cumulative;  // vs previous step in the paper
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 13: mapping optimization breakdown",
+                "paper Fig. 13 (CenterPoint-3f, Waymo)");
+
+  Workload w = make_centerpoint_workload("WM-CenterPoint (3f)", "Waymo", 3,
+                                         13001, 1.0, 1);
+  std::printf("input: %zu voxels\n", w.input.num_points());
+  const DeviceSpec dev = rtx2080ti();
+
+  const Step steps[] = {
+      {"baseline (hashmap, staged)", MapBackend::kHashMap, false, false,
+       false, 1.0},
+      {"+ grid hashmap", MapBackend::kGrid, false, false, false, 1.6},
+      {"+ fused downsample kernel", MapBackend::kGrid, true, false, false,
+       1.5},
+      {"+ simplified control logic", MapBackend::kGrid, true, true, false,
+       1.8},
+      {"+ symmetric map inference", MapBackend::kGrid, true, true, true,
+       1.1},
+  };
+
+  std::printf("\n%-30s %12s %10s %10s %14s\n", "step", "mapping ms",
+              "step gain", "cum. gain", "(paper step)");
+  double base = 0, prev = 0;
+  for (const Step& s : steps) {
+    EngineConfig cfg = baseline_config();
+    cfg.map_backend = s.backend;
+    cfg.fused_downsample = s.fused_downsample;
+    cfg.simplified_control = s.simplified;
+    cfg.symmetric_map_search = s.symmetry;
+    const Timeline t = run_model(w.model, w.input, dev, cfg);
+    const double ms = t.stage_seconds(Stage::kMapping) * 1e3;
+    if (base == 0) base = ms;
+    std::printf("%-30s %10.3f %9.2fx %9.2fx %11.1fx\n", s.name, ms,
+                prev > 0 ? prev / ms : 1.0, base / ms, s.paper_cumulative);
+    prev = ms;
+  }
+  std::printf("\npaper total: ~4.6x end-to-end mapping speedup\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// google-benchmark microbenchmarks for the substrate kernels: coordinate
+// hashing (conventional vs grid), map search, gather/scatter numerics,
+// blocked GEMM, the L2 cache simulator, and binary16 conversion.
+//
+// These measure the *host implementation* (this repo runs the algorithms
+// on CPU); the paper-facing performance numbers come from the cost model
+// in the fig*/table* binaries.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "core/gather_scatter.hpp"
+#include "core/kernel_map.hpp"
+#include "gpusim/cache.hpp"
+#include "hash/flat_hashmap.hpp"
+#include "hash/grid_hashmap.hpp"
+#include "tensor/half.hpp"
+#include "tensor/matrix.hpp"
+
+namespace {
+
+std::vector<ts::Coord> make_coords(int n, int extent, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int32_t> d(0, extent);
+  std::vector<ts::Coord> coords;
+  coords.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    coords.push_back({0, d(rng), d(rng), d(rng)});
+  return coords;
+}
+
+void BM_FlatHashMapBuild(benchmark::State& state) {
+  const auto coords = make_coords(static_cast<int>(state.range(0)), 256, 1);
+  for (auto _ : state) {
+    ts::FlatHashMap m(coords.size());
+    for (std::size_t i = 0; i < coords.size(); ++i)
+      m.insert(coords[i], static_cast<int64_t>(i));
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(coords.size()));
+}
+BENCHMARK(BM_FlatHashMapBuild)->Arg(10000)->Arg(100000);
+
+void BM_GridHashMapBuild(benchmark::State& state) {
+  const auto coords = make_coords(static_cast<int>(state.range(0)), 256, 1);
+  for (auto _ : state) {
+    ts::GridHashMap g(ts::Coord{0, 0, 0, 0}, ts::Coord{0, 256, 256, 256});
+    for (std::size_t i = 0; i < coords.size(); ++i)
+      g.insert(coords[i], static_cast<int64_t>(i));
+    benchmark::DoNotOptimize(g.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(coords.size()));
+}
+BENCHMARK(BM_GridHashMapBuild)->Arg(10000)->Arg(100000);
+
+void BM_MapSearch(benchmark::State& state) {
+  const bool grid = state.range(1) != 0;
+  const auto coords = make_coords(static_cast<int>(state.range(0)), 128, 2);
+  ts::ConvGeometry geom{3, 1, false};
+  ts::MapSearchOptions opts;
+  opts.backend = grid ? ts::MapBackend::kGrid : ts::MapBackend::kHashMap;
+  for (auto _ : state) {
+    auto km = ts::build_kernel_map(coords, coords, geom, opts);
+    benchmark::DoNotOptimize(km.total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(coords.size()) * 27);
+}
+BENCHMARK(BM_MapSearch)->Args({20000, 0})->Args({20000, 1});
+
+void BM_SymmetricMapSearch(benchmark::State& state) {
+  const auto coords = make_coords(20000, 128, 2);
+  ts::ConvGeometry geom{3, 1, false};
+  ts::MapSearchOptions opts{ts::MapBackend::kGrid, true};
+  for (auto _ : state) {
+    auto km = ts::build_kernel_map(coords, coords, geom, opts);
+    benchmark::DoNotOptimize(km.total());
+  }
+}
+BENCHMARK(BM_SymmetricMapSearch);
+
+void BM_BlockedGemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ts::Matrix a(n, 64, 0.5f), b(64, 64, 0.25f), out;
+  for (auto _ : state) {
+    ts::mm(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) *
+                          64 * 64 * 2);
+}
+BENCHMARK(BM_BlockedGemm)->Arg(1000)->Arg(10000);
+
+void BM_GatherRows(benchmark::State& state) {
+  const std::size_t n = 50000;
+  ts::Matrix src(n, 64, 1.0f);
+  std::mt19937_64 rng(3);
+  std::vector<ts::MapEntry> map(100000);
+  for (auto& e : map) {
+    e.in = static_cast<int32_t>(rng() % n);
+    e.out = static_cast<int32_t>(rng() % n);
+  }
+  for (auto _ : state) {
+    ts::Matrix f = ts::gather_rows(src, map);
+    benchmark::DoNotOptimize(f.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 100000 * 64 * 4);
+}
+BENCHMARK(BM_GatherRows);
+
+void BM_CacheSimAccess(benchmark::State& state) {
+  ts::CacheSim l2(5 * 1024 * 1024);
+  std::mt19937_64 rng(4);
+  std::vector<uint64_t> addrs(1 << 16);
+  for (auto& a : addrs) a = (rng() % (1 << 20)) * 128;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        l2.access(addrs[i++ & (addrs.size() - 1)], 128, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheSimAccess);
+
+void BM_HalfRoundTrip(benchmark::State& state) {
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<float> dist(-100.0f, 100.0f);
+  std::vector<float> vals(4096);
+  for (auto& v : vals) v = dist(rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::fp16_round(vals[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HalfRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// Table 1: specializing the adaptive grouping strategy (epsilon, S) for
+// datasets, models, and hardware. Executing a strategy tuned for the
+// wrong target loses efficiency (paper: up to 13.5%).
+//
+// Metric: effective matmul throughput = theoretical (unpadded) FLOPs /
+// matmul time, so padding waste counts against a strategy — the quantity
+// the tuner actually optimizes. Paper reference (TFLOP/s):
+//   (a) datasets (MinkUNet-1f, 2080Ti): SK on SK 10.11 > SK on NS-tuned
+//       10.87?? — read as: the diagonal (specialized) entries win.
+//   (b) models (SemanticKITTI, 2080Ti): diagonal wins.
+//   (c) hardware (nuScenes, MinkUNet): diagonal wins.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "engines/presets.hpp"
+#include "engines/runner.hpp"
+#include "engines/workloads.hpp"
+#include "gpusim/device.hpp"
+#include "tune/group_tuner.hpp"
+
+using namespace ts;
+
+namespace {
+
+/// Effective TFLOP/s of one run: theoretical flops / matmul seconds.
+double effective_tflops(const Workload& w, const DeviceSpec& dev,
+                        const std::unordered_map<int, GroupParams>& tuned) {
+  EngineConfig cfg = torchsparse_config();
+  RunOptions opt;
+  opt.simulate_cache = false;
+  opt.tuned = tuned;
+  const Timeline t = run_model(w.model, w.input, dev, cfg, opt);
+
+  const auto recs =
+      record_workloads(w.model, {w.input}, dev, torchsparse_config());
+  double theo = 0;
+  for (const LayerRecord& r : recs[0])
+    theo += theoretical_flops(r.map_sizes, r.c_in, r.c_out);
+  return theo / t.stage_seconds(Stage::kMatMul) / 1e12;
+}
+
+void print_matrix(const char* title, const char* row0, const char* row1,
+                  double m00, double m01, double m10, double m11) {
+  std::printf("\n%s\n", title);
+  std::printf("  %-22s %14s %14s\n", "execute \\ optimized-for", row0,
+              row1);
+  std::printf("  %-22s %11.2f TF %11.2f TF %s\n", row0, m00, m01,
+              m00 >= m01 ? "(diag wins)" : "(TRANSFER WINS!)");
+  std::printf("  %-22s %11.2f TF %11.2f TF %s\n", row1, m10, m11,
+              m11 >= m10 ? "(diag wins)" : "(TRANSFER WINS!)");
+  const double loss = std::max(m00 / m01, m11 / m10);
+  std::printf("  max specialization gain: %.1f%% (paper: up to 13.5%%)\n",
+              (loss - 1.0) * 100);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Table 1: (epsilon, S) specialization",
+                "paper Table 1 (a) datasets (b) models (c) hardware");
+
+  // (a) Datasets: 1-frame MinkUNet-1.0x on SemanticKITTI vs nuScenes.
+  {
+    Workload sk = make_minkunet_workload("MinkUNet@SK", "SemanticKITTI",
+                                         1.0, 1, 1101, 1.0, 2);
+    Workload ns = make_minkunet_workload("MinkUNet@NS", "nuScenes", 1.0, 1,
+                                         1101, 1.0, 2);
+    // Same network weights/layer ids (same seed) so strategies transfer.
+    const DeviceSpec dev = rtx2080ti();
+    const auto tune_sk =
+        tune_for(sk.model, sk.tune_samples, dev, torchsparse_config());
+    const auto tune_ns =
+        tune_for(ns.model, ns.tune_samples, dev, torchsparse_config());
+    print_matrix("(a) dataset specialization (MinkUNet-1f, RTX 2080Ti)",
+                 "SemanticKITTI", "nuScenes",
+                 effective_tflops(sk, dev, tune_sk),
+                 effective_tflops(sk, dev, tune_ns),
+                 effective_tflops(ns, dev, tune_sk),
+                 effective_tflops(ns, dev, tune_ns));
+  }
+
+  // (b) Models: MinkUNet 1.0x vs 0.5x on SemanticKITTI. Strategies can
+  // only transfer across models via matching layer structure, so we tune
+  // each model on its own samples and cross-apply by layer order.
+  {
+    const DeviceSpec dev = rtx2080ti();
+    Workload big = make_minkunet_workload("MinkUNet-1.0x", "SemanticKITTI",
+                                          1.0, 1, 1102, 1.0, 2);
+    Workload small = make_minkunet_workload("MinkUNet-0.5x",
+                                            "SemanticKITTI", 0.5, 1, 1103,
+                                            1.0, 2);
+    auto remap = [&](const Workload& from, const Workload& to,
+                     const std::unordered_map<int, GroupParams>& params) {
+      // Cross-apply by position: layer k of `from` -> layer k of `to`.
+      const auto rf = record_workloads(from.model, {from.input},
+                                       dev, torchsparse_config())[0];
+      const auto rt = record_workloads(to.model, {to.input}, dev,
+                                       torchsparse_config())[0];
+      std::unordered_map<int, GroupParams> out;
+      for (std::size_t i = 0; i < std::min(rf.size(), rt.size()); ++i) {
+        if (auto it = params.find(rf[i].layer_id); it != params.end())
+          out[rt[i].layer_id] = it->second;
+      }
+      return out;
+    };
+    const auto tune_big =
+        tune_for(big.model, big.tune_samples, dev, torchsparse_config());
+    const auto tune_small = tune_for(small.model, small.tune_samples, dev,
+                                     torchsparse_config());
+    print_matrix("(b) model specialization (SemanticKITTI, RTX 2080Ti)",
+                 "MinkUNet-1.0x", "MinkUNet-0.5x",
+                 effective_tflops(big, dev, tune_big),
+                 effective_tflops(big, dev, remap(small, big, tune_small)),
+                 effective_tflops(small, dev, remap(big, small, tune_big)),
+                 effective_tflops(small, dev, tune_small));
+  }
+
+  // (c) Hardware: tune on 2080Ti vs 1080Ti, execute on both (nuScenes).
+  {
+    Workload ns = make_minkunet_workload("MinkUNet@NS", "nuScenes", 1.0, 3,
+                                         1104, 1.0, 2);
+    const DeviceSpec d20 = rtx2080ti(), d10 = gtx1080ti();
+    const auto tune_20 =
+        tune_for(ns.model, ns.tune_samples, d20, torchsparse_config());
+    const auto tune_10 =
+        tune_for(ns.model, ns.tune_samples, d10, torchsparse_config());
+    print_matrix("(c) hardware specialization (nuScenes, MinkUNet-3f)",
+                 "RTX 2080Ti", "GTX 1080Ti",
+                 effective_tflops(ns, d20, tune_20),
+                 effective_tflops(ns, d20, tune_10),
+                 effective_tflops(ns, d10, tune_20),
+                 effective_tflops(ns, d10, tune_10));
+  }
+  return 0;
+}

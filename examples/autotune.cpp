@@ -1,0 +1,59 @@
+// Auto-tuning example: runs the Alg. 5 adaptive group search for a
+// MinkUNet on synthetic SemanticKITTI samples and shows, per layer, the
+// chosen (epsilon, S), the induced grouping, and the modeled matmul gain
+// over separate execution.
+#include <cstdio>
+
+#include "engines/presets.hpp"
+#include "engines/runner.hpp"
+#include "engines/workloads.hpp"
+#include "gpusim/device.hpp"
+#include "tune/group_tuner.hpp"
+
+using namespace ts;
+
+int main() {
+  Workload w = make_minkunet_workload("SK-MinkUNet (0.5x)", "SemanticKITTI",
+                                      0.5, 1, /*seed=*/555, /*scale=*/0.5,
+                                      /*tune_sample_count=*/3);
+  const DeviceSpec dev = rtx2080ti();
+  std::printf("tuning MinkUNet (0.5x) on %zu samples for %s\n",
+              w.tune_samples.size(), dev.name.c_str());
+  std::printf("search space: %zu (epsilon, S) configurations per layer "
+              "(paper: <1000, inference-only, <10 min)\n\n",
+              default_search_space().size());
+
+  const auto records = record_workloads(w.model, w.tune_samples, dev,
+                                        torchsparse_config());
+  const CostModel cost(dev);
+  const TuneResult tuned = tune_groups(records, cost, Precision::kFP16);
+
+  std::printf("%-7s %8s %6s %10s %8s %9s %11s\n", "layer", "entries",
+              "C_in", "epsilon", "S", "#groups", "vs separate");
+  double total_sep = 0, total_adp = 0;
+  for (const LayerRecord& r : records[0]) {
+    const GroupParams p = tuned.params.at(r.layer_id);
+    const double sep = grouped_matmul_seconds(
+        r, GroupingStrategy::kSeparate, GroupParams{}, cost,
+        Precision::kFP16);
+    const double adp = grouped_matmul_seconds(
+        r, GroupingStrategy::kAdaptive, p, cost, Precision::kFP16);
+    const auto groups =
+        plan_groups(r.map_sizes, r.submanifold, GroupingStrategy::kAdaptive,
+                    p);
+    std::size_t entries = 0;
+    for (auto s : r.map_sizes) entries += s;
+    std::printf("%-7d %8zu %6zu %10.2f %8.0f %9zu %10.2fx\n", r.layer_id,
+                entries, r.c_in, p.epsilon,
+                std::min(p.s_threshold, 9.9e7), groups.size(), sep / adp);
+    total_sep += sep;
+    total_adp += adp;
+  }
+  std::printf("\nnetwork matmul: separate %.2f ms -> tuned adaptive "
+              "%.2f ms (%.2fx; paper Table 2: 1.39-1.54x)\n",
+              total_sep * 1e3, total_adp * 1e3, total_sep / total_adp);
+  std::printf("\nnote: even with fixed (epsilon, S), the grouping itself "
+              "re-plans per input from the actual map sizes — the "
+              "strategy is input-adaptive (paper §4.2.3)\n");
+  return 0;
+}

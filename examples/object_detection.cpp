@@ -1,0 +1,53 @@
+// 3-D object detection example: a CenterPoint-style detector on a
+// synthetic Waymo scan — sparse 3-D encoder, dense BEV heads, and NMS,
+// with the per-stage timeline showing the paper's Fig. 4b structure
+// (sparse stages dominate; Conv2D/NMS is the unaccelerated tail).
+#include <cstdio>
+
+#include "data/voxelize.hpp"
+#include "engines/presets.hpp"
+#include "engines/runner.hpp"
+#include "gpusim/device.hpp"
+#include "nn/centerpoint.hpp"
+
+using namespace ts;
+
+int main() {
+  LidarSpec lidar = waymo_spec(/*frames=*/3);
+  lidar.azimuth_steps = 500;  // moderate size for the example
+  VoxelSpec vox = detection_voxels();
+  vox.feature_channels = 5;  // xyz offsets + intensity + point age
+  const SparseTensor input = make_input(lidar, vox, /*seed=*/31337);
+  std::printf("aggregated 3-frame scan: %zu voxels @ 0.1 m\n",
+              input.num_points());
+
+  spnn::CenterPoint detector(5, /*seed=*/99);
+  ExecContext ctx(rtx3090(), torchsparse_config());
+  ctx.compute_numerics = true;
+
+  const spnn::CenterPointOutput out = detector.run(input, ctx);
+
+  std::printf("backbone output: %zu voxels at stride %d\n",
+              out.backbone_out.num_points(), out.backbone_out.stride());
+  std::printf("detections after NMS: %zu\n", out.detections.size());
+  for (std::size_t i = 0; i < out.detections.size() && i < 8; ++i) {
+    const auto& d = out.detections[i];
+    std::printf("  box %zu: center=(%.1f, %.1f) half=(%.1f, %.1f) "
+                "score=%.3f\n",
+                i, d.x, d.y, d.half_w, d.half_l, d.score);
+  }
+
+  std::printf("\nmodeled timeline on %s:\n", ctx.cost.device().name.c_str());
+  const double total = ctx.timeline.total_seconds();
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    const Stage st = static_cast<Stage>(s);
+    const double sec = ctx.timeline.stage_seconds(st);
+    if (sec > 0)
+      std::printf("  %-8s %7.3f ms (%4.1f%%)\n", to_string(st).c_str(),
+                  sec * 1e3, sec / total * 100);
+  }
+  std::printf("  total    %7.3f ms (%.1f FPS; paper: CenterPoint-3f "
+              "runs real-time >= 10 FPS even on GTX 1080Ti)\n",
+              total * 1e3, 1.0 / total);
+  return 0;
+}

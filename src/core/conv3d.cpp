@@ -1,0 +1,262 @@
+#include "core/conv3d.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "core/downsample.hpp"
+#include "core/gather_scatter.hpp"
+#include "core/kernel_offsets.hpp"
+#include "core/mapping_cost.hpp"
+#include "core/matmul_group.hpp"
+#include "gpusim/coalesce.hpp"
+
+namespace ts {
+
+namespace {
+
+/// Resolves the output coordinate set (paper §2.1.1): identity for
+/// stride 1, cached-or-computed coarse coordinates for downsampling, and
+/// cached fine coordinates for transposed (decoder) convolutions.
+std::shared_ptr<const std::vector<Coord>> resolve_output_coords(
+    const SparseTensor& x, const ConvGeometry& geom, int& out_stride,
+    ExecContext& ctx) {
+  TensorCache& cache = *x.cache();
+  if (geom.transposed) {
+    assert(x.stride() % geom.stride == 0);
+    out_stride = x.stride() / geom.stride;
+    auto it = cache.coords_at_stride.find(out_stride);
+    if (it == cache.coords_at_stride.end())
+      throw std::runtime_error(
+          "transposed conv requires cached coordinates at the target "
+          "stride (run the matching downsample first)");
+    return it->second;
+  }
+  if (geom.stride == 1) {
+    out_stride = x.stride();
+    return x.coords_ptr();
+  }
+  out_stride = x.stride() * geom.stride;
+  if (auto it = cache.coords_at_stride.find(out_stride);
+      it != cache.coords_at_stride.end())
+    return it->second;
+  DownsampleCounters dc;
+  auto coords = std::make_shared<const std::vector<Coord>>(downsample_coords(
+      x.coords(), geom.kernel_size, geom.stride, ctx.cfg.fused_downsample,
+      ctx.cfg.simplified_control, &dc));
+  charge_downsample(dc, ctx);
+  cache.coords_at_stride[out_stride] = coords;
+  return coords;
+}
+
+/// Resolves the kernel map, reusing the tensor cache: stride-1 maps are
+/// shared by every submanifold layer at the same level, and transposed
+/// convolutions relabel the matching downsample map (in/out swapped).
+std::shared_ptr<const KernelMap> resolve_kernel_map(
+    const SparseTensor& x, const ConvGeometry& geom,
+    const std::vector<Coord>& out_coords, ExecContext& ctx) {
+  TensorCache& cache = *x.cache();
+  const int fine_stride =
+      geom.transposed ? x.stride() / geom.stride : x.stride();
+  const MapKey key{fine_stride, geom.kernel_size, geom.stride,
+                   geom.dilation};
+
+  if (auto it = cache.kmaps.find(key); it != cache.kmaps.end()) {
+    if (!geom.transposed) return it->second;  // direct reuse, no kernels
+    auto km = std::make_shared<KernelMap>(transpose_kernel_map(*it->second));
+    charge_map_transpose(km->total(), ctx);
+    return km;
+  }
+
+  MapSearchOptions opts;
+  opts.backend = ctx.cfg.map_backend;
+  opts.use_symmetry = ctx.cfg.symmetric_map_search && geom.is_submanifold();
+  KernelMap built =
+      build_kernel_map(x.coords(), out_coords, geom, opts);
+  charge_map_build(built.stats, built.total(), out_coords.size(), ctx);
+
+  auto km = std::make_shared<const KernelMap>(std::move(built));
+  if (geom.transposed) {
+    // Store the forward orientation so a later layer can reuse it.
+    cache.kmaps[key] =
+        std::make_shared<const KernelMap>(transpose_kernel_map(*km));
+  } else {
+    cache.kmaps[key] = km;
+  }
+  return km;
+}
+
+/// Fetch-on-demand dataflow (MinkowskiEngine's small-workload path, §5.2
+/// and Lin et al. 2021): one implicit-GEMM kernel per layer, no gather or
+/// scatter buffers — input rows are fetched as needed and partial sums
+/// reduced in registers. Wins when launch overhead and buffer traffic
+/// dominate; loses utilization on large workloads.
+void charge_fetch_on_demand(const KernelMap& km, std::size_t n_out,
+                            std::size_t c_in, std::size_t c_out,
+                            ExecContext& ctx) {
+  const double total = static_cast<double>(km.total());
+  if (total == 0) return;
+  const Precision p = ctx.cfg.precision;
+  const std::size_t row_in = c_in * bytes_per_channel(p);
+  const std::size_t row_out =
+      c_out * bytes_per_channel(p == Precision::kFP32 ? Precision::kFP32
+                                                      : Precision::kFP16);
+  const double flops = 2.0 * total * static_cast<double>(c_in) *
+                       static_cast<double>(c_out);
+  // Implicit GEMM over irregular neighbor segments: well below the
+  // utilization of an explicit GEMM with the same total rows (it skips
+  // the gather/scatter buffers but pays in MAC efficiency) — which is why
+  // fetch-on-demand only wins on small workloads (paper §5.2).
+  const double util =
+      0.30 * ctx.cost.mm_utilization(total, static_cast<double>(c_in),
+                                     static_cast<double>(c_out), p);
+  const double compute = flops / (ctx.cost.peak_tflops(p) * 1e12 * util);
+
+  double dram = 0;
+  if (ctx.simulate_cache) {
+    const double before = ctx.l2.dram_bytes();
+    for (const auto& m : km.maps)
+      for (const MapEntry& e : m)
+        ctx.l2.access(static_cast<uint64_t>(e.in) * row_in, row_in, false);
+    for (std::size_t k = 0; k < n_out; ++k)
+      ctx.l2.access((3ull << 40) + k * row_out, row_out, true);
+    dram = ctx.l2.dram_bytes() - before;
+  } else {
+    const std::size_t lines = (row_in + kTransactionBytes - 1) /
+                              kTransactionBytes;
+    dram = total * static_cast<double>(lines * kTransactionBytes) +
+           static_cast<double>(n_out) * static_cast<double>(row_out);
+  }
+  dram += total * 8.0;  // map entries
+  const double t = ctx.cost.launch_seconds() + std::max(compute,
+                                                        ctx.cost.dram_seconds(dram));
+  ctx.timeline.add(Stage::kMatMul, t);
+  ctx.timeline.add_flops(flops);
+  ctx.timeline.add_dram_bytes(dram);
+  ctx.timeline.add_kernel_launches(1);
+}
+
+}  // namespace
+
+SparseTensor sparse_conv3d(const SparseTensor& x, const Conv3dParams& p,
+                           ExecContext& ctx) {
+  const ConvGeometry& geom = p.geom;
+  const int volume = kernel_volume(geom.kernel_size);
+  assert(static_cast<int>(p.weights.size()) == volume);
+  const std::size_t c_in = p.in_channels();
+  const std::size_t c_out = p.out_channels();
+  assert(x.channels() == c_in);
+
+  int out_stride = x.stride();
+  auto out_coords = resolve_output_coords(x, geom, out_stride, ctx);
+  auto km = resolve_kernel_map(x, geom, *out_coords, ctx);
+
+  const std::size_t n_in = x.num_points();
+  const std::size_t n_out = out_coords->size();
+  const auto sizes = km->sizes();
+  const bool submanifold = geom.is_submanifold();
+  const int center = submanifold ? center_offset_index(geom.kernel_size) : -1;
+
+  if (ctx.recorder) {
+    LayerRecord rec;
+    rec.layer_id = ctx.layer_id;
+    rec.map_sizes = sizes;
+    rec.c_in = c_in;
+    rec.c_out = c_out;
+    rec.submanifold = submanifold;
+    ctx.recorder->push_back(std::move(rec));
+  }
+
+  Matrix out_feats(n_out, c_out);
+
+  // Dataflow selection: MinkowskiEngine-style engines switch to
+  // fetch-on-demand when the mean per-offset workload is small.
+  const double mean_size =
+      static_cast<double>(km->total()) / static_cast<double>(volume);
+  const bool use_fod =
+      ctx.cfg.dataflow == Dataflow::kFetchOnDemand ||
+      (ctx.cfg.fod_threshold > 0 && mean_size < ctx.cfg.fod_threshold);
+
+  if (use_fod) {
+    charge_fetch_on_demand(*km, n_out, c_in, c_out, ctx);
+    if (ctx.compute_numerics) {
+      for (int n = 0; n < volume; ++n) {
+        const auto& m = km->maps[static_cast<std::size_t>(n)];
+        if (m.empty()) continue;
+        Matrix f = gather_rows(x.feats(), m);
+        f.quantize(ctx.cfg.precision);
+        Matrix psum;
+        mm(f, p.weights[static_cast<std::size_t>(n)], psum);
+        scatter_add_rows(psum, m, out_feats);
+      }
+      if (ctx.cfg.precision != Precision::kFP32)
+        out_feats.quantize(Precision::kFP16);
+    }
+    return SparseTensor(out_coords, std::move(out_feats), out_stride,
+                        x.cache());
+  }
+
+  // --- Gather-matmul-scatter dataflow. ---
+  // Data movement covers every nonzero offset except (for submanifold
+  // layers with the optimization enabled) the center, which multiplies the
+  // input features in place.
+  const bool center_in_place = submanifold && ctx.cfg.skip_center_movement;
+  std::vector<int> move_offsets;
+  for (int n = 0; n < volume; ++n)
+    if (sizes[static_cast<std::size_t>(n)] > 0 &&
+        !(center_in_place && n == center))
+      move_offsets.push_back(n);
+  charge_gather_scatter(*km, move_offsets, n_in, n_out, c_in, c_out, ctx);
+
+  // Matmul cost via the planned grouping (paper §4.2, Alg. 4).
+  const auto groups = plan_groups(sizes, submanifold, ctx.cfg.grouping,
+                                  ctx.params_for_layer());
+  for (const MMGroup& g : groups) {
+    KernelCost kc;
+    if (g.use_bmm) {
+      kc = ctx.cost.bmm(g.offsets.size(), g.padded_rows, c_in, c_out,
+                        ctx.cfg.precision);
+    } else {
+      for (int n : g.offsets) {
+        const KernelCost one = ctx.cost.mm(
+            sizes[static_cast<std::size_t>(n)], c_in, c_out,
+            ctx.cfg.precision);
+        kc.seconds += one.seconds;
+        kc.flops += one.flops;
+        kc.dram_bytes += one.dram_bytes;
+        ctx.timeline.add_kernel_launches(1);
+      }
+    }
+    if (g.use_bmm) ctx.timeline.add_kernel_launches(1);
+    ctx.timeline.add(Stage::kMatMul, kc.seconds);
+    ctx.timeline.add_flops(kc.flops);
+    ctx.timeline.add_dram_bytes(kc.dram_bytes);
+  }
+
+  if (ctx.compute_numerics) {
+    for (int n = 0; n < volume; ++n) {
+      const auto& m = km->maps[static_cast<std::size_t>(n)];
+      if (m.empty()) continue;
+      const Matrix& w = p.weights[static_cast<std::size_t>(n)];
+      if (center_in_place && n == center) {
+        // Identity map: out[i] += X[i] * W_center without movement.
+        mm_accumulate(x.feats(), w, out_feats);
+        continue;
+      }
+      Matrix f = gather_rows(x.feats(), m);
+      f.quantize(ctx.cfg.precision);
+      Matrix psum;
+      mm(f, w, psum);
+      if (ctx.cfg.precision != Precision::kFP32)
+        psum.quantize(Precision::kFP16);
+      scatter_add_rows(psum, m, out_feats);
+    }
+    if (ctx.cfg.precision != Precision::kFP32)
+      out_feats.quantize(Precision::kFP16);
+  }
+
+  return SparseTensor(out_coords, std::move(out_feats), out_stride,
+                      x.cache());
+}
+
+}  // namespace ts

@@ -1,0 +1,35 @@
+// Sparse 3-D convolution orchestration (paper §4.1 "Conv3d is decomposed
+// to output construction, mapping operations and gather-matmul-scatter").
+#pragma once
+
+#include <vector>
+
+#include "core/conv_config.hpp"
+#include "core/exec.hpp"
+#include "core/sparse_tensor.hpp"
+#include "tensor/matrix.hpp"
+
+namespace ts {
+
+/// Parameters of one sparse convolution layer: geometry plus per-offset
+/// weight matrices W_delta of shape [C_in, C_out] (paper §2).
+struct Conv3dParams {
+  ConvGeometry geom;
+  std::vector<Matrix> weights;  // [kernel_volume], each C_in x C_out
+
+  std::size_t in_channels() const {
+    return weights.empty() ? 0 : weights.front().rows();
+  }
+  std::size_t out_channels() const {
+    return weights.empty() ? 0 : weights.front().cols();
+  }
+};
+
+/// Runs one sparse convolution: output construction, mapping (with cache
+/// reuse), then the configured dataflow (grouped gather-matmul-scatter or
+/// fetch-on-demand). Numerics are exact; every kernel's modeled cost is
+/// charged to ctx.timeline.
+SparseTensor sparse_conv3d(const SparseTensor& x, const Conv3dParams& p,
+                           ExecContext& ctx);
+
+}  // namespace ts

@@ -1,0 +1,42 @@
+// Sparse convolution layer configuration and cache signatures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ts {
+
+/// Geometry of one sparse convolution (channel counts live in the weights).
+struct ConvGeometry {
+  int kernel_size = 3;
+  int stride = 1;
+  bool transposed = false;  // inverse conv: upsamples back to cached coords
+  int dilation = 1;         // kernel offsets are scaled by this factor
+
+  bool is_submanifold() const {
+    return stride == 1 && !transposed && kernel_size % 2 == 1;
+  }
+  friend bool operator==(const ConvGeometry&, const ConvGeometry&) = default;
+};
+
+/// Key identifying a kernel map in the tensor cache: maps depend on the
+/// coordinate set (identified by tensor stride level) and conv geometry.
+struct MapKey {
+  int tensor_stride = 1;
+  int kernel_size = 3;
+  int stride = 1;
+  int dilation = 1;
+
+  friend bool operator==(const MapKey&, const MapKey&) = default;
+};
+
+struct MapKeyHash {
+  std::size_t operator()(const MapKey& k) const {
+    return static_cast<std::size_t>(k.tensor_stride) * 1315423911u ^
+           static_cast<std::size_t>(k.kernel_size) * 2654435761u ^
+           static_cast<std::size_t>(k.stride) * 97u ^
+           static_cast<std::size_t>(k.dilation) * 131071u;
+  }
+};
+
+}  // namespace ts

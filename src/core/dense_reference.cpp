@@ -1,0 +1,55 @@
+#include "core/dense_reference.hpp"
+
+#include <unordered_map>
+
+#include "core/kernel_offsets.hpp"
+#include "hash/flat_hashmap.hpp"
+
+namespace ts {
+
+Matrix dense_reference_conv(const std::vector<Coord>& in_coords,
+                            const Matrix& in_feats,
+                            const std::vector<Coord>& out_coords,
+                            const Conv3dParams& params) {
+  const auto offsets = kernel_offsets(params.geom.kernel_size);
+  const int s = params.geom.stride;
+  const std::size_t c_out = params.out_channels();
+  const std::size_t c_in = params.in_channels();
+
+  FlatHashMap index(in_coords.size());
+  for (std::size_t j = 0; j < in_coords.size(); ++j)
+    index.insert(in_coords[j], static_cast<int64_t>(j));
+
+  Matrix out(out_coords.size(), c_out);
+  for (std::size_t k = 0; k < out_coords.size(); ++k) {
+    const Coord& q = out_coords[k];
+    for (std::size_t n = 0; n < offsets.size(); ++n) {
+      const Offset3& d = offsets[n];
+      Coord r;
+      const int dil = params.geom.dilation;
+      if (!params.geom.transposed) {
+        r = Coord{q.b, s * q.x + dil * d.dx, s * q.y + dil * d.dy,
+                  s * q.z + dil * d.dz};
+      } else {
+        const int32_t ux = q.x - d.dx, uy = q.y - d.dy, uz = q.z - d.dz;
+        auto rem = [s](int32_t v) { return ((v % s) + s) % s; };
+        if (rem(ux) || rem(uy) || rem(uz)) continue;
+        r = Coord{q.b, ux / s, uy / s, uz / s};
+      }
+      const int64_t j = index.find(r);
+      if (j < 0) continue;
+      const Matrix& w = params.weights[n];
+      const float* xin = in_feats.row(static_cast<std::size_t>(j));
+      float* xout = out.row(k);
+      for (std::size_t ci = 0; ci < c_in; ++ci) {
+        const float v = xin[ci];
+        if (v == 0.0f) continue;
+        const float* wrow = w.row(ci);
+        for (std::size_t co = 0; co < c_out; ++co) xout[co] += v * wrow[co];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ts

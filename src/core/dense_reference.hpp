@@ -1,0 +1,25 @@
+// Dense volumetric reference convolution — test oracle only.
+//
+// Rasterizes the sparse input into a dense grid and evaluates Eq. (1) of
+// the paper literally at every output coordinate. All engines and all
+// optimization combinations must agree with this (up to precision
+// rounding); it is deliberately naive and O(N * K^3).
+#pragma once
+
+#include <vector>
+
+#include "core/conv3d.hpp"
+#include "hash/coords.hpp"
+#include "tensor/matrix.hpp"
+
+namespace ts {
+
+/// Computes x_out[k] = sum_delta sum_j 1[p_j == s*q_k + delta] x_j W_delta
+/// for the given output coordinates (FP32 throughout; transposed
+/// convolutions use the inverted relation q = s*p + delta).
+Matrix dense_reference_conv(const std::vector<Coord>& in_coords,
+                            const Matrix& in_feats,
+                            const std::vector<Coord>& out_coords,
+                            const Conv3dParams& params);
+
+}  // namespace ts

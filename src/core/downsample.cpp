@@ -1,0 +1,131 @@
+#include "core/downsample.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/kernel_offsets.hpp"
+#include "hash/grid_hashmap.hpp"
+
+namespace ts {
+
+namespace {
+
+constexpr double kCoordBytes = 16.0;  // (b,x,y,z) as 4x int32
+constexpr double kKeyBytes = 8.0;     // packed 1-D key
+constexpr double kMaskBytes = 1.0;
+
+struct Candidate {
+  Coord u;
+  bool mod_ok = false;
+  bool bound_ok = false;
+};
+
+bool modular_ok(const Coord& u, int s) {
+  auto ok = [s](int32_t v) { return ((v % s) + s) % s == 0; };
+  return ok(u.x) && ok(u.y) && ok(u.z);
+}
+
+bool boundary_ok(const Coord& u, const Coord& lo, const Coord& hi) {
+  return u.x >= lo.x && u.x <= hi.x && u.y >= lo.y && u.y <= hi.y &&
+         u.z >= lo.z && u.z <= hi.z;
+}
+
+std::vector<Coord> unique_sorted(std::vector<uint64_t>& keys,
+                                 DownsampleCounters* c) {
+  // Sort + unique models the final "Unique Filtering" kernel; its DRAM
+  // traffic (a few passes over the key array) exists in both the staged
+  // and the fused pipeline.
+  if (c) {
+    c->kernel_launches += 1;
+    c->dram_bytes += 4.0 * kKeyBytes * static_cast<double>(keys.size());
+    c->instr_ops += 8.0 * static_cast<double>(keys.size());
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<Coord> out;
+  out.reserve(keys.size());
+  for (uint64_t k : keys) out.push_back(unpack_coord(k));
+  return out;
+}
+
+}  // namespace
+
+std::vector<Coord> downsample_coords(const std::vector<Coord>& in,
+                                     int kernel_size, int stride, bool fused,
+                                     bool simplified_control,
+                                     DownsampleCounters* counters) {
+  assert(stride > 1);
+  const auto offsets = kernel_offsets(kernel_size);
+  const std::size_t k = offsets.size();
+  const std::size_t n_cand = in.size() * k;
+  if (counters) counters->candidates = n_cand;
+
+  Coord lo{}, hi{};
+  coord_bounds(in, lo, hi);
+
+  std::vector<uint64_t> keys;
+  keys.reserve(n_cand / static_cast<std::size_t>(stride));
+
+  if (!fused) {
+    // --- Staged pipeline: five kernels, intermediates in DRAM (Fig. 10
+    // top). We materialize the intermediate arrays for fidelity.
+    // Stage 1: candidate calculation (broadcast add).
+    std::vector<Candidate> cand(n_cand);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const Coord& p = in[i];
+      for (std::size_t t = 0; t < k; ++t) {
+        const Offset3& d = offsets[t];
+        cand[i * k + t].u =
+            Coord{p.b, p.x - d.dx, p.y - d.dy, p.z - d.dz};
+      }
+    }
+    // Stage 2: modular check.
+    for (Candidate& c : cand) c.mod_ok = modular_ok(c.u, stride);
+    // Stage 3: boundary check.
+    for (Candidate& c : cand) c.bound_ok = boundary_ok(c.u, lo, hi);
+    // Stage 4: nD -> 1D conversion of survivors.
+    for (const Candidate& c : cand) {
+      if (c.mod_ok && c.bound_ok) {
+        const Coord q{c.u.b, c.u.x / stride, c.u.y / stride,
+                      c.u.z / stride};
+        keys.push_back(pack_coord(q));
+      }
+    }
+    if (counters) {
+      const double nc = static_cast<double>(n_cand);
+      const double nin = static_cast<double>(in.size());
+      counters->kernel_launches += 4;
+      counters->dram_bytes +=
+          nin * kCoordBytes + nc * kCoordBytes +          // S1: read, write
+          nc * (kCoordBytes + kMaskBytes) +               // S2: read, write
+          nc * (kCoordBytes + kMaskBytes + kMaskBytes) +  // S3
+          nc * (kCoordBytes + kMaskBytes) +               // S4 reads
+          static_cast<double>(keys.size()) * kKeyBytes;   // S4 writes
+      counters->instr_ops += nc * 36.0;  // 4 control-heavy kernel passes
+    }
+  } else {
+    // --- Fused kernel: stages 1-4 in registers, one pass (Fig. 10
+    // bottom). Identical math, no intermediate arrays.
+    for (const Coord& p : in) {
+      for (const Offset3& d : offsets) {
+        const Coord u{p.b, p.x - d.dx, p.y - d.dy, p.z - d.dz};
+        if (modular_ok(u, stride) && boundary_ok(u, lo, hi)) {
+          keys.push_back(pack_coord(
+              Coord{u.b, u.x / stride, u.y / stride, u.z / stride}));
+        }
+      }
+    }
+    if (counters) {
+      counters->kernel_launches += 1;
+      counters->dram_bytes += static_cast<double>(in.size()) * kCoordBytes +
+                              static_cast<double>(keys.size()) * kKeyBytes;
+      counters->instr_ops += static_cast<double>(n_cand) *
+                             (simplified_control ? 5.0 : 16.0);
+    }
+  }
+
+  if (counters) counters->kept = keys.size();
+  return unique_sorted(keys, counters);
+}
+
+}  // namespace ts

@@ -1,0 +1,46 @@
+// Data orchestration: gather and scatter-accumulate (paper §2.2, §4.3).
+//
+// Numerics: `gather_rows` / `scatter_add_rows` implement Alg. 2's data
+// movement exactly (results are independent of the access-order
+// optimizations, which only change *when* bytes move).
+//
+// Cost: `charge_gather_scatter` replays the layer's real access streams —
+// in the order the configured variant would issue them — through the
+// transaction coalescing model and the L2 cache simulator, and charges the
+// resulting kernel times to the timeline. The four variants are the rows
+// of the paper's Table 3:
+//   scalar FP32            (baseline)
+//   scalar FP16            (quantized only: txn count unchanged, ~1.2x)
+//   vectorized FP16        (txn count halved, ~1.9x)
+//   + fused                (fewer launches; cache still thrashed, ~2.0x)
+//   + locality-aware       (input-/output-stationary, ~2.7x)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/exec.hpp"
+#include "core/kernel_map.hpp"
+#include "tensor/matrix.hpp"
+
+namespace ts {
+
+/// F[m] = src[map[m].in] (or .out when `by_out`, used by transposed paths).
+Matrix gather_rows(const Matrix& src, const std::vector<MapEntry>& map,
+                   bool by_out = false);
+
+/// dst[map[m].out] += psum[m].
+void scatter_add_rows(const Matrix& psum, const std::vector<MapEntry>& map,
+                      Matrix& dst);
+
+/// Models the full data-movement cost of one sparse conv layer and adds
+/// gather/scatter kernel times to ctx.timeline. `move_offsets` lists the
+/// kernel-offset indices whose maps actually move data (the center offset
+/// is excluded when EngineConfig::skip_center_movement is set).
+void charge_gather_scatter(const KernelMap& km,
+                           const std::vector<int>& move_offsets,
+                           std::size_t n_in, std::size_t n_out,
+                           std::size_t c_in, std::size_t c_out,
+                           ExecContext& ctx);
+
+}  // namespace ts

@@ -1,0 +1,108 @@
+#include "core/kernel_map.hpp"
+
+#include <cassert>
+
+namespace ts {
+
+namespace {
+
+/// Appends entries for offset `n` by querying candidate input coordinates
+/// for every output point.
+void search_offset(const std::vector<Coord>& out_coords, const Offset3& d,
+                   const ConvGeometry& geom, const CoordIndex& index,
+                   std::vector<MapEntry>& out, std::size_t& queries) {
+  const int s = geom.stride;
+  for (std::size_t k = 0; k < out_coords.size(); ++k) {
+    const Coord& q = out_coords[k];
+    Coord r;
+    const int dil = geom.dilation;
+    if (!geom.transposed) {
+      // Input lives at r = s*q + dilation*delta (paper Alg. 1, Fig. 5).
+      r = Coord{q.b, s * q.x + dil * d.dx, s * q.y + dil * d.dy,
+                s * q.z + dil * d.dz};
+    } else {
+      // Transposed conv: input (coarse) at (q - delta)/s when divisible.
+      const int32_t ux = q.x - d.dx, uy = q.y - d.dy, uz = q.z - d.dz;
+      // Arithmetic-correct floor-divisibility for negatives.
+      auto divisible = [s](int32_t v) {
+        return ((v % s) + s) % s == 0;
+      };
+      if (!(divisible(ux) && divisible(uy) && divisible(uz))) continue;
+      auto div = [s](int32_t v) {
+        return (v - (((v % s) + s) % s)) / s;  // floor division (exact here)
+      };
+      r = Coord{q.b, div(ux), div(uy), div(uz)};
+    }
+    ++queries;
+    const int64_t j = index.find(r);
+    if (j >= 0)
+      out.push_back({static_cast<int32_t>(j), static_cast<int32_t>(k)});
+  }
+}
+
+}  // namespace
+
+KernelMap build_kernel_map(const std::vector<Coord>& in_coords,
+                           const std::vector<Coord>& out_coords,
+                           const ConvGeometry& geom,
+                           const MapSearchOptions& opts) {
+  const auto offsets = kernel_offsets(geom.kernel_size);
+  const int volume = static_cast<int>(offsets.size());
+
+  KernelMap km;
+  km.kernel_size = geom.kernel_size;
+  km.maps.resize(static_cast<std::size_t>(volume));
+  km.stats.backend = opts.backend;
+
+  CoordIndex index(in_coords, opts.backend);
+  km.stats.build_accesses = index.build_accesses();
+
+  std::size_t queries = 0;
+  const bool symmetric = opts.use_symmetry && geom.is_submanifold();
+  km.stats.used_symmetry = symmetric;
+
+  if (symmetric) {
+    // Submanifold: P_in == P_out. Search the first half of the offsets,
+    // mirror each map (swap in/out, negated offset), and emit the center
+    // offset as the identity map with zero queries.
+    assert(in_coords.size() == out_coords.size());
+    const int mid = volume / 2;
+    for (int n = 0; n < mid; ++n) {
+      auto& m = km.maps[static_cast<std::size_t>(n)];
+      search_offset(out_coords, offsets[static_cast<std::size_t>(n)], geom,
+                    index, m, queries);
+      auto& mm = km.maps[static_cast<std::size_t>(
+          mirror_offset_index(volume, n))];
+      mm.reserve(m.size());
+      for (const MapEntry& e : m) mm.push_back({e.out, e.in});
+    }
+    auto& center = km.maps[static_cast<std::size_t>(mid)];
+    center.reserve(out_coords.size());
+    for (std::size_t i = 0; i < out_coords.size(); ++i)
+      center.push_back(
+          {static_cast<int32_t>(i), static_cast<int32_t>(i)});
+  } else {
+    for (int n = 0; n < volume; ++n)
+      search_offset(out_coords, offsets[static_cast<std::size_t>(n)], geom,
+                    index, km.maps[static_cast<std::size_t>(n)], queries);
+  }
+
+  km.stats.queries = queries;
+  km.stats.index_accesses = index.query_accesses();
+  return km;
+}
+
+KernelMap transpose_kernel_map(const KernelMap& km) {
+  KernelMap out;
+  out.kernel_size = km.kernel_size;
+  out.maps.resize(km.maps.size());
+  // A forward entry p_j = s*q_k + delta_n reads, in the transposed conv,
+  // as output f_j = s * c_k + delta_n: same offset index, roles swapped.
+  for (std::size_t n = 0; n < km.maps.size(); ++n) {
+    out.maps[n].reserve(km.maps[n].size());
+    for (const MapEntry& e : km.maps[n]) out.maps[n].push_back({e.out, e.in});
+  }
+  return out;
+}
+
+}  // namespace ts

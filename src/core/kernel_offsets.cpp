@@ -1,0 +1,21 @@
+#include "core/kernel_offsets.hpp"
+
+namespace ts {
+
+std::vector<Offset3> kernel_offsets(int kernel_size) {
+  const int lo = (kernel_size % 2 == 1) ? -(kernel_size / 2) : 0;
+  const int hi = (kernel_size % 2 == 1) ? kernel_size / 2 : kernel_size - 1;
+  std::vector<Offset3> offsets;
+  offsets.reserve(static_cast<std::size_t>(kernel_volume(kernel_size)));
+  for (int x = lo; x <= hi; ++x)
+    for (int y = lo; y <= hi; ++y)
+      for (int z = lo; z <= hi; ++z) offsets.push_back({x, y, z});
+  return offsets;
+}
+
+int center_offset_index(int kernel_size) {
+  if (kernel_size % 2 == 0) return -1;
+  return kernel_volume(kernel_size) / 2;
+}
+
+}  // namespace ts

@@ -1,0 +1,41 @@
+// Kernel offset enumeration Delta^D(K) (paper §2).
+//
+// For odd K the offsets are centered, e.g. Delta^3(3) = {-1,0,1}^3; for
+// even K (MinkUNet's stride-2 downsample convs use K=2) they are
+// {0,...,K-1}^D. Offsets are enumerated lexicographically, which gives the
+// property offset[i] == -offset[K^D - 1 - i] for odd K — the foundation of
+// symmetric grouping (§4.2.1) and symmetric map inference (§4.4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ts {
+
+struct Offset3 {
+  int32_t dx = 0;
+  int32_t dy = 0;
+  int32_t dz = 0;
+  friend bool operator==(const Offset3&, const Offset3&) = default;
+};
+
+inline Offset3 negate(const Offset3& o) { return {-o.dx, -o.dy, -o.dz}; }
+
+/// Number of offsets (kernel volume) for kernel size K in 3-D.
+inline int kernel_volume(int kernel_size) {
+  return kernel_size * kernel_size * kernel_size;
+}
+
+/// Enumerates Delta^3(K) lexicographically.
+std::vector<Offset3> kernel_offsets(int kernel_size);
+
+/// Index of the (0,0,0) offset, or -1 for even kernels (which have no
+/// centered zero offset when the range is {0..K-1}).
+int center_offset_index(int kernel_size);
+
+/// For odd kernels, the index whose offset is the negation of offset `i`:
+/// volume - 1 - i.
+inline int mirror_offset_index(int volume, int i) { return volume - 1 - i; }
+
+}  // namespace ts

@@ -1,0 +1,38 @@
+// Cost charging for the mapping stage (paper §4.4, Fig. 13).
+//
+// Mapping = output-coordinate construction + map search. Both are
+// memory/instruction-bound kernels; their modeled time is
+// launch + max(DRAM time, instruction time). The knobs the paper ablates:
+//   - grid vs conventional hashmap (access count AND per-query work)
+//   - staged vs fused downsample kernels (intermediate DRAM traffic)
+//   - simplified control logic + loop unrolling (per-query instructions)
+//   - symmetric map inference (half the queries on submanifold layers)
+#pragma once
+
+#include <cstddef>
+
+#include "core/downsample.hpp"
+#include "core/exec.hpp"
+#include "core/kernel_map.hpp"
+
+namespace ts {
+
+/// Charges the output-coordinate computation to Stage::kMapping.
+void charge_downsample(const DownsampleCounters& c, ExecContext& ctx);
+
+/// Charges index construction + map search to Stage::kMapping.
+/// `entries` is the number of map entries written, `n_out` the number of
+/// output coordinates scanned.
+void charge_map_build(const MapBuildStats& stats, std::size_t entries,
+                      std::size_t n_out, ExecContext& ctx);
+
+/// Charges the (cheap) relabeling that reuses a cached downsample map for
+/// a transposed convolution.
+void charge_map_transpose(std::size_t entries, ExecContext& ctx);
+
+/// Charges an elementwise kernel (BatchNorm, ReLU, residual add...) over
+/// a [rows, cols] feature tensor to Stage::kMisc.
+void charge_elementwise(std::size_t rows, std::size_t cols,
+                        ExecContext& ctx);
+
+}  // namespace ts

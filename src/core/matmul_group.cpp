@@ -1,0 +1,182 @@
+#include "core/matmul_group.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ts {
+
+namespace {
+
+/// Scans `idx` (offset indices with sizes `sz`) left to right, cutting a
+/// new group whenever the redundant-computation ratio 1 - nmin/nmax would
+/// exceed epsilon (Alg. 4). `emit` receives [start, end) ranges.
+template <typename Emit>
+void scan_groups(const std::vector<int>& idx,
+                 const std::vector<std::size_t>& sz, double epsilon,
+                 Emit&& emit) {
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    std::size_t nmin = sz[static_cast<std::size_t>(idx[i])];
+    std::size_t nmax = nmin;
+    std::size_t j = i + 1;
+    for (; j < idx.size(); ++j) {
+      const std::size_t n = sz[static_cast<std::size_t>(idx[j])];
+      const std::size_t lo = std::min(nmin, n);
+      const std::size_t hi = std::max(nmax, n);
+      const double ratio =
+          hi == 0 ? 0.0 : 1.0 - static_cast<double>(lo) / static_cast<double>(hi);
+      if (ratio > epsilon) break;
+      nmin = lo;
+      nmax = hi;
+    }
+    emit(i, j, nmax);
+    i = j;
+  }
+}
+
+MMGroup make_group(std::vector<int> offsets, bool use_bmm,
+                   std::size_t padded_rows) {
+  MMGroup g;
+  g.offsets = std::move(offsets);
+  g.use_bmm = use_bmm;
+  g.padded_rows = padded_rows;
+  return g;
+}
+
+}  // namespace
+
+std::vector<MMGroup> plan_groups(const std::vector<std::size_t>& sizes,
+                                 bool submanifold,
+                                 GroupingStrategy strategy,
+                                 const GroupParams& params) {
+  const int volume = static_cast<int>(sizes.size());
+  std::vector<MMGroup> groups;
+  if (volume == 0) return groups;
+
+  const int center = submanifold ? volume / 2 : -1;
+  auto nonzero = [&](int n) { return sizes[static_cast<std::size_t>(n)] > 0; };
+
+  // Offset indices subject to grouping (center handled separately on
+  // submanifold layers: it needs no data movement, Fig. 6 caption).
+  std::vector<int> idx;
+  if (submanifold) {
+    for (int n = 0; n < volume / 2; ++n)
+      if (nonzero(n)) idx.push_back(n);
+  } else {
+    for (int n = 0; n < volume; ++n)
+      if (nonzero(n)) idx.push_back(n);
+  }
+
+  // Expands a half-range group to include the mirrored offsets.
+  auto with_mirrors = [&](std::size_t i, std::size_t j) {
+    std::vector<int> offs(idx.begin() + static_cast<std::ptrdiff_t>(i),
+                          idx.begin() + static_cast<std::ptrdiff_t>(j));
+    if (submanifold) {
+      const std::size_t half = offs.size();
+      for (std::size_t t = 0; t < half; ++t)
+        offs.push_back(volume - 1 - offs[half - 1 - t]);
+    }
+    return offs;
+  };
+
+  switch (strategy) {
+    case GroupingStrategy::kSeparate: {
+      for (int n = 0; n < volume; ++n) {
+        if (!nonzero(n)) continue;
+        MMGroup g = make_group({n}, false, sizes[static_cast<std::size_t>(n)]);
+        g.is_center = (n == center);
+        groups.push_back(std::move(g));
+      }
+      return groups;
+    }
+    case GroupingStrategy::kSymmetric: {
+      if (!submanifold) {
+        return plan_groups(sizes, false, GroupingStrategy::kSeparate, params);
+      }
+      for (std::size_t t = 0; t < idx.size(); ++t) {
+        const int n = idx[t];
+        groups.push_back(make_group({n, volume - 1 - n}, true,
+                                    sizes[static_cast<std::size_t>(n)]));
+      }
+      break;
+    }
+    case GroupingStrategy::kFixed: {
+      if (!submanifold) {
+        // Downsampling layers: all offsets have similar sizes -> 1 group.
+        std::size_t nmax = 0;
+        for (int n : idx) nmax = std::max(nmax, sizes[static_cast<std::size_t>(n)]);
+        if (!idx.empty()) groups.push_back(make_group(idx, true, nmax));
+        return groups;
+      }
+      // Submanifold: W0..W3 (+mirrors) and the rest (+mirrors) (§4.2.2).
+      std::vector<int> a, b;
+      for (int n : idx) (n < 4 ? a : b).push_back(n);
+      auto emit_fixed = [&](std::vector<int>& half) {
+        if (half.empty()) return;
+        std::size_t nmax = 0;
+        std::vector<int> offs = half;
+        for (int n : half) offs.push_back(volume - 1 - n);
+        for (int n : offs) nmax = std::max(nmax, sizes[static_cast<std::size_t>(n)]);
+        groups.push_back(make_group(offs, true, nmax));
+      };
+      emit_fixed(a);
+      emit_fixed(b);
+      break;
+    }
+    case GroupingStrategy::kAdaptive: {
+      scan_groups(idx, sizes, params.epsilon,
+                  [&](std::size_t i, std::size_t j, std::size_t nmax) {
+                    auto offs = with_mirrors(i, j);
+                    const bool bmm = static_cast<double>(nmax) <
+                                         params.s_threshold &&
+                                     offs.size() > 1;
+                    groups.push_back(make_group(std::move(offs), bmm, nmax));
+                  });
+      break;
+    }
+    case GroupingStrategy::kDenseAll: {
+      if (!idx.empty()) {
+        auto offs = with_mirrors(0, idx.size());
+        std::size_t nmax = 0;
+        for (int n : offs) nmax = std::max(nmax, sizes[static_cast<std::size_t>(n)]);
+        groups.push_back(make_group(std::move(offs), true, nmax));
+      }
+      break;
+    }
+  }
+
+  if (submanifold && center >= 0 && nonzero(center)) {
+    MMGroup g = make_group({center}, false,
+                           sizes[static_cast<std::size_t>(center)]);
+    g.is_center = true;
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+double planned_flops(const std::vector<MMGroup>& groups,
+                     const std::vector<std::size_t>& sizes, std::size_t c_in,
+                     std::size_t c_out) {
+  double f = 0;
+  const double per_row = 2.0 * static_cast<double>(c_in) *
+                         static_cast<double>(c_out);
+  for (const MMGroup& g : groups) {
+    if (g.use_bmm) {
+      f += per_row * static_cast<double>(g.padded_rows) *
+           static_cast<double>(g.offsets.size());
+    } else {
+      for (int n : g.offsets)
+        f += per_row * static_cast<double>(sizes[static_cast<std::size_t>(n)]);
+    }
+  }
+  return f;
+}
+
+double theoretical_flops(const std::vector<std::size_t>& sizes,
+                         std::size_t c_in, std::size_t c_out) {
+  double rows = 0;
+  for (std::size_t s : sizes) rows += static_cast<double>(s);
+  return 2.0 * rows * static_cast<double>(c_in) * static_cast<double>(c_out);
+}
+
+}  // namespace ts

@@ -1,0 +1,76 @@
+// Matrix-multiplication grouping strategies (paper §4.2, Fig. 6, Alg. 4).
+//
+// Sparse workloads give each kernel offset a different map size; running
+// one GEMM per offset underutilizes the GPU (Fig. 6b). Grouping batches
+// offsets with similar sizes into padded batched GEMMs, trading extra
+// FLOPs for regularity:
+//   - kSeparate:  one mm per offset (SpConv / MinkowskiEngine behaviour)
+//   - kSymmetric: pair each offset with its negation (equal map sizes on
+//                 submanifold layers) -> bmm of batch 2 (§4.2.1)
+//   - kFixed:     hand-designed 3-group split (§4.2.2)
+//   - kAdaptive:  Alg. 4 with tolerance epsilon and mm/bmm threshold S
+//   - kDenseAll:  everything in one padded bmm (epsilon=1, S=inf limit)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ts {
+
+enum class GroupingStrategy {
+  kSeparate,
+  kSymmetric,
+  kFixed,
+  kAdaptive,
+  kDenseAll,
+};
+
+inline std::string to_string(GroupingStrategy g) {
+  switch (g) {
+    case GroupingStrategy::kSeparate: return "separate";
+    case GroupingStrategy::kSymmetric: return "symmetric";
+    case GroupingStrategy::kFixed: return "fixed";
+    case GroupingStrategy::kAdaptive: return "adaptive";
+    case GroupingStrategy::kDenseAll: return "dense";
+  }
+  return "?";
+}
+
+/// Auto-tuned parameters of adaptive grouping (Alg. 4/5): epsilon is the
+/// tolerated redundant-computation ratio; S is the workload size below
+/// which a group uses bmm (above it, per-offset mm — bmm helps small
+/// workloads but has little benefit for large ones).
+struct GroupParams {
+  double epsilon = 0.25;
+  double s_threshold = 65536;
+  friend bool operator==(const GroupParams&, const GroupParams&) = default;
+};
+
+/// One planned matmul group over kernel-offset indices.
+struct MMGroup {
+  std::vector<int> offsets;    // kernel offset indices in this group
+  bool use_bmm = false;        // batched (padded) vs per-offset mm
+  std::size_t padded_rows = 0; // rows each member is padded to (bmm only)
+  bool is_center = false;      // the zero offset, computed without movement
+};
+
+/// Plans matmul groups for one layer given the per-offset map sizes.
+/// `submanifold` layers pair symmetric offsets (equal sizes) and always
+/// split out the center offset as its own no-data-movement group.
+std::vector<MMGroup> plan_groups(const std::vector<std::size_t>& sizes,
+                                 bool submanifold, GroupingStrategy strategy,
+                                 const GroupParams& params);
+
+/// Total executed matmul FLOPs for a plan (2*rows*Cin*Cout per offset,
+/// padded rows for bmm groups) — the "Actual FLOPs" of Alg. 4's redundancy
+/// ratio.
+double planned_flops(const std::vector<MMGroup>& groups,
+                     const std::vector<std::size_t>& sizes, std::size_t c_in,
+                     std::size_t c_out);
+
+/// Minimum (no-padding) FLOPs: 2*|M|*Cin*Cout.
+double theoretical_flops(const std::vector<std::size_t>& sizes,
+                         std::size_t c_in, std::size_t c_out);
+
+}  // namespace ts

@@ -1,0 +1,26 @@
+#include "core/sparse_tensor.hpp"
+
+#include <cassert>
+
+namespace ts {
+
+SparseTensor::SparseTensor(std::vector<Coord> coords, Matrix feats)
+    : coords_(std::make_shared<const std::vector<Coord>>(std::move(coords))),
+      feats_(std::move(feats)),
+      stride_(1),
+      cache_(std::make_shared<TensorCache>()) {
+  assert(coords_->size() == feats_.rows());
+  cache_->coords_at_stride[1] = coords_;
+}
+
+SparseTensor::SparseTensor(std::shared_ptr<const std::vector<Coord>> coords,
+                           Matrix feats, int stride,
+                           std::shared_ptr<TensorCache> cache)
+    : coords_(std::move(coords)),
+      feats_(std::move(feats)),
+      stride_(stride),
+      cache_(std::move(cache)) {
+  assert(coords_->size() == feats_.rows());
+}
+
+}  // namespace ts

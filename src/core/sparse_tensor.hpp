@@ -1,0 +1,60 @@
+// Sparse tensors: a point-coordinate list plus per-point feature vectors.
+//
+// Mirrors the paper's §4.1 API design: unlike SpConv (indice_key /
+// spatial_shape) or MinkowskiEngine (coordinate manager), the user never
+// manages coordinates explicitly — kernel maps and per-stride coordinate
+// sets are cached inside the tensor and flow through the network with it.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/conv_config.hpp"
+#include "core/kernel_map.hpp"
+#include "hash/coords.hpp"
+#include "tensor/matrix.hpp"
+
+namespace ts {
+
+/// Shared per-network cache of coordinate sets (per tensor-stride level)
+/// and kernel maps (per MapKey). Downsample convs deposit the coarse
+/// coordinates and the forward maps; transposed convs in the decoder pick
+/// them back up.
+struct TensorCache {
+  std::unordered_map<int, std::shared_ptr<const std::vector<Coord>>>
+      coords_at_stride;
+  std::unordered_map<MapKey, std::shared_ptr<const KernelMap>, MapKeyHash>
+      kmaps;
+};
+
+class SparseTensor {
+ public:
+  SparseTensor() = default;
+
+  /// Creates a stride-1 tensor and seeds a fresh cache with its coords.
+  SparseTensor(std::vector<Coord> coords, Matrix feats);
+
+  /// Creates a derived tensor (same cache, possibly different stride).
+  SparseTensor(std::shared_ptr<const std::vector<Coord>> coords,
+               Matrix feats, int stride, std::shared_ptr<TensorCache> cache);
+
+  const std::vector<Coord>& coords() const { return *coords_; }
+  std::shared_ptr<const std::vector<Coord>> coords_ptr() const {
+    return coords_;
+  }
+  const Matrix& feats() const { return feats_; }
+  Matrix& feats() { return feats_; }
+  std::size_t num_points() const { return coords_ ? coords_->size() : 0; }
+  std::size_t channels() const { return feats_.cols(); }
+  int stride() const { return stride_; }
+  const std::shared_ptr<TensorCache>& cache() const { return cache_; }
+
+ private:
+  std::shared_ptr<const std::vector<Coord>> coords_;
+  Matrix feats_;
+  int stride_ = 1;
+  std::shared_ptr<TensorCache> cache_;
+};
+
+}  // namespace ts

@@ -1,0 +1,164 @@
+#include "data/lidar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace ts {
+
+LidarSpec semantic_kitti_spec() {
+  LidarSpec s;
+  s.name = "SemanticKITTI";
+  s.beams = 64;
+  s.azimuth_steps = 900;
+  s.fov_up_deg = 2.0;
+  s.fov_down_deg = -24.8;
+  s.max_range_m = 70.0;
+  s.num_vehicles = 28;
+  s.num_walls = 12;
+  s.frames = 1;
+  return s;
+}
+
+LidarSpec nuscenes_spec(int frames) {
+  LidarSpec s;
+  s.name = "nuScenes";
+  s.beams = 32;
+  s.azimuth_steps = 540;
+  s.fov_up_deg = 10.0;
+  s.fov_down_deg = -30.0;
+  s.max_range_m = 55.0;
+  s.num_vehicles = 20;
+  s.num_walls = 8;
+  s.dropout = 0.12;
+  s.frames = frames;
+  return s;
+}
+
+LidarSpec waymo_spec(int frames) {
+  LidarSpec s;
+  s.name = "Waymo";
+  s.beams = 64;
+  s.azimuth_steps = 1100;
+  s.fov_up_deg = 2.4;
+  s.fov_down_deg = -17.6;
+  s.max_range_m = 75.0;
+  s.num_vehicles = 36;
+  s.num_walls = 14;
+  s.frames = frames;
+  return s;
+}
+
+VoxelSpec segmentation_voxels() {
+  VoxelSpec v;
+  v.voxel_size_m = 0.05;
+  return v;
+}
+
+VoxelSpec detection_voxels() {
+  VoxelSpec v;
+  v.voxel_size_m = 0.1;
+  return v;
+}
+
+namespace {
+
+struct Box {
+  float cx, cy, cz, hx, hy, hz;  // center + half extents
+};
+
+/// Ray/AABB slab intersection; returns hit distance or +inf.
+float ray_box(float ox, float oy, float oz, float dx, float dy, float dz,
+              const Box& b) {
+  float tmin = 0.0f, tmax = 1e9f;
+  const float o[3] = {ox, oy, oz}, d[3] = {dx, dy, dz};
+  const float lo[3] = {b.cx - b.hx, b.cy - b.hy, b.cz - b.hz};
+  const float hi[3] = {b.cx + b.hx, b.cy + b.hy, b.cz + b.hz};
+  for (int i = 0; i < 3; ++i) {
+    if (std::fabs(d[i]) < 1e-9f) {
+      if (o[i] < lo[i] || o[i] > hi[i]) return 1e9f;
+      continue;
+    }
+    float t0 = (lo[i] - o[i]) / d[i];
+    float t1 = (hi[i] - o[i]) / d[i];
+    if (t0 > t1) std::swap(t0, t1);
+    tmin = std::max(tmin, t0);
+    tmax = std::min(tmax, t1);
+    if (tmin > tmax) return 1e9f;
+  }
+  return tmin > 1e-4f ? tmin : 1e9f;
+}
+
+}  // namespace
+
+std::vector<Point3> generate_scan(const LidarSpec& spec, uint64_t seed) {
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  std::uniform_real_distribution<float> uni(0.0f, 1.0f);
+  std::normal_distribution<float> noise(0.0f,
+                                        static_cast<float>(spec.range_noise_m));
+
+  // Static scene: vehicles near the road, building walls further out.
+  std::vector<Box> boxes;
+  boxes.reserve(static_cast<std::size_t>(spec.num_vehicles + spec.num_walls));
+  for (int i = 0; i < spec.num_vehicles; ++i) {
+    const float r = 5.0f + 35.0f * uni(rng);
+    const float a = 6.2831853f * uni(rng);
+    boxes.push_back(Box{r * std::cos(a), r * std::sin(a), 0.8f,
+                        2.2f + uni(rng), 0.9f + 0.4f * uni(rng),
+                        0.8f + 0.4f * uni(rng)});
+  }
+  for (int i = 0; i < spec.num_walls; ++i) {
+    const float r = 12.0f + 40.0f * uni(rng);
+    const float a = 6.2831853f * uni(rng);
+    const bool along_x = uni(rng) < 0.5f;
+    boxes.push_back(Box{r * std::cos(a), r * std::sin(a), 3.0f,
+                        along_x ? 8.0f + 10.0f * uni(rng) : 0.4f,
+                        along_x ? 0.4f : 8.0f + 10.0f * uni(rng), 3.0f});
+  }
+
+  std::vector<Point3> points;
+  points.reserve(static_cast<std::size_t>(spec.beams * spec.azimuth_steps *
+                                          spec.frames));
+  const double fov_up = spec.fov_up_deg * M_PI / 180.0;
+  const double fov_dn = spec.fov_down_deg * M_PI / 180.0;
+
+  for (int f = 0; f < spec.frames; ++f) {
+    // Ego moves forward along +x; older frames are transformed into the
+    // newest frame (standard multi-sweep aggregation).
+    const float ego_x = -static_cast<float>(spec.ego_speed_mps *
+                                            spec.frame_dt_s * f);
+    const float oz = static_cast<float>(spec.sensor_height_m);
+    for (int b = 0; b < spec.beams; ++b) {
+      const double pitch =
+          fov_dn + (fov_up - fov_dn) * b / std::max(1, spec.beams - 1);
+      const float cp = static_cast<float>(std::cos(pitch));
+      const float sp = static_cast<float>(std::sin(pitch));
+      for (int azi = 0; azi < spec.azimuth_steps; ++azi) {
+        if (uni(rng) < spec.dropout) continue;
+        const double yaw = 2.0 * M_PI * azi / spec.azimuth_steps;
+        const float dx = cp * static_cast<float>(std::cos(yaw));
+        const float dy = cp * static_cast<float>(std::sin(yaw));
+        const float dz = sp;
+
+        // Nearest hit among ground plane (z=0) and boxes.
+        float t = 1e9f;
+        if (dz < -1e-6f) t = std::min(t, -oz / dz);
+        for (const Box& bx : boxes)
+          t = std::min(t, ray_box(ego_x, 0.0f, oz, dx, dy, dz, bx));
+        if (t >= static_cast<float>(spec.max_range_m)) continue;
+        t += noise(rng);
+
+        Point3 p;
+        p.x = ego_x + t * dx;
+        p.y = t * dy;
+        p.z = oz + t * dz;
+        p.intensity = 0.2f + 0.8f * uni(rng);
+        p.time = static_cast<float>(f * spec.frame_dt_s);
+        points.push_back(p);
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace ts

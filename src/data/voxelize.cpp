@@ -1,0 +1,103 @@
+#include "data/voxelize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "hash/coords.hpp"
+
+namespace ts {
+
+SparseTensor voxelize(const std::vector<Point3>& points,
+                      const VoxelSpec& voxels, int batch) {
+  const float inv = static_cast<float>(1.0 / voxels.voxel_size_m);
+
+  struct Accum {
+    std::size_t idx;
+    float x = 0, y = 0, z = 0, inten = 0, time = 0;
+    int count = 0;
+  };
+  std::unordered_map<uint64_t, Accum> grid;
+  grid.reserve(points.size());
+
+  std::vector<Coord> coords;
+  for (const Point3& p : points) {
+    const Coord c{batch, static_cast<int32_t>(std::floor(p.x * inv)),
+                  static_cast<int32_t>(std::floor(p.y * inv)),
+                  static_cast<int32_t>(std::floor(p.z * inv))};
+    auto [it, inserted] = grid.try_emplace(pack_coord(c));
+    if (inserted) {
+      it->second.idx = coords.size();
+      coords.push_back(c);
+    }
+    Accum& a = it->second;
+    a.x += p.x * inv - static_cast<float>(c.x);
+    a.y += p.y * inv - static_cast<float>(c.y);
+    a.z += p.z * inv - static_cast<float>(c.z);
+    a.inten += p.intensity;
+    a.time += p.time;
+    a.count += 1;
+  }
+
+  // Shift coordinates to be nonnegative.
+  Coord lo{batch, 0, 0, 0};
+  if (!coords.empty()) {
+    lo = coords[0];
+    for (const Coord& c : coords) {
+      lo.x = std::min(lo.x, c.x);
+      lo.y = std::min(lo.y, c.y);
+      lo.z = std::min(lo.z, c.z);
+    }
+    for (Coord& c : coords) {
+      c.x -= lo.x;
+      c.y -= lo.y;
+      c.z -= lo.z;
+    }
+  }
+
+  Matrix feats(coords.size(), static_cast<std::size_t>(
+                                  std::max(voxels.feature_channels, 4)));
+  for (const auto& [key, a] : grid) {
+    const float n = static_cast<float>(a.count);
+    float* row = feats.row(a.idx);
+    row[0] = a.x / n - 0.5f;
+    row[1] = a.y / n - 0.5f;
+    row[2] = a.z / n - 0.5f;
+    row[3] = a.inten / n;
+    if (feats.cols() >= 5) row[4] = a.time / n;
+  }
+  return SparseTensor(std::move(coords), std::move(feats));
+}
+
+SparseTensor make_input(const LidarSpec& lidar, const VoxelSpec& voxels,
+                        uint64_t seed) {
+  return voxelize(generate_scan(lidar, seed), voxels);
+}
+
+SparseTensor merge_batches(const std::vector<SparseTensor>& scans) {
+  std::size_t total = 0;
+  std::size_t channels = 0;
+  for (const SparseTensor& s : scans) {
+    assert(s.stride() == 1);
+    assert(channels == 0 || s.channels() == channels);
+    channels = s.channels();
+    total += s.num_points();
+  }
+  std::vector<Coord> coords;
+  coords.reserve(total);
+  Matrix feats(total, channels);
+  std::size_t row = 0;
+  for (std::size_t b = 0; b < scans.size(); ++b) {
+    const SparseTensor& s = scans[b];
+    for (std::size_t i = 0; i < s.num_points(); ++i) {
+      Coord c = s.coords()[i];
+      c.b = static_cast<int32_t>(b);
+      coords.push_back(c);
+      std::copy(s.feats().row(i), s.feats().row(i) + channels,
+                feats.row(row++));
+    }
+  }
+  return SparseTensor(std::move(coords), std::move(feats));
+}
+
+}  // namespace ts

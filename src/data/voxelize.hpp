@@ -1,0 +1,31 @@
+// Point cloud voxelization: quantizes points to integer coordinates and
+// averages per-voxel features (the standard front-end of every sparse CNN
+// the paper benchmarks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sparse_tensor.hpp"
+#include "data/lidar.hpp"
+
+namespace ts {
+
+/// Voxelizes `points` into a stride-1 SparseTensor with nonnegative
+/// coordinates (shifted so the minimum voxel is at 0 — the boundary-check
+/// convention of Alg. 3). Features per voxel: mean offsets inside the
+/// voxel (x,y,z), mean intensity, and — when
+/// `voxels.feature_channels` == 5 — mean point age (multi-frame models).
+SparseTensor voxelize(const std::vector<Point3>& points,
+                      const VoxelSpec& voxels, int batch = 0);
+
+/// Convenience: generate + voxelize in one call.
+SparseTensor make_input(const LidarSpec& lidar, const VoxelSpec& voxels,
+                        uint64_t seed);
+
+/// Concatenates stride-1 tensors into one batched tensor, relabeling each
+/// input's points with its position as the batch index (multi-scan
+/// inference; the batch coordinate keeps scans disjoint in every map).
+SparseTensor merge_batches(const std::vector<SparseTensor>& scans);
+
+}  // namespace ts

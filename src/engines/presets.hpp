@@ -1,0 +1,35 @@
+// Engine presets — the five systems of the paper's Figure 11/14.
+//
+// Every system is a configuration of the same core machinery (core/exec),
+// differing exactly along the axes the paper describes:
+//
+//   Baseline        the paper's unoptimized FP32 design: per-offset GEMMs,
+//                   weight-stationary scalar scatter/gather, conventional
+//                   hashmap, staged downsample kernels.
+//   MinkowskiEngine v0.5.4-like: FP32, per-offset GEMMs, conventional
+//                   hashmap, center offset computed in place, and the
+//                   fetch-on-demand dataflow for small workloads (§5.2).
+//   SpConv (FP32)   grid-based map search (its signature contribution),
+//                   otherwise baseline-like gather-matmul-scatter.
+//   SpConv (FP16)   same with FP16 storage + tensor-core GEMMs, but
+//                   scalar (non-vectorized) memory access.
+//   TorchSparse     everything in §4: adaptively grouped GEMMs, fused
+//                   locality-aware vectorized FP16 movement, grid hashmap,
+//                   fused downsample, simplified control, symmetry.
+#pragma once
+
+#include <vector>
+
+#include "core/exec.hpp"
+
+namespace ts {
+
+EngineConfig baseline_config();
+EngineConfig minkowski_config();
+EngineConfig spconv_config(Precision p);
+EngineConfig torchsparse_config();
+
+/// The five systems in the paper's comparison order.
+std::vector<EngineConfig> paper_engines();
+
+}  // namespace ts

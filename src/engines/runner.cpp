@@ -1,0 +1,47 @@
+#include "engines/runner.hpp"
+
+namespace ts {
+
+SparseTensor fresh_input(const SparseTensor& x) {
+  return SparseTensor(x.coords(), x.feats());
+}
+
+Timeline run_model(const ModelFn& model, const SparseTensor& input,
+                   const DeviceSpec& dev, const EngineConfig& cfg,
+                   const RunOptions& opt) {
+  ExecContext ctx(dev, cfg);
+  ctx.compute_numerics = opt.numerics;
+  ctx.simulate_cache = opt.simulate_cache;
+  ctx.tuned = opt.tuned;
+  const SparseTensor in = fresh_input(input);
+  model(in, ctx);
+  return ctx.timeline;
+}
+
+std::vector<std::vector<LayerRecord>> record_workloads(
+    const ModelFn& model, const std::vector<SparseTensor>& inputs,
+    const DeviceSpec& dev, const EngineConfig& cfg) {
+  std::vector<std::vector<LayerRecord>> all;
+  all.reserve(inputs.size());
+  for (const SparseTensor& in : inputs) {
+    ExecContext ctx(dev, cfg);
+    ctx.compute_numerics = false;
+    ctx.simulate_cache = false;  // recording needs sizes, not traffic
+    std::vector<LayerRecord> records;
+    ctx.recorder = &records;
+    const SparseTensor fresh = fresh_input(in);
+    model(fresh, ctx);
+    all.push_back(std::move(records));
+  }
+  return all;
+}
+
+std::unordered_map<int, GroupParams> tune_for(
+    const ModelFn& model, const std::vector<SparseTensor>& samples,
+    const DeviceSpec& dev, const EngineConfig& cfg) {
+  const auto records = record_workloads(model, samples, dev, cfg);
+  const CostModel cost(dev);
+  return tune_groups(records, cost, cfg.precision).params;
+}
+
+}  // namespace ts

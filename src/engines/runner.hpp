@@ -1,0 +1,49 @@
+// Engine runner: executes a model under a (device, engine-config) pair
+// and returns the modeled per-stage timeline.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/exec.hpp"
+#include "core/sparse_tensor.hpp"
+#include "gpusim/device.hpp"
+#include "tune/group_tuner.hpp"
+
+namespace ts {
+
+/// A model is anything that consumes a sparse tensor under a context
+/// (MinkUNet::forward, CenterPoint::run, ...).
+using ModelFn = std::function<void(const SparseTensor&, ExecContext&)>;
+
+struct RunOptions {
+  bool numerics = false;       // compute real feature values
+  bool simulate_cache = true;  // L2 replay (vs analytic approximation)
+  std::unordered_map<int, GroupParams> tuned;  // per-layer (epsilon, S)
+};
+
+/// Deep-copies input with a fresh TensorCache, so every run rebuilds its
+/// own maps (engines must not share mapping work).
+SparseTensor fresh_input(const SparseTensor& x);
+
+/// One inference pass; returns the accumulated timeline.
+Timeline run_model(const ModelFn& model, const SparseTensor& input,
+                   const DeviceSpec& dev, const EngineConfig& cfg,
+                   const RunOptions& opt = {});
+
+/// Executes the model over each input (cost-only, fast) and returns the
+/// per-input conv-layer workload records — the tuner's sample set and the
+/// Fig. 12 statistics.
+std::vector<std::vector<LayerRecord>> record_workloads(
+    const ModelFn& model, const std::vector<SparseTensor>& inputs,
+    const DeviceSpec& dev, const EngineConfig& cfg);
+
+/// Full Alg. 5 pass: record workloads on the samples, grid-search
+/// (epsilon, S) per layer against the device cost model.
+std::unordered_map<int, GroupParams> tune_for(
+    const ModelFn& model, const std::vector<SparseTensor>& samples,
+    const DeviceSpec& dev, const EngineConfig& cfg);
+
+}  // namespace ts

@@ -1,0 +1,109 @@
+#include "engines/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/voxelize.hpp"
+#include "nn/centerpoint.hpp"
+#include "nn/minkunet.hpp"
+
+namespace ts {
+
+namespace {
+
+LidarSpec scaled_spec(LidarSpec spec, double scale) {
+  spec.azimuth_steps = std::max(
+      32, static_cast<int>(std::lround(spec.azimuth_steps * scale)));
+  return spec;
+}
+
+LidarSpec dataset_spec(const std::string& dataset, int frames) {
+  if (dataset == "SemanticKITTI") return semantic_kitti_spec();
+  if (dataset == "nuScenes") return nuscenes_spec(frames);
+  return waymo_spec(frames);
+}
+
+std::vector<SparseTensor> sample_inputs(const LidarSpec& lidar,
+                                        const VoxelSpec& vox, uint64_t seed,
+                                        int count) {
+  std::vector<SparseTensor> samples;
+  for (int i = 0; i < count; ++i)
+    samples.push_back(make_input(lidar, vox, seed + 1000 + i));
+  return samples;
+}
+
+}  // namespace
+
+Workload make_minkunet_workload(const std::string& name,
+                                const std::string& dataset, double width,
+                                int frames, uint64_t seed, double scale,
+                                int tune_sample_count) {
+  Workload w;
+  w.name = name;
+  w.dataset = dataset;
+  w.is_detection = false;
+
+  const LidarSpec lidar = scaled_spec(dataset_spec(dataset, frames), scale);
+  VoxelSpec vox = segmentation_voxels();
+  if (frames > 1) vox.feature_channels = 5;  // + point-age channel
+  const std::size_t in_ch = static_cast<std::size_t>(
+      std::max(vox.feature_channels, 4));
+  const std::size_t classes = dataset == "SemanticKITTI" ? 19 : 16;
+
+  auto net = std::make_shared<spnn::MinkUNet>(width, in_ch, classes, seed);
+  w.model = [net](const SparseTensor& x, ExecContext& ctx) {
+    net->forward(x, ctx);
+  };
+  w.input = make_input(lidar, vox, seed);
+  w.tune_samples = sample_inputs(lidar, vox, seed, tune_sample_count);
+  return w;
+}
+
+Workload make_centerpoint_workload(const std::string& name,
+                                   const std::string& dataset, int frames,
+                                   uint64_t seed, double scale,
+                                   int tune_sample_count) {
+  Workload w;
+  w.name = name;
+  w.dataset = dataset;
+  w.is_detection = true;
+
+  const LidarSpec lidar = scaled_spec(dataset_spec(dataset, frames), scale);
+  VoxelSpec vox = detection_voxels();
+  vox.feature_channels = 5;
+
+  auto net = std::make_shared<spnn::CenterPoint>(5, seed);
+  w.model = [net](const SparseTensor& x, ExecContext& ctx) {
+    net->run(x, ctx);
+  };
+  w.input = make_input(lidar, vox, seed);
+  w.tune_samples = sample_inputs(lidar, vox, seed, tune_sample_count);
+  return w;
+}
+
+std::vector<Workload> paper_workloads(uint64_t seed, double scale,
+                                      int tune_sample_count) {
+  std::vector<Workload> ws;
+  ws.push_back(make_minkunet_workload("SK-MinkUNet (1.0x)", "SemanticKITTI",
+                                      1.0, 1, seed + 1, scale,
+                                      tune_sample_count));
+  ws.push_back(make_minkunet_workload("SK-MinkUNet (0.5x)", "SemanticKITTI",
+                                      0.5, 1, seed + 2, scale,
+                                      tune_sample_count));
+  ws.push_back(make_minkunet_workload("NS-MinkUNet (3f)", "nuScenes", 1.0, 3,
+                                      seed + 3, scale, tune_sample_count));
+  ws.push_back(make_minkunet_workload("NS-MinkUNet (1f)", "nuScenes", 1.0, 1,
+                                      seed + 4, scale, tune_sample_count));
+  ws.push_back(make_centerpoint_workload("NS-CenterPoint (10f)", "nuScenes",
+                                         10, seed + 5, scale,
+                                         tune_sample_count));
+  ws.push_back(make_centerpoint_workload("WM-CenterPoint (3f)", "Waymo", 3,
+                                         seed + 6, scale,
+                                         tune_sample_count));
+  ws.push_back(make_centerpoint_workload("WM-CenterPoint (1f)", "Waymo", 1,
+                                         seed + 7, scale,
+                                         tune_sample_count));
+  return ws;
+}
+
+}  // namespace ts

@@ -1,0 +1,41 @@
+// The paper's seven benchmark workloads (§5.1):
+//   MinkUNet 1.0x / 0.5x on SemanticKITTI        (segmentation)
+//   MinkUNet 3-frame / 1-frame on nuScenes       (segmentation)
+//   CenterPoint 10-frame on nuScenes             (detection)
+//   CenterPoint 3-frame / 1-frame on Waymo       (detection)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engines/runner.hpp"
+
+namespace ts {
+
+struct Workload {
+  std::string name;     // e.g. "SK-MinkUNet (1.0x)"
+  std::string dataset;  // "SemanticKITTI" / "nuScenes" / "Waymo"
+  bool is_detection = false;
+  ModelFn model;              // owns the network via shared_ptr capture
+  SparseTensor input;         // the evaluation scan
+  std::vector<SparseTensor> tune_samples;  // Alg. 5 sample subset
+};
+
+/// Builds all seven workloads. `scale` in (0, 1] shrinks the synthetic
+/// scans (azimuth resolution) so tests stay fast; benches use 1.0.
+/// `tune_sample_count` controls the Alg. 5 subset size.
+std::vector<Workload> paper_workloads(uint64_t seed, double scale,
+                                      int tune_sample_count = 2);
+
+/// Individual constructors (used by ablation benches).
+Workload make_minkunet_workload(const std::string& name,
+                                const std::string& dataset, double width,
+                                int frames, uint64_t seed, double scale,
+                                int tune_sample_count);
+Workload make_centerpoint_workload(const std::string& name,
+                                   const std::string& dataset, int frames,
+                                   uint64_t seed, double scale,
+                                   int tune_sample_count);
+
+}  // namespace ts

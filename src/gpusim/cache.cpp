@@ -1,0 +1,69 @@
+#include "gpusim/cache.hpp"
+
+#include <algorithm>
+
+namespace ts {
+
+CacheSim::CacheSim(std::size_t capacity_bytes, int ways,
+                   std::size_t line_bytes)
+    : line_bytes_(line_bytes), ways_(ways) {
+  num_sets_ = std::max<std::size_t>(1, capacity_bytes / (line_bytes * ways));
+  // Power-of-two sets for cheap indexing.
+  std::size_t s = 1;
+  while (s * 2 <= num_sets_) s *= 2;
+  num_sets_ = s;
+  lines_.assign(num_sets_ * static_cast<std::size_t>(ways_), Line{});
+}
+
+void CacheSim::reset() {
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  tick_ = 0;
+  hits_ = read_misses_ = write_misses_ = writebacks_ = 0;
+}
+
+std::size_t CacheSim::access(uint64_t addr, std::size_t bytes,
+                             bool is_write) {
+  if (bytes == 0) return 0;
+  const uint64_t first = addr / line_bytes_;
+  const uint64_t last = (addr + bytes - 1) / line_bytes_;
+  std::size_t line_misses = 0;
+  for (uint64_t l = first; l <= last; ++l)
+    line_misses += access_line(l, is_write);
+  return line_misses;
+}
+
+std::size_t CacheSim::access_line(uint64_t line_addr, bool is_write) {
+  const std::size_t set = static_cast<std::size_t>(line_addr) & (num_sets_ - 1);
+  const uint64_t tag = line_addr / num_sets_;
+  Line* base = lines_.data() + set * static_cast<std::size_t>(ways_);
+  ++tick_;
+
+  Line* victim = base;
+  for (int w = 0; w < ways_; ++w) {
+    Line& ln = base[w];
+    if (ln.valid && ln.tag == tag) {
+      ln.lru = tick_;
+      ln.dirty = ln.dirty || is_write;
+      ++hits_;
+      return 0;
+    }
+    if (!ln.valid) {
+      victim = &ln;
+    } else if (victim->valid && ln.lru < victim->lru) {
+      victim = &ln;
+    }
+  }
+  if (is_write) {
+    ++write_misses_;  // allocate without fill (streaming store)
+  } else {
+    ++read_misses_;
+  }
+  if (victim->valid && victim->dirty) ++writebacks_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  victim->dirty = is_write;
+  return 1;
+}
+
+}  // namespace ts

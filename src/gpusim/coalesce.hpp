@@ -1,0 +1,44 @@
+// Warp-level memory transaction coalescing model (paper Figure 8).
+//
+// NVIDIA GPUs service a warp's 32 simultaneous accesses as up to-128-byte
+// transactions. A warp of scalar FP32 accesses covers 32 x 4B = 128B (one
+// fully-utilized transaction); scalar FP16 covers only 32 x 2B = 64B, so
+// the transaction is 50% utilized and the transaction COUNT for a feature
+// row is unchanged versus FP32 — which is why naive FP16 gather/scatter
+// only gives ~1.17-1.48x (Table 3). Vectorized FP16 (half2 per thread)
+// restores 128B per transaction and halves the count.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/precision.hpp"
+
+namespace ts {
+
+inline constexpr std::size_t kTransactionBytes = 128;
+
+/// Number of memory transactions a warp needs to move one feature row of
+/// `channels` channels at storage precision `p`, with or without
+/// per-thread vectorization.
+inline std::size_t transactions_per_row(std::size_t channels, Precision p,
+                                        bool vectorized) {
+  const std::size_t bpc = bytes_per_channel(p);
+  // Bytes of useful data covered by one warp-wide access instruction:
+  // 32 threads x (element bytes x vector width). Vector width is chosen so
+  // each thread moves 4 bytes (half2 for FP16, char4 for INT8); FP32 is
+  // already 4 bytes per thread.
+  const std::size_t bytes_per_txn = vectorized ? 32 * 4 : 32 * bpc;
+  const std::size_t row_bytes = channels * bpc;
+  return (row_bytes + bytes_per_txn - 1) / bytes_per_txn;
+}
+
+/// Fraction of each 128-byte transaction carrying useful data.
+inline double transaction_utilization(Precision p, bool vectorized) {
+  const std::size_t bpc = bytes_per_channel(p);
+  const std::size_t covered = vectorized ? 32 * 4 : 32 * bpc;
+  return covered >= kTransactionBytes
+             ? 1.0
+             : static_cast<double>(covered) / kTransactionBytes;
+}
+
+}  // namespace ts

@@ -1,0 +1,50 @@
+#include "gpusim/cost_model.hpp"
+#include <cmath>
+
+#include <algorithm>
+
+namespace ts {
+
+KernelCost CostModel::mm(std::size_t rows, std::size_t inner,
+                         std::size_t cols, Precision p) const {
+  KernelCost kc;
+  if (rows == 0 || inner == 0 || cols == 0) return kc;
+  const double r = static_cast<double>(rows);
+  const double i = static_cast<double>(inner);
+  const double c = static_cast<double>(cols);
+  kc.flops = 2.0 * r * i * c;
+  const double util = mm_utilization(r, i, c, p);
+  const double compute = kc.flops / (peak_tflops(p) * 1e12 * util);
+  const double bpc = static_cast<double>(bytes_per_channel(
+      p == Precision::kINT8 ? Precision::kFP16 : p));
+  kc.dram_bytes = (r * i + i * c + r * c) * bpc;
+  kc.seconds =
+      launch_seconds() + std::max(compute, dram_seconds(kc.dram_bytes));
+  return kc;
+}
+
+KernelCost CostModel::bmm(std::size_t batch, std::size_t padded_rows,
+                          std::size_t inner, std::size_t cols,
+                          Precision p) const {
+  KernelCost kc;
+  if (batch == 0 || padded_rows == 0 || inner == 0 || cols == 0) return kc;
+  const double b = static_cast<double>(batch);
+  const double r = static_cast<double>(padded_rows);
+  const double i = static_cast<double>(inner);
+  const double c = static_cast<double>(cols);
+  kc.flops = 2.0 * b * r * i * c;  // padding waste included
+  // One launch. Batching improves utilization, but sublinearly: batched
+  // GEMM schedules per-problem tiles, so regularity grows more slowly
+  // than the concatenated row count (this is what turns the Fig. 7 curve
+  // back down once padding FLOPs outpace the utilization gain).
+  const double util = mm_utilization(r * std::sqrt(b), i, c, p);
+  const double compute = kc.flops / (peak_tflops(p) * 1e12 * util);
+  const double bpc = static_cast<double>(bytes_per_channel(
+      p == Precision::kINT8 ? Precision::kFP16 : p));
+  kc.dram_bytes = (b * r * i + b * i * c + b * r * c) * bpc;
+  kc.seconds =
+      launch_seconds() + std::max(compute, dram_seconds(kc.dram_bytes));
+  return kc;
+}
+
+}  // namespace ts

@@ -1,0 +1,88 @@
+// Per-stage runtime accounting, mirroring the paper's Figure 4 breakdown
+// (Data Movement / GEMM / Mapping / 2D+NMS / Misc).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace ts {
+
+enum class Stage {
+  kMapping = 0,  // output coords construction + map search
+  kGather,       // data orchestration: gather
+  kScatter,      // data orchestration: scatter-accumulate
+  kMatMul,       // GEMM / batched GEMM
+  kDense2D,      // CenterPoint's dense BEV convolutions
+  kNMS,          // detection non-maximum suppression
+  kMisc,         // elementwise ops (BN, ReLU), voxelization, heads
+  kNumStages
+};
+
+inline constexpr std::size_t kNumStages =
+    static_cast<std::size_t>(Stage::kNumStages);
+
+inline std::string to_string(Stage s) {
+  switch (s) {
+    case Stage::kMapping: return "Mapping";
+    case Stage::kGather: return "Gather";
+    case Stage::kScatter: return "Scatter";
+    case Stage::kMatMul: return "MatMul";
+    case Stage::kDense2D: return "Dense2D";
+    case Stage::kNMS: return "NMS";
+    case Stage::kMisc: return "Misc";
+    default: return "?";
+  }
+}
+
+/// Accumulated modeled execution time per stage, plus traffic counters.
+class Timeline {
+ public:
+  void add(Stage s, double seconds) {
+    seconds_[static_cast<std::size_t>(s)] += seconds;
+  }
+  void add_dram_bytes(double bytes) { dram_bytes_ += bytes; }
+  void add_kernel_launches(std::size_t n) { kernels_ += n; }
+  void add_flops(double f) { flops_ += f; }
+
+  double stage_seconds(Stage s) const {
+    return seconds_[static_cast<std::size_t>(s)];
+  }
+  double total_seconds() const {
+    double t = 0;
+    for (double s : seconds_) t += s;
+    return t;
+  }
+  /// Gather + scatter (the paper's "data movement" slice).
+  double data_movement_seconds() const {
+    return stage_seconds(Stage::kGather) + stage_seconds(Stage::kScatter);
+  }
+  double dram_bytes() const { return dram_bytes_; }
+  std::size_t kernel_launches() const { return kernels_; }
+  double flops() const { return flops_; }
+  double fps() const {
+    const double t = total_seconds();
+    return t > 0 ? 1.0 / t : 0.0;
+  }
+  /// Achieved matmul throughput in TFLOP/s (paper Tables 1-2 metric).
+  double matmul_tflops() const {
+    const double t = stage_seconds(Stage::kMatMul);
+    return t > 0 ? flops_ / t / 1e12 : 0.0;
+  }
+
+  Timeline& operator+=(const Timeline& o) {
+    for (std::size_t i = 0; i < kNumStages; ++i) seconds_[i] += o.seconds_[i];
+    dram_bytes_ += o.dram_bytes_;
+    kernels_ += o.kernels_;
+    flops_ += o.flops_;
+    return *this;
+  }
+
+ private:
+  std::array<double, kNumStages> seconds_{};
+  double dram_bytes_ = 0;
+  std::size_t kernels_ = 0;
+  double flops_ = 0;  // matmul FLOPs actually executed (incl. padding)
+};
+
+}  // namespace ts

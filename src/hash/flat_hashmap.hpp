@@ -1,0 +1,118 @@
+// Conventional open-addressing hashmap: packed coordinate key -> point index.
+//
+// This is the "general hashmap-based solution" of paper §4.4 (and the map
+// structure used by SparseConvNet / MinkowskiEngine, §7). Linear probing
+// means collisions cost extra probe steps; every probe is a DRAM access on
+// the GPU, which is exactly why the paper's collision-free grid hashmap is
+// 2.7x faster for map search (Fig. 13). We count probes so the GPU cost
+// model can reproduce that gap.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "hash/coords.hpp"
+
+namespace ts {
+
+class FlatHashMap {
+ public:
+  static constexpr uint64_t kEmpty = ~0ull;
+  static constexpr int64_t kNotFound = -1;
+
+  FlatHashMap() = default;
+
+  /// Builds a table sized for `expected` entries at ~50% load factor.
+  explicit FlatHashMap(std::size_t expected) { reserve(expected); }
+
+  void reserve(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    keys_.assign(cap, kEmpty);
+    values_.assign(cap, 0);
+    mask_ = cap - 1;
+    size_ = 0;
+  }
+
+  /// Inserts key -> value. Keeps the first value on duplicate keys.
+  /// Returns the number of table slots probed (>= 1).
+  std::size_t insert(uint64_t key, int64_t value) {
+    assert(key != kEmpty);
+    if (keys_.empty() || size_ * 2 >= keys_.size()) grow();
+    std::size_t probes = 0;
+    std::size_t i = hash_key(key) & mask_;
+    while (true) {
+      ++probes;
+      if (keys_[i] == kEmpty) {
+        keys_[i] = key;
+        values_[i] = value;
+        ++size_;
+        total_probes_ += probes;
+        return probes;
+      }
+      if (keys_[i] == key) {  // duplicate: keep first
+        total_probes_ += probes;
+        return probes;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  std::size_t insert(const Coord& c, int64_t value) {
+    return insert(pack_coord(c), value);
+  }
+
+  /// Looks up `key`; returns kNotFound if absent. `probes`, if non-null,
+  /// receives the number of slots inspected.
+  int64_t find(uint64_t key, std::size_t* probes = nullptr) const {
+    if (keys_.empty()) {
+      if (probes) *probes = 1;
+      return kNotFound;
+    }
+    std::size_t p = 0;
+    std::size_t i = hash_key(key) & mask_;
+    while (true) {
+      ++p;
+      if (keys_[i] == key) {
+        if (probes) *probes = p;
+        return values_[i];
+      }
+      if (keys_[i] == kEmpty) {
+        if (probes) *probes = p;
+        return kNotFound;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  int64_t find(const Coord& c, std::size_t* probes = nullptr) const {
+    return find(pack_coord(c), probes);
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return keys_.size(); }
+  /// Total probes across all inserts — proxy for build-time DRAM accesses.
+  std::size_t total_insert_probes() const { return total_probes_; }
+
+ private:
+  void grow() {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<int64_t> old_vals = std::move(values_);
+    const std::size_t cap = old_keys.empty() ? 16 : old_keys.size() * 2;
+    keys_.assign(cap, kEmpty);
+    values_.assign(cap, 0);
+    mask_ = cap - 1;
+    size_ = 0;
+    for (std::size_t i = 0; i < old_keys.size(); ++i)
+      if (old_keys[i] != kEmpty) insert(old_keys[i], old_vals[i]);
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<int64_t> values_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::size_t total_probes_ = 0;
+};
+
+}  // namespace ts

@@ -1,0 +1,59 @@
+#include "hash/grid_hashmap.hpp"
+
+#include <algorithm>
+
+#include "hash/flat_hashmap.hpp"
+
+namespace ts {
+
+bool coord_bounds(const std::vector<Coord>& coords, Coord& lo, Coord& hi) {
+  if (coords.empty()) return false;
+  lo = hi = coords[0];
+  for (const Coord& c : coords) {
+    lo.b = std::min(lo.b, c.b);
+    lo.x = std::min(lo.x, c.x);
+    lo.y = std::min(lo.y, c.y);
+    lo.z = std::min(lo.z, c.z);
+    hi.b = std::max(hi.b, c.b);
+    hi.x = std::max(hi.x, c.x);
+    hi.y = std::max(hi.y, c.y);
+    hi.z = std::max(hi.z, c.z);
+  }
+  return true;
+}
+
+CoordIndex::CoordIndex(const std::vector<Coord>& coords, MapBackend backend)
+    : backend_(backend), size_(coords.size()) {
+  if (backend_ == MapBackend::kHashMap) {
+    hash_.reserve(coords.size());
+    for (std::size_t i = 0; i < coords.size(); ++i)
+      build_accesses_ += hash_.insert(coords[i], static_cast<int64_t>(i));
+  } else {
+    Coord lo, hi;
+    if (coord_bounds(coords, lo, hi)) {
+      grid_.reset(lo, hi);
+      for (std::size_t i = 0; i < coords.size(); ++i)
+        grid_.insert(coords[i], static_cast<int64_t>(i));
+    }
+    build_accesses_ = coords.size();  // exactly one access per entry
+  }
+}
+
+int64_t CoordIndex::find(const Coord& c) const {
+  if (backend_ == MapBackend::kHashMap) {
+    std::size_t probes = 0;
+    const int64_t v = hash_.find(c, &probes);
+    query_accesses_ += probes;
+    return v;
+  }
+  query_accesses_ += 1;  // collision-free: exactly one access
+  return grid_.find(c);
+}
+
+std::size_t CoordIndex::memory_bytes() const {
+  if (backend_ == MapBackend::kHashMap)
+    return hash_.capacity() * (sizeof(uint64_t) + sizeof(int64_t));
+  return grid_.capacity() * sizeof(int64_t);
+}
+
+}  // namespace ts

@@ -1,0 +1,122 @@
+// Collision-free grid "hashmap": a dense array over the coordinate bounding
+// box, indexed by flattened coordinate.
+//
+// Paper §4.4: "grid corresponds to a naive collision-free grid-based
+// hashmap: it takes larger memory space, but hashmap construction/query
+// requires exactly one DRAM access per entry". SpConv pioneered this map
+// search strategy (§7); TorchSparse chooses between [grid, hashmap] per
+// layer. Construction and query are both exactly one array access.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "hash/coords.hpp"
+#include "hash/flat_hashmap.hpp"
+
+namespace ts {
+
+class GridHashMap {
+ public:
+  static constexpr int64_t kNotFound = -1;
+
+  GridHashMap() = default;
+
+  /// Builds an empty grid covering [lo, hi] (inclusive) in each dimension.
+  GridHashMap(const Coord& lo, const Coord& hi) { reset(lo, hi); }
+
+  void reset(const Coord& lo, const Coord& hi) {
+    assert(lo.b <= hi.b && lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z);
+    lo_ = lo;
+    nb_ = static_cast<int64_t>(hi.b - lo.b) + 1;
+    nx_ = static_cast<int64_t>(hi.x - lo.x) + 1;
+    ny_ = static_cast<int64_t>(hi.y - lo.y) + 1;
+    nz_ = static_cast<int64_t>(hi.z - lo.z) + 1;
+    cells_.assign(static_cast<std::size_t>(nb_ * nx_ * ny_ * nz_), kNotFound);
+    size_ = 0;
+  }
+
+  bool in_bounds(const Coord& c) const {
+    return c.b >= lo_.b && c.b < lo_.b + nb_ && c.x >= lo_.x &&
+           c.x < lo_.x + nx_ && c.y >= lo_.y && c.y < lo_.y + ny_ &&
+           c.z >= lo_.z && c.z < lo_.z + nz_;
+  }
+
+  /// Inserts c -> value (exactly one cell write). Keeps the first value on
+  /// duplicates. Out-of-bounds coordinates are a precondition violation.
+  void insert(const Coord& c, int64_t value) {
+    assert(in_bounds(c));
+    int64_t& cell = cells_[flatten(c)];
+    if (cell == kNotFound) {
+      cell = value;
+      ++size_;
+    }
+  }
+
+  /// Exactly one cell read; out-of-bounds coordinates report kNotFound
+  /// without touching memory (bounds are register-resident on GPU).
+  int64_t find(const Coord& c) const {
+    if (!in_bounds(c)) return kNotFound;
+    return cells_[flatten(c)];
+  }
+
+  std::size_t size() const { return size_; }
+  /// Number of grid cells — the memory-space cost of collision freedom.
+  std::size_t capacity() const { return cells_.size(); }
+
+ private:
+  std::size_t flatten(const Coord& c) const {
+    const int64_t i =
+        ((static_cast<int64_t>(c.b - lo_.b) * nx_ + (c.x - lo_.x)) * ny_ +
+         (c.y - lo_.y)) *
+            nz_ +
+        (c.z - lo_.z);
+    return static_cast<std::size_t>(i);
+  }
+
+  Coord lo_{};
+  int64_t nb_ = 0, nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<int64_t> cells_;
+  std::size_t size_ = 0;
+};
+
+/// Computes the inclusive coordinate bounding box of a point set.
+/// Returns false (and leaves lo/hi untouched) for an empty set.
+bool coord_bounds(const std::vector<Coord>& coords, Coord& lo, Coord& hi);
+
+/// Map-search backend selection (paper §4.4 chooses per layer between the
+/// conventional hashmap and the collision-free grid).
+enum class MapBackend { kHashMap, kGrid };
+
+/// Unified coordinate index over both backends. Query cost in DRAM
+/// accesses is reported so the mapping cost model can distinguish them.
+class CoordIndex {
+ public:
+  /// Builds an index over `coords`, mapping each coordinate to its index.
+  CoordIndex(const std::vector<Coord>& coords, MapBackend backend);
+
+  /// Returns the point index of `c`, or -1. Accumulates DRAM access count
+  /// into an internal counter readable via `query_accesses()`.
+  int64_t find(const Coord& c) const;
+
+  MapBackend backend() const { return backend_; }
+  std::size_t size() const { return size_; }
+  /// DRAM accesses spent constructing the index (1 per entry for grid;
+  /// probe count for hashmap).
+  std::size_t build_accesses() const { return build_accesses_; }
+  /// DRAM accesses spent on find() calls so far.
+  std::size_t query_accesses() const { return query_accesses_; }
+  /// Bytes of device memory the index occupies.
+  std::size_t memory_bytes() const;
+
+ private:
+  MapBackend backend_;
+  std::size_t size_ = 0;
+  std::size_t build_accesses_ = 0;
+  mutable std::size_t query_accesses_ = 0;
+  FlatHashMap hash_;
+  GridHashMap grid_;
+};
+
+}  // namespace ts

@@ -1,0 +1,150 @@
+#include "io/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ts::io {
+
+namespace {
+
+constexpr uint32_t kPointsMagic = 0x54535054;  // "TSPT"
+constexpr uint32_t kTensorMagic = 0x5453544e;  // "TSTN"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("truncated stream");
+  return v;
+}
+
+void expect_header(std::istream& is, uint32_t magic) {
+  if (read_pod<uint32_t>(is) != magic)
+    throw std::runtime_error("bad magic");
+  if (read_pod<uint32_t>(is) != kVersion)
+    throw std::runtime_error("unsupported version");
+}
+
+uint64_t read_count(std::istream& is, uint64_t limit) {
+  const uint64_t n = read_pod<uint64_t>(is);
+  if (n > limit) throw std::runtime_error("implausible element count");
+  return n;
+}
+
+}  // namespace
+
+void save_points(std::ostream& os, const std::vector<Point3>& pts) {
+  write_pod(os, kPointsMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<uint64_t>(pts.size()));
+  for (const Point3& p : pts) {
+    write_pod(os, p.x);
+    write_pod(os, p.y);
+    write_pod(os, p.z);
+    write_pod(os, p.intensity);
+    write_pod(os, p.time);
+  }
+}
+
+std::vector<Point3> load_points(std::istream& is) {
+  expect_header(is, kPointsMagic);
+  const uint64_t n = read_count(is, 1ull << 32);
+  std::vector<Point3> pts(n);
+  for (Point3& p : pts) {
+    p.x = read_pod<float>(is);
+    p.y = read_pod<float>(is);
+    p.z = read_pod<float>(is);
+    p.intensity = read_pod<float>(is);
+    p.time = read_pod<float>(is);
+  }
+  return pts;
+}
+
+void save_tensor(std::ostream& os, const SparseTensor& t) {
+  write_pod(os, kTensorMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<uint64_t>(t.num_points()));
+  write_pod(os, static_cast<uint64_t>(t.channels()));
+  write_pod(os, static_cast<int32_t>(t.stride()));
+  for (const Coord& c : t.coords()) {
+    write_pod(os, c.b);
+    write_pod(os, c.x);
+    write_pod(os, c.y);
+    write_pod(os, c.z);
+  }
+  os.write(reinterpret_cast<const char*>(t.feats().data()),
+           static_cast<std::streamsize>(t.feats().size() * sizeof(float)));
+}
+
+SparseTensor load_tensor(std::istream& is) {
+  expect_header(is, kTensorMagic);
+  const uint64_t n = read_count(is, 1ull << 32);
+  const uint64_t c = read_count(is, 1ull << 20);
+  const int32_t stride = read_pod<int32_t>(is);
+  if (stride < 1) throw std::runtime_error("bad tensor stride");
+  std::vector<Coord> coords(n);
+  for (Coord& cc : coords) {
+    cc.b = read_pod<int32_t>(is);
+    cc.x = read_pod<int32_t>(is);
+    cc.y = read_pod<int32_t>(is);
+    cc.z = read_pod<int32_t>(is);
+    if (!coord_in_packable_range(cc))
+      throw std::runtime_error("coordinate out of range");
+  }
+  Matrix feats(n, c);
+  is.read(reinterpret_cast<char*>(feats.data()),
+          static_cast<std::streamsize>(feats.size() * sizeof(float)));
+  if (!is) throw std::runtime_error("truncated feature block");
+  // Loaded tensors start a fresh cache at stride 1 semantics; non-unit
+  // strides are restored by re-wrapping.
+  SparseTensor base(std::move(coords), std::move(feats));
+  if (stride == 1) return base;
+  return SparseTensor(base.coords_ptr(), base.feats(), stride,
+                      base.cache());
+}
+
+void save_points_file(const std::string& path,
+                      const std::vector<Point3>& pts) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open " + path);
+  save_points(os, pts);
+}
+
+std::vector<Point3> load_points_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  return load_points(is);
+}
+
+void save_tensor_file(const std::string& path, const SparseTensor& t) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open " + path);
+  save_tensor(os, t);
+}
+
+SparseTensor load_tensor_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  return load_tensor(is);
+}
+
+std::string timeline_csv(const Timeline& t) {
+  std::ostringstream os;
+  os << "stage,seconds\n";
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    const Stage st = static_cast<Stage>(s);
+    os << to_string(st) << "," << t.stage_seconds(st) << "\n";
+  }
+  os << "total," << t.total_seconds() << "\n";
+  return os.str();
+}
+
+}  // namespace ts::io

@@ -1,0 +1,36 @@
+// Binary serialization for point clouds, sparse tensors, and timelines.
+//
+// A deployment-oriented inference engine needs stable on-disk formats:
+// scans captured once and replayed across engines/devices, and timelines
+// exported for offline analysis. Formats are little-endian,
+// magic-and-version tagged; loading validates structure and throws
+// std::runtime_error on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/sparse_tensor.hpp"
+#include "data/lidar.hpp"
+#include "gpusim/timeline.hpp"
+
+namespace ts::io {
+
+// --- Point clouds (.tspts) ---
+void save_points(std::ostream& os, const std::vector<Point3>& pts);
+std::vector<Point3> load_points(std::istream& is);
+void save_points_file(const std::string& path,
+                      const std::vector<Point3>& pts);
+std::vector<Point3> load_points_file(const std::string& path);
+
+// --- Sparse tensors (.tsten): coords + features + stride ---
+void save_tensor(std::ostream& os, const SparseTensor& t);
+SparseTensor load_tensor(std::istream& is);
+void save_tensor_file(const std::string& path, const SparseTensor& t);
+SparseTensor load_tensor_file(const std::string& path);
+
+// --- Timelines -> CSV (stage, seconds) for offline analysis ---
+std::string timeline_csv(const Timeline& t);
+
+}  // namespace ts::io

@@ -1,0 +1,57 @@
+#include "nn/pooling.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/mapping_cost.hpp"
+
+namespace ts::spnn {
+
+Matrix global_pool(const SparseTensor& x, PoolKind kind, ExecContext& ctx) {
+  charge_elementwise(x.num_points(), x.channels(), ctx);
+
+  int num_batches = 0;
+  for (const Coord& c : x.coords())
+    num_batches = std::max(num_batches, c.b + 1);
+  if (num_batches == 0) return Matrix(0, x.channels());
+
+  const std::size_t ch = x.channels();
+  Matrix out(static_cast<std::size_t>(num_batches), ch,
+             kind == PoolKind::kMax ? -std::numeric_limits<float>::infinity()
+                                    : 0.0f);
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_batches), 0);
+  for (std::size_t i = 0; i < x.num_points(); ++i) {
+    const std::size_t b = static_cast<std::size_t>(x.coords()[i].b);
+    const float* row = x.feats().row(i);
+    float* acc = out.row(b);
+    ++counts[b];
+    if (kind == PoolKind::kMax) {
+      for (std::size_t c = 0; c < ch; ++c)
+        acc[c] = std::max(acc[c], row[c]);
+    } else {
+      for (std::size_t c = 0; c < ch; ++c) acc[c] += row[c];
+    }
+  }
+  if (kind == PoolKind::kAvg) {
+    for (int b = 0; b < num_batches; ++b) {
+      const float inv = counts[static_cast<std::size_t>(b)]
+                            ? 1.0f / static_cast<float>(
+                                         counts[static_cast<std::size_t>(b)])
+                            : 0.0f;
+      float* acc = out.row(static_cast<std::size_t>(b));
+      for (std::size_t c = 0; c < ch; ++c) acc[c] *= inv;
+    }
+  } else {
+    // Batches with no points pool to zero rather than -inf.
+    for (int b = 0; b < num_batches; ++b) {
+      if (counts[static_cast<std::size_t>(b)] == 0) {
+        float* acc = out.row(static_cast<std::size_t>(b));
+        for (std::size_t c = 0; c < ch; ++c) acc[c] = 0.0f;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ts::spnn

@@ -1,0 +1,19 @@
+// Global pooling over sparse tensors (torchsparse's spnn.GlobalAvgPool /
+// GlobalMaxPool): reduces all points of each batch element to a single
+// feature vector — the head of sparse classification networks.
+#pragma once
+
+#include "core/exec.hpp"
+#include "core/sparse_tensor.hpp"
+#include "tensor/matrix.hpp"
+
+namespace ts::spnn {
+
+enum class PoolKind { kAvg, kMax };
+
+/// Reduces a sparse tensor per batch index. Returns a matrix of shape
+/// [num_batches, channels], where row b pools every point with batch
+/// index b. Charged as one streaming reduction kernel (Stage::kMisc).
+Matrix global_pool(const SparseTensor& x, PoolKind kind, ExecContext& ctx);
+
+}  // namespace ts::spnn

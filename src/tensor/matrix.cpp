@@ -1,0 +1,135 @@
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace ts {
+
+namespace {
+
+/// Row-range worker for the blocked GEMM. Each worker owns a disjoint
+/// slice of output rows, so the parallel result is bitwise identical to
+/// the sequential one (accumulation order per row is unchanged).
+void mm_rows(const Matrix& a, const Matrix& b, Matrix& out, std::size_t r0,
+             std::size_t r1) {
+  const std::size_t k = a.cols(), n = b.cols();
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t i0 = r0; i0 < r1; i0 += kBlock) {
+    const std::size_t i1 = std::min(i0 + kBlock, r1);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
+      const std::size_t p1 = std::min(p0 + kBlock, k);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float* arow = a.row(i);
+        float* orow = out.row(i);
+        for (std::size_t p = p0; p < p1; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b.row(p);
+          for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Matrix::quantize(Precision p) {
+  switch (p) {
+    case Precision::kFP32:
+      return;
+    case Precision::kFP16:
+      for (float& v : data_) v = fp16_round(v);
+      return;
+    case Precision::kINT8: {
+      const float amax = abs_max();
+      if (amax == 0.0f) return;
+      const float scale = amax / 127.0f;
+      for (float& v : data_) {
+        const float q = std::round(v / scale);
+        v = std::clamp(q, -127.0f, 127.0f) * scale;
+      }
+      return;
+    }
+  }
+}
+
+float Matrix::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+void mm(const Matrix& a, const Matrix& b, Matrix& out) {
+  out.resize(a.rows(), b.cols());
+  mm_accumulate(a, b, out);
+}
+
+void mm_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  assert(out.rows() == a.rows() && out.cols() == b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+
+  // Parallelize across disjoint output-row slices for large problems;
+  // results are bitwise identical to the sequential path.
+  const double work = static_cast<double>(m) * static_cast<double>(k) *
+                      static_cast<double>(n);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t threads =
+      work > 3e7 ? std::min<std::size_t>(hw, 16) : 1;
+  if (threads <= 1 || m < 2 * threads) {
+    mm_rows(a, b, out, 0, m);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const std::size_t chunk = (m + threads - 1) / threads;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t r0 = t * chunk;
+    const std::size_t r1 = std::min(m, r0 + chunk);
+    if (r0 >= r1) break;
+    pool.emplace_back(
+        [&, r0, r1] { mm_rows(a, b, out, r0, r1); });
+  }
+  for (std::thread& th : pool) th.join();
+}
+
+void bmm(const std::vector<Matrix>& as, const std::vector<Matrix>& bs,
+         std::vector<Matrix>& outs) {
+  assert(as.size() == bs.size());
+  outs.resize(as.size());
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    assert(as[i].rows() == as[0].rows() && as[i].cols() == as[0].cols());
+    assert(bs[i].rows() == bs[0].rows() && bs[i].cols() == bs[0].cols());
+    mm(as[i], bs[i], outs[i]);
+  }
+}
+
+Matrix pad_rows(const Matrix& a, std::size_t rows) {
+  assert(rows >= a.rows());
+  Matrix out(rows, a.cols());
+  std::copy(a.data(), a.data() + a.size(), out.data());
+  return out;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) out.at(j, i) = a.at(i, j);
+  return out;
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    return std::numeric_limits<float>::infinity();
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+}  // namespace ts

@@ -1,0 +1,38 @@
+// Feature precision modes for the data-movement pipeline (paper §4.3.1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ts {
+
+/// Storage precision of feature buffers in DRAM. Matmul always accumulates
+/// in FP32 (as CUDA tensor cores do); precision controls the *storage*
+/// format and therefore DRAM traffic and rounding.
+enum class Precision {
+  kFP32,  // 4 bytes / channel
+  kFP16,  // 2 bytes / channel
+  kINT8,  // 1 byte / channel for gather reads; scatter stays 16-bit
+          // (paper §4.3.1: multi-way reduction needs > 8 bits and CUDA
+          // requires aligned accesses, so INT8 gives diminishing returns).
+};
+
+inline std::size_t bytes_per_channel(Precision p) {
+  switch (p) {
+    case Precision::kFP32: return 4;
+    case Precision::kFP16: return 2;
+    case Precision::kINT8: return 1;
+  }
+  return 4;
+}
+
+inline std::string to_string(Precision p) {
+  switch (p) {
+    case Precision::kFP32: return "fp32";
+    case Precision::kFP16: return "fp16";
+    case Precision::kINT8: return "int8";
+  }
+  return "?";
+}
+
+}  // namespace ts

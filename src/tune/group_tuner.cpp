@@ -1,0 +1,70 @@
+#include "tune/group_tuner.hpp"
+
+#include <limits>
+
+namespace ts {
+
+double grouped_matmul_seconds(const LayerRecord& rec,
+                              GroupingStrategy strategy,
+                              const GroupParams& params,
+                              const CostModel& cost, Precision precision) {
+  const auto groups =
+      plan_groups(rec.map_sizes, rec.submanifold, strategy, params);
+  double seconds = 0;
+  for (const MMGroup& g : groups) {
+    if (g.use_bmm) {
+      seconds += cost.bmm(g.offsets.size(), g.padded_rows, rec.c_in,
+                          rec.c_out, precision)
+                     .seconds;
+    } else {
+      for (int n : g.offsets)
+        seconds += cost.mm(rec.map_sizes[static_cast<std::size_t>(n)],
+                           rec.c_in, rec.c_out, precision)
+                       .seconds;
+    }
+  }
+  return seconds;
+}
+
+std::vector<GroupParams> default_search_space() {
+  // 12 epsilons x 8 thresholds = 96 configurations per layer; the paper
+  // reports a space of ~1000 over all layer types.
+  const double eps[] = {0.0, 0.05, 0.1, 0.15, 0.2, 0.25,
+                        0.3, 0.4,  0.5, 0.7,  0.85, 1.0};
+  const double thr[] = {0.0,     2048.0,   8192.0,   16384.0,
+                        32768.0, 65536.0, 262144.0, 1e18};
+  std::vector<GroupParams> space;
+  for (double e : eps)
+    for (double s : thr) space.push_back(GroupParams{e, s});
+  return space;
+}
+
+TuneResult tune_groups(const std::vector<std::vector<LayerRecord>>& samples,
+                       const CostModel& cost, Precision precision,
+                       const std::vector<GroupParams>& space) {
+  // Regroup records by layer id across samples.
+  std::unordered_map<int, std::vector<const LayerRecord*>> by_layer;
+  for (const auto& sample : samples)
+    for (const LayerRecord& r : sample) by_layer[r.layer_id].push_back(&r);
+
+  TuneResult result;
+  result.configs_explored = static_cast<int>(space.size());
+  for (const auto& [layer, recs] : by_layer) {
+    double best = std::numeric_limits<double>::infinity();
+    GroupParams best_params;
+    for (const GroupParams& p : space) {
+      double c = 0;
+      for (const LayerRecord* r : recs)
+        c += grouped_matmul_seconds(*r, GroupingStrategy::kAdaptive, p, cost,
+                                    precision);
+      if (c < best) {
+        best = c;
+        best_params = p;
+      }
+    }
+    result.params[layer] = best_params;
+  }
+  return result;
+}
+
+}  // namespace ts

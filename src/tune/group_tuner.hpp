@@ -1,0 +1,42 @@
+// Adaptive group search (paper Appendix B, Alg. 5).
+//
+// For every conv layer, enumerate (epsilon, S) over a predefined search
+// space (< 1000 configurations), evaluate the grouped matmul cost of each
+// on a small set of sampled inputs, and keep the argmin. The search is
+// inference-only and offline; the chosen parameters are then applied
+// without any runtime optimization. Because the grouping itself is
+// input-adaptive (Alg. 4 re-plans per sample from the actual map sizes),
+// fixed (epsilon, S) still yield sample-specific group partitions.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/exec.hpp"
+#include "core/matmul_group.hpp"
+#include "gpusim/cost_model.hpp"
+
+namespace ts {
+
+/// Modeled matmul seconds of one recorded layer under a strategy.
+double grouped_matmul_seconds(const LayerRecord& rec,
+                              GroupingStrategy strategy,
+                              const GroupParams& params,
+                              const CostModel& cost, Precision precision);
+
+struct TuneResult {
+  std::unordered_map<int, GroupParams> params;  // per layer_id
+  int configs_explored = 0;
+};
+
+/// The default (epsilon, S) grid searched by Alg. 5.
+std::vector<GroupParams> default_search_space();
+
+/// Tunes every layer appearing in `samples` (one LayerRecord vector per
+/// sampled input, produced via ExecContext::recorder).
+TuneResult tune_groups(const std::vector<std::vector<LayerRecord>>& samples,
+                       const CostModel& cost, Precision precision,
+                       const std::vector<GroupParams>& space =
+                           default_search_space());
+
+}  // namespace ts

@@ -1,0 +1,156 @@
+// Batched (multi-scan) inference: the batch coordinate must keep scans
+// fully independent through every stage — convolving a merged batch must
+// equal convolving each scan separately.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/conv3d.hpp"
+#include "data/voxelize.hpp"
+#include "engines/presets.hpp"
+#include "gpusim/device.hpp"
+#include "nn/layers.hpp"
+
+namespace ts {
+namespace {
+
+SparseTensor random_tensor(int n, int extent, std::size_t channels,
+                           uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int32_t> d(0, extent);
+  std::uniform_real_distribution<float> f(-1.0f, 1.0f);
+  std::vector<Coord> coords;
+  std::unordered_set<uint64_t> seen;
+  while (static_cast<int>(coords.size()) < n) {
+    const Coord c{0, d(rng), d(rng), d(rng)};
+    if (seen.insert(pack_coord(c)).second) coords.push_back(c);
+  }
+  Matrix feats(coords.size(), channels);
+  for (std::size_t i = 0; i < feats.size(); ++i) feats.data()[i] = f(rng);
+  return SparseTensor(std::move(coords), std::move(feats));
+}
+
+ExecContext fp32_ctx() {
+  EngineConfig cfg = torchsparse_config();
+  cfg.precision = Precision::kFP32;
+  ExecContext ctx(rtx2080ti(), cfg);
+  ctx.compute_numerics = true;
+  return ctx;
+}
+
+TEST(Batch, MergeRelabelsBatchIndices) {
+  const SparseTensor a = random_tensor(30, 8, 4, 1);
+  const SparseTensor b = random_tensor(40, 8, 4, 2);
+  const SparseTensor merged = merge_batches({a, b});
+  EXPECT_EQ(merged.num_points(), 70u);
+  int maxb = 0;
+  for (const Coord& c : merged.coords()) maxb = std::max(maxb, c.b);
+  EXPECT_EQ(maxb, 1);
+}
+
+class BatchIndependence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchIndependence, SubmanifoldConvMatchesPerScanResults) {
+  const int seed = GetParam();
+  const SparseTensor a = random_tensor(80, 8, 4, 10u + seed);
+  const SparseTensor b = random_tensor(60, 8, 4, 20u + seed);
+  std::mt19937_64 rng(30u + seed);
+  Conv3dParams p;
+  p.geom = ConvGeometry{3, 1, false};
+  p.weights = spnn::make_conv_weights(3, 4, 6, rng);
+
+  ExecContext c1 = fp32_ctx(), c2 = fp32_ctx(), c3 = fp32_ctx();
+  const SparseTensor out_a =
+      sparse_conv3d(SparseTensor(a.coords(), a.feats()), p, c1);
+  const SparseTensor out_b =
+      sparse_conv3d(SparseTensor(b.coords(), b.feats()), p, c2);
+  const SparseTensor merged = merge_batches({a, b});
+  const SparseTensor out_m = sparse_conv3d(merged, p, c3);
+
+  // Index merged outputs by (batch, coord).
+  std::unordered_map<uint64_t, std::size_t> index;
+  for (std::size_t k = 0; k < out_m.num_points(); ++k)
+    index[pack_coord(out_m.coords()[k])] = k;
+
+  auto check = [&](const SparseTensor& single, int batch) {
+    for (std::size_t k = 0; k < single.num_points(); ++k) {
+      Coord c = single.coords()[k];
+      c.b = batch;
+      const auto it = index.find(pack_coord(c));
+      ASSERT_NE(it, index.end());
+      for (std::size_t ch = 0; ch < single.channels(); ++ch)
+        EXPECT_NEAR(single.feats().at(k, ch),
+                    out_m.feats().at(it->second, ch), 1e-4f);
+    }
+  };
+  check(out_a, 0);
+  check(out_b, 1);
+}
+
+TEST_P(BatchIndependence, StridedConvKeepsBatchesDisjoint) {
+  const int seed = GetParam();
+  const SparseTensor a = random_tensor(60, 10, 4, 40u + seed);
+  const SparseTensor b = random_tensor(50, 10, 4, 50u + seed);
+  std::mt19937_64 rng(60u + seed);
+  Conv3dParams p;
+  p.geom = ConvGeometry{2, 2, false};
+  p.weights = spnn::make_conv_weights(2, 4, 4, rng);
+
+  ExecContext c1 = fp32_ctx(), c2 = fp32_ctx(), c3 = fp32_ctx();
+  const SparseTensor out_a =
+      sparse_conv3d(SparseTensor(a.coords(), a.feats()), p, c1);
+  const SparseTensor out_b =
+      sparse_conv3d(SparseTensor(b.coords(), b.feats()), p, c2);
+  const SparseTensor out_m =
+      sparse_conv3d(merge_batches({a, b}), p, c3);
+  EXPECT_EQ(out_m.num_points(), out_a.num_points() + out_b.num_points());
+
+  std::unordered_map<uint64_t, std::size_t> index;
+  for (std::size_t k = 0; k < out_m.num_points(); ++k)
+    index[pack_coord(out_m.coords()[k])] = k;
+  for (std::size_t k = 0; k < out_a.num_points(); ++k) {
+    Coord c = out_a.coords()[k];
+    c.b = 0;
+    ASSERT_TRUE(index.count(pack_coord(c)));
+  }
+  for (std::size_t k = 0; k < out_b.num_points(); ++k) {
+    Coord c = out_b.coords()[k];
+    c.b = 1;
+    const auto it = index.find(pack_coord(c));
+    ASSERT_NE(it, index.end());
+    for (std::size_t ch = 0; ch < 4u; ++ch)
+      EXPECT_NEAR(out_b.feats().at(k, ch),
+                  out_m.feats().at(it->second, ch), 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchIndependence, ::testing::Range(0, 4));
+
+TEST(Batch, PointsAtSameSpatialCoordInDifferentBatchesStayDistinct) {
+  // Two scans with identical spatial coordinates must not interact.
+  std::vector<Coord> coords = {{0, 5, 5, 5}, {0, 5, 5, 6}};
+  Matrix f1(2, 4, 1.0f), f2(2, 4, 100.0f);
+  const SparseTensor merged =
+      merge_batches({SparseTensor(coords, f1), SparseTensor(coords, f2)});
+  std::mt19937_64 rng(3);
+  Conv3dParams p;
+  p.geom = ConvGeometry{3, 1, false};
+  p.weights = spnn::make_conv_weights(3, 4, 4, rng);
+  ExecContext ctx = fp32_ctx();
+  const SparseTensor out = sparse_conv3d(merged, p, ctx);
+  // Batch-0 outputs must be ~100x smaller than batch-1 outputs.
+  float max0 = 0, max1 = 0;
+  for (std::size_t k = 0; k < out.num_points(); ++k) {
+    float m = 0;
+    for (std::size_t c = 0; c < 4; ++c)
+      m = std::max(m, std::fabs(out.feats().at(k, c)));
+    (out.coords()[k].b == 0 ? max0 : max1) = std::max(
+        out.coords()[k].b == 0 ? max0 : max1, m);
+  }
+  EXPECT_LT(max0 * 10, max1);
+}
+
+}  // namespace
+}  // namespace ts

@@ -1,0 +1,225 @@
+// Sparse convolution end-to-end correctness: every engine preset and every
+// optimization combination must agree with the dense volumetric reference.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_set>
+
+#include "core/conv3d.hpp"
+#include "core/dense_reference.hpp"
+#include "core/downsample.hpp"
+#include "engines/presets.hpp"
+#include "gpusim/device.hpp"
+#include "nn/layers.hpp"
+
+namespace ts {
+namespace {
+
+SparseTensor random_tensor(int n, int extent, std::size_t channels,
+                           uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int32_t> d(0, extent);
+  std::uniform_real_distribution<float> f(-1.0f, 1.0f);
+  std::vector<Coord> coords;
+  std::unordered_set<uint64_t> seen;
+  while (static_cast<int>(coords.size()) < n) {
+    const Coord c{0, d(rng), d(rng), d(rng)};
+    if (seen.insert(pack_coord(c)).second) coords.push_back(c);
+  }
+  Matrix feats(coords.size(), channels);
+  for (std::size_t i = 0; i < feats.size(); ++i) feats.data()[i] = f(rng);
+  return SparseTensor(std::move(coords), std::move(feats));
+}
+
+Conv3dParams random_conv(int kernel, int stride, bool transposed,
+                         std::size_t c_in, std::size_t c_out,
+                         uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Conv3dParams p;
+  p.geom = ConvGeometry{kernel, stride, transposed};
+  p.weights = spnn::make_conv_weights(kernel, c_in, c_out, rng);
+  return p;
+}
+
+ExecContext make_ctx(const EngineConfig& cfg) {
+  ExecContext ctx(rtx2080ti(), cfg);
+  ctx.compute_numerics = true;
+  return ctx;
+}
+
+EngineConfig fp32_torchsparse() {
+  EngineConfig cfg = torchsparse_config();
+  cfg.precision = Precision::kFP32;  // exact comparison against oracle
+  return cfg;
+}
+
+TEST(Conv3d, SubmanifoldMatchesDenseReferenceExactly) {
+  const SparseTensor x = random_tensor(200, 10, 8, 1);
+  const Conv3dParams p = random_conv(3, 1, false, 8, 12, 2);
+  ExecContext ctx = make_ctx(fp32_torchsparse());
+  const SparseTensor y = sparse_conv3d(x, p, ctx);
+  const Matrix ref =
+      dense_reference_conv(x.coords(), x.feats(), y.coords(), p);
+  EXPECT_LT(max_abs_diff(y.feats(), ref), 2e-5f);
+  EXPECT_EQ(y.coords(), x.coords());  // P_out == P_in (paper §2)
+  EXPECT_EQ(y.stride(), 1);
+}
+
+TEST(Conv3d, StridedConvProducesDownsampledCoords) {
+  const SparseTensor x = random_tensor(300, 12, 4, 3);
+  const Conv3dParams p = random_conv(2, 2, false, 4, 8, 4);
+  ExecContext ctx = make_ctx(fp32_torchsparse());
+  const SparseTensor y = sparse_conv3d(x, p, ctx);
+  EXPECT_EQ(y.stride(), 2);
+  const auto expect = downsample_coords(x.coords(), 2, 2, true, true);
+  EXPECT_EQ(y.coords(), expect);
+  const Matrix ref =
+      dense_reference_conv(x.coords(), x.feats(), y.coords(), p);
+  EXPECT_LT(max_abs_diff(y.feats(), ref), 2e-5f);
+}
+
+TEST(Conv3d, OddKernelStride2MatchesReference) {
+  const SparseTensor x = random_tensor(250, 14, 6, 5);
+  const Conv3dParams p = random_conv(3, 2, false, 6, 10, 6);
+  ExecContext ctx = make_ctx(fp32_torchsparse());
+  const SparseTensor y = sparse_conv3d(x, p, ctx);
+  const Matrix ref =
+      dense_reference_conv(x.coords(), x.feats(), y.coords(), p);
+  EXPECT_LT(max_abs_diff(y.feats(), ref), 2e-5f);
+}
+
+TEST(Conv3d, TransposedConvRestoresFineCoords) {
+  const SparseTensor x = random_tensor(300, 12, 4, 7);
+  ExecContext ctx = make_ctx(fp32_torchsparse());
+  const Conv3dParams down = random_conv(2, 2, false, 4, 8, 8);
+  const SparseTensor mid = sparse_conv3d(x, down, ctx);
+  const Conv3dParams up = random_conv(2, 2, true, 8, 4, 9);
+  const SparseTensor y = sparse_conv3d(mid, up, ctx);
+  EXPECT_EQ(y.stride(), 1);
+  EXPECT_EQ(y.coords(), x.coords());  // exactly the cached fine coords
+  const Matrix ref =
+      dense_reference_conv(mid.coords(), mid.feats(), y.coords(), up);
+  EXPECT_LT(max_abs_diff(y.feats(), ref), 2e-4f);
+}
+
+TEST(Conv3d, TransposedWithoutCachedCoordsThrows) {
+  const SparseTensor x = random_tensor(50, 8, 4, 10);
+  const Conv3dParams up = random_conv(2, 2, true, 4, 4, 11);
+  ExecContext ctx = make_ctx(fp32_torchsparse());
+  EXPECT_THROW(sparse_conv3d(x, up, ctx), std::runtime_error);
+}
+
+TEST(Conv3d, KernelSize1IsPointwiseLinear) {
+  const SparseTensor x = random_tensor(100, 10, 8, 12);
+  const Conv3dParams p = random_conv(1, 1, false, 8, 16, 13);
+  ExecContext ctx = make_ctx(fp32_torchsparse());
+  const SparseTensor y = sparse_conv3d(x, p, ctx);
+  Matrix ref;
+  mm(x.feats(), p.weights[0], ref);
+  EXPECT_LT(max_abs_diff(y.feats(), ref), 2e-5f);
+}
+
+TEST(Conv3d, MapCacheReusedAcrossLayersAtSameStride) {
+  const SparseTensor x = random_tensor(200, 10, 4, 14);
+  const Conv3dParams p1 = random_conv(3, 1, false, 4, 4, 15);
+  const Conv3dParams p2 = random_conv(3, 1, false, 4, 4, 16);
+  ExecContext ctx = make_ctx(fp32_torchsparse());
+  const SparseTensor y1 = sparse_conv3d(x, p1, ctx);
+  const double mapping_after_first =
+      ctx.timeline.stage_seconds(Stage::kMapping);
+  const SparseTensor y2 = sparse_conv3d(y1, p2, ctx);
+  // Second submanifold layer reuses the cached map: zero mapping cost.
+  EXPECT_DOUBLE_EQ(ctx.timeline.stage_seconds(Stage::kMapping),
+                   mapping_after_first);
+  EXPECT_EQ(x.cache()->kmaps.size(), 1u);
+}
+
+/// Every engine preset (plus FP32 variants of TorchSparse with each
+/// grouping strategy) computes the same convolution.
+class EngineEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineEquivalence, AllConfigsAgreeWithReference) {
+  const int scenario = GetParam();
+  const int kernel = scenario % 2 ? 3 : 2;
+  const int stride = scenario % 2 ? 1 : 2;
+  const SparseTensor x =
+      random_tensor(150 + 10 * scenario, 10, 8, 20u + scenario);
+  const Conv3dParams p =
+      random_conv(kernel, stride, false, 8, 8, 30u + scenario);
+
+  ExecContext ref_ctx = make_ctx(fp32_torchsparse());
+  const SparseTensor ref = sparse_conv3d(x, p, ref_ctx);
+
+  std::vector<EngineConfig> configs = paper_engines();
+  for (auto g : {GroupingStrategy::kSymmetric, GroupingStrategy::kFixed,
+                 GroupingStrategy::kDenseAll}) {
+    EngineConfig c = fp32_torchsparse();
+    c.grouping = g;
+    c.name = "torchsparse-" + to_string(g);
+    configs.push_back(c);
+  }
+  EngineConfig fod = fp32_torchsparse();
+  fod.dataflow = Dataflow::kFetchOnDemand;
+  fod.name = "fetch-on-demand";
+  configs.push_back(fod);
+
+  for (const EngineConfig& cfg : configs) {
+    SparseTensor fresh(x.coords(), x.feats());
+    ExecContext ctx = make_ctx(cfg);
+    const SparseTensor y = sparse_conv3d(fresh, p, ctx);
+    ASSERT_EQ(y.num_points(), ref.num_points()) << cfg.name;
+    EXPECT_EQ(y.coords(), ref.coords()) << cfg.name;
+    // FP16 engines round features at every buffer boundary.
+    const float tol = cfg.precision == Precision::kFP32 ? 2e-5f : 2e-2f;
+    EXPECT_LT(max_abs_diff(y.feats(), ref.feats()), tol) << cfg.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, EngineEquivalence,
+                         ::testing::Range(0, 6));
+
+TEST(Conv3d, Int8PrecisionStaysCloseToFp32) {
+  const SparseTensor x = random_tensor(200, 10, 16, 40);
+  const Conv3dParams p = random_conv(3, 1, false, 16, 16, 41);
+  ExecContext ref_ctx = make_ctx(fp32_torchsparse());
+  const SparseTensor ref = sparse_conv3d(x, p, ref_ctx);
+
+  EngineConfig cfg = torchsparse_config();
+  cfg.precision = Precision::kINT8;
+  SparseTensor fresh(x.coords(), x.feats());
+  ExecContext ctx = make_ctx(cfg);
+  const SparseTensor y = sparse_conv3d(fresh, p, ctx);
+  EXPECT_LT(max_abs_diff(y.feats(), ref.feats()), 0.15f);
+}
+
+TEST(Conv3d, RecorderCapturesLayerWorkloads) {
+  const SparseTensor x = random_tensor(100, 8, 4, 50);
+  const Conv3dParams p = random_conv(3, 1, false, 4, 8, 51);
+  ExecContext ctx = make_ctx(torchsparse_config());
+  std::vector<LayerRecord> records;
+  ctx.recorder = &records;
+  ctx.layer_id = 7;
+  sparse_conv3d(x, p, ctx);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].layer_id, 7);
+  EXPECT_EQ(records[0].map_sizes.size(), 27u);
+  EXPECT_EQ(records[0].c_in, 4u);
+  EXPECT_EQ(records[0].c_out, 8u);
+  EXPECT_TRUE(records[0].submanifold);
+}
+
+TEST(Conv3d, CostOnlyModeSkipsNumericsButKeepsShapes) {
+  const SparseTensor x = random_tensor(100, 8, 4, 60);
+  const Conv3dParams p = random_conv(3, 1, false, 4, 8, 61);
+  ExecContext ctx(rtx3090(), torchsparse_config());
+  ctx.compute_numerics = false;
+  const SparseTensor y = sparse_conv3d(x, p, ctx);
+  EXPECT_EQ(y.num_points(), x.num_points());
+  EXPECT_EQ(y.channels(), 8u);
+  EXPECT_GT(ctx.timeline.total_seconds(), 0.0);
+  for (std::size_t i = 0; i < y.feats().size(); ++i)
+    EXPECT_EQ(y.feats().data()[i], 0.0f);
+}
+
+}  // namespace
+}  // namespace ts

@@ -1,0 +1,142 @@
+// Synthetic LiDAR generator and voxelizer tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "data/lidar.hpp"
+#include "data/voxelize.hpp"
+
+namespace ts {
+namespace {
+
+TEST(Lidar, DeterministicInSeed) {
+  LidarSpec spec = semantic_kitti_spec();
+  spec.azimuth_steps = 100;
+  const auto a = generate_scan(spec, 7);
+  const auto b = generate_scan(spec, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].y, b[i].y);
+    EXPECT_EQ(a[i].z, b[i].z);
+  }
+}
+
+TEST(Lidar, DifferentSeedsDifferentScenes) {
+  LidarSpec spec = semantic_kitti_spec();
+  spec.azimuth_steps = 100;
+  const auto a = generate_scan(spec, 1);
+  const auto b = generate_scan(spec, 2);
+  // Same ray grid but different scene geometry -> different points.
+  int diff = 0;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i)
+    if (a[i].x != b[i].x) ++diff;
+  EXPECT_GT(diff, static_cast<int>(std::min(a.size(), b.size()) / 4));
+}
+
+TEST(Lidar, PointsWithinRangeAndScene) {
+  LidarSpec spec = waymo_spec(1);
+  spec.azimuth_steps = 200;
+  for (const Point3& p : generate_scan(spec, 3)) {
+    const double r = std::sqrt(p.x * p.x + p.y * p.y);
+    EXPECT_LT(r, spec.max_range_m + 1.0);
+    EXPECT_GT(p.z, -1.0);   // nothing below ground
+    EXPECT_LT(p.z, 10.0);   // nothing above buildings
+    EXPECT_GE(p.intensity, 0.0f);
+  }
+}
+
+TEST(Lidar, BeamCountsMatchDatasets) {
+  EXPECT_EQ(semantic_kitti_spec().beams, 64);
+  EXPECT_EQ(nuscenes_spec(1).beams, 32);
+  EXPECT_EQ(waymo_spec(1).beams, 64);
+  EXPECT_EQ(nuscenes_spec(10).frames, 10);
+}
+
+TEST(Lidar, MultiFrameAggregationGrowsPointCount) {
+  LidarSpec one = nuscenes_spec(1);
+  one.azimuth_steps = 150;
+  LidarSpec three = nuscenes_spec(3);
+  three.azimuth_steps = 150;
+  const auto a = generate_scan(one, 5);
+  const auto b = generate_scan(three, 5);
+  EXPECT_GT(b.size(), 2 * a.size());
+  // Older frames carry a positive time tag.
+  float max_time = 0;
+  for (const Point3& p : b) max_time = std::max(max_time, p.time);
+  EXPECT_GT(max_time, 0.1f);
+}
+
+TEST(Voxelize, CoordsNonNegativeAndUnique) {
+  LidarSpec spec = semantic_kitti_spec();
+  spec.azimuth_steps = 150;
+  const SparseTensor t = make_input(spec, segmentation_voxels(), 11);
+  ASSERT_GT(t.num_points(), 100u);
+  std::unordered_set<uint64_t> seen;
+  for (const Coord& c : t.coords()) {
+    EXPECT_GE(c.x, 0);
+    EXPECT_GE(c.y, 0);
+    EXPECT_GE(c.z, 0);
+    EXPECT_EQ(c.b, 0);
+    EXPECT_TRUE(seen.insert(pack_coord(c)).second) << "duplicate voxel";
+  }
+  EXPECT_EQ(t.stride(), 1);
+  EXPECT_EQ(t.channels(), 4u);
+}
+
+TEST(Voxelize, FeatureOffsetsWithinVoxel) {
+  LidarSpec spec = nuscenes_spec(1);
+  spec.azimuth_steps = 120;
+  const SparseTensor t = make_input(spec, detection_voxels(), 13);
+  for (std::size_t i = 0; i < t.num_points(); ++i) {
+    const float* row = t.feats().row(i);
+    // Mean in-voxel offsets, centered: within [-0.5, 0.5].
+    EXPECT_GE(row[0], -0.51f);
+    EXPECT_LE(row[0], 0.51f);
+    EXPECT_GE(row[3], 0.0f);  // intensity
+    EXPECT_LE(row[3], 1.0f);
+  }
+}
+
+TEST(Voxelize, FiveChannelModeCarriesTime) {
+  LidarSpec spec = nuscenes_spec(3);
+  spec.azimuth_steps = 100;
+  VoxelSpec vox = detection_voxels();
+  vox.feature_channels = 5;
+  const SparseTensor t = make_input(spec, vox, 17);
+  EXPECT_EQ(t.channels(), 5u);
+  float max_age = 0;
+  for (std::size_t i = 0; i < t.num_points(); ++i)
+    max_age = std::max(max_age, t.feats().row(i)[4]);
+  EXPECT_GT(max_age, 0.05f);
+}
+
+TEST(Voxelize, CoarserVoxelsFewerPoints) {
+  LidarSpec spec = semantic_kitti_spec();
+  spec.azimuth_steps = 200;
+  const auto pts = generate_scan(spec, 19);
+  VoxelSpec fine;
+  fine.voxel_size_m = 0.05;
+  VoxelSpec coarse;
+  coarse.voxel_size_m = 0.2;
+  EXPECT_GT(voxelize(pts, fine).num_points(),
+            voxelize(pts, coarse).num_points());
+}
+
+TEST(Voxelize, DatasetSparsityOrdering) {
+  // Fig. 12's premise: nuScenes (32-beam) workloads are much smaller than
+  // SemanticKITTI (64-beam) at the segmentation voxel size.
+  LidarSpec sk = semantic_kitti_spec();
+  LidarSpec ns = nuscenes_spec(1);
+  const double scale = 0.4;
+  sk.azimuth_steps = static_cast<int>(sk.azimuth_steps * scale);
+  ns.azimuth_steps = static_cast<int>(ns.azimuth_steps * scale);
+  const auto t_sk = make_input(sk, segmentation_voxels(), 23);
+  const auto t_ns = make_input(ns, segmentation_voxels(), 23);
+  EXPECT_GT(t_sk.num_points(), 2 * t_ns.num_points());
+}
+
+}  // namespace
+}  // namespace ts

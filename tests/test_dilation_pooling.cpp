@@ -1,0 +1,154 @@
+// Dilated convolution (the Fig. 5 API's dilation parameter) and global
+// pooling tests.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_set>
+
+#include "core/conv3d.hpp"
+#include "core/dense_reference.hpp"
+#include "engines/presets.hpp"
+#include "gpusim/device.hpp"
+#include "nn/layers.hpp"
+#include "nn/pooling.hpp"
+
+namespace ts {
+namespace {
+
+SparseTensor random_tensor(int n, int extent, std::size_t channels,
+                           uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int32_t> d(0, extent);
+  std::uniform_real_distribution<float> f(-1.0f, 1.0f);
+  std::vector<Coord> coords;
+  std::unordered_set<uint64_t> seen;
+  while (static_cast<int>(coords.size()) < n) {
+    const Coord c{0, d(rng), d(rng), d(rng)};
+    if (seen.insert(pack_coord(c)).second) coords.push_back(c);
+  }
+  Matrix feats(coords.size(), channels);
+  for (std::size_t i = 0; i < feats.size(); ++i) feats.data()[i] = f(rng);
+  return SparseTensor(std::move(coords), std::move(feats));
+}
+
+ExecContext fp32_ctx() {
+  EngineConfig cfg = torchsparse_config();
+  cfg.precision = Precision::kFP32;
+  ExecContext ctx(rtx2080ti(), cfg);
+  ctx.compute_numerics = true;
+  return ctx;
+}
+
+class DilationOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(DilationOracle, MatchesDenseReference) {
+  const int dilation = GetParam();
+  const SparseTensor x = random_tensor(200, 12, 6, 70u + dilation);
+  std::mt19937_64 rng(80u + dilation);
+  Conv3dParams p;
+  p.geom = ConvGeometry{3, 1, false, dilation};
+  p.weights = spnn::make_conv_weights(3, 6, 8, rng);
+  ExecContext ctx = fp32_ctx();
+  const SparseTensor y = sparse_conv3d(x, p, ctx);
+  const Matrix ref =
+      dense_reference_conv(x.coords(), x.feats(), y.coords(), p);
+  EXPECT_LT(max_abs_diff(y.feats(), ref), 2e-5f);
+  EXPECT_EQ(y.coords(), x.coords());  // dilation keeps P_out == P_in
+}
+
+INSTANTIATE_TEST_SUITE_P(Dilations, DilationOracle,
+                         ::testing::Values(1, 2, 3));
+
+TEST(Dilation, DifferentDilationsGetDifferentCachedMaps) {
+  const SparseTensor x = random_tensor(150, 10, 4, 90);
+  std::mt19937_64 rng(91);
+  Conv3dParams p1, p2;
+  p1.geom = ConvGeometry{3, 1, false, 1};
+  p2.geom = ConvGeometry{3, 1, false, 2};
+  p1.weights = spnn::make_conv_weights(3, 4, 4, rng);
+  p2.weights = spnn::make_conv_weights(3, 4, 4, rng);
+  ExecContext ctx = fp32_ctx();
+  sparse_conv3d(x, p1, ctx);
+  sparse_conv3d(x, p2, ctx);
+  EXPECT_EQ(x.cache()->kmaps.size(), 2u);  // no false sharing
+}
+
+TEST(Dilation, IsolatedNeighborsOnlyVisibleAtMatchingDilation) {
+  // Two points 2 apart: invisible to a dilation-1 K=3 conv (offsets +-1),
+  // visible to dilation-2.
+  std::vector<Coord> coords = {{0, 10, 10, 10}, {0, 12, 10, 10}};
+  Matrix feats(2, 2);
+  feats.at(0, 0) = 1.0f;
+  feats.at(1, 0) = 1.0f;
+  std::mt19937_64 rng(92);
+  for (int dil : {1, 2}) {
+    Conv3dParams p;
+    p.geom = ConvGeometry{3, 1, false, dil};
+    p.weights = spnn::make_conv_weights(3, 2, 2, rng);
+    ExecContext ctx = fp32_ctx();
+    SparseTensor x(coords, feats);
+    const SparseTensor y = sparse_conv3d(x, p, ctx);
+    // With dilation 1 only the center weight contributes; with dilation 2
+    // the neighbor also contributes, so the results must differ from the
+    // center-only value.
+    Matrix center_only;
+    mm(feats, p.weights[13], center_only);
+    const float diff = max_abs_diff(y.feats(), center_only);
+    if (dil == 1) {
+      EXPECT_LT(diff, 1e-6f);
+    } else {
+      EXPECT_GT(diff, 1e-4f);
+    }
+  }
+}
+
+TEST(GlobalPool, AvgAndMaxOverSingleBatch) {
+  std::vector<Coord> coords = {{0, 1, 1, 1}, {0, 2, 2, 2}, {0, 3, 3, 3}};
+  Matrix feats(3, 2);
+  feats.at(0, 0) = 1;
+  feats.at(1, 0) = 5;
+  feats.at(2, 0) = 3;
+  feats.at(0, 1) = -2;
+  feats.at(1, 1) = -8;
+  feats.at(2, 1) = -5;
+  SparseTensor x(coords, feats);
+  ExecContext ctx = fp32_ctx();
+  const Matrix avg = spnn::global_pool(x, spnn::PoolKind::kAvg, ctx);
+  const Matrix mx = spnn::global_pool(x, spnn::PoolKind::kMax, ctx);
+  ASSERT_EQ(avg.rows(), 1u);
+  EXPECT_FLOAT_EQ(avg.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(avg.at(0, 1), -5.0f);
+  EXPECT_FLOAT_EQ(mx.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(mx.at(0, 1), -2.0f);
+}
+
+TEST(GlobalPool, PerBatchSeparation) {
+  std::vector<Coord> coords = {{0, 1, 1, 1}, {1, 1, 1, 1}, {1, 2, 2, 2}};
+  Matrix feats(3, 1);
+  feats.at(0, 0) = 10;
+  feats.at(1, 0) = 2;
+  feats.at(2, 0) = 4;
+  SparseTensor x(coords, feats);
+  ExecContext ctx = fp32_ctx();
+  const Matrix avg = spnn::global_pool(x, spnn::PoolKind::kAvg, ctx);
+  ASSERT_EQ(avg.rows(), 2u);
+  EXPECT_FLOAT_EQ(avg.at(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(avg.at(1, 0), 3.0f);
+}
+
+TEST(GlobalPool, EmptyTensor) {
+  SparseTensor x({}, Matrix(0, 4));
+  ExecContext ctx = fp32_ctx();
+  const Matrix out = spnn::global_pool(x, spnn::PoolKind::kMax, ctx);
+  EXPECT_EQ(out.rows(), 0u);
+}
+
+TEST(GlobalPool, ChargesMiscStage) {
+  const SparseTensor x = random_tensor(100, 8, 8, 93);
+  ExecContext ctx = fp32_ctx();
+  spnn::global_pool(x, spnn::PoolKind::kAvg, ctx);
+  EXPECT_GT(ctx.timeline.stage_seconds(Stage::kMisc), 0.0);
+}
+
+}  // namespace
+}  // namespace ts

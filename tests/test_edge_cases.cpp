@@ -1,0 +1,124 @@
+// Degenerate-input robustness: empty tensors, single points, layers with
+// no matches — the failure-injection corners of the engine.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/conv3d.hpp"
+#include "core/downsample.hpp"
+#include "data/voxelize.hpp"
+#include "engines/presets.hpp"
+#include "gpusim/device.hpp"
+#include "nn/layers.hpp"
+#include "nn/minkunet.hpp"
+
+namespace ts {
+namespace {
+
+ExecContext fp32_ctx() {
+  EngineConfig cfg = torchsparse_config();
+  cfg.precision = Precision::kFP32;
+  ExecContext ctx(rtx2080ti(), cfg);
+  ctx.compute_numerics = true;
+  return ctx;
+}
+
+Conv3dParams conv(int k, int s, std::size_t ci, std::size_t co,
+                  uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Conv3dParams p;
+  p.geom = ConvGeometry{k, s, false};
+  p.weights = spnn::make_conv_weights(k, ci, co, rng);
+  return p;
+}
+
+TEST(EdgeCases, EmptyTensorThroughSubmanifoldConv) {
+  SparseTensor x({}, Matrix(0, 4));
+  ExecContext ctx = fp32_ctx();
+  const SparseTensor y = sparse_conv3d(x, conv(3, 1, 4, 8, 1), ctx);
+  EXPECT_EQ(y.num_points(), 0u);
+  EXPECT_EQ(y.channels(), 8u);
+}
+
+TEST(EdgeCases, EmptyTensorThroughStridedConv) {
+  SparseTensor x({}, Matrix(0, 4));
+  ExecContext ctx = fp32_ctx();
+  const SparseTensor y = sparse_conv3d(x, conv(2, 2, 4, 4, 2), ctx);
+  EXPECT_EQ(y.num_points(), 0u);
+  EXPECT_EQ(y.stride(), 2);
+}
+
+TEST(EdgeCases, EmptyDownsample) {
+  DownsampleCounters c;
+  const auto out = downsample_coords({}, 2, 2, true, true, &c);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(c.kept, 0u);
+}
+
+TEST(EdgeCases, SinglePointNetwork) {
+  std::vector<Coord> coords = {{0, 100, 100, 20}};
+  Matrix feats(1, 4, 1.0f);
+  SparseTensor x(coords, feats);
+  spnn::MinkUNet net(0.25, 4, 5, 3);
+  ExecContext ctx = fp32_ctx();
+  const SparseTensor y = net.forward(x, ctx);
+  EXPECT_EQ(y.num_points(), 1u);
+  EXPECT_EQ(y.channels(), 5u);
+  for (std::size_t c = 0; c < 5; ++c)
+    EXPECT_TRUE(std::isfinite(y.feats().at(0, c)));
+}
+
+TEST(EdgeCases, VoxelizeEmptyPointList) {
+  const SparseTensor t = voxelize({}, segmentation_voxels());
+  EXPECT_EQ(t.num_points(), 0u);
+}
+
+TEST(EdgeCases, ZeroDropoutAndFullDropout) {
+  LidarSpec spec = nuscenes_spec(1);
+  spec.azimuth_steps = 60;
+  spec.dropout = 0.0;
+  const auto full = generate_scan(spec, 4);
+  spec.dropout = 1.0;
+  const auto none = generate_scan(spec, 4);
+  EXPECT_GT(full.size(), 100u);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(EdgeCases, ConvWhereNoOffsetsMatch) {
+  // Points spaced 10 apart: K=3 dilation-1 finds only the center.
+  std::vector<Coord> coords;
+  for (int i = 0; i < 5; ++i) coords.push_back({0, 10 * i, 0, 0});
+  Matrix feats(5, 3, 0.5f);
+  SparseTensor x(coords, feats);
+  ExecContext ctx = fp32_ctx();
+  const Conv3dParams p = conv(3, 1, 3, 3, 5);
+  const SparseTensor y = sparse_conv3d(x, p, ctx);
+  Matrix expect;
+  mm(feats, p.weights[13], expect);
+  EXPECT_LT(max_abs_diff(y.feats(), expect), 1e-6f);
+}
+
+TEST(EdgeCases, RepeatedForwardIsDeterministic) {
+  LidarSpec spec = nuscenes_spec(1);
+  spec.azimuth_steps = 60;
+  const SparseTensor x = make_input(spec, segmentation_voxels(), 6);
+  spnn::MinkUNet net(0.25, 4, 5, 7);
+  ExecContext a = fp32_ctx(), b = fp32_ctx();
+  const SparseTensor ya =
+      net.forward(SparseTensor(x.coords(), x.feats()), a);
+  const SparseTensor yb =
+      net.forward(SparseTensor(x.coords(), x.feats()), b);
+  EXPECT_EQ(max_abs_diff(ya.feats(), yb.feats()), 0.0f);
+  EXPECT_DOUBLE_EQ(a.timeline.total_seconds(), b.timeline.total_seconds());
+}
+
+TEST(EdgeCases, LargeCoordinatesStayInPackableRange) {
+  LidarSpec spec = waymo_spec(3);
+  spec.azimuth_steps = 100;
+  const SparseTensor t = make_input(spec, segmentation_voxels(), 8);
+  for (const Coord& c : t.coords())
+    ASSERT_TRUE(coord_in_packable_range(c));
+}
+
+}  // namespace
+}  // namespace ts

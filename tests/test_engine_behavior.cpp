@@ -1,0 +1,173 @@
+// Engine behavioral tests: fetch-on-demand switching, FP16 pipeline
+// accuracy at network scale, and timeline bookkeeping invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <unordered_set>
+
+#include "core/conv3d.hpp"
+#include "data/voxelize.hpp"
+#include "engines/presets.hpp"
+#include "engines/runner.hpp"
+#include "gpusim/device.hpp"
+#include "nn/minkunet.hpp"
+
+namespace ts {
+namespace {
+
+SparseTensor random_tensor(int n, int extent, std::size_t channels,
+                           uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int32_t> d(0, extent);
+  std::uniform_real_distribution<float> f(-1.0f, 1.0f);
+  std::vector<Coord> coords;
+  std::unordered_set<uint64_t> seen;
+  while (static_cast<int>(coords.size()) < n) {
+    const Coord c{0, d(rng), d(rng), d(rng)};
+    if (seen.insert(pack_coord(c)).second) coords.push_back(c);
+  }
+  Matrix feats(coords.size(), channels);
+  for (std::size_t i = 0; i < feats.size(); ++i) feats.data()[i] = f(rng);
+  return SparseTensor(std::move(coords), std::move(feats));
+}
+
+TEST(EngineBehavior, FetchOnDemandSkipsExplicitMovement) {
+  // A tiny workload under the MinkowskiEngine preset falls below the
+  // fetch-on-demand threshold: the layer runs as one implicit-GEMM
+  // kernel with zero gather/scatter time.
+  const SparseTensor x = random_tensor(40, 12, 8, 1);
+  std::mt19937_64 rng(2);
+  Conv3dParams p;
+  p.geom = ConvGeometry{3, 1, false};
+  p.weights = spnn::make_conv_weights(3, 8, 8, rng);
+
+  ExecContext me(rtx2080ti(), minkowski_config());
+  me.compute_numerics = false;
+  sparse_conv3d(x, p, me);
+  EXPECT_EQ(me.timeline.data_movement_seconds(), 0.0);
+  EXPECT_GT(me.timeline.stage_seconds(Stage::kMatMul), 0.0);
+
+  ExecContext base(rtx2080ti(), baseline_config());
+  base.compute_numerics = false;
+  SparseTensor fresh(x.coords(), x.feats());
+  sparse_conv3d(fresh, p, base);
+  EXPECT_GT(base.timeline.data_movement_seconds(), 0.0);
+}
+
+TEST(EngineBehavior, FetchOnDemandNotUsedAboveThreshold) {
+  const SparseTensor x = random_tensor(4000, 18, 8, 3);  // dense block
+  std::mt19937_64 rng(4);
+  Conv3dParams p;
+  p.geom = ConvGeometry{3, 1, false};
+  p.weights = spnn::make_conv_weights(3, 8, 8, rng);
+  ExecContext me(rtx2080ti(), minkowski_config());
+  me.compute_numerics = false;
+  sparse_conv3d(x, p, me);
+  // Mean map size exceeds the threshold: explicit movement happens.
+  EXPECT_GT(me.timeline.data_movement_seconds(), 0.0);
+}
+
+TEST(EngineBehavior, FetchOnDemandNumericsMatchGatherScatter) {
+  const SparseTensor x = random_tensor(200, 10, 8, 5);
+  std::mt19937_64 rng(6);
+  Conv3dParams p;
+  p.geom = ConvGeometry{3, 1, false};
+  p.weights = spnn::make_conv_weights(3, 8, 8, rng);
+
+  EngineConfig gs = torchsparse_config();
+  gs.precision = Precision::kFP32;
+  EngineConfig fod = gs;
+  fod.dataflow = Dataflow::kFetchOnDemand;
+
+  ExecContext c1(rtx2080ti(), gs), c2(rtx2080ti(), fod);
+  c1.compute_numerics = c2.compute_numerics = true;
+  const SparseTensor a = sparse_conv3d(x, p, c1);
+  SparseTensor fresh(x.coords(), x.feats());
+  const SparseTensor b = sparse_conv3d(fresh, p, c2);
+  EXPECT_LT(max_abs_diff(a.feats(), b.feats()), 1e-4f);
+}
+
+TEST(EngineBehavior, Fp16NetworkStaysCloseToFp32) {
+  // Network-scale precision check: a small MinkUNet in FP16 storage must
+  // track the FP32 result within accumulated-rounding bounds.
+  LidarSpec spec = nuscenes_spec(1);
+  spec.azimuth_steps = 70;
+  const SparseTensor x = make_input(spec, segmentation_voxels(), 7);
+  spnn::MinkUNet net(0.25, 4, 8, 8);
+
+  EngineConfig fp32 = torchsparse_config();
+  fp32.precision = Precision::kFP32;
+  ExecContext c32(rtx2080ti(), fp32);
+  c32.compute_numerics = true;
+  const SparseTensor y32 = net.forward(fresh_input(x), c32);
+
+  ExecContext c16(rtx2080ti(), torchsparse_config());
+  c16.compute_numerics = true;
+  const SparseTensor y16 = net.forward(fresh_input(x), c16);
+
+  ASSERT_EQ(y32.num_points(), y16.num_points());
+  // Relative tolerance against the output scale.
+  float scale = 0;
+  for (std::size_t i = 0; i < y32.feats().size(); ++i)
+    scale = std::max(scale, std::fabs(y32.feats().data()[i]));
+  EXPECT_LT(max_abs_diff(y32.feats(), y16.feats()), 0.05f * scale + 0.05f);
+}
+
+TEST(EngineBehavior, TimelineCountsKernelsAndBytes) {
+  const SparseTensor x = random_tensor(500, 12, 8, 9);
+  std::mt19937_64 rng(10);
+  Conv3dParams p;
+  p.geom = ConvGeometry{3, 1, false};
+  p.weights = spnn::make_conv_weights(3, 8, 8, rng);
+  ExecContext ctx(rtx3090(), torchsparse_config());
+  ctx.compute_numerics = false;
+  sparse_conv3d(x, p, ctx);
+  EXPECT_GT(ctx.timeline.kernel_launches(), 3u);   // map, gather, mm, scatter
+  EXPECT_GT(ctx.timeline.dram_bytes(), 1000.0);
+  EXPECT_GT(ctx.timeline.flops(), 1000.0);
+}
+
+TEST(EngineBehavior, TunedParamsOnlyAffectAdaptiveEngines) {
+  const SparseTensor x = random_tensor(2000, 16, 8, 11);
+  std::mt19937_64 rng(12);
+  Conv3dParams p;
+  p.geom = ConvGeometry{3, 1, false};
+  p.weights = spnn::make_conv_weights(3, 8, 8, rng);
+
+  // Baseline (separate grouping) ignores tuned parameters entirely.
+  EngineConfig cfg = baseline_config();
+  ExecContext a(rtx2080ti(), cfg), b(rtx2080ti(), cfg);
+  a.compute_numerics = b.compute_numerics = false;
+  b.tuned[0] = GroupParams{1.0, 1e18};
+  b.layer_id = 0;
+  SparseTensor f1(x.coords(), x.feats()), f2(x.coords(), x.feats());
+  sparse_conv3d(f1, p, a);
+  sparse_conv3d(f2, p, b);
+  EXPECT_DOUBLE_EQ(a.timeline.stage_seconds(Stage::kMatMul),
+                   b.timeline.stage_seconds(Stage::kMatMul));
+}
+
+TEST(EngineBehavior, CacheSimTogglePreservesOrdering) {
+  // The analytic fallback must preserve the engine ranking even if the
+  // absolute numbers shift.
+  LidarSpec spec = semantic_kitti_spec();
+  spec.azimuth_steps = 150;
+  const SparseTensor x = make_input(spec, segmentation_voxels(), 13);
+  spnn::MinkUNet net(0.25, 4, 8, 14);
+  auto total = [&](const EngineConfig& cfg, bool sim) {
+    ExecContext ctx(rtx2080ti(), cfg);
+    ctx.compute_numerics = false;
+    ctx.simulate_cache = sim;
+    net.forward(fresh_input(x), ctx);
+    return ctx.timeline.total_seconds();
+  };
+  for (bool sim : {true, false}) {
+    EXPECT_LT(total(torchsparse_config(), sim),
+              total(baseline_config(), sim))
+        << "sim=" << sim;
+  }
+}
+
+}  // namespace
+}  // namespace ts

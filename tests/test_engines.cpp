@@ -1,0 +1,162 @@
+// Engine presets, the runner, workloads, and cross-engine performance
+// orderings that the paper's Figure 11 reports.
+#include <gtest/gtest.h>
+
+#include "engines/presets.hpp"
+#include "engines/runner.hpp"
+#include "engines/workloads.hpp"
+#include "gpusim/device.hpp"
+#include "nn/minkunet.hpp"
+
+namespace ts {
+namespace {
+
+TEST(Presets, FiveSystemsInPaperOrder) {
+  const auto engines = paper_engines();
+  ASSERT_EQ(engines.size(), 5u);
+  EXPECT_EQ(engines[0].name, "Baseline");
+  EXPECT_EQ(engines[1].name, "MinkowskiEngine");
+  EXPECT_EQ(engines[2].name, "SpConv (FP32)");
+  EXPECT_EQ(engines[3].name, "SpConv (FP16)");
+  EXPECT_EQ(engines[4].name, "TorchSparse");
+}
+
+TEST(Presets, AxesMatchPaperDescriptions) {
+  const EngineConfig base = baseline_config();
+  EXPECT_EQ(base.precision, Precision::kFP32);
+  EXPECT_EQ(base.grouping, GroupingStrategy::kSeparate);
+  EXPECT_EQ(base.map_backend, MapBackend::kHashMap);
+  EXPECT_FALSE(base.fused_downsample);
+
+  const EngineConfig me = minkowski_config();
+  EXPECT_GT(me.fod_threshold, 0.0);
+
+  const EngineConfig sp16 = spconv_config(Precision::kFP16);
+  EXPECT_EQ(sp16.map_backend, MapBackend::kGrid);
+  EXPECT_EQ(sp16.precision, Precision::kFP16);
+  EXPECT_FALSE(sp16.vectorized);  // scalar FP16 (§4.3.1)
+
+  const EngineConfig tsrs = torchsparse_config();
+  EXPECT_TRUE(tsrs.vectorized);
+  EXPECT_TRUE(tsrs.locality_aware);
+  EXPECT_EQ(tsrs.grouping, GroupingStrategy::kAdaptive);
+  EXPECT_TRUE(tsrs.symmetric_map_search);
+}
+
+class EngineOrdering : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new Workload(make_minkunet_workload(
+        "SK-MinkUNet (0.5x)", "SemanticKITTI", 0.5, 1, /*seed=*/91,
+        /*scale=*/0.35, /*tune_sample_count=*/1));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+  static Workload* workload_;
+};
+
+Workload* EngineOrdering::workload_ = nullptr;
+
+TEST_F(EngineOrdering, TorchSparseIsFastestOnTensorCoreDevices) {
+  const DeviceSpec dev = rtx2080ti();
+  RunOptions opt;
+  opt.tuned = tune_for(workload_->model, workload_->tune_samples, dev,
+                       torchsparse_config());
+  double baseline_t = 0, ts_t = 0;
+  for (const EngineConfig& cfg : paper_engines()) {
+    RunOptions o = cfg.name == "TorchSparse" ? opt : RunOptions{};
+    const Timeline t = run_model(workload_->model, workload_->input, dev,
+                                 cfg, o);
+    if (cfg.name == "Baseline") baseline_t = t.total_seconds();
+    if (cfg.name == "TorchSparse") ts_t = t.total_seconds();
+    EXPECT_GT(t.total_seconds(), 0.0) << cfg.name;
+  }
+  // Paper: ~1.7x over baseline on 2080Ti for segmentation.
+  EXPECT_GT(baseline_t / ts_t, 1.3);
+  EXPECT_LT(baseline_t / ts_t, 3.5);
+}
+
+TEST_F(EngineOrdering, TorchSparseBeatsBaselineWithoutTensorCores) {
+  // Paper §5.2: on GTX 1080Ti (no FP16 tensor cores) TorchSparse still
+  // achieves ~1.5x over the baseline — the gain is not tensor-core native.
+  const DeviceSpec dev = gtx1080ti();
+  const Timeline base =
+      run_model(workload_->model, workload_->input, dev, baseline_config());
+  RunOptions opt;
+  opt.tuned = tune_for(workload_->model, workload_->tune_samples, dev,
+                       torchsparse_config());
+  const Timeline tsrs = run_model(workload_->model, workload_->input, dev,
+                                  torchsparse_config(), opt);
+  EXPECT_GT(base.total_seconds() / tsrs.total_seconds(), 1.2);
+}
+
+TEST_F(EngineOrdering, SpConvFp16BeatsFp32OnTensorCores) {
+  const DeviceSpec dev = rtx3090();
+  const Timeline fp32 = run_model(workload_->model, workload_->input, dev,
+                                  spconv_config(Precision::kFP32));
+  const Timeline fp16 = run_model(workload_->model, workload_->input, dev,
+                                  spconv_config(Precision::kFP16));
+  EXPECT_LT(fp16.total_seconds(), fp32.total_seconds());
+}
+
+TEST_F(EngineOrdering, DeviceSpeedOrderingHolds) {
+  // Faster GPUs finish sooner under the same engine.
+  const EngineConfig cfg = torchsparse_config();
+  const Timeline t3090 =
+      run_model(workload_->model, workload_->input, rtx3090(), cfg);
+  const Timeline t2080 =
+      run_model(workload_->model, workload_->input, rtx2080ti(), cfg);
+  const Timeline t1080 =
+      run_model(workload_->model, workload_->input, gtx1080ti(), cfg);
+  EXPECT_LT(t3090.total_seconds(), t2080.total_seconds());
+  EXPECT_LT(t2080.total_seconds(), t1080.total_seconds());
+}
+
+TEST(Runner, FreshInputIsolatesCaches) {
+  Workload w = make_minkunet_workload("tiny", "nuScenes", 0.25, 1, 95, 0.2,
+                                      1);
+  const SparseTensor a = fresh_input(w.input);
+  const SparseTensor b = fresh_input(w.input);
+  EXPECT_NE(a.cache().get(), b.cache().get());
+  EXPECT_EQ(a.coords(), b.coords());
+}
+
+TEST(Runner, RecorderProducesOneRecordPerConvLayer) {
+  Workload w = make_minkunet_workload("tiny", "nuScenes", 0.25, 1, 96, 0.2,
+                                      1);
+  const auto records = record_workloads(w.model, {w.input}, rtx2080ti(),
+                                        torchsparse_config());
+  ASSERT_EQ(records.size(), 1u);
+  // MinkUNet(0.25): 2 stem + 4*(1+2*2...) — at least 30 conv layers.
+  EXPECT_GT(records[0].size(), 30u);
+  for (const LayerRecord& r : records[0]) {
+    EXPECT_GE(r.layer_id, 0);
+    EXPECT_FALSE(r.map_sizes.empty());
+    EXPECT_GT(r.c_out, 0u);
+  }
+}
+
+TEST(Workloads, PaperSetHasSevenEntries) {
+  const auto ws = paper_workloads(/*seed=*/7, /*scale=*/0.12, 1);
+  ASSERT_EQ(ws.size(), 7u);
+  EXPECT_EQ(ws[0].name, "SK-MinkUNet (1.0x)");
+  EXPECT_FALSE(ws[0].is_detection);
+  EXPECT_TRUE(ws[4].is_detection);
+  EXPECT_EQ(ws[4].dataset, "nuScenes");
+  for (const Workload& w : ws) {
+    EXPECT_GT(w.input.num_points(), 100u) << w.name;
+    EXPECT_FALSE(w.tune_samples.empty()) << w.name;
+  }
+}
+
+TEST(Workloads, MultiFrameInputsAreLarger) {
+  const auto ws = paper_workloads(/*seed=*/8, /*scale=*/0.15, 1);
+  const auto& ns3 = ws[2];  // NS-MinkUNet (3f)
+  const auto& ns1 = ws[3];  // NS-MinkUNet (1f)
+  EXPECT_GT(ns3.input.num_points(), ns1.input.num_points());
+}
+
+}  // namespace
+}  // namespace ts

@@ -1,0 +1,108 @@
+// IEEE binary16 software implementation tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+#include "tensor/half.hpp"
+
+namespace ts {
+namespace {
+
+TEST(Half, ZeroAndSign) {
+  EXPECT_EQ(half_t(0.0f).bits(), 0x0000);
+  EXPECT_EQ(half_t(-0.0f).bits(), 0x8000);
+  EXPECT_EQ(half_t(0.0f).to_float(), 0.0f);
+  EXPECT_TRUE(std::signbit(half_t(-0.0f).to_float()));
+}
+
+TEST(Half, ExactSmallIntegers) {
+  // All integers up to 2048 are exactly representable in binary16.
+  for (int i = -2048; i <= 2048; ++i) {
+    const float f = static_cast<float>(i);
+    EXPECT_EQ(half_t(f).to_float(), f) << "i=" << i;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(half_t(1.0f).bits(), 0x3c00);
+  EXPECT_EQ(half_t(-2.0f).bits(), 0xc000);
+  EXPECT_EQ(half_t(0.5f).bits(), 0x3800);
+  EXPECT_EQ(half_t(65504.0f).bits(), 0x7bff);  // max finite
+  EXPECT_EQ(half_t(6.103515625e-5f).bits(), 0x0400);  // min normal
+  EXPECT_EQ(half_t(5.9604644775390625e-8f).bits(), 0x0001);  // min subnormal
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_EQ(half_t(65520.0f).bits(), 0x7c00);  // rounds up to inf
+  EXPECT_EQ(half_t(1e10f).bits(), 0x7c00);
+  EXPECT_EQ(half_t(-1e10f).bits(), 0xfc00);
+  EXPECT_TRUE(std::isinf(half_t(1e10f).to_float()));
+}
+
+TEST(Half, InfinityAndNaN) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(half_t(inf).bits(), 0x7c00);
+  EXPECT_EQ(half_t(-inf).bits(), 0xfc00);
+  EXPECT_TRUE(std::isnan(half_t(std::nanf("")).to_float()));
+}
+
+TEST(Half, SubnormalRange) {
+  // 2^-25 is halfway between 0 and the smallest subnormal: ties-to-even
+  // rounds to 0.
+  EXPECT_EQ(half_t(std::ldexp(1.0f, -25)).bits(), 0x0000);
+  // Just above halfway rounds up to the smallest subnormal.
+  EXPECT_EQ(half_t(std::ldexp(1.0f, -25) * 1.0001f).bits(), 0x0001);
+  // Subnormals round-trip exactly.
+  for (uint16_t b = 1; b < 0x400; b += 13) {
+    const half_t h = half_t::from_bits(b);
+    EXPECT_EQ(half_t(h.to_float()).bits(), b);
+  }
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: ties to even
+  // keeps 1.0 (even mantissa).
+  EXPECT_EQ(half_t(1.0f + std::ldexp(1.0f, -11)).bits(), 0x3c00);
+  // (1+2^-10) + 2^-11 is halfway with odd mantissa: rounds up.
+  const float f = 1.0f + std::ldexp(1.0f, -10) + std::ldexp(1.0f, -11);
+  EXPECT_EQ(half_t(f).bits(), 0x3c02);
+}
+
+TEST(Half, RoundTripAllFiniteBitPatterns) {
+  // Property: float(half) -> half is the identity on every finite half.
+  for (uint32_t b = 0; b < 0x10000; ++b) {
+    const uint16_t bits = static_cast<uint16_t>(b);
+    const uint16_t exp = (bits >> 10) & 0x1f;
+    if (exp == 0x1f) continue;  // inf/nan handled separately
+    const half_t h = half_t::from_bits(bits);
+    EXPECT_EQ(half_t(h.to_float()).bits(), bits) << "bits=" << b;
+  }
+}
+
+TEST(Half, RoundingErrorBound) {
+  // Property: relative rounding error <= 2^-11 for normal-range values.
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<float> dist(-60000.0f, 60000.0f);
+  for (int i = 0; i < 20000; ++i) {
+    const float f = dist(rng);
+    if (std::fabs(f) < half_t::min_positive_normal()) continue;
+    const float r = fp16_round(f);
+    EXPECT_LE(std::fabs(r - f), std::fabs(f) * (1.0f / 2048.0f) + 1e-7f);
+  }
+}
+
+TEST(Half, MonotoneOnSortedInputs) {
+  // Property: rounding preserves (non-strict) order.
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<float> dist(-100.0f, 100.0f);
+  for (int i = 0; i < 5000; ++i) {
+    float a = dist(rng), b = dist(rng);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(fp16_round(a), fp16_round(b));
+  }
+}
+
+}  // namespace
+}  // namespace ts

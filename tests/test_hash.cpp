@@ -1,0 +1,150 @@
+// Coordinate packing, conventional hashmap, and collision-free grid tests.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_set>
+
+#include "hash/coords.hpp"
+#include "hash/flat_hashmap.hpp"
+#include "hash/grid_hashmap.hpp"
+
+namespace ts {
+namespace {
+
+TEST(Coords, PackUnpackRoundTrip) {
+  const Coord cases[] = {
+      {0, 0, 0, 0},         {1, 5, -3, 7},     {1023, 1000, -1000, 99},
+      {0, kCoordSpatialMin, kCoordSpatialMax, 0},
+      {3, -1, -1, -1},      {7, 131071, -131072, 131071}};
+  for (const Coord& c : cases) {
+    ASSERT_TRUE(coord_in_packable_range(c));
+    EXPECT_EQ(unpack_coord(pack_coord(c)), c);
+  }
+}
+
+TEST(Coords, PackIsInjectiveOnRandomSample) {
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<int32_t> d(-5000, 5000);
+  std::unordered_set<uint64_t> keys;
+  std::set<std::tuple<int, int, int, int>> coords;
+  for (int i = 0; i < 50000; ++i) {
+    const Coord c{std::abs(d(rng)) % 1024, d(rng), d(rng), d(rng)};
+    keys.insert(pack_coord(c));
+    coords.insert({c.b, c.x, c.y, c.z});
+  }
+  EXPECT_EQ(keys.size(), coords.size());
+}
+
+TEST(Coords, RangeValidation) {
+  EXPECT_FALSE(coord_in_packable_range({-1, 0, 0, 0}));
+  EXPECT_FALSE(coord_in_packable_range({1024, 0, 0, 0}));
+  EXPECT_FALSE(coord_in_packable_range({0, kCoordSpatialMax + 1, 0, 0}));
+  EXPECT_FALSE(coord_in_packable_range({0, 0, kCoordSpatialMin - 1, 0}));
+  EXPECT_TRUE(coord_in_packable_range({0, 0, 0, 0}));
+}
+
+TEST(FlatHashMap, InsertAndFind) {
+  FlatHashMap m(16);
+  m.insert(Coord{0, 1, 2, 3}, 42);
+  m.insert(Coord{0, 4, 5, 6}, 7);
+  EXPECT_EQ(m.find(Coord{0, 1, 2, 3}), 42);
+  EXPECT_EQ(m.find(Coord{0, 4, 5, 6}), 7);
+  EXPECT_EQ(m.find(Coord{0, 9, 9, 9}), FlatHashMap::kNotFound);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatHashMap, DuplicateKeepsFirstValue) {
+  FlatHashMap m(4);
+  m.insert(Coord{0, 1, 1, 1}, 10);
+  m.insert(Coord{0, 1, 1, 1}, 20);
+  EXPECT_EQ(m.find(Coord{0, 1, 1, 1}), 10);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashMap, GrowsBeyondInitialCapacity) {
+  FlatHashMap m(2);
+  for (int i = 0; i < 5000; ++i) m.insert(Coord{0, i, 2 * i, -i}, i);
+  EXPECT_EQ(m.size(), 5000u);
+  for (int i = 0; i < 5000; ++i)
+    ASSERT_EQ(m.find(Coord{0, i, 2 * i, -i}), i) << i;
+}
+
+TEST(FlatHashMap, ProbeCountingIsPositive) {
+  FlatHashMap m(1024);
+  std::size_t probes = m.insert(Coord{0, 1, 2, 3}, 0);
+  EXPECT_GE(probes, 1u);
+  std::size_t q = 0;
+  m.find(Coord{0, 1, 2, 3}, &q);
+  EXPECT_GE(q, 1u);
+  EXPECT_GT(m.total_insert_probes(), 0u);
+}
+
+TEST(GridHashMap, ExactlyOneAccessSemantics) {
+  GridHashMap g(Coord{0, 0, 0, 0}, Coord{0, 9, 9, 9});
+  EXPECT_EQ(g.capacity(), 1000u);
+  g.insert(Coord{0, 3, 4, 5}, 77);
+  EXPECT_EQ(g.find(Coord{0, 3, 4, 5}), 77);
+  EXPECT_EQ(g.find(Coord{0, 3, 4, 6}), GridHashMap::kNotFound);
+  // Out of bounds: reported missing without touching memory.
+  EXPECT_EQ(g.find(Coord{0, -1, 0, 0}), GridHashMap::kNotFound);
+  EXPECT_EQ(g.find(Coord{0, 10, 0, 0}), GridHashMap::kNotFound);
+}
+
+TEST(GridHashMap, NegativeCoordinateBounds) {
+  GridHashMap g(Coord{0, -5, -5, -5}, Coord{1, 5, 5, 5});
+  g.insert(Coord{1, -5, 0, 5}, 3);
+  EXPECT_EQ(g.find(Coord{1, -5, 0, 5}), 3);
+  EXPECT_EQ(g.find(Coord{0, -5, 0, 5}), GridHashMap::kNotFound);
+}
+
+TEST(CoordBounds, ComputesInclusiveBox) {
+  Coord lo, hi;
+  EXPECT_FALSE(coord_bounds({}, lo, hi));
+  std::vector<Coord> cs = {{0, 1, -2, 3}, {0, -4, 5, 0}, {1, 2, 2, 2}};
+  ASSERT_TRUE(coord_bounds(cs, lo, hi));
+  EXPECT_EQ(lo, (Coord{0, -4, -2, 0}));
+  EXPECT_EQ(hi, (Coord{1, 2, 5, 3}));
+}
+
+/// Property: both CoordIndex backends answer every query identically;
+/// the grid uses exactly one DRAM access per build entry and per query.
+class CoordIndexEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoordIndexEquivalence, BackendsAgree) {
+  const int n = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(n));
+  std::uniform_int_distribution<int32_t> d(-40, 40);
+  std::vector<Coord> coords;
+  std::unordered_set<uint64_t> seen;
+  while (static_cast<int>(coords.size()) < n) {
+    const Coord c{0, d(rng), d(rng), d(rng)};
+    if (seen.insert(pack_coord(c)).second) coords.push_back(c);
+  }
+  CoordIndex hash_idx(coords, MapBackend::kHashMap);
+  CoordIndex grid_idx(coords, MapBackend::kGrid);
+  EXPECT_EQ(grid_idx.build_accesses(), coords.size());
+
+  std::size_t queries = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Coord q{0, d(rng), d(rng), d(rng)};
+    EXPECT_EQ(hash_idx.find(q), grid_idx.find(q));
+    ++queries;
+  }
+  EXPECT_EQ(grid_idx.query_accesses(), queries);
+  EXPECT_GE(hash_idx.query_accesses(), queries);  // probing costs >= 1 each
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CoordIndexEquivalence,
+                         ::testing::Values(1, 10, 100, 1000, 5000));
+
+TEST(CoordIndex, GridUsesMoreMemoryThanHash) {
+  // The paper's trade-off: collision-free grid costs memory space.
+  std::vector<Coord> coords;
+  for (int i = 0; i < 50; ++i) coords.push_back({0, i * 7, i * 11, i * 13});
+  CoordIndex hash_idx(coords, MapBackend::kHashMap);
+  CoordIndex grid_idx(coords, MapBackend::kGrid);
+  EXPECT_GT(grid_idx.memory_bytes(), hash_idx.memory_bytes());
+}
+
+}  // namespace
+}  // namespace ts

@@ -1,0 +1,95 @@
+// Serialization round-trip and malformed-input tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/voxelize.hpp"
+#include "io/serialize.hpp"
+
+namespace ts {
+namespace {
+
+TEST(Io, PointsRoundTrip) {
+  LidarSpec spec = nuscenes_spec(1);
+  spec.azimuth_steps = 100;
+  const auto pts = generate_scan(spec, 5);
+  std::stringstream ss;
+  io::save_points(ss, pts);
+  const auto back = io::load_points(ss);
+  ASSERT_EQ(back.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(back[i].x, pts[i].x);
+    EXPECT_EQ(back[i].intensity, pts[i].intensity);
+    EXPECT_EQ(back[i].time, pts[i].time);
+  }
+}
+
+TEST(Io, EmptyPointsRoundTrip) {
+  std::stringstream ss;
+  io::save_points(ss, {});
+  EXPECT_TRUE(io::load_points(ss).empty());
+}
+
+TEST(Io, TensorRoundTrip) {
+  LidarSpec spec = semantic_kitti_spec();
+  spec.azimuth_steps = 80;
+  const SparseTensor t = make_input(spec, segmentation_voxels(), 7);
+  std::stringstream ss;
+  io::save_tensor(ss, t);
+  const SparseTensor back = io::load_tensor(ss);
+  EXPECT_EQ(back.coords(), t.coords());
+  EXPECT_EQ(back.feats(), t.feats());
+  EXPECT_EQ(back.stride(), t.stride());
+}
+
+TEST(Io, TensorFileRoundTrip) {
+  std::vector<Coord> coords = {{0, 1, 2, 3}, {1, 4, 5, 6}};
+  Matrix feats(2, 3);
+  feats.at(0, 0) = 1.5f;
+  feats.at(1, 2) = -2.25f;
+  const SparseTensor t(coords, feats);
+  const std::string path = "/tmp/ts_io_test.tsten";
+  io::save_tensor_file(path, t);
+  const SparseTensor back = io::load_tensor_file(path);
+  EXPECT_EQ(back.coords(), t.coords());
+  EXPECT_EQ(back.feats(), t.feats());
+}
+
+TEST(Io, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "not a tensor file at all, definitely";
+  EXPECT_THROW(io::load_tensor(ss), std::runtime_error);
+  std::stringstream ss2;
+  ss2 << "garbage";
+  EXPECT_THROW(io::load_points(ss2), std::runtime_error);
+}
+
+TEST(Io, RejectsTruncatedStream) {
+  std::vector<Coord> coords = {{0, 1, 1, 1}};
+  const SparseTensor t(coords, Matrix(1, 4, 1.0f));
+  std::stringstream ss;
+  io::save_tensor(ss, t);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(io::load_tensor(cut), std::runtime_error);
+}
+
+TEST(Io, RejectsCrossFormatLoads) {
+  std::stringstream ss;
+  io::save_points(ss, {Point3{1, 2, 3, 0.5f, 0}});
+  EXPECT_THROW(io::load_tensor(ss), std::runtime_error);
+}
+
+TEST(Io, TimelineCsvContainsAllStages) {
+  Timeline t;
+  t.add(Stage::kGather, 0.001);
+  t.add(Stage::kNMS, 0.0005);
+  const std::string csv = io::timeline_csv(t);
+  EXPECT_NE(csv.find("Gather,0.001"), std::string::npos);
+  EXPECT_NE(csv.find("NMS,0.0005"), std::string::npos);
+  EXPECT_NE(csv.find("total,"), std::string::npos);
+  EXPECT_NE(csv.find("Mapping,0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ts

@@ -1,0 +1,243 @@
+// Kernel offsets, map search (Alg. 1), symmetric inference, transposition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <unordered_set>
+
+#include "core/kernel_map.hpp"
+#include "core/kernel_offsets.hpp"
+#include "hash/coords.hpp"
+
+namespace ts {
+namespace {
+
+std::vector<Coord> random_coords(int n, int extent, uint64_t seed,
+                                 int batch = 0) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int32_t> d(0, extent);
+  std::vector<Coord> coords;
+  std::unordered_set<uint64_t> seen;
+  while (static_cast<int>(coords.size()) < n) {
+    const Coord c{batch, d(rng), d(rng), d(rng)};
+    if (seen.insert(pack_coord(c)).second) coords.push_back(c);
+  }
+  return coords;
+}
+
+TEST(KernelOffsets, OddKernelCenteredLexicographic) {
+  const auto offs = kernel_offsets(3);
+  ASSERT_EQ(offs.size(), 27u);
+  EXPECT_EQ(offs.front(), (Offset3{-1, -1, -1}));
+  EXPECT_EQ(offs.back(), (Offset3{1, 1, 1}));
+  EXPECT_EQ(offs[13], (Offset3{0, 0, 0}));
+  EXPECT_EQ(center_offset_index(3), 13);
+}
+
+TEST(KernelOffsets, EvenKernelNonNegative) {
+  const auto offs = kernel_offsets(2);
+  ASSERT_EQ(offs.size(), 8u);
+  EXPECT_EQ(offs.front(), (Offset3{0, 0, 0}));
+  EXPECT_EQ(offs.back(), (Offset3{1, 1, 1}));
+  EXPECT_EQ(center_offset_index(2), -1);
+}
+
+TEST(KernelOffsets, MirrorSymmetryProperty) {
+  // offset[i] == -offset[V-1-i] for odd kernels — the foundation of
+  // symmetric grouping (paper §4.2.1).
+  for (int k : {1, 3, 5}) {
+    const auto offs = kernel_offsets(k);
+    const int v = static_cast<int>(offs.size());
+    for (int i = 0; i < v; ++i)
+      EXPECT_EQ(offs[static_cast<std::size_t>(i)],
+                negate(offs[static_cast<std::size_t>(
+                    mirror_offset_index(v, i))]))
+          << "k=" << k << " i=" << i;
+  }
+}
+
+/// Brute-force map search (quadratic; oracle for Alg. 1).
+KernelMap brute_force_map(const std::vector<Coord>& in,
+                          const std::vector<Coord>& out,
+                          const ConvGeometry& geom) {
+  const auto offs = kernel_offsets(geom.kernel_size);
+  KernelMap km;
+  km.kernel_size = geom.kernel_size;
+  km.maps.resize(offs.size());
+  for (std::size_t n = 0; n < offs.size(); ++n) {
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      Coord r;
+      if (!geom.transposed) {
+        r = Coord{out[k].b, geom.stride * out[k].x + offs[n].dx,
+                  geom.stride * out[k].y + offs[n].dy,
+                  geom.stride * out[k].z + offs[n].dz};
+      } else {
+        const int s = geom.stride;
+        const int32_t ux = out[k].x - offs[n].dx;
+        const int32_t uy = out[k].y - offs[n].dy;
+        const int32_t uz = out[k].z - offs[n].dz;
+        if (((ux % s) + s) % s || ((uy % s) + s) % s || ((uz % s) + s) % s)
+          continue;
+        r = Coord{out[k].b, ux / s, uy / s, uz / s};
+      }
+      for (std::size_t j = 0; j < in.size(); ++j)
+        if (in[j] == r)
+          km.maps[n].push_back(
+              {static_cast<int32_t>(j), static_cast<int32_t>(k)});
+    }
+  }
+  return km;
+}
+
+void expect_same_maps(const KernelMap& a, const KernelMap& b) {
+  ASSERT_EQ(a.maps.size(), b.maps.size());
+  for (std::size_t n = 0; n < a.maps.size(); ++n) {
+    auto sa = a.maps[n];
+    auto sb = b.maps[n];
+    auto lt = [](const MapEntry& x, const MapEntry& y) {
+      return std::tie(x.out, x.in) < std::tie(y.out, y.in);
+    };
+    std::sort(sa.begin(), sa.end(), lt);
+    std::sort(sb.begin(), sb.end(), lt);
+    ASSERT_EQ(sa.size(), sb.size()) << "offset " << n;
+    EXPECT_EQ(sa, sb) << "offset " << n;
+  }
+}
+
+struct MapCase {
+  int n_points;
+  int extent;
+  int kernel;
+  int stride;
+};
+
+class MapSearchOracle : public ::testing::TestWithParam<MapCase> {};
+
+TEST_P(MapSearchOracle, MatchesBruteForce) {
+  const MapCase c = GetParam();
+  const auto in = random_coords(c.n_points, c.extent, 99);
+  std::vector<Coord> out;
+  if (c.stride == 1) {
+    out = in;
+  } else {
+    // Valid downsampled coords: floor-div of a sample of inputs, deduped.
+    std::unordered_set<uint64_t> seen;
+    for (const Coord& p : in) {
+      const Coord q{p.b, p.x / c.stride, p.y / c.stride, p.z / c.stride};
+      if (seen.insert(pack_coord(q)).second) out.push_back(q);
+    }
+  }
+  ConvGeometry geom{c.kernel, c.stride, false};
+  MapSearchOptions opts;
+  for (MapBackend backend : {MapBackend::kHashMap, MapBackend::kGrid}) {
+    opts.backend = backend;
+    opts.use_symmetry = false;
+    expect_same_maps(build_kernel_map(in, out, geom, opts),
+                     brute_force_map(in, out, geom));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MapSearchOracle,
+    ::testing::Values(MapCase{40, 6, 3, 1}, MapCase{150, 10, 3, 1},
+                      MapCase{60, 8, 5, 1}, MapCase{80, 9, 2, 2},
+                      MapCase{120, 12, 3, 2}, MapCase{50, 8, 1, 1}));
+
+TEST(MapSearch, SymmetryMatchesDirectSearch) {
+  const auto coords = random_coords(300, 12, 5);
+  ConvGeometry geom{3, 1, false};
+  MapSearchOptions direct{MapBackend::kGrid, false};
+  MapSearchOptions sym{MapBackend::kGrid, true};
+  const KernelMap a = build_kernel_map(coords, coords, geom, direct);
+  const KernelMap b = build_kernel_map(coords, coords, geom, sym);
+  expect_same_maps(a, b);
+  EXPECT_TRUE(b.stats.used_symmetry);
+  EXPECT_FALSE(a.stats.used_symmetry);
+  // Symmetry halves queries and skips the center entirely.
+  EXPECT_LE(b.stats.queries, a.stats.queries / 2);
+}
+
+TEST(MapSearch, SymmetryIgnoredForStridedLayers) {
+  const auto in = random_coords(100, 10, 6);
+  std::vector<Coord> out;
+  std::unordered_set<uint64_t> seen;
+  for (const Coord& p : in) {
+    const Coord q{p.b, p.x / 2, p.y / 2, p.z / 2};
+    if (seen.insert(pack_coord(q)).second) out.push_back(q);
+  }
+  ConvGeometry geom{2, 2, false};
+  MapSearchOptions opts{MapBackend::kGrid, true};  // requested but invalid
+  const KernelMap km = build_kernel_map(in, out, geom, opts);
+  EXPECT_FALSE(km.stats.used_symmetry);
+}
+
+TEST(MapSearch, CenterMapIsIdentityOnSubmanifold) {
+  const auto coords = random_coords(64, 8, 7);
+  ConvGeometry geom{3, 1, false};
+  const KernelMap km = build_kernel_map(coords, coords, geom,
+                                        {MapBackend::kGrid, true});
+  const auto& center = km.maps[13];
+  ASSERT_EQ(center.size(), coords.size());
+  for (std::size_t i = 0; i < center.size(); ++i) {
+    EXPECT_EQ(center[i].in, static_cast<int32_t>(i));
+    EXPECT_EQ(center[i].out, static_cast<int32_t>(i));
+  }
+}
+
+TEST(MapSearch, SubmanifoldMapSizesAreSymmetric) {
+  // |M[delta]| == |M[-delta]| (paper §4.2.1).
+  const auto coords = random_coords(500, 14, 8);
+  ConvGeometry geom{3, 1, false};
+  const KernelMap km = build_kernel_map(coords, coords, geom,
+                                        {MapBackend::kGrid, false});
+  for (int n = 0; n < 27; ++n)
+    EXPECT_EQ(km.size(n), km.size(mirror_offset_index(27, n)));
+}
+
+TEST(MapSearch, TransposedMatchesBruteForce) {
+  // Coarse inputs, fine outputs (decoder direction).
+  const auto fine = random_coords(200, 10, 9);
+  std::vector<Coord> coarse;
+  std::unordered_set<uint64_t> seen;
+  for (const Coord& p : fine) {
+    const Coord q{p.b, p.x / 2, p.y / 2, p.z / 2};
+    if (seen.insert(pack_coord(q)).second) coarse.push_back(q);
+  }
+  ConvGeometry geom{2, 2, true};
+  expect_same_maps(
+      build_kernel_map(coarse, fine, geom, {MapBackend::kGrid, false}),
+      brute_force_map(coarse, fine, geom));
+}
+
+TEST(MapSearch, TransposeOfForwardEqualsTransposedSearch) {
+  // The decoder's map-reuse trick: transpose(forward map) must equal the
+  // directly searched transposed map.
+  const auto fine = random_coords(250, 12, 10);
+  std::vector<Coord> coarse;
+  std::unordered_set<uint64_t> seen;
+  for (const Coord& p : fine) {
+    const Coord q{p.b, p.x / 2, p.y / 2, p.z / 2};
+    if (seen.insert(pack_coord(q)).second) coarse.push_back(q);
+  }
+  ConvGeometry fwd{2, 2, false};
+  ConvGeometry inv{2, 2, true};
+  const KernelMap forward =
+      build_kernel_map(fine, coarse, fwd, {MapBackend::kGrid, false});
+  const KernelMap direct =
+      build_kernel_map(coarse, fine, inv, {MapBackend::kGrid, false});
+  expect_same_maps(transpose_kernel_map(forward), direct);
+}
+
+TEST(MapSearch, GridAndHashBackendsReportDifferentAccessCosts) {
+  const auto coords = random_coords(2000, 20, 11);
+  ConvGeometry geom{3, 1, false};
+  const KernelMap grid = build_kernel_map(coords, coords, geom,
+                                          {MapBackend::kGrid, false});
+  const KernelMap hash = build_kernel_map(coords, coords, geom,
+                                          {MapBackend::kHashMap, false});
+  EXPECT_EQ(grid.stats.index_accesses, grid.stats.queries);
+  EXPECT_GT(hash.stats.index_accesses, hash.stats.queries);
+}
+
+}  // namespace
+}  // namespace ts

@@ -1,0 +1,227 @@
+// Grouping strategy tests (paper §4.2, Fig. 6, Alg. 4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <set>
+
+#include "core/matmul_group.hpp"
+
+namespace ts {
+namespace {
+
+/// Validates the universal invariants of any plan: every nonzero offset
+/// covered exactly once, padded_rows >= every member size in bmm groups.
+void check_plan(const std::vector<MMGroup>& groups,
+                const std::vector<std::size_t>& sizes) {
+  std::set<int> covered;
+  for (const MMGroup& g : groups) {
+    EXPECT_FALSE(g.offsets.empty());
+    for (int n : g.offsets) {
+      EXPECT_TRUE(covered.insert(n).second) << "offset " << n << " twice";
+      EXPECT_GT(sizes[static_cast<std::size_t>(n)], 0u);
+      if (g.use_bmm)
+        EXPECT_LE(sizes[static_cast<std::size_t>(n)], g.padded_rows);
+    }
+  }
+  for (std::size_t n = 0; n < sizes.size(); ++n)
+    EXPECT_EQ(covered.count(static_cast<int>(n)) > 0, sizes[n] > 0)
+        << "offset " << n;
+}
+
+std::vector<std::size_t> symmetric_sizes(uint64_t seed, std::size_t base) {
+  // A submanifold layer's size profile: symmetric around a big center.
+  std::mt19937_64 rng(seed);
+  std::vector<std::size_t> sizes(27);
+  for (int i = 0; i < 13; ++i) {
+    sizes[static_cast<std::size_t>(i)] = base / 2 + rng() % base;
+    sizes[static_cast<std::size_t>(26 - i)] = sizes[static_cast<std::size_t>(i)];
+  }
+  sizes[13] = base * 4;  // center is the largest (Fig. 12)
+  return sizes;
+}
+
+TEST(PlanGroups, SeparateIsOneGroupPerOffset) {
+  const auto sizes = symmetric_sizes(1, 1000);
+  const auto groups = plan_groups(sizes, true, GroupingStrategy::kSeparate,
+                                  GroupParams{});
+  check_plan(groups, sizes);
+  EXPECT_EQ(groups.size(), 27u);
+  for (const MMGroup& g : groups) {
+    EXPECT_EQ(g.offsets.size(), 1u);
+    EXPECT_FALSE(g.use_bmm);
+  }
+}
+
+TEST(PlanGroups, SymmetricPairsMirrors) {
+  const auto sizes = symmetric_sizes(2, 800);
+  const auto groups = plan_groups(sizes, true, GroupingStrategy::kSymmetric,
+                                  GroupParams{});
+  check_plan(groups, sizes);
+  // 13 mirror pairs + the center.
+  EXPECT_EQ(groups.size(), 14u);
+  int center_groups = 0;
+  for (const MMGroup& g : groups) {
+    if (g.is_center) {
+      ++center_groups;
+      EXPECT_EQ(g.offsets, std::vector<int>{13});
+      continue;
+    }
+    ASSERT_EQ(g.offsets.size(), 2u);
+    EXPECT_TRUE(g.use_bmm);
+    EXPECT_EQ(g.offsets[0] + g.offsets[1], 26);  // mirror pair
+    // Equal sizes -> zero padding waste.
+    EXPECT_EQ(sizes[static_cast<std::size_t>(g.offsets[0])], g.padded_rows);
+  }
+  EXPECT_EQ(center_groups, 1);
+}
+
+TEST(PlanGroups, FixedIsThreeGroupsOnSubmanifold) {
+  const auto sizes = symmetric_sizes(3, 600);
+  const auto groups = plan_groups(sizes, true, GroupingStrategy::kFixed,
+                                  GroupParams{});
+  check_plan(groups, sizes);
+  ASSERT_EQ(groups.size(), 3u);  // W0-3+mirrors, rest+mirrors, center
+  EXPECT_EQ(groups[0].offsets.size(), 8u);
+  EXPECT_EQ(groups[1].offsets.size(), 18u);
+  EXPECT_TRUE(groups[2].is_center);
+}
+
+TEST(PlanGroups, FixedIsSingleGroupOnDownsample) {
+  std::vector<std::size_t> sizes(8, 500);
+  const auto groups = plan_groups(sizes, false, GroupingStrategy::kFixed,
+                                  GroupParams{});
+  check_plan(groups, sizes);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].offsets.size(), 8u);
+  EXPECT_TRUE(groups[0].use_bmm);
+}
+
+TEST(PlanGroups, AdaptiveEpsilonZeroGivesSymmetricGrouping) {
+  // Paper: (epsilon=0, S=inf) == symmetric grouping. With distinct pair
+  // sizes, every group is one mirror pair.
+  std::vector<std::size_t> sizes(27);
+  for (int i = 0; i < 13; ++i) {
+    sizes[static_cast<std::size_t>(i)] = 100 + 50 * static_cast<std::size_t>(i);
+    sizes[static_cast<std::size_t>(26 - i)] = sizes[static_cast<std::size_t>(i)];
+  }
+  sizes[13] = 5000;
+  const auto adaptive = plan_groups(sizes, true, GroupingStrategy::kAdaptive,
+                                    GroupParams{0.0, 1e18});
+  const auto symmetric = plan_groups(sizes, true,
+                                     GroupingStrategy::kSymmetric,
+                                     GroupParams{});
+  check_plan(adaptive, sizes);
+  ASSERT_EQ(adaptive.size(), symmetric.size());
+  EXPECT_EQ(planned_flops(adaptive, sizes, 32, 32),
+            planned_flops(symmetric, sizes, 32, 32));
+}
+
+TEST(PlanGroups, AdaptiveThresholdZeroDisablesBmm) {
+  // Paper: S=0 == separate computation (every group runs per-offset mm).
+  const auto sizes = symmetric_sizes(4, 700);
+  const auto groups = plan_groups(sizes, true, GroupingStrategy::kAdaptive,
+                                  GroupParams{0.5, 0.0});
+  check_plan(groups, sizes);
+  for (const MMGroup& g : groups) EXPECT_FALSE(g.use_bmm);
+  EXPECT_EQ(planned_flops(groups, sizes, 16, 16),
+            theoretical_flops(sizes, 16, 16));
+}
+
+TEST(PlanGroups, AdaptiveEpsilonOneMergesEverything) {
+  const auto sizes = symmetric_sizes(5, 900);
+  const auto groups = plan_groups(sizes, true, GroupingStrategy::kAdaptive,
+                                  GroupParams{1.0, 1e18});
+  check_plan(groups, sizes);
+  ASSERT_EQ(groups.size(), 2u);  // one merged group + center
+  EXPECT_EQ(groups[0].offsets.size(), 26u);
+}
+
+TEST(PlanGroups, AdaptiveRespectsEpsilonWithinGroups) {
+  std::mt19937_64 rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::size_t> sizes(27);
+    for (int i = 0; i < 13; ++i) {
+      sizes[static_cast<std::size_t>(i)] = 1 + rng() % 10000;
+      sizes[static_cast<std::size_t>(26 - i)] =
+          sizes[static_cast<std::size_t>(i)];
+    }
+    sizes[13] = 20000;
+    const double eps = (trial % 10) * 0.1;
+    const auto groups = plan_groups(sizes, true,
+                                    GroupingStrategy::kAdaptive,
+                                    GroupParams{eps, 1e18});
+    check_plan(groups, sizes);
+    for (const MMGroup& g : groups) {
+      if (g.is_center) continue;
+      std::size_t lo = SIZE_MAX, hi = 0;
+      for (int n : g.offsets) {
+        lo = std::min(lo, sizes[static_cast<std::size_t>(n)]);
+        hi = std::max(hi, sizes[static_cast<std::size_t>(n)]);
+      }
+      const double ratio = 1.0 - static_cast<double>(lo) /
+                                     static_cast<double>(hi);
+      EXPECT_LE(ratio, eps + 1e-12);
+    }
+  }
+}
+
+TEST(PlanGroups, DownsampleAdaptiveGroupsSimilarSizes) {
+  // K=2 downsample: all 8 offsets similar -> epsilon 0.2 gives one group.
+  std::vector<std::size_t> sizes = {1000, 1010, 990, 1005,
+                                    998,  1002, 995, 1008};
+  const auto groups = plan_groups(sizes, false, GroupingStrategy::kAdaptive,
+                                  GroupParams{0.2, 1e18});
+  check_plan(groups, sizes);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_TRUE(groups[0].use_bmm);
+  EXPECT_EQ(groups[0].padded_rows, 1010u);
+}
+
+TEST(PlanGroups, ZeroSizedOffsetsAreSkipped) {
+  std::vector<std::size_t> sizes(27, 0);
+  sizes[13] = 100;
+  sizes[0] = sizes[26] = 50;
+  const auto groups = plan_groups(sizes, true, GroupingStrategy::kAdaptive,
+                                  GroupParams{0.1, 1e18});
+  check_plan(groups, sizes);
+}
+
+TEST(PlanGroups, AllZeroSizesYieldNoGroups) {
+  std::vector<std::size_t> sizes(27, 0);
+  for (auto strat :
+       {GroupingStrategy::kSeparate, GroupingStrategy::kSymmetric,
+        GroupingStrategy::kFixed, GroupingStrategy::kAdaptive,
+        GroupingStrategy::kDenseAll}) {
+    EXPECT_TRUE(plan_groups(sizes, true, strat, GroupParams{}).empty());
+  }
+}
+
+TEST(PlannedFlops, PaddingWasteIsNonNegative) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto sizes = symmetric_sizes(100 + trial, 1 + rng() % 5000);
+    for (auto strat :
+         {GroupingStrategy::kSeparate, GroupingStrategy::kSymmetric,
+          GroupingStrategy::kFixed, GroupingStrategy::kAdaptive,
+          GroupingStrategy::kDenseAll}) {
+      const auto groups = plan_groups(sizes, true, strat,
+                                      GroupParams{0.3, 4096});
+      EXPECT_GE(planned_flops(groups, sizes, 64, 64),
+                theoretical_flops(sizes, 64, 64) - 1e-6)
+          << to_string(strat);
+    }
+  }
+}
+
+TEST(PlannedFlops, SeparateHasZeroWaste) {
+  const auto sizes = symmetric_sizes(8, 1234);
+  const auto groups = plan_groups(sizes, true, GroupingStrategy::kSeparate,
+                                  GroupParams{});
+  EXPECT_EQ(planned_flops(groups, sizes, 8, 8),
+            theoretical_flops(sizes, 8, 8));
+}
+
+}  // namespace
+}  // namespace ts

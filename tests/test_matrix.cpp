@@ -1,0 +1,165 @@
+// Dense matrix substrate tests: blocked GEMM vs naive reference, batched
+// GEMM, padding, quantization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <tuple>
+
+#include "tensor/matrix.hpp"
+
+namespace ts {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = dist(rng);
+  return m;
+}
+
+Matrix naive_mm(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0;
+      for (std::size_t k = 0; k < a.cols(); ++k)
+        acc += a.at(i, k) * b.at(k, j);
+      out.at(i, j) = acc;
+    }
+  return out;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(3, 4, 2.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.at(2, 3), 2.5f);
+  m.at(1, 2) = -1.0f;
+  EXPECT_EQ(m.row(1)[2], -1.0f);
+}
+
+TEST(Matrix, EmptyMatmul) {
+  Matrix a(0, 8), b(8, 4), out;
+  mm(a, b, out);
+  EXPECT_EQ(out.rows(), 0u);
+  EXPECT_EQ(out.cols(), 4u);
+}
+
+class MatmulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulShapes, BlockedMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = random_matrix(m, k, 10 + m);
+  const Matrix b = random_matrix(k, n, 20 + n);
+  Matrix out;
+  mm(a, b, out);
+  const Matrix ref = naive_mm(a, b);
+  EXPECT_LT(max_abs_diff(out, ref), 1e-4f) << m << "x" << k << "x" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MatmulShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(7, 3, 5),
+                      std::make_tuple(64, 64, 64),
+                      std::make_tuple(65, 63, 1),
+                      std::make_tuple(100, 17, 129),
+                      std::make_tuple(1, 128, 256),
+                      std::make_tuple(200, 65, 33)));
+
+TEST(Matrix, AccumulateAddsToExisting) {
+  const Matrix a = random_matrix(9, 5, 1);
+  const Matrix b = random_matrix(5, 7, 2);
+  Matrix out(9, 7, 1.0f);
+  mm_accumulate(a, b, out);
+  Matrix ref = naive_mm(a, b);
+  for (std::size_t i = 0; i < ref.size(); ++i) ref.data()[i] += 1.0f;
+  EXPECT_LT(max_abs_diff(out, ref), 1e-4f);
+}
+
+TEST(Matrix, BmmMatchesPerProblemMm) {
+  std::vector<Matrix> as, bs, outs;
+  for (int i = 0; i < 4; ++i) {
+    as.push_back(random_matrix(12, 8, 30 + i));
+    bs.push_back(random_matrix(8, 6, 40 + i));
+  }
+  bmm(as, bs, outs);
+  ASSERT_EQ(outs.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    Matrix ref;
+    mm(as[i], bs[i], ref);
+    EXPECT_EQ(max_abs_diff(outs[i], ref), 0.0f);
+  }
+}
+
+TEST(Matrix, PadRowsAppendsZeros) {
+  const Matrix a = random_matrix(3, 4, 5);
+  const Matrix p = pad_rows(a, 6);
+  EXPECT_EQ(p.rows(), 6u);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(p.at(i, j), a.at(i, j));
+  for (std::size_t i = 3; i < 6; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(p.at(i, j), 0.0f);
+}
+
+TEST(Matrix, PaddedBmmEqualsUnpaddedResults) {
+  // Property behind Fig. 6: padding adds zero rows, which contribute
+  // nothing — grouped results must equal separate results exactly.
+  const Matrix a1 = random_matrix(5, 8, 1), a2 = random_matrix(9, 8, 2);
+  const Matrix w = random_matrix(8, 3, 3);
+  std::vector<Matrix> outs;
+  bmm({pad_rows(a1, 9), a2}, {w, w}, outs);
+  Matrix r1;
+  mm(a1, w, r1);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_EQ(outs[0].at(i, j), r1.at(i, j));
+  for (std::size_t i = 5; i < 9; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(outs[0].at(i, j), 0.0f);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  const Matrix a = random_matrix(11, 7, 9);
+  EXPECT_EQ(transpose(transpose(a)), a);
+  EXPECT_EQ(transpose(a).at(3, 5), a.at(5, 3));
+}
+
+TEST(Matrix, QuantizeFp32IsIdentity) {
+  Matrix a = random_matrix(8, 8, 11);
+  const Matrix before = a;
+  a.quantize(Precision::kFP32);
+  EXPECT_EQ(a, before);
+}
+
+TEST(Matrix, QuantizeFp16RoundsEveryElement) {
+  Matrix a = random_matrix(16, 16, 12);
+  Matrix b = a;
+  b.quantize(Precision::kFP16);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(b.data()[i], fp16_round(a.data()[i]));
+}
+
+TEST(Matrix, QuantizeInt8ErrorBounded) {
+  Matrix a = random_matrix(32, 32, 13);
+  const float amax = a.abs_max();
+  Matrix b = a;
+  b.quantize(Precision::kINT8);
+  // Symmetric 8-bit: error <= scale/2 = amax/254.
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_LE(std::fabs(b.data()[i] - a.data()[i]), amax / 127.0f * 0.5f + 1e-6f);
+}
+
+TEST(Matrix, QuantizeInt8IdempotentOnZero) {
+  Matrix a(4, 4);
+  a.quantize(Precision::kINT8);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], 0.0f);
+}
+
+TEST(Matrix, MaxAbsDiffShapeMismatchIsInfinite) {
+  EXPECT_TRUE(std::isinf(max_abs_diff(Matrix(2, 2), Matrix(2, 3))));
+}
+
+}  // namespace
+}  // namespace ts

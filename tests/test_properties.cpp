@@ -1,0 +1,197 @@
+// Property-based tests on sparse convolution invariants:
+// linearity in the features, translation equivariance of submanifold
+// convolution, permutation invariance over input point order, and
+// engine-order independence of the result.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/conv3d.hpp"
+#include "engines/presets.hpp"
+#include "gpusim/device.hpp"
+#include "nn/layers.hpp"
+
+namespace ts {
+namespace {
+
+SparseTensor random_tensor(int n, int extent, std::size_t channels,
+                           uint64_t seed, int32_t shift = 0) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int32_t> d(0, extent);
+  std::uniform_real_distribution<float> f(-1.0f, 1.0f);
+  std::vector<Coord> coords;
+  std::unordered_set<uint64_t> seen;
+  while (static_cast<int>(coords.size()) < n) {
+    const Coord c{0, d(rng) + shift, d(rng) + shift, d(rng) + shift};
+    if (seen.insert(pack_coord(c)).second) coords.push_back(c);
+  }
+  Matrix feats(coords.size(), channels);
+  for (std::size_t i = 0; i < feats.size(); ++i) feats.data()[i] = f(rng);
+  return SparseTensor(std::move(coords), std::move(feats));
+}
+
+Conv3dParams random_conv(int kernel, int stride, std::size_t c_in,
+                         std::size_t c_out, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Conv3dParams p;
+  p.geom = ConvGeometry{kernel, stride, false};
+  p.weights = spnn::make_conv_weights(kernel, c_in, c_out, rng);
+  return p;
+}
+
+ExecContext fp32_ctx() {
+  EngineConfig cfg = torchsparse_config();
+  cfg.precision = Precision::kFP32;
+  ExecContext ctx(rtx2080ti(), cfg);
+  ctx.compute_numerics = true;
+  return ctx;
+}
+
+class ConvProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvProperties, LinearInFeatures) {
+  // conv(a*x + y) == a*conv(x) + conv(y) over the same coordinates.
+  const int seed = GetParam();
+  SparseTensor x = random_tensor(120, 9, 6, 100u + seed);
+  SparseTensor y(x.coords_ptr(), x.feats(), x.stride(), x.cache());
+  {
+    std::mt19937_64 rng(200u + seed);
+    std::uniform_real_distribution<float> f(-1.0f, 1.0f);
+    for (std::size_t i = 0; i < y.feats().size(); ++i)
+      y.feats().data()[i] = f(rng);
+  }
+  const float a = 0.5f + 0.1f * static_cast<float>(seed);
+  const Conv3dParams p = random_conv(3, 1, 6, 5, 300u + seed);
+
+  SparseTensor combo(x.coords(), x.feats());
+  for (std::size_t i = 0; i < combo.feats().size(); ++i)
+    combo.feats().data()[i] =
+        a * x.feats().data()[i] + y.feats().data()[i];
+
+  ExecContext c1 = fp32_ctx(), c2 = fp32_ctx(), c3 = fp32_ctx();
+  const Matrix out_combo =
+      sparse_conv3d(combo, p, c1).feats();
+  const Matrix out_x = sparse_conv3d(SparseTensor(x.coords(), x.feats()),
+                                     p, c2)
+                           .feats();
+  const Matrix out_y = sparse_conv3d(SparseTensor(y.coords(), y.feats()),
+                                     p, c3)
+                           .feats();
+  for (std::size_t i = 0; i < out_combo.size(); ++i)
+    EXPECT_NEAR(out_combo.data()[i],
+                a * out_x.data()[i] + out_y.data()[i], 1e-3f);
+}
+
+TEST_P(ConvProperties, TranslationEquivariant) {
+  // Shifting all coordinates by a constant shifts the output the same way
+  // and leaves features unchanged (submanifold conv).
+  const int seed = GetParam();
+  const SparseTensor x = random_tensor(100, 8, 4, 400u + seed);
+  const int32_t delta = 7;
+  std::vector<Coord> shifted = x.coords();
+  for (Coord& c : shifted) {
+    c.x += delta;
+    c.y += delta;
+    c.z += delta;
+  }
+  const Conv3dParams p = random_conv(3, 1, 4, 4, 500u + seed);
+
+  ExecContext c1 = fp32_ctx(), c2 = fp32_ctx();
+  const SparseTensor out_a =
+      sparse_conv3d(SparseTensor(x.coords(), x.feats()), p, c1);
+  const SparseTensor out_b =
+      sparse_conv3d(SparseTensor(shifted, x.feats()), p, c2);
+  EXPECT_LT(max_abs_diff(out_a.feats(), out_b.feats()), 1e-5f);
+}
+
+TEST_P(ConvProperties, PermutationInvariant) {
+  // Point clouds are unordered sets: permuting the input rows must give
+  // the same feature at each coordinate.
+  const int seed = GetParam();
+  const SparseTensor x = random_tensor(90, 8, 4, 600u + seed);
+  std::vector<std::size_t> perm(x.num_points());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::mt19937_64 rng(700u + seed);
+  std::shuffle(perm.begin(), perm.end(), rng);
+
+  std::vector<Coord> pc(x.num_points());
+  Matrix pf(x.num_points(), x.channels());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    pc[i] = x.coords()[perm[i]];
+    std::copy(x.feats().row(perm[i]),
+              x.feats().row(perm[i]) + x.channels(), pf.row(i));
+  }
+
+  const Conv3dParams p = random_conv(3, 1, 4, 6, 800u + seed);
+  ExecContext c1 = fp32_ctx(), c2 = fp32_ctx();
+  const SparseTensor out_a =
+      sparse_conv3d(SparseTensor(x.coords(), x.feats()), p, c1);
+  const SparseTensor out_b = sparse_conv3d(SparseTensor(pc, pf), p, c2);
+
+  std::unordered_map<uint64_t, std::size_t> index_b;
+  for (std::size_t k = 0; k < out_b.num_points(); ++k)
+    index_b[pack_coord(out_b.coords()[k])] = k;
+  ASSERT_EQ(out_a.num_points(), out_b.num_points());
+  for (std::size_t k = 0; k < out_a.num_points(); ++k) {
+    const auto it = index_b.find(pack_coord(out_a.coords()[k]));
+    ASSERT_NE(it, index_b.end());
+    for (std::size_t c = 0; c < out_a.channels(); ++c)
+      EXPECT_NEAR(out_a.feats().at(k, c),
+                  out_b.feats().at(it->second, c), 1e-4f);
+  }
+}
+
+TEST_P(ConvProperties, StridedConvPermutationInvariantCoords) {
+  // Downsampled coordinate sets are order-independent too (Alg. 3 returns
+  // sorted-unique coordinates).
+  const int seed = GetParam();
+  const SparseTensor x = random_tensor(80, 10, 4, 900u + seed);
+  std::vector<Coord> rev(x.coords().rbegin(), x.coords().rend());
+  Matrix rf(x.num_points(), 4);
+  for (std::size_t i = 0; i < rev.size(); ++i)
+    std::copy(x.feats().row(x.num_points() - 1 - i),
+              x.feats().row(x.num_points() - 1 - i) + 4, rf.row(i));
+
+  const Conv3dParams p = random_conv(2, 2, 4, 4, 1000u + seed);
+  ExecContext c1 = fp32_ctx(), c2 = fp32_ctx();
+  const SparseTensor a =
+      sparse_conv3d(SparseTensor(x.coords(), x.feats()), p, c1);
+  const SparseTensor b = sparse_conv3d(SparseTensor(rev, rf), p, c2);
+  EXPECT_EQ(a.coords(), b.coords());
+  EXPECT_LT(max_abs_diff(a.feats(), b.feats()), 1e-4f);
+}
+
+TEST_P(ConvProperties, ZeroFeaturesGiveZeroOutput) {
+  const int seed = GetParam();
+  SparseTensor x = random_tensor(60, 8, 4, 1100u + seed);
+  x.feats().fill(0.0f);
+  const Conv3dParams p = random_conv(3, 1, 4, 8, 1200u + seed);
+  ExecContext ctx = fp32_ctx();
+  const SparseTensor y = sparse_conv3d(x, p, ctx);
+  for (std::size_t i = 0; i < y.feats().size(); ++i)
+    EXPECT_EQ(y.feats().data()[i], 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvProperties, ::testing::Range(0, 5));
+
+TEST(ConvProperties, SingleIsolatedPointOnlySeesCenterWeight) {
+  // A point with no neighbors: submanifold conv reduces to x * W_center.
+  std::vector<Coord> coords = {{0, 50, 50, 50}};
+  Matrix feats(1, 4);
+  for (std::size_t c = 0; c < 4; ++c)
+    feats.at(0, c) = 0.25f * static_cast<float>(c + 1);
+  const Conv3dParams p = random_conv(3, 1, 4, 4, 42);
+  ExecContext ctx = fp32_ctx();
+  SparseTensor x(coords, feats);
+  const SparseTensor y = sparse_conv3d(x, p, ctx);
+  Matrix expect;
+  mm(feats, p.weights[13], expect);
+  EXPECT_LT(max_abs_diff(y.feats(), expect), 1e-6f);
+}
+
+}  // namespace
+}  // namespace ts
