@@ -1,0 +1,98 @@
+// Serving throughput sweep (extends the paper's Fig. 14 absolute-FPS view
+// to the batched serving runtime): batch size x worker count x engine
+// preset on the MinkUNet segmentation workload.
+//
+// Per-request timelines are independent of how the batch is scheduled, so
+// each engine measures its 16 scans once (through BatchRunner's worker
+// pool) and the (batch, workers) grid is then swept over deterministic
+// earliest-available-worker schedules of those timelines. Sanity anchor
+// checked at the end: on the MinkUNet preset, 4 workers must deliver
+// > 1.5x the throughput of 1 worker.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "data/voxelize.hpp"
+#include "engines/presets.hpp"
+#include "engines/workloads.hpp"
+#include "gpusim/device.hpp"
+#include "serve/batch_runner.hpp"
+#include "serve/tuned_param_store.hpp"
+
+using namespace ts;
+
+int main() {
+  bench::header("Serving throughput: batch x workers x engine",
+                "extends paper Fig. 14 (absolute FPS) to the batched "
+                "concurrent serving runtime");
+  bench::note(
+      "throughput/latency come from the modeled deterministic schedule "
+      "(earliest-available worker), so results are machine-independent");
+
+  const uint64_t seed = 20260730;
+  const double scale = 0.25;  // shrinks the synthetic scans; trends transfer
+  Workload w = make_minkunet_workload("SK-MinkUNet (0.5x)", "SemanticKITTI",
+                                      0.5, 1, seed, scale,
+                                      /*tune_sample_count=*/2);
+  const DeviceSpec dev = rtx2080ti();
+
+  // Batch of distinct scans (the workload's lidar spec, fresh seeds).
+  LidarSpec lidar = semantic_kitti_spec();
+  lidar.azimuth_steps = std::max(
+      32, static_cast<int>(lidar.azimuth_steps * scale));
+  const int max_batch = 16;
+  std::vector<SparseTensor> scans;
+  for (int i = 0; i < max_batch; ++i)
+    scans.push_back(make_input(lidar, segmentation_voxels(),
+                               seed + 100 + static_cast<uint64_t>(i)));
+
+  const std::vector<int> batch_sizes = {1, 4, 8, 16};
+  const std::vector<int> worker_counts = {1, 2, 4, 8};
+  serve::TunedParamStore store;
+
+  double mink_fps_w1 = 0, mink_fps_w4 = 0;
+  for (const EngineConfig& cfg : paper_engines()) {
+    serve::BatchOptions opt;
+    opt.workers = 8;  // thread pool for measurement wall time only
+    if (cfg.grouping == GroupingStrategy::kAdaptive)
+      opt.run.tuned =
+          store.get_or_tune(serve::tuned_key(w.name, dev, cfg), w.model,
+                            w.tune_samples, dev, cfg);
+    const serve::BatchRunner runner(dev, cfg, opt);
+    const serve::BatchReport measured = runner.run(w.model, scans);
+
+    std::printf("\n=== %s on %s ===\n", cfg.name.c_str(), dev.name.c_str());
+    std::printf("%-8s", "batch");
+    for (int workers : worker_counts)
+      std::printf("   w=%d fps (p99 ms)", workers);
+    std::printf("\n");
+
+    for (int batch : batch_sizes) {
+      std::vector<serve::RequestResult> subset(
+          measured.requests.begin(), measured.requests.begin() + batch);
+      std::printf("%-8d", batch);
+      for (int workers : worker_counts) {
+        const serve::BatchStats s = serve::schedule_stats(subset, workers);
+        std::printf("   %8.1f (%5.1f)", s.throughput_fps,
+                    s.latency_p99_seconds * 1e3);
+        if (cfg.name == "TorchSparse" && batch == 16) {
+          if (workers == 1) mink_fps_w1 = s.throughput_fps;
+          if (workers == 4) mink_fps_w4 = s.throughput_fps;
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\n--- sanity anchors ---\n");
+  std::printf(
+      "TorchSparse MinkUNet, batch 16: %.1f fps @1 worker -> %.1f fps "
+      "@4 workers (%.2fx, required > 1.5x): %s\n",
+      mink_fps_w1, mink_fps_w4, mink_fps_w4 / mink_fps_w1,
+      mink_fps_w4 > 1.5 * mink_fps_w1 ? "OK" : "FAIL");
+  std::printf("tuning runs shared via TunedParamStore: %zu (one per "
+              "adaptive-grouping engine)\n",
+              store.compute_count());
+  return mink_fps_w4 > 1.5 * mink_fps_w1 ? 0 : 1;
+}

@@ -1,8 +1,8 @@
 #include "core/conv3d.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "core/downsample.hpp"
 #include "core/gather_scatter.hpp"
@@ -23,7 +23,11 @@ std::shared_ptr<const std::vector<Coord>> resolve_output_coords(
     ExecContext& ctx) {
   TensorCache& cache = *x.cache();
   if (geom.transposed) {
-    assert(x.stride() % geom.stride == 0);
+    if (geom.stride <= 0 || x.stride() % geom.stride != 0)
+      throw std::runtime_error("transposed conv stride " +
+                               std::to_string(geom.stride) +
+                               " does not divide tensor stride " +
+                               std::to_string(x.stride()));
     out_stride = x.stride() / geom.stride;
     auto it = cache.coords_at_stride.find(out_stride);
     if (it == cache.coords_at_stride.end())
@@ -142,10 +146,19 @@ SparseTensor sparse_conv3d(const SparseTensor& x, const Conv3dParams& p,
                            ExecContext& ctx) {
   const ConvGeometry& geom = p.geom;
   const int volume = kernel_volume(geom.kernel_size);
-  assert(static_cast<int>(p.weights.size()) == volume);
+  if (static_cast<int>(p.weights.size()) != volume)
+    throw std::invalid_argument(
+        "sparse_conv3d: got " + std::to_string(p.weights.size()) +
+        " weight matrices for kernel volume " + std::to_string(volume));
+  if (geom.stride <= 0)
+    throw std::invalid_argument("sparse_conv3d: stride must be positive, got " +
+                                std::to_string(geom.stride));
   const std::size_t c_in = p.in_channels();
   const std::size_t c_out = p.out_channels();
-  assert(x.channels() == c_in);
+  if (x.channels() != c_in)
+    throw std::invalid_argument(
+        "sparse_conv3d: input has " + std::to_string(x.channels()) +
+        " channels but the layer expects " + std::to_string(c_in));
 
   int out_stride = x.stride();
   auto out_coords = resolve_output_coords(x, geom, out_stride, ctx);

@@ -6,16 +6,27 @@ SparseTensor fresh_input(const SparseTensor& x) {
   return SparseTensor(x.coords(), x.feats());
 }
 
-Timeline run_model(const ModelFn& model, const SparseTensor& input,
-                   const DeviceSpec& dev, const EngineConfig& cfg,
-                   const RunOptions& opt) {
+ExecContext make_run_context(const DeviceSpec& dev, const EngineConfig& cfg,
+                             const RunOptions& opt) {
   ExecContext ctx(dev, cfg);
   ctx.compute_numerics = opt.numerics;
   ctx.simulate_cache = opt.simulate_cache;
   ctx.tuned = opt.tuned;
+  return ctx;
+}
+
+Timeline run_in_context(const ModelFn& model, const SparseTensor& input,
+                        ExecContext& ctx) {
   const SparseTensor in = fresh_input(input);
   model(in, ctx);
   return ctx.timeline;
+}
+
+Timeline run_model(const ModelFn& model, const SparseTensor& input,
+                   const DeviceSpec& dev, const EngineConfig& cfg,
+                   const RunOptions& opt) {
+  ExecContext ctx = make_run_context(dev, cfg, opt);
+  return run_in_context(model, input, ctx);
 }
 
 std::vector<std::vector<LayerRecord>> record_workloads(

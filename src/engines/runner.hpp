@@ -28,6 +28,16 @@ struct RunOptions {
 /// own maps (engines must not share mapping work).
 SparseTensor fresh_input(const SparseTensor& x);
 
+/// Builds the execution context for one inference pass — the shared setup
+/// between run_model and the batch serving path (src/serve).
+ExecContext make_run_context(const DeviceSpec& dev, const EngineConfig& cfg,
+                             const RunOptions& opt = {});
+
+/// Runs the model on a private copy of `input` (fresh TensorCache) inside
+/// `ctx` and returns the context's accumulated timeline.
+Timeline run_in_context(const ModelFn& model, const SparseTensor& input,
+                        ExecContext& ctx);
+
 /// One inference pass; returns the accumulated timeline.
 Timeline run_model(const ModelFn& model, const SparseTensor& input,
                    const DeviceSpec& dev, const EngineConfig& cfg,

@@ -21,6 +21,14 @@ class GridHashMap {
  public:
   static constexpr int64_t kNotFound = -1;
 
+  /// Host-simulation detail: above this many cells the dense backing
+  /// array (which a GPU would happily allocate) is replaced by a compact
+  /// hash keyed on the flattened cell index. Modeled cost is unchanged —
+  /// capacity(), one-access-per-entry accounting, and lookup results are
+  /// identical — but the simulator stops allocating and zero-filling
+  /// gigabytes per kernel-map build on large point clouds.
+  static constexpr std::size_t kDenseCellLimit = std::size_t(1) << 22;
+
   GridHashMap() = default;
 
   /// Builds an empty grid covering [lo, hi] (inclusive) in each dimension.
@@ -33,7 +41,15 @@ class GridHashMap {
     nx_ = static_cast<int64_t>(hi.x - lo.x) + 1;
     ny_ = static_cast<int64_t>(hi.y - lo.y) + 1;
     nz_ = static_cast<int64_t>(hi.z - lo.z) + 1;
-    cells_.assign(static_cast<std::size_t>(nb_ * nx_ * ny_ * nz_), kNotFound);
+    total_cells_ = static_cast<std::size_t>(nb_ * nx_ * ny_ * nz_);
+    if (total_cells_ <= kDenseCellLimit) {
+      cells_.assign(total_cells_, kNotFound);
+      sparse_ = FlatHashMap();
+    } else {
+      cells_.clear();
+      cells_.shrink_to_fit();
+      sparse_.reserve(1024);
+    }
     size_ = 0;
   }
 
@@ -47,23 +63,31 @@ class GridHashMap {
   /// duplicates. Out-of-bounds coordinates are a precondition violation.
   void insert(const Coord& c, int64_t value) {
     assert(in_bounds(c));
-    int64_t& cell = cells_[flatten(c)];
-    if (cell == kNotFound) {
-      cell = value;
-      ++size_;
+    if (!cells_.empty()) {
+      int64_t& cell = cells_[flatten(c)];
+      if (cell == kNotFound) {
+        cell = value;
+        ++size_;
+      }
+      return;
     }
+    const std::size_t before = sparse_.size();
+    sparse_.insert(static_cast<uint64_t>(flatten(c)), value);
+    if (sparse_.size() != before) ++size_;
   }
 
   /// Exactly one cell read; out-of-bounds coordinates report kNotFound
   /// without touching memory (bounds are register-resident on GPU).
   int64_t find(const Coord& c) const {
     if (!in_bounds(c)) return kNotFound;
-    return cells_[flatten(c)];
+    if (!cells_.empty()) return cells_[flatten(c)];
+    return sparse_.find(static_cast<uint64_t>(flatten(c)));
   }
 
   std::size_t size() const { return size_; }
-  /// Number of grid cells — the memory-space cost of collision freedom.
-  std::size_t capacity() const { return cells_.size(); }
+  /// Number of grid cells — the memory-space cost of collision freedom
+  /// (the modeled dense footprint, regardless of host backing store).
+  std::size_t capacity() const { return total_cells_; }
 
  private:
   std::size_t flatten(const Coord& c) const {
@@ -77,7 +101,9 @@ class GridHashMap {
 
   Coord lo_{};
   int64_t nb_ = 0, nx_ = 0, ny_ = 0, nz_ = 0;
-  std::vector<int64_t> cells_;
+  std::size_t total_cells_ = 0;
+  std::vector<int64_t> cells_;   // dense store (small boxes)
+  FlatHashMap sparse_;           // compact store (huge boxes)
   std::size_t size_ = 0;
 };
 

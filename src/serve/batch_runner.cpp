@@ -1,0 +1,116 @@
+#include "serve/batch_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace ts::serve {
+
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  auto idx = static_cast<std::size_t>(std::ceil(rank));
+  idx = std::min(std::max<std::size_t>(idx, 1), sorted.size());
+  return sorted[idx - 1];
+}
+
+}  // namespace
+
+BatchStats schedule_stats(std::vector<RequestResult>& requests,
+                          int workers) {
+  BatchStats s;
+  s.workers = std::max(workers, 1);
+  s.requests = requests.size();
+  if (requests.empty()) return s;
+
+  std::vector<double> lane(static_cast<std::size_t>(s.workers), 0.0);
+  std::vector<double> finishes;
+  finishes.reserve(requests.size());
+  double sum_service = 0;
+  for (RequestResult& r : requests) {
+    auto it = std::min_element(lane.begin(), lane.end());
+    r.start_seconds = *it;
+    r.finish_seconds = r.start_seconds + r.service_seconds;
+    *it = r.finish_seconds;
+    finishes.push_back(r.finish_seconds);
+    sum_service += r.service_seconds;
+    s.aggregate += r.timeline;
+  }
+
+  s.makespan_seconds = *std::max_element(lane.begin(), lane.end());
+  s.throughput_fps =
+      s.makespan_seconds > 0
+          ? static_cast<double>(requests.size()) / s.makespan_seconds
+          : 0.0;
+  s.mean_service_seconds =
+      sum_service / static_cast<double>(requests.size());
+  std::sort(finishes.begin(), finishes.end());
+  s.latency_p50_seconds = percentile(finishes, 0.50);
+  s.latency_p90_seconds = percentile(finishes, 0.90);
+  s.latency_p99_seconds = percentile(finishes, 0.99);
+  return s;
+}
+
+BatchRunner::BatchRunner(DeviceSpec dev, EngineConfig cfg, BatchOptions opt)
+    : dev_(std::move(dev)), cfg_(std::move(cfg)), opt_(std::move(opt)) {
+  opt_.workers = std::max(opt_.workers, 1);
+}
+
+BatchReport BatchRunner::run(const ModelFn& model,
+                             const std::vector<SparseTensor>& inputs) const {
+  BatchReport report;
+  report.stats.workers = opt_.workers;
+  report.stats.requests = inputs.size();
+  if (inputs.empty()) return report;
+
+  report.requests.resize(inputs.size());
+
+  // Execute: workers pull the next un-served request off a shared ticket
+  // counter. Contexts and caches are per-request, so interleaving cannot
+  // leak state between requests.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= inputs.size()) return;
+      try {
+        ExecContext ctx = make_run_context(dev_, cfg_, opt_.run);
+        RequestResult& r = report.requests[i];
+        r.index = i;
+        r.timeline = run_in_context(model, inputs[i], ctx);
+        r.service_seconds = r.timeline.total_seconds();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        next.store(inputs.size());  // drain remaining tickets
+        return;
+      }
+    }
+  };
+
+  const int pool =
+      std::min<std::size_t>(static_cast<std::size_t>(opt_.workers),
+                            inputs.size());
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(pool));
+  for (int t = 0; t < pool; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Deterministic modeled schedule: requests arrive in input order and go
+  // to the earliest-available worker lane. With modeled (not wall-clock)
+  // service times this makes every statistic reproducible.
+  report.stats = schedule_stats(report.requests, opt_.workers);
+  return report;
+}
+
+}  // namespace ts::serve

@@ -1,0 +1,84 @@
+// Concurrent batched inference runtime (the serving-scale counterpart of
+// engines/runner).
+//
+// A BatchRunner accepts a batch of point clouds and shards them across a
+// pool of worker threads. Every request gets its own ExecContext and a
+// private TensorCache (via fresh_input), so per-request results are
+// bit-identical to a serial run_model loop — concurrency changes wall
+// time, never outputs. Tuned grouping parameters arrive through
+// RunOptions, typically from a TunedParamStore shared by all workers.
+//
+// Because layer runtimes are produced by the device cost model rather
+// than wall clocks, batch-level statistics are also modeled: the per-
+// request service times are placed on a deterministic earliest-available-
+// worker schedule (arrival order = input order), which yields a makespan,
+// throughput, and completion-latency percentiles that are reproducible
+// across runs and machines regardless of thread interleaving.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "engines/runner.hpp"
+
+namespace ts::serve {
+
+struct BatchOptions {
+  int workers = 1;  // worker threads (and schedule lanes); clamped to >= 1
+  RunOptions run;   // shared per-request options (numerics, tuned params)
+};
+
+/// One request's outcome: the modeled timeline plus its slot in the
+/// deterministic schedule.
+struct RequestResult {
+  std::size_t index = 0;       // position in the input batch
+  Timeline timeline;           // identical to serial run_model on input[i]
+  double service_seconds = 0;  // modeled single-request runtime
+  double start_seconds = 0;    // modeled dispatch time
+  double finish_seconds = 0;   // start + service (completion latency)
+};
+
+struct BatchStats {
+  std::size_t requests = 0;
+  int workers = 1;
+  double makespan_seconds = 0;    // modeled time to drain the batch
+  double throughput_fps = 0;      // requests / makespan
+  double latency_p50_seconds = 0; // completion-latency percentiles
+  double latency_p90_seconds = 0;
+  double latency_p99_seconds = 0;
+  double mean_service_seconds = 0;
+  Timeline aggregate;             // sum of all request timelines
+};
+
+struct BatchReport {
+  std::vector<RequestResult> requests;  // in input order
+  BatchStats stats;
+};
+
+/// Places already-measured requests (arrival order = vector order) on the
+/// deterministic earliest-available-worker schedule, filling each entry's
+/// start/finish, and returns the batch statistics. Used by
+/// BatchRunner::run and by sweeps that reuse one set of request timelines
+/// across many (batch size, worker count) schedule configurations.
+BatchStats schedule_stats(std::vector<RequestResult>& requests, int workers);
+
+class BatchRunner {
+ public:
+  BatchRunner(DeviceSpec dev, EngineConfig cfg, BatchOptions opt = {});
+
+  /// Runs every input through `model` on the worker pool and returns the
+  /// per-request results plus batch statistics. The model must be safe to
+  /// invoke concurrently with distinct contexts (all spnn modules are:
+  /// forward passes only read weights and mutate the per-call context).
+  BatchReport run(const ModelFn& model,
+                  const std::vector<SparseTensor>& inputs) const;
+
+  const BatchOptions& options() const { return opt_; }
+
+ private:
+  DeviceSpec dev_;
+  EngineConfig cfg_;
+  BatchOptions opt_;
+};
+
+}  // namespace ts::serve

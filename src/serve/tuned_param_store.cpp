@@ -1,0 +1,75 @@
+#include "serve/tuned_param_store.hpp"
+
+#include <chrono>
+
+namespace ts::serve {
+
+std::string tuned_key(const std::string& model_name, const DeviceSpec& dev,
+                      const EngineConfig& cfg) {
+  return model_name + "|" + dev.name + "|" + cfg.name + "|" +
+         to_string(cfg.precision) + "|" + to_string(cfg.grouping);
+}
+
+TunedParams TunedParamStore::get_or_tune(
+    const std::string& key, const ModelFn& model,
+    const std::vector<SparseTensor>& samples, const DeviceSpec& dev,
+    const EngineConfig& cfg) {
+  std::shared_future<TunedParams> future;
+  std::promise<TunedParams> promise;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+      owner = true;
+    } else {
+      future = it->second;
+    }
+  }
+
+  if (owner) {
+    // Tune outside the lock: waiters block on the future, not the mutex,
+    // so lookups for other keys proceed while this one computes.
+    try {
+      promise.set_value(tune_for(model, samples, dev, cfg));
+      computes_.fetch_add(1);
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(mu_);
+      entries_.erase(key);  // allow a later retry
+    }
+  }
+  return future.get();
+}
+
+TunedParams TunedParamStore::get(const std::string& key) const {
+  std::shared_future<TunedParams> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return {};
+    future = it->second;
+  }
+  if (future.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready)
+    return {};  // still tuning: stay non-blocking
+  try {
+    return future.get();
+  } catch (...) {
+    return {};  // failed tuning counts as absent
+  }
+}
+
+bool TunedParamStore::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(key) > 0;
+}
+
+std::size_t TunedParamStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace ts::serve

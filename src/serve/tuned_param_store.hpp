@@ -1,0 +1,61 @@
+// Shared store of offline-tuned grouping parameters for the serving path.
+//
+// The Alg. 5 grid search is deliberately offline and inference-only: its
+// result depends only on (model, device, engine config), not on the
+// request being served. At serving scale that makes it a classic
+// compute-once-share-everywhere artifact — every concurrent request for
+// the same deployment key must reuse one tuning run, never trigger its
+// own. The store keys tuned parameter maps by a canonical deployment
+// string and guarantees exactly one tune_for call per key even when many
+// worker threads ask simultaneously (latecomers block on the first
+// caller's in-flight computation and share its result).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engines/runner.hpp"
+
+namespace ts::serve {
+
+using TunedParams = std::unordered_map<int, GroupParams>;
+
+/// Canonical deployment key: one tuning run per (model, device, config).
+std::string tuned_key(const std::string& model_name, const DeviceSpec& dev,
+                      const EngineConfig& cfg);
+
+class TunedParamStore {
+ public:
+  /// Returns the tuned per-layer parameters for `key`, running the Alg. 5
+  /// search (tune_for) at most once per key. Thread-safe: concurrent
+  /// callers with the same key block until the single computation finishes
+  /// and then share its result. A tuning failure is rethrown to every
+  /// waiter and the key is evicted so a later call can retry.
+  TunedParams get_or_tune(const std::string& key, const ModelFn& model,
+                          const std::vector<SparseTensor>& samples,
+                          const DeviceSpec& dev, const EngineConfig& cfg);
+
+  /// Non-blocking lookup: returns the tuned params only if the key has
+  /// already been computed successfully; empty params when the key is
+  /// absent, still tuning, or its tuning failed.
+  TunedParams get(const std::string& key) const;
+
+  bool contains(const std::string& key) const;
+
+  /// How many keys have actually been tuned (not merely requested).
+  std::size_t compute_count() const { return computes_.load(); }
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_future<TunedParams>> entries_;
+  std::atomic<std::size_t> computes_{0};
+};
+
+}  // namespace ts::serve

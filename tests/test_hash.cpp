@@ -90,6 +90,68 @@ TEST(GridHashMap, ExactlyOneAccessSemantics) {
   EXPECT_EQ(g.find(Coord{0, 10, 0, 0}), GridHashMap::kNotFound);
 }
 
+TEST(GridHashMap, SparseBackedHugeBoundingBox) {
+  // Above kDenseCellLimit the grid keeps its modeled dense capacity but
+  // backs storage with a compact hash; semantics must be identical.
+  const Coord lo{0, 0, 0, 0};
+  const Coord hi{0, 4000, 4000, 4000};  // ~6.4e10 cells >> 2^22
+  GridHashMap g(lo, hi);
+  EXPECT_GT(g.capacity(), GridHashMap::kDenseCellLimit);
+  EXPECT_EQ(g.capacity(), 4001ull * 4001ull * 4001ull);
+
+  g.insert(Coord{0, 3999, 17, 2500}, 7);
+  g.insert(Coord{0, 0, 0, 0}, 8);
+  g.insert(Coord{0, 3999, 17, 2500}, 99);  // duplicate keeps first
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.find(Coord{0, 3999, 17, 2500}), 7);
+  EXPECT_EQ(g.find(Coord{0, 0, 0, 0}), 8);
+  EXPECT_EQ(g.find(Coord{0, 1, 2, 3}), GridHashMap::kNotFound);
+  EXPECT_EQ(g.find(Coord{0, 4001, 0, 0}), GridHashMap::kNotFound);
+
+  // Many inserts across the box: all retrievable, misses stay misses.
+  std::mt19937_64 rng(9);
+  std::uniform_int_distribution<int32_t> d(0, 4000);
+  std::vector<Coord> pts;
+  std::unordered_set<uint64_t> seen;
+  while (pts.size() < 3000) {
+    const Coord c{0, d(rng), d(rng), d(rng)};
+    if (seen.insert(pack_coord(c)).second) pts.push_back(c);
+  }
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    g.insert(pts[i], static_cast<int64_t>(i));
+  EXPECT_EQ(g.size(), 2u + pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    ASSERT_EQ(g.find(pts[i]), static_cast<int64_t>(i)) << i;
+}
+
+TEST(CoordIndex, SparseAndDenseGridAgreeAcrossLimit) {
+  // The same point set indexed inside a small box (dense path) and after
+  // translating one point out to inflate the box (sparse path) answers
+  // queries identically, with the same access accounting.
+  std::mt19937_64 rng(10);
+  std::uniform_int_distribution<int32_t> d(0, 30);
+  std::vector<Coord> coords;
+  std::unordered_set<uint64_t> seen;
+  while (coords.size() < 500) {
+    const Coord c{0, d(rng), d(rng), d(rng)};
+    if (seen.insert(pack_coord(c)).second) coords.push_back(c);
+  }
+  CoordIndex dense(coords, MapBackend::kGrid);
+  std::vector<Coord> stretched = coords;
+  stretched.push_back(Coord{0, 8000, 8000, 8000});  // inflates the box
+  CoordIndex sparse(stretched, MapBackend::kGrid);
+  EXPECT_LE(dense.memory_bytes() / 8, GridHashMap::kDenseCellLimit);
+  EXPECT_GT(sparse.memory_bytes() / 8, GridHashMap::kDenseCellLimit);
+  EXPECT_EQ(sparse.build_accesses(), stretched.size());
+
+  for (int i = 0; i < 2000; ++i) {
+    const Coord q{0, d(rng), d(rng), d(rng)};
+    ASSERT_EQ(dense.find(q), sparse.find(q));
+  }
+  EXPECT_EQ(sparse.find(Coord{0, 8000, 8000, 8000}),
+            static_cast<int64_t>(stretched.size() - 1));
+}
+
 TEST(GridHashMap, NegativeCoordinateBounds) {
   GridHashMap g(Coord{0, -5, -5, -5}, Coord{1, 5, 5, 5});
   g.insert(Coord{1, -5, 0, 5}, 3);

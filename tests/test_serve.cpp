@@ -1,0 +1,258 @@
+// Serving runtime: the batch path must be a pure throughput construct —
+// identical per-request results to serial run_model, deterministic
+// statistics, and exactly-once tuning under concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+#include <unordered_set>
+
+#include "core/conv3d.hpp"
+#include "engines/presets.hpp"
+#include "engines/runner.hpp"
+#include "engines/workloads.hpp"
+#include "gpusim/device.hpp"
+#include "nn/layers.hpp"
+#include "serve/batch_runner.hpp"
+#include "serve/tuned_param_store.hpp"
+
+namespace ts {
+namespace {
+
+SparseTensor random_tensor(int n, int extent, std::size_t channels,
+                           uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int32_t> d(0, extent);
+  std::uniform_real_distribution<float> f(-1.0f, 1.0f);
+  std::vector<Coord> coords;
+  std::unordered_set<uint64_t> seen;
+  while (static_cast<int>(coords.size()) < n) {
+    const Coord c{0, d(rng), d(rng), d(rng)};
+    if (seen.insert(pack_coord(c)).second) coords.push_back(c);
+  }
+  Matrix feats(coords.size(), channels);
+  for (std::size_t i = 0; i < feats.size(); ++i) feats.data()[i] = f(rng);
+  return SparseTensor(std::move(coords), std::move(feats));
+}
+
+/// A small but multi-level model (down + submanifold + up) so request
+/// timelines exercise mapping, movement, and matmul stages.
+ModelFn small_unet(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto net = std::make_shared<spnn::Sequential>();
+  net->emplace<spnn::ConvBlock>(4, 16, 3, 1, false, rng);
+  net->emplace<spnn::ConvBlock>(16, 32, 2, 2, false, rng);
+  net->emplace<spnn::ConvBlock>(32, 32, 3, 1, false, rng);
+  net->emplace<spnn::ConvBlock>(32, 16, 2, 2, true, rng);
+  return [net](const SparseTensor& x, ExecContext& ctx) {
+    net->forward(x, ctx);
+  };
+}
+
+std::vector<SparseTensor> make_batch(int n, uint64_t seed) {
+  std::vector<SparseTensor> batch;
+  for (int i = 0; i < n; ++i)
+    batch.push_back(random_tensor(150 + 20 * i, 12, 4,
+                                  seed + static_cast<uint64_t>(i)));
+  return batch;
+}
+
+void expect_same_timeline(const Timeline& a, const Timeline& b) {
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    const Stage st = static_cast<Stage>(s);
+    EXPECT_DOUBLE_EQ(a.stage_seconds(st), b.stage_seconds(st))
+        << to_string(st);
+  }
+  EXPECT_DOUBLE_EQ(a.dram_bytes(), b.dram_bytes());
+  EXPECT_EQ(a.kernel_launches(), b.kernel_launches());
+  EXPECT_DOUBLE_EQ(a.flops(), b.flops());
+}
+
+TEST(BatchRunner, MatchesSerialRunModelPerInput) {
+  const ModelFn model = small_unet(11);
+  const auto batch = make_batch(6, 100);
+  const DeviceSpec dev = rtx2080ti();
+  const EngineConfig cfg = torchsparse_config();
+
+  serve::BatchOptions opt;
+  opt.workers = 4;
+  opt.run.numerics = true;
+  const serve::BatchRunner runner(dev, cfg, opt);
+  const serve::BatchReport report = runner.run(model, batch);
+
+  ASSERT_EQ(report.requests.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    RunOptions serial;
+    serial.numerics = true;
+    const Timeline ref = run_model(model, batch[i], dev, cfg, serial);
+    EXPECT_EQ(report.requests[i].index, i);
+    expect_same_timeline(report.requests[i].timeline, ref);
+  }
+}
+
+TEST(BatchRunner, StatsAreSaneUnderManyWorkers) {
+  const ModelFn model = small_unet(12);
+  const auto batch = make_batch(8, 200);
+  serve::BatchOptions opt;
+  opt.workers = 4;
+  const serve::BatchRunner runner(rtx3090(), torchsparse_config(), opt);
+  const serve::BatchReport report = runner.run(model, batch);
+  const serve::BatchStats& s = report.stats;
+
+  EXPECT_EQ(s.requests, batch.size());
+  EXPECT_EQ(s.workers, 4);
+  EXPECT_GT(s.makespan_seconds, 0.0);
+  EXPECT_GT(s.throughput_fps, 0.0);
+  EXPECT_GT(s.mean_service_seconds, 0.0);
+  EXPECT_LE(s.latency_p50_seconds, s.latency_p90_seconds);
+  EXPECT_LE(s.latency_p90_seconds, s.latency_p99_seconds);
+  EXPECT_LE(s.latency_p99_seconds, s.makespan_seconds + 1e-12);
+
+  double sum_service = 0, max_service = 0;
+  for (const serve::RequestResult& r : report.requests) {
+    EXPECT_GT(r.service_seconds, 0.0);
+    EXPECT_GE(r.start_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(r.finish_seconds,
+                     r.start_seconds + r.service_seconds);
+    sum_service += r.service_seconds;
+    max_service = std::max(max_service, r.service_seconds);
+  }
+  // The schedule can never beat perfect division of work or finish
+  // before its longest single request, and never exceeds serial time.
+  EXPECT_GE(s.makespan_seconds,
+            std::max(max_service, sum_service / s.workers) - 1e-12);
+  EXPECT_LE(s.makespan_seconds, sum_service + 1e-12);
+  expect_same_timeline(s.aggregate, [&] {
+    Timeline t;
+    for (const auto& r : report.requests) t += r.timeline;
+    return t;
+  }());
+}
+
+TEST(BatchRunner, MoreWorkersImproveModeledThroughput) {
+  const ModelFn model = small_unet(13);
+  const auto batch = make_batch(8, 300);
+  const DeviceSpec dev = rtx2080ti();
+  const EngineConfig cfg = torchsparse_config();
+
+  auto throughput_with = [&](int workers) {
+    serve::BatchOptions opt;
+    opt.workers = workers;
+    return serve::BatchRunner(dev, cfg, opt)
+        .run(model, batch)
+        .stats.throughput_fps;
+  };
+  const double one = throughput_with(1);
+  const double four = throughput_with(4);
+  EXPECT_GT(four, 1.5 * one);
+}
+
+TEST(BatchRunner, EmptyBatchAndWorkerClamping) {
+  serve::BatchOptions opt;
+  opt.workers = 0;  // clamped to 1
+  const serve::BatchRunner runner(rtx2080ti(), torchsparse_config(), opt);
+  EXPECT_EQ(runner.options().workers, 1);
+  const serve::BatchReport report = runner.run(small_unet(14), {});
+  EXPECT_TRUE(report.requests.empty());
+  EXPECT_EQ(report.stats.requests, 0u);
+  EXPECT_DOUBLE_EQ(report.stats.throughput_fps, 0.0);
+}
+
+TEST(TunedParamStore, ComputesEachKeyOnceUnderConcurrentAccess) {
+  Workload w = make_minkunet_workload("serve-tune", "SemanticKITTI", 0.25,
+                                      1, /*seed=*/77, /*scale=*/0.12,
+                                      /*tune_sample_count=*/1);
+  const DeviceSpec dev = rtx2080ti();
+  const EngineConfig cfg = torchsparse_config();
+  const std::string key = serve::tuned_key(w.name, dev, cfg);
+
+  serve::TunedParamStore store;
+  constexpr int kThreads = 8;
+  std::vector<serve::TunedParams> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      results[static_cast<std::size_t>(t)] =
+          store.get_or_tune(key, w.model, w.tune_samples, dev, cfg);
+    });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(store.compute_count(), 1u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.contains(key));
+  ASSERT_FALSE(results[0].empty());
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(results[static_cast<std::size_t>(t)], results[0]);
+  // A second sequential request is a pure cache hit.
+  EXPECT_EQ(store.get_or_tune(key, w.model, w.tune_samples, dev, cfg),
+            results[0]);
+  EXPECT_EQ(store.compute_count(), 1u);
+}
+
+TEST(TunedParamStore, DistinctKeysAreTunedIndependently) {
+  Workload w = make_minkunet_workload("serve-tune2", "SemanticKITTI", 0.25,
+                                      1, /*seed=*/78, /*scale=*/0.12,
+                                      /*tune_sample_count=*/1);
+  serve::TunedParamStore store;
+  const EngineConfig cfg = torchsparse_config();
+  const std::string k1 = serve::tuned_key(w.name, rtx2080ti(), cfg);
+  const std::string k2 = serve::tuned_key(w.name, rtx3090(), cfg);
+  EXPECT_NE(k1, k2);
+  store.get_or_tune(k1, w.model, w.tune_samples, rtx2080ti(), cfg);
+  store.get_or_tune(k2, w.model, w.tune_samples, rtx3090(), cfg);
+  EXPECT_EQ(store.compute_count(), 2u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.get("missing-key").empty());
+}
+
+TEST(Conv3d, StrideMismatchErrorIsDescriptive) {
+  // Regression for the seed SIGABRT: a transposed conv whose stride does
+  // not divide the tensor stride must throw the same descriptive
+  // runtime_error in Debug and Release, never assert.
+  const SparseTensor x = random_tensor(40, 8, 4, 500);  // stride 1
+  std::mt19937_64 rng(501);
+  Conv3dParams up;
+  up.geom = ConvGeometry{2, 2, true};
+  up.weights = spnn::make_conv_weights(2, 4, 4, rng);
+  ExecContext ctx(rtx2080ti(), torchsparse_config());
+  try {
+    sparse_conv3d(x, up, ctx);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(),
+                 "transposed conv stride 2 does not divide tensor stride 1");
+  }
+}
+
+TEST(Conv3d, ApiBoundaryChecksThrowInsteadOfAssert) {
+  const SparseTensor x = random_tensor(40, 8, 4, 502);
+  std::mt19937_64 rng(503);
+  ExecContext ctx(rtx2080ti(), torchsparse_config());
+
+  Conv3dParams wrong_count;
+  wrong_count.geom = ConvGeometry{3, 1, false};
+  wrong_count.weights = spnn::make_conv_weights(2, 4, 4, rng);  // 8 != 27
+  EXPECT_THROW(sparse_conv3d(x, wrong_count, ctx), std::invalid_argument);
+
+  Conv3dParams wrong_channels;
+  wrong_channels.geom = ConvGeometry{3, 1, false};
+  wrong_channels.weights = spnn::make_conv_weights(3, 8, 4, rng);  // x has 4
+  EXPECT_THROW(sparse_conv3d(x, wrong_channels, ctx),
+               std::invalid_argument);
+
+  Conv3dParams zero_stride;
+  zero_stride.geom = ConvGeometry{3, 0, false};
+  zero_stride.weights = spnn::make_conv_weights(3, 4, 4, rng);
+  EXPECT_THROW(sparse_conv3d(x, zero_stride, ctx), std::invalid_argument);
+}
+
+TEST(TunedParamStore, GetIsNonBlockingAndMissTolerant) {
+  serve::TunedParamStore store;
+  EXPECT_TRUE(store.get("never-tuned").empty());
+  EXPECT_FALSE(store.contains("never-tuned"));
+  EXPECT_EQ(store.compute_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ts
