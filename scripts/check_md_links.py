@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's Markdown files.
+
+Scans every tracked *.md (skipping build directories), extracts inline
+links/images and reference-style link definitions, and verifies that
+each relative target resolves to an existing file or directory.
+External schemes (http/https/mailto) and pure in-page anchors (#...)
+are skipped; a #fragment suffix on a relative link is stripped before
+the existence check. Stdlib only; exits non-zero listing every broken
+link so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {".git", "build", "build-rel", "node_modules", ".claude"}
+
+# Inline [text](target) and ![alt](target); reference [name]: target.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def markdown_files():
+    for dirpath, dirnames, filenames in os.walk(REPO_ROOT):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    text = FENCE.sub("", text)  # links inside code fences are examples
+    broken = []
+    targets = INLINE_LINK.findall(text) + REF_DEF.findall(text)
+    for target in targets:
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):  # scheme
+            continue
+        if target.startswith("#"):  # in-page anchor
+            continue
+        resolved = target.split("#", 1)[0]
+        if not resolved:
+            continue
+        if resolved.startswith("/"):
+            broken.append((target, "absolute path; use a relative link"))
+            continue
+        candidate = os.path.normpath(
+            os.path.join(os.path.dirname(path), resolved))
+        if not os.path.exists(candidate):
+            broken.append((target, "target does not exist"))
+    return broken
+
+
+def main():
+    failures = 0
+    checked = 0
+    for path in sorted(markdown_files()):
+        rel = os.path.relpath(path, REPO_ROOT)
+        checked += 1
+        for target, reason in check_file(path):
+            print(f"BROKEN {rel}: ({target}) — {reason}")
+            failures += 1
+    print(f"checked {checked} markdown file(s): "
+          f"{failures} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,12 +24,16 @@
 
 namespace ts {
 
+/// Each preset returns a fresh EngineConfig value — pure functions, no
+/// shared state, safe to call from any thread. Configs are plain data:
+/// copy freely, mutate locally for ablations.
 EngineConfig baseline_config();
 EngineConfig minkowski_config();
 EngineConfig spconv_config(Precision p);
 EngineConfig torchsparse_config();
 
-/// The five systems in the paper's comparison order.
+/// The five systems in the paper's comparison order: Baseline,
+/// MinkowskiEngine, SpConv FP32, SpConv FP16, TorchSparse.
 std::vector<EngineConfig> paper_engines();
 
 }  // namespace ts

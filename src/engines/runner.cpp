@@ -15,6 +15,12 @@ ExecContext make_run_context(const DeviceSpec& dev, const EngineConfig& cfg,
   return ctx;
 }
 
+void reset_context(ExecContext& ctx) {
+  ctx.timeline = Timeline{};
+  ctx.l2.reset();
+  ctx.layer_id = -1;
+}
+
 Timeline run_in_context(const ModelFn& model, const SparseTensor& input,
                         ExecContext& ctx) {
   const SparseTensor in = fresh_input(input);

@@ -1,5 +1,8 @@
 // Engine runner: executes a model under a (device, engine-config) pair
-// and returns the modeled per-stage timeline.
+// and returns the modeled per-stage timeline. This is the single-request
+// core that the serving runtime (src/serve) builds on: serving reuses
+// make_run_context/run_in_context so batch results are bit-identical to
+// the serial path by construction.
 #pragma once
 
 #include <functional>
@@ -15,7 +18,10 @@
 namespace ts {
 
 /// A model is anything that consumes a sparse tensor under a context
-/// (MinkUNet::forward, CenterPoint::run, ...).
+/// (MinkUNet::forward, CenterPoint::run, ...). Models must be safe to
+/// invoke concurrently with *distinct* contexts: all spnn modules are,
+/// because a forward pass only reads weights and mutates the per-call
+/// context and tensor cache.
 using ModelFn = std::function<void(const SparseTensor&, ExecContext&)>;
 
 struct RunOptions {
@@ -25,20 +31,37 @@ struct RunOptions {
 };
 
 /// Deep-copies input with a fresh TensorCache, so every run rebuilds its
-/// own maps (engines must not share mapping work).
+/// own maps (engines must not share mapping work). Safe to call
+/// concurrently on the same tensor (reads only).
 SparseTensor fresh_input(const SparseTensor& x);
 
 /// Builds the execution context for one inference pass — the shared setup
-/// between run_model and the batch serving path (src/serve).
+/// between run_model and the serving paths (src/serve). The returned
+/// context is single-threaded state: never share one context between
+/// concurrently running requests.
 ExecContext make_run_context(const DeviceSpec& dev, const EngineConfig& cfg,
                              const RunOptions& opt = {});
 
+/// Resets `ctx` for reuse on the next request: clears the accumulated
+/// timeline, the L2 replay simulator, and the current layer id, while
+/// keeping the cost model, engine config, numerics/cache flags, and tuned
+/// parameters. After reset_context, running a model yields the exact
+/// timeline a freshly built context would — this is the serving runtime's
+/// context-reuse hook (one context per worker, reset between requests,
+/// skipping repeated cost-model and cache-simulator construction).
+/// Precondition: no request is currently executing in `ctx`.
+void reset_context(ExecContext& ctx);
+
 /// Runs the model on a private copy of `input` (fresh TensorCache) inside
-/// `ctx` and returns the context's accumulated timeline.
+/// `ctx` and returns the context's accumulated timeline. Exceptions from
+/// the model propagate unchanged; `ctx` is then mid-request garbage and
+/// must be reset_context'ed (or discarded) before reuse.
 Timeline run_in_context(const ModelFn& model, const SparseTensor& input,
                         ExecContext& ctx);
 
-/// One inference pass; returns the accumulated timeline.
+/// One inference pass; returns the accumulated timeline. Deterministic:
+/// the same (model, input, device, config, options) always produces a
+/// bit-identical timeline, on any machine.
 Timeline run_model(const ModelFn& model, const SparseTensor& input,
                    const DeviceSpec& dev, const EngineConfig& cfg,
                    const RunOptions& opt = {});
@@ -51,7 +74,9 @@ std::vector<std::vector<LayerRecord>> record_workloads(
     const DeviceSpec& dev, const EngineConfig& cfg);
 
 /// Full Alg. 5 pass: record workloads on the samples, grid-search
-/// (epsilon, S) per layer against the device cost model.
+/// (epsilon, S) per layer against the device cost model. Expensive (runs
+/// every sample through the model); at serving scale, cache the result in
+/// a serve::TunedParamStore instead of calling this per request.
 std::unordered_map<int, GroupParams> tune_for(
     const ModelFn& model, const std::vector<SparseTensor>& samples,
     const DeviceSpec& dev, const EngineConfig& cfg);

@@ -17,18 +17,25 @@ struct Workload {
   std::string name;     // e.g. "SK-MinkUNet (1.0x)"
   std::string dataset;  // "SemanticKITTI" / "nuScenes" / "Waymo"
   bool is_detection = false;
-  ModelFn model;              // owns the network via shared_ptr capture
+  /// Owns the network via shared_ptr capture. Safe to invoke from many
+  /// threads concurrently with *distinct* ExecContexts (forward passes
+  /// only read weights), which is what the serving runtime relies on.
+  ModelFn model;
   SparseTensor input;         // the evaluation scan
   std::vector<SparseTensor> tune_samples;  // Alg. 5 sample subset
 };
 
 /// Builds all seven workloads. `scale` in (0, 1] shrinks the synthetic
 /// scans (azimuth resolution) so tests stay fast; benches use 1.0.
-/// `tune_sample_count` controls the Alg. 5 subset size.
+/// `tune_sample_count` controls the Alg. 5 subset size. Deterministic
+/// in (seed, scale, tune_sample_count); workload construction is pure —
+/// no global state — so concurrent builds are safe.
 std::vector<Workload> paper_workloads(uint64_t seed, double scale,
                                       int tune_sample_count = 2);
 
-/// Individual constructors (used by ablation benches).
+/// Individual constructors (used by ablation benches and the serving
+/// benches/examples). Same determinism and thread-safety contract as
+/// paper_workloads.
 Workload make_minkunet_workload(const std::string& name,
                                 const std::string& dataset, double width,
                                 int frames, uint64_t seed, double scale,

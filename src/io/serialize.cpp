@@ -39,6 +39,14 @@ uint64_t read_count(std::istream& is, uint64_t limit) {
   return n;
 }
 
+/// Saving to a failed/full stream must be a loud error in Debug and
+/// Release alike, not a silently truncated file discovered at load time.
+void check_write(const std::ostream& os, const char* what) {
+  if (!os)
+    throw std::runtime_error(std::string("write failed while saving ") +
+                             what);
+}
+
 }  // namespace
 
 void save_points(std::ostream& os, const std::vector<Point3>& pts) {
@@ -52,6 +60,7 @@ void save_points(std::ostream& os, const std::vector<Point3>& pts) {
     write_pod(os, p.intensity);
     write_pod(os, p.time);
   }
+  check_write(os, "points");
 }
 
 std::vector<Point3> load_points(std::istream& is) {
@@ -82,6 +91,7 @@ void save_tensor(std::ostream& os, const SparseTensor& t) {
   }
   os.write(reinterpret_cast<const char*>(t.feats().data()),
            static_cast<std::streamsize>(t.feats().size() * sizeof(float)));
+  check_write(os, "tensor");
 }
 
 SparseTensor load_tensor(std::istream& is) {

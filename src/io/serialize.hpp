@@ -3,8 +3,11 @@
 // A deployment-oriented inference engine needs stable on-disk formats:
 // scans captured once and replayed across engines/devices, and timelines
 // exported for offline analysis. Formats are little-endian,
-// magic-and-version tagged; loading validates structure and throws
-// std::runtime_error on malformed input.
+// magic-and-version tagged. Error contract (identical in Debug and
+// Release — no asserts at this API boundary): loading validates structure
+// and throws std::runtime_error on malformed input; saving throws
+// std::runtime_error when the stream cannot be opened or a write fails
+// (full disk, failed stream), never silently truncates.
 #pragma once
 
 #include <iosfwd>

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/mapping_cost.hpp"
@@ -9,6 +11,16 @@
 namespace ts::spnn {
 
 Matrix global_pool(const SparseTensor& x, PoolKind kind, ExecContext& ctx) {
+  // API-boundary validation (not an assert: a negative batch index would
+  // index out of bounds under NDEBUG instead of failing loudly).
+  for (std::size_t i = 0; i < x.num_points(); ++i) {
+    if (x.coords()[i].b < 0)
+      throw std::invalid_argument(
+          "global_pool: negative batch index " +
+          std::to_string(x.coords()[i].b) + " at point " +
+          std::to_string(i));
+  }
+
   charge_elementwise(x.num_points(), x.channels(), ctx);
 
   int num_batches = 0;

@@ -14,6 +14,10 @@ enum class PoolKind { kAvg, kMax };
 /// Reduces a sparse tensor per batch index. Returns a matrix of shape
 /// [num_batches, channels], where row b pools every point with batch
 /// index b. Charged as one streaming reduction kernel (Stage::kMisc).
+/// Precondition (std::invalid_argument, identical in Debug and Release):
+/// every coordinate's batch index is non-negative — a negative index
+/// would silently index out of bounds, not assert, so it is validated at
+/// this API boundary instead. Empty tensors pool to a 0-row matrix.
 Matrix global_pool(const SparseTensor& x, PoolKind kind, ExecContext& ctx);
 
 }  // namespace ts::spnn

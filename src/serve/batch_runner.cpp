@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -55,6 +59,92 @@ BatchStats schedule_stats(std::vector<RequestResult>& requests,
   s.latency_p50_seconds = percentile(finishes, 0.50);
   s.latency_p90_seconds = percentile(finishes, 0.90);
   s.latency_p99_seconds = percentile(finishes, 0.99);
+  return s;
+}
+
+StreamStats schedule_stream(std::vector<StreamResult>& requests,
+                            const std::vector<PlannedBatch>& plan,
+                            int workers, double batch_overhead_seconds,
+                            std::vector<StreamBatchRecord>* batches) {
+  if (!std::isfinite(batch_overhead_seconds) || batch_overhead_seconds < 0)
+    throw std::invalid_argument(
+        "schedule_stream: batch_overhead_seconds must be finite and >= 0");
+  // The plan must partition [0, requests.size()) in order.
+  std::size_t expected = 0;
+  for (const PlannedBatch& b : plan) {
+    if (b.first != expected || b.count == 0)
+      throw std::invalid_argument(
+          "schedule_stream: plan must cover requests contiguously from 0");
+    expected += b.count;
+  }
+  if (expected != requests.size())
+    throw std::invalid_argument(
+        "schedule_stream: plan covers " + std::to_string(expected) +
+        " requests, have " + std::to_string(requests.size()));
+
+  StreamStats s;
+  s.workers = std::max(workers, 1);
+  s.completed = requests.size();
+  s.batches = plan.size();
+  if (batches) batches->clear();
+  if (requests.empty()) return s;
+
+  std::vector<double> lane(static_cast<std::size_t>(s.workers), 0.0);
+  std::vector<double> waits, e2es;
+  waits.reserve(requests.size());
+  e2es.reserve(requests.size());
+  double sum_service = 0;
+  double last_finish = 0;
+
+  for (std::size_t k = 0; k < plan.size(); ++k) {
+    const PlannedBatch& b = plan[k];
+    auto it = std::min_element(lane.begin(), lane.end());
+    const double start = std::max(b.dispatch_seconds, *it);
+    double cursor = start + batch_overhead_seconds;
+    for (std::size_t i = b.first; i < b.first + b.count; ++i) {
+      StreamResult& r = requests[i];
+      r.start_seconds = cursor;
+      r.finish_seconds = cursor + r.service_seconds;
+      cursor = r.finish_seconds;
+      // Queue wait ends when the *batch* starts executing; the once-per-
+      // batch overhead and batch-mates ahead of this request are part of
+      // the (batched) run phase, not the queue. This is what the SLO
+      // budget bounds: with free lanes, wait <= slo_budget_seconds by
+      // construction of the batcher's deadline rule.
+      r.queue_wait_seconds = start - r.arrival_seconds;
+      r.e2e_seconds = r.finish_seconds - r.arrival_seconds;
+      r.batch_id = k;
+      r.batch_size = b.count;
+      waits.push_back(r.queue_wait_seconds);
+      e2es.push_back(r.e2e_seconds);
+      sum_service += r.service_seconds;
+      s.aggregate += r.timeline;
+    }
+    *it = cursor;
+    last_finish = std::max(last_finish, cursor);
+    if (batches)
+      batches->push_back({k, b.first, b.count, b.dispatch_seconds, start,
+                          cursor,
+                          static_cast<int>(it - lane.begin())});
+  }
+
+  s.mean_batch_size = static_cast<double>(requests.size()) /
+                      static_cast<double>(plan.size());
+  s.mean_service_seconds =
+      sum_service / static_cast<double>(requests.size());
+  s.makespan_seconds = last_finish - requests.front().arrival_seconds;
+  s.throughput_fps =
+      s.makespan_seconds > 0
+          ? static_cast<double>(requests.size()) / s.makespan_seconds
+          : 0.0;
+  std::sort(waits.begin(), waits.end());
+  std::sort(e2es.begin(), e2es.end());
+  s.queue_wait_p50_seconds = percentile(waits, 0.50);
+  s.queue_wait_p90_seconds = percentile(waits, 0.90);
+  s.queue_wait_p99_seconds = percentile(waits, 0.99);
+  s.e2e_p50_seconds = percentile(e2es, 0.50);
+  s.e2e_p90_seconds = percentile(e2es, 0.90);
+  s.e2e_p99_seconds = percentile(e2es, 0.99);
   return s;
 }
 
@@ -110,6 +200,130 @@ BatchReport BatchRunner::run(const ModelFn& model,
   // to the earliest-available worker lane. With modeled (not wall-clock)
   // service times this makes every statistic reproducible.
   report.stats = schedule_stats(report.requests, opt_.workers);
+  return report;
+}
+
+StreamReport BatchRunner::serve(const ModelFn& model, RequestQueue& queue,
+                                const StreamOptions& sopt) const {
+  StreamReport report;
+
+  // Drained stream state. Deques keep element references stable while the
+  // coordinator appends and workers write measured service times.
+  std::deque<StreamResult> results;               // submission order
+  std::deque<SparseTensor> inputs;                // parallel to results
+  std::deque<std::promise<StreamResult>> promises;
+  std::vector<PlannedBatch> plan;
+  DynamicBatcher batcher(sopt.batcher);
+
+  // Measurement work queue. Batch membership only shapes the modeled
+  // schedule, so measurement starts the moment a request is drained — no
+  // need to wait for its batch. Work items carry stable pointers (deque
+  // push_back never moves existing elements), so workers never touch the
+  // growing containers themselves.
+  struct WorkItem {
+    const SparseTensor* input;
+    StreamResult* result;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<WorkItem> work;
+  bool producer_done = false;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    std::optional<ExecContext> ctx;
+    for (;;) {
+      WorkItem item;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return producer_done || !work.empty(); });
+        if (work.empty()) return;
+        item = work.front();
+        work.pop_front();
+      }
+      try {
+        Timeline t;
+        if (sopt.reuse_context) {
+          if (!ctx)
+            ctx.emplace(make_run_context(dev_, cfg_, opt_.run));
+          else
+            reset_context(*ctx);
+          t = run_in_context(model, *item.input, *ctx);
+        } else {
+          ExecContext fresh = make_run_context(dev_, cfg_, opt_.run);
+          t = run_in_context(model, *item.input, fresh);
+        }
+        item.result->timeline = t;
+        item.result->service_seconds = t.total_seconds();
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!first_error) first_error = std::current_exception();
+          work.clear();
+          producer_done = true;
+        }
+        cv.notify_all();
+        queue.close();  // unblock the coordinator's wait_pop
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(opt_.workers));
+  for (int t = 0; t < opt_.workers; ++t) threads.emplace_back(worker);
+
+  // Coordinator (this thread): drain the queue in arrival order, feed the
+  // batcher, and hand each request to the measurement pool. After a
+  // worker failure the queue is already closed; keep draining it so every
+  // outstanding promise can receive the error.
+  PendingRequest pr;
+  while (queue.wait_pop(pr)) {
+    bool errored;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      errored = static_cast<bool>(first_error);
+    }
+    if (errored) {
+      promises.push_back(std::move(pr.promise));
+      continue;
+    }
+    results.emplace_back();
+    results.back().id = pr.id;
+    results.back().arrival_seconds = pr.arrival_seconds;
+    inputs.push_back(std::move(pr.input));
+    promises.push_back(std::move(pr.promise));
+    for (const PlannedBatch& b : batcher.on_arrival(pr.arrival_seconds))
+      plan.push_back(b);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      work.push_back({&inputs.back(), &results.back()});
+    }
+    cv.notify_one();
+  }
+  for (const PlannedBatch& b : batcher.flush()) plan.push_back(b);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    producer_done = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) {
+    // Every outstanding handle observes the same failure, then rethrow.
+    for (std::promise<StreamResult>& p : promises)
+      p.set_exception(first_error);
+    std::rethrow_exception(first_error);
+  }
+
+  report.requests.assign(std::make_move_iterator(results.begin()),
+                         std::make_move_iterator(results.end()));
+  report.stats = schedule_stream(report.requests, plan, opt_.workers,
+                                 sopt.batch_overhead_seconds,
+                                 &report.batches);
+  report.stats.rejected = queue.rejected();
+  for (std::size_t i = 0; i < report.requests.size(); ++i)
+    promises[i].set_value(report.requests[i]);
   return report;
 }
 

@@ -1,25 +1,38 @@
 // Concurrent batched inference runtime (the serving-scale counterpart of
 // engines/runner).
 //
-// A BatchRunner accepts a batch of point clouds and shards them across a
-// pool of worker threads. Every request gets its own ExecContext and a
-// private TensorCache (via fresh_input), so per-request results are
-// bit-identical to a serial run_model loop — concurrency changes wall
-// time, never outputs. Tuned grouping parameters arrive through
-// RunOptions, typically from a TunedParamStore shared by all workers.
+// Two entry points share one worker pool design:
+//
+//  * run()   — the PR-1 fixed-batch path: a pre-collected vector of point
+//              clouds is sharded across worker threads and placed on a
+//              deterministic earliest-available-worker schedule.
+//  * serve() — the streaming path: the pool drains a RequestQueue whose
+//              producers submit asynchronously, a DynamicBatcher groups
+//              requests into dispatch batches under an SLO-aware policy,
+//              and the report carries per-request end-to-end latency
+//              (queue wait + run) percentiles plus rejection counts.
+//
+// Every request gets its own ExecContext state (fresh, or one reusable
+// context per worker reset between requests) and a private TensorCache
+// (via fresh_input), so per-request results are bit-identical to a serial
+// run_model loop — concurrency changes wall time, never outputs. Tuned
+// grouping parameters arrive through RunOptions, typically from a
+// TunedParamStore shared by all workers.
 //
 // Because layer runtimes are produced by the device cost model rather
-// than wall clocks, batch-level statistics are also modeled: the per-
-// request service times are placed on a deterministic earliest-available-
-// worker schedule (arrival order = input order), which yields a makespan,
-// throughput, and completion-latency percentiles that are reproducible
-// across runs and machines regardless of thread interleaving.
+// than wall clocks, all serving statistics are also modeled: arrivals,
+// batch dispatch times, lane assignment, and completion times live on a
+// deterministic modeled clock, so throughput and latency percentiles are
+// reproducible across runs and machines regardless of thread
+// interleaving.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "engines/runner.hpp"
+#include "serve/dynamic_batcher.hpp"
+#include "serve/request_queue.hpp"
 
 namespace ts::serve {
 
@@ -28,8 +41,8 @@ struct BatchOptions {
   RunOptions run;   // shared per-request options (numerics, tuned params)
 };
 
-/// One request's outcome: the modeled timeline plus its slot in the
-/// deterministic schedule.
+/// One request's outcome on the fixed-batch path: the modeled timeline
+/// plus its slot in the deterministic schedule.
 struct RequestResult {
   std::size_t index = 0;       // position in the input batch
   Timeline timeline;           // identical to serial run_model on input[i]
@@ -62,16 +75,106 @@ struct BatchReport {
 /// across many (batch size, worker count) schedule configurations.
 BatchStats schedule_stats(std::vector<RequestResult>& requests, int workers);
 
+// ---------------------------------------------------------------------
+// Streaming path
+// ---------------------------------------------------------------------
+
+/// Knobs of the streaming serve() path beyond BatchOptions.
+struct StreamOptions {
+  /// Batch-formation policy (see dynamic_batcher.hpp).
+  BatcherOptions batcher;
+  /// Fixed modeled setup cost charged once per dispatched batch — the
+  /// amortizable slice (kernel-map reuse, weight staging, launch setup)
+  /// that makes larger batches cheaper per request. Must be >= 0.
+  double batch_overhead_seconds = 0;
+  /// Reuse one ExecContext per worker across requests (reset_context
+  /// between them) instead of constructing a fresh context per request.
+  /// Results are bit-identical either way; reuse skips the repeated
+  /// cost-model and L2-simulator construction.
+  bool reuse_context = true;
+};
+
+/// One dispatched batch's slot in the modeled schedule.
+struct StreamBatchRecord {
+  std::size_t batch_id = 0;
+  std::size_t first = 0;          // first request id in the batch
+  std::size_t size = 0;
+  double dispatch_seconds = 0;    // when the batcher released it
+  double start_seconds = 0;       // max(dispatch, lane free) on its lane
+  double finish_seconds = 0;      // last member's completion
+  int lane = 0;                   // worker lane it ran on
+};
+
+struct StreamStats {
+  std::size_t completed = 0;
+  std::size_t rejected = 0;        // admission-control rejections
+  std::size_t batches = 0;
+  double mean_batch_size = 0;
+  int workers = 1;
+  double makespan_seconds = 0;     // last finish - first arrival
+  double throughput_fps = 0;       // completed / makespan
+  double queue_wait_p50_seconds = 0;  // arrival -> batch-execution-start
+  double queue_wait_p90_seconds = 0;  //   percentiles (the SLO-bounded
+  double queue_wait_p99_seconds = 0;  //   quantity; see StreamResult)
+  double e2e_p50_seconds = 0;         // finish - arrival percentiles
+  double e2e_p90_seconds = 0;
+  double e2e_p99_seconds = 0;
+  double mean_service_seconds = 0;
+  Timeline aggregate;              // sum of all request timelines
+};
+
+struct StreamReport {
+  std::vector<StreamResult> requests;       // in submission order
+  std::vector<StreamBatchRecord> batches;   // in dispatch order
+  StreamStats stats;
+};
+
+/// Pure modeled scheduler for the streaming path: places planned batches
+/// (in dispatch order) on `workers` earliest-available lanes, runs each
+/// batch's members back-to-back after a once-per-batch overhead, fills
+/// every request's start/finish/queue-wait/e2e fields, and returns the
+/// stream statistics. `requests` must be in submission order with id,
+/// arrival_seconds, and service_seconds already set; `plan` must cover
+/// exactly [0, requests.size()) (std::invalid_argument otherwise).
+/// Deterministic: same inputs, same schedule, on any machine. Used by
+/// BatchRunner::serve and by policy sweeps (bench/fig15) that reuse one
+/// set of measured service times across many batching configurations.
+StreamStats schedule_stream(std::vector<StreamResult>& requests,
+                            const std::vector<PlannedBatch>& plan,
+                            int workers, double batch_overhead_seconds,
+                            std::vector<StreamBatchRecord>* batches = nullptr);
+
 class BatchRunner {
  public:
+  /// `opt.workers` is clamped to >= 1.
   BatchRunner(DeviceSpec dev, EngineConfig cfg, BatchOptions opt = {});
 
   /// Runs every input through `model` on the worker pool and returns the
   /// per-request results plus batch statistics. The model must be safe to
   /// invoke concurrently with distinct contexts (all spnn modules are:
   /// forward passes only read weights and mutate the per-call context).
+  /// Exception guarantee: the first per-request failure is rethrown after
+  /// the pool drains; no partial report escapes.
   BatchReport run(const ModelFn& model,
                   const std::vector<SparseTensor>& inputs) const;
+
+  /// Streaming entry point: drains `queue` until it is closed and empty,
+  /// forming dispatch batches with a DynamicBatcher(sopt.batcher) and
+  /// executing requests on the worker pool. Producers may keep submitting
+  /// concurrently while serve() runs; every StreamHandle is fulfilled
+  /// with its StreamResult (or the serving error) once the stream
+  /// completes — schedule slots are only final when every batch is
+  /// placed, so producers must close() the queue before blocking on a
+  /// handle (see StreamHandle).
+  ///
+  /// Thread-safety: one serve() call per queue at a time (single
+  /// consumer); safe alongside any number of producers. Exception
+  /// guarantee: on a request failure the queue is closed, every
+  /// outstanding handle receives the error, and the error is rethrown.
+  /// Determinism: the returned report depends only on the submitted
+  /// (input, arrival) stream and the options — never on thread timing.
+  StreamReport serve(const ModelFn& model, RequestQueue& queue,
+                     const StreamOptions& sopt = {}) const;
 
   const BatchOptions& options() const { return opt_; }
 

@@ -1,0 +1,88 @@
+#include "serve/dynamic_batcher.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace ts::serve {
+
+const char* to_string(BatchPolicy p) {
+  switch (p) {
+    case BatchPolicy::kImmediate: return "immediate";
+    case BatchPolicy::kFullBatch: return "full-batch";
+    case BatchPolicy::kSloAware: return "slo-aware";
+  }
+  return "?";
+}
+
+DynamicBatcher::DynamicBatcher(BatcherOptions opt) : opt_(opt) {
+  if (opt_.max_batch < 1) opt_.max_batch = 1;
+  if (!(opt_.slo_budget_seconds >= 0) ||
+      !std::isfinite(opt_.slo_budget_seconds))
+    throw std::invalid_argument(
+        "DynamicBatcher: slo_budget_seconds must be finite and >= 0");
+}
+
+void DynamicBatcher::close_pending(double dispatch_seconds,
+                                   std::vector<PlannedBatch>& out) {
+  out.push_back({pending_first_, pending_count_, dispatch_seconds});
+  pending_first_ += pending_count_;
+  pending_count_ = 0;
+}
+
+std::vector<PlannedBatch> DynamicBatcher::on_arrival(
+    double arrival_seconds) {
+  if (!std::isfinite(arrival_seconds) || arrival_seconds < 0)
+    throw std::invalid_argument(
+        "DynamicBatcher::on_arrival: arrival time must be finite and >= 0");
+  if (next_index_ > 0 && arrival_seconds < last_arrival_)
+    throw std::invalid_argument(
+        "DynamicBatcher::on_arrival: arrival times must be non-decreasing "
+        "(got " + std::to_string(arrival_seconds) + " after " +
+        std::to_string(last_arrival_) + ")");
+
+  std::vector<PlannedBatch> out;
+  // Deadline rule: the open batch dispatched the instant its head's wait
+  // budget ran out, which is strictly before this arrival.
+  if (opt_.policy == BatchPolicy::kSloAware && pending_count_ > 0) {
+    const double deadline = oldest_arrival_ + opt_.slo_budget_seconds;
+    if (arrival_seconds > deadline) close_pending(deadline, out);
+  }
+
+  if (pending_count_ == 0) {
+    pending_first_ = next_index_;
+    oldest_arrival_ = arrival_seconds;
+  }
+  ++pending_count_;
+
+  const int cap =
+      opt_.policy == BatchPolicy::kImmediate ? 1 : opt_.max_batch;
+  if (pending_count_ >= static_cast<std::size_t>(cap))
+    close_pending(arrival_seconds, out);
+
+  last_arrival_ = arrival_seconds;
+  ++next_index_;
+  return out;
+}
+
+std::vector<PlannedBatch> DynamicBatcher::flush() {
+  std::vector<PlannedBatch> out;
+  if (pending_count_ > 0) close_pending(last_arrival_, out);
+  next_index_ = 0;
+  pending_first_ = 0;
+  oldest_arrival_ = 0;
+  last_arrival_ = 0;
+  return out;
+}
+
+std::vector<PlannedBatch> DynamicBatcher::plan(
+    const std::vector<double>& arrivals, const BatcherOptions& opt) {
+  DynamicBatcher b(opt);
+  std::vector<PlannedBatch> plan;
+  for (double t : arrivals)
+    for (PlannedBatch& pb : b.on_arrival(t)) plan.push_back(pb);
+  for (PlannedBatch& pb : b.flush()) plan.push_back(pb);
+  return plan;
+}
+
+}  // namespace ts::serve

@@ -1,0 +1,101 @@
+#include "serve/request_queue.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace ts::serve {
+
+RequestQueue::RequestQueue(QueueOptions opt) : opt_(opt) {
+  if (opt_.max_depth == 0)
+    throw std::invalid_argument("RequestQueue: max_depth must be >= 1");
+}
+
+StreamHandle RequestQueue::admit_locked(SparseTensor&& input,
+                                        double arrival_seconds) {
+  PendingRequest req;
+  req.id = next_id_++;
+  req.input = std::move(input);
+  req.arrival_seconds = arrival_seconds;
+  StreamHandle handle(req.id, req.promise.get_future().share());
+  last_arrival_ = arrival_seconds;
+  queue_.push_back(std::move(req));
+  cv_.notify_one();
+  return handle;
+}
+
+StreamHandle RequestQueue::submit(SparseTensor input,
+                                  double arrival_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!std::isfinite(arrival_seconds) || arrival_seconds < 0)
+    throw std::invalid_argument(
+        "RequestQueue::submit: arrival time must be finite and >= 0");
+  if (next_id_ > 0 && arrival_seconds < last_arrival_)
+    throw std::invalid_argument(
+        "RequestQueue::submit: arrival times must be non-decreasing (got " +
+        std::to_string(arrival_seconds) + " after " +
+        std::to_string(last_arrival_) + ")");
+  if (closed_) {
+    ++rejected_;
+    throw AdmissionError("RequestQueue::submit: queue is closed");
+  }
+  if (queue_.size() >= opt_.max_depth) {
+    ++rejected_;
+    throw AdmissionError(
+        "RequestQueue::submit: queue depth limit reached (" +
+        std::to_string(opt_.max_depth) + " pending)");
+  }
+  return admit_locked(std::move(input), arrival_seconds);
+}
+
+std::optional<StreamHandle> RequestQueue::try_submit(
+    SparseTensor input, double arrival_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!std::isfinite(arrival_seconds) || arrival_seconds < 0)
+    throw std::invalid_argument(
+        "RequestQueue::try_submit: arrival time must be finite and >= 0");
+  if (next_id_ > 0 && arrival_seconds < last_arrival_)
+    throw std::invalid_argument(
+        "RequestQueue::try_submit: arrival times must be non-decreasing");
+  if (closed_ || queue_.size() >= opt_.max_depth) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  return admit_locked(std::move(input), arrival_seconds);
+}
+
+void RequestQueue::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t RequestQueue::submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_;
+}
+
+std::size_t RequestQueue::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+bool RequestQueue::wait_pop(PendingRequest& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // closed and drained
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+}  // namespace ts::serve

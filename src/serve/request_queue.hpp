@@ -1,0 +1,167 @@
+// Asynchronous request intake for the streaming serving path.
+//
+// A RequestQueue is the admission boundary of the serving runtime:
+// producers submit point-cloud inference requests (each stamped with a
+// modeled arrival time) and immediately receive a StreamHandle — a future
+// over the request's eventual StreamResult. A bounded queue depth gives
+// the runtime explicit load-shedding semantics: once `max_depth` requests
+// are queued and not yet drained by the serving loop, further submissions
+// fail fast with a typed AdmissionError instead of growing an unbounded
+// backlog (the classic tail-latency failure mode of queueing systems).
+//
+// Time is *modeled*, not wall-clock: arrival stamps are supplied by the
+// caller (monotone non-decreasing), and the downstream DynamicBatcher and
+// scheduler operate purely on those stamps plus cost-model service times.
+// That makes every queue-wait and end-to-end latency statistic bit-
+// reproducible across runs and machines, exactly like the rest of the
+// cost-model engine.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "core/sparse_tensor.hpp"
+#include "gpusim/timeline.hpp"
+
+namespace ts::serve {
+
+/// Typed load-shedding error: thrown by RequestQueue::submit when the
+/// bounded queue is full or the queue has been closed. Catch this (and
+/// only this) to implement client-side backoff/retry.
+class AdmissionError : public std::runtime_error {
+ public:
+  explicit AdmissionError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One streamed request's complete outcome: the modeled per-stage
+/// timeline (bit-identical to a serial run_model on the same input) plus
+/// its position in the modeled serving schedule.
+struct StreamResult {
+  std::size_t id = 0;              // submission order (0-based)
+  Timeline timeline;               // identical to serial run_model
+  double arrival_seconds = 0;      // modeled submit stamp
+  double service_seconds = 0;      // modeled single-request runtime
+  double start_seconds = 0;        // modeled execution start on its lane
+  double finish_seconds = 0;       // start + service
+  /// Time spent queued: arrival until the request's *batch* starts
+  /// executing (batcher deadline wait + lane wait). The per-batch
+  /// overhead and batch-mates ahead of this request count as run time,
+  /// not queueing — this is the quantity the SLO budget bounds.
+  double queue_wait_seconds = 0;
+  double e2e_seconds = 0;          // finish - arrival (queue wait + run)
+  std::size_t batch_id = 0;        // dispatched batch that served it
+  std::size_t batch_size = 0;      // size of that batch
+};
+
+/// Future-like handle returned by RequestQueue::submit.
+///
+/// Thread-safety: `get()` may be called from any thread. Fulfillment
+/// semantics: handles resolve when BatchRunner::serve finishes the
+/// whole stream (a request's modeled schedule slot is only final once
+/// every batch is placed), i.e. after the queue has been closed and
+/// drained. Do NOT block on `get()` from the producer before calling
+/// close() — that deadlocks, because serve() is still waiting for the
+/// end of the stream. Submit everything (or hand the queue to another
+/// thread), close, then collect. If serving fails, `get()` rethrows the
+/// serving error. Copyable; all copies share one result.
+class StreamHandle {
+ public:
+  StreamHandle() = default;
+  StreamHandle(std::size_t id, std::shared_future<StreamResult> fut)
+      : id_(id), fut_(std::move(fut)) {}
+
+  /// Submission id (also the index into StreamReport::requests).
+  std::size_t id() const { return id_; }
+
+  bool valid() const { return fut_.valid(); }
+
+  /// Blocks until the request has been served; returns its result or
+  /// rethrows the serving loop's failure.
+  const StreamResult& get() const { return fut_.get(); }
+
+ private:
+  std::size_t id_ = 0;
+  std::shared_future<StreamResult> fut_;
+};
+
+struct QueueOptions {
+  /// Admission limit: maximum number of submitted-but-not-yet-drained
+  /// requests. Submissions past this depth throw AdmissionError (submit)
+  /// or return nullopt (try_submit) and are counted as rejected.
+  std::size_t max_depth = 64;
+};
+
+/// Internal unit drained by the serving loop: the input, its arrival
+/// stamp, and the promise that fulfills the producer's StreamHandle.
+struct PendingRequest {
+  std::size_t id = 0;
+  SparseTensor input;
+  double arrival_seconds = 0;
+  std::promise<StreamResult> promise;
+};
+
+/// Bounded MPSC intake queue with modeled arrival stamps.
+///
+/// Thread-safety: submit/try_submit/close and the observers are safe from
+/// any number of producer threads; wait_pop is intended for one consumer
+/// (the serving loop). Exception guarantees: submit offers the strong
+/// guarantee — on AdmissionError or std::invalid_argument the queue is
+/// unchanged (the rejection counter aside).
+class RequestQueue {
+ public:
+  explicit RequestQueue(QueueOptions opt = {});
+
+  /// Enqueues a request with a modeled arrival stamp and returns its
+  /// handle. Preconditions (std::invalid_argument): `arrival_seconds` is
+  /// finite, non-negative, and non-decreasing across submissions.
+  /// Throws AdmissionError when the queue is closed or `max_depth`
+  /// requests are already pending; the rejection is counted.
+  StreamHandle submit(SparseTensor input, double arrival_seconds);
+
+  /// Non-throwing admission: nullopt instead of AdmissionError. Invalid
+  /// arrival stamps still throw std::invalid_argument (caller bug, not
+  /// load shedding).
+  std::optional<StreamHandle> try_submit(SparseTensor input,
+                                         double arrival_seconds);
+
+  /// Marks the end of the stream: subsequent submissions are rejected and
+  /// wait_pop returns false once the backlog drains. Idempotent.
+  void close();
+
+  bool closed() const;
+
+  /// Currently queued (admitted, not yet drained) requests.
+  std::size_t depth() const;
+
+  /// Totals since construction.
+  std::size_t submitted() const;
+  std::size_t rejected() const;
+
+  /// Consumer side (the serving loop): blocks until a request is
+  /// available or the queue is closed and empty. Returns false — without
+  /// touching `out` — only in the closed-and-drained terminal state.
+  bool wait_pop(PendingRequest& out);
+
+  const QueueOptions& options() const { return opt_; }
+
+ private:
+  StreamHandle admit_locked(SparseTensor&& input, double arrival_seconds);
+
+  QueueOptions opt_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  bool closed_ = false;
+  double last_arrival_ = 0;
+  std::size_t next_id_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace ts::serve

@@ -1,16 +1,22 @@
 // Degenerate-input robustness: empty tensors, single points, layers with
-// no matches — the failure-injection corners of the engine.
+// no matches — the failure-injection corners of the engine — plus the
+// API-boundary error contracts that must hold identically in Debug and
+// Release (descriptive exceptions, never NDEBUG-stripped asserts).
 #include <gtest/gtest.h>
 
 #include <random>
+#include <sstream>
+#include <stdexcept>
 
 #include "core/conv3d.hpp"
 #include "core/downsample.hpp"
 #include "data/voxelize.hpp"
 #include "engines/presets.hpp"
 #include "gpusim/device.hpp"
+#include "io/serialize.hpp"
 #include "nn/layers.hpp"
 #include "nn/minkunet.hpp"
+#include "nn/pooling.hpp"
 
 namespace ts {
 namespace {
@@ -110,6 +116,56 @@ TEST(EdgeCases, RepeatedForwardIsDeterministic) {
       net.forward(SparseTensor(x.coords(), x.feats()), b);
   EXPECT_EQ(max_abs_diff(ya.feats(), yb.feats()), 0.0f);
   EXPECT_DOUBLE_EQ(a.timeline.total_seconds(), b.timeline.total_seconds());
+}
+
+TEST(EdgeCases, GlobalPoolRejectsNegativeBatchIndex) {
+  // Regression (ROADMAP "Hardening"): a negative batch index used to
+  // index out of bounds under NDEBUG; it must throw the same descriptive
+  // error in Debug and Release.
+  std::vector<Coord> coords = {{0, 1, 1, 1}, {-3, 2, 2, 2}};
+  Matrix feats(2, 4, 1.0f);
+  SparseTensor x(coords, feats);
+  ExecContext ctx = fp32_ctx();
+  try {
+    spnn::global_pool(x, spnn::PoolKind::kAvg, ctx);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "global_pool: negative batch index -3 at point 1");
+  }
+  EXPECT_THROW(spnn::global_pool(x, spnn::PoolKind::kMax, ctx),
+               std::invalid_argument);
+}
+
+TEST(EdgeCases, GlobalPoolEmptyTensor) {
+  SparseTensor x({}, Matrix(0, 4));
+  ExecContext ctx = fp32_ctx();
+  const Matrix out = spnn::global_pool(x, spnn::PoolKind::kAvg, ctx);
+  EXPECT_EQ(out.rows(), 0u);
+  EXPECT_EQ(out.cols(), 4u);
+}
+
+TEST(EdgeCases, SerializeSaveToFailedStreamThrows) {
+  // Regression (ROADMAP "Hardening"): saving into a failed/full stream
+  // must be a loud runtime_error, not a silently truncated file.
+  std::vector<Coord> coords = {{0, 1, 2, 3}};
+  const SparseTensor t(coords, Matrix(1, 2, 0.5f));
+  std::ostringstream os;
+  os.setstate(std::ios::badbit);
+  EXPECT_THROW(io::save_tensor(os, t), std::runtime_error);
+  std::ostringstream ps;
+  ps.setstate(std::ios::badbit);
+  EXPECT_THROW(io::save_points(ps, {Point3{1, 2, 3, 0.5f, 0.0f}}),
+               std::runtime_error);
+}
+
+TEST(EdgeCases, SerializeSaveToUnopenablePathThrows) {
+  std::vector<Coord> coords = {{0, 1, 2, 3}};
+  const SparseTensor t(coords, Matrix(1, 2, 0.5f));
+  EXPECT_THROW(io::save_tensor_file("/nonexistent-dir/x.tsten", t),
+               std::runtime_error);
+  EXPECT_THROW(io::save_points_file("/nonexistent-dir/x.tspts", {}),
+               std::runtime_error);
 }
 
 TEST(EdgeCases, LargeCoordinatesStayInPackableRange) {

@@ -1,0 +1,414 @@
+// Streaming serving runtime: async submission must be a pure scheduling
+// construct — per-request results bit-identical to serial run_model,
+// typed admission-control rejections, SLO-aware batch formation on the
+// modeled clock, and statistics that are deterministic across runs.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "engines/presets.hpp"
+#include "engines/runner.hpp"
+#include "gpusim/device.hpp"
+#include "nn/layers.hpp"
+#include "serve/batch_runner.hpp"
+#include "serve/dynamic_batcher.hpp"
+#include "serve/request_queue.hpp"
+
+namespace ts {
+namespace {
+
+SparseTensor random_tensor(int n, int extent, std::size_t channels,
+                           uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int32_t> d(0, extent);
+  std::uniform_real_distribution<float> f(-1.0f, 1.0f);
+  std::vector<Coord> coords;
+  std::unordered_set<uint64_t> seen;
+  while (static_cast<int>(coords.size()) < n) {
+    const Coord c{0, d(rng), d(rng), d(rng)};
+    if (seen.insert(pack_coord(c)).second) coords.push_back(c);
+  }
+  Matrix feats(coords.size(), channels);
+  for (std::size_t i = 0; i < feats.size(); ++i) feats.data()[i] = f(rng);
+  return SparseTensor(std::move(coords), std::move(feats));
+}
+
+/// A small but multi-level model (down + submanifold + up) so request
+/// timelines exercise mapping, movement, and matmul stages.
+ModelFn small_unet(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto net = std::make_shared<spnn::Sequential>();
+  net->emplace<spnn::ConvBlock>(4, 16, 3, 1, false, rng);
+  net->emplace<spnn::ConvBlock>(16, 32, 2, 2, false, rng);
+  net->emplace<spnn::ConvBlock>(32, 32, 3, 1, false, rng);
+  net->emplace<spnn::ConvBlock>(32, 16, 2, 2, true, rng);
+  return [net](const SparseTensor& x, ExecContext& ctx) {
+    net->forward(x, ctx);
+  };
+}
+
+std::vector<SparseTensor> make_batch(int n, uint64_t seed) {
+  std::vector<SparseTensor> batch;
+  for (int i = 0; i < n; ++i)
+    batch.push_back(random_tensor(150 + 20 * i, 12, 4,
+                                  seed + static_cast<uint64_t>(i)));
+  return batch;
+}
+
+void expect_same_timeline(const Timeline& a, const Timeline& b) {
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    const Stage st = static_cast<Stage>(s);
+    EXPECT_DOUBLE_EQ(a.stage_seconds(st), b.stage_seconds(st))
+        << to_string(st);
+  }
+  EXPECT_DOUBLE_EQ(a.dram_bytes(), b.dram_bytes());
+  EXPECT_EQ(a.kernel_launches(), b.kernel_launches());
+  EXPECT_DOUBLE_EQ(a.flops(), b.flops());
+}
+
+// --- DynamicBatcher: batch formation on the modeled clock -------------
+
+TEST(DynamicBatcher, SloAwareClosesOnDeadlineOrFullBatch) {
+  serve::BatcherOptions opt;
+  opt.policy = serve::BatchPolicy::kSloAware;
+  opt.max_batch = 3;
+  opt.slo_budget_seconds = 1.0;
+  const auto plan = serve::DynamicBatcher::plan(
+      {0.0, 0.2, 5.0, 5.1, 5.2, 9.0}, opt);
+
+  ASSERT_EQ(plan.size(), 3u);
+  // [0, 0.2]: deadline 0.0 + 1.0 passed before the arrival at 5.0.
+  EXPECT_EQ(plan[0].first, 0u);
+  EXPECT_EQ(plan[0].count, 2u);
+  EXPECT_DOUBLE_EQ(plan[0].dispatch_seconds, 1.0);
+  // [5.0, 5.1, 5.2]: filled to max_batch at the 5.2 arrival.
+  EXPECT_EQ(plan[1].first, 2u);
+  EXPECT_EQ(plan[1].count, 3u);
+  EXPECT_DOUBLE_EQ(plan[1].dispatch_seconds, 5.2);
+  // [9.0]: flushed at end of stream (modeled close = last arrival).
+  EXPECT_EQ(plan[2].first, 5u);
+  EXPECT_EQ(plan[2].count, 1u);
+  EXPECT_DOUBLE_EQ(plan[2].dispatch_seconds, 9.0);
+}
+
+TEST(DynamicBatcher, ImmediateAndFullBatchPolicies) {
+  const std::vector<double> arrivals = {0.0, 1.0, 2.0, 3.0, 4.0};
+
+  serve::BatcherOptions imm;
+  imm.policy = serve::BatchPolicy::kImmediate;
+  imm.max_batch = 8;
+  const auto plan_imm = serve::DynamicBatcher::plan(arrivals, imm);
+  ASSERT_EQ(plan_imm.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(plan_imm[i].count, 1u);
+    EXPECT_DOUBLE_EQ(plan_imm[i].dispatch_seconds, arrivals[i]);
+  }
+
+  serve::BatcherOptions full;
+  full.policy = serve::BatchPolicy::kFullBatch;
+  full.max_batch = 2;
+  const auto plan_full = serve::DynamicBatcher::plan(arrivals, full);
+  ASSERT_EQ(plan_full.size(), 3u);
+  EXPECT_EQ(plan_full[0].count, 2u);
+  EXPECT_DOUBLE_EQ(plan_full[0].dispatch_seconds, 1.0);
+  EXPECT_EQ(plan_full[1].count, 2u);
+  EXPECT_DOUBLE_EQ(plan_full[1].dispatch_seconds, 3.0);
+  // Remainder flushed at the last arrival.
+  EXPECT_EQ(plan_full[2].count, 1u);
+  EXPECT_DOUBLE_EQ(plan_full[2].dispatch_seconds, 4.0);
+}
+
+TEST(DynamicBatcher, RejectsNonMonotoneArrivals) {
+  serve::DynamicBatcher b(serve::BatcherOptions{});
+  b.on_arrival(1.0);
+  EXPECT_THROW(b.on_arrival(0.5), std::invalid_argument);
+}
+
+// --- schedule_stream: the pure modeled scheduler ----------------------
+
+TEST(ScheduleStream, BackToBackWithPerBatchOverhead) {
+  std::vector<serve::StreamResult> reqs(4);
+  const double arrivals[] = {0.0, 0.1, 0.2, 0.3};
+  for (std::size_t i = 0; i < 4; ++i) {
+    reqs[i].id = i;
+    reqs[i].arrival_seconds = arrivals[i];
+    reqs[i].service_seconds = 1.0;
+  }
+  const std::vector<serve::PlannedBatch> plan = {{0, 4, 0.3}};
+  std::vector<serve::StreamBatchRecord> batches;
+  const serve::StreamStats s =
+      serve::schedule_stream(reqs, plan, /*workers=*/1,
+                             /*batch_overhead_seconds=*/0.5, &batches);
+
+  // Batch starts at dispatch 0.3, pays 0.5 overhead once, then members
+  // run back-to-back.
+  EXPECT_DOUBLE_EQ(reqs[0].start_seconds, 0.8);
+  EXPECT_DOUBLE_EQ(reqs[3].start_seconds, 3.8);
+  EXPECT_DOUBLE_EQ(reqs[3].finish_seconds, 4.8);
+  // Queue wait ends at batch-execution start (0.3); the overhead and
+  // batch-mates are run time.
+  EXPECT_DOUBLE_EQ(reqs[0].queue_wait_seconds, 0.3);
+  EXPECT_DOUBLE_EQ(reqs[3].queue_wait_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(reqs[3].e2e_seconds, 4.5);
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 4.8);
+  EXPECT_DOUBLE_EQ(s.mean_batch_size, 4.0);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].lane, 0);
+  EXPECT_DOUBLE_EQ(batches[0].start_seconds, 0.3);
+  EXPECT_DOUBLE_EQ(batches[0].finish_seconds, 4.8);
+}
+
+TEST(ScheduleStream, RejectsPlanThatDoesNotCoverRequests) {
+  std::vector<serve::StreamResult> reqs(3);
+  EXPECT_THROW(
+      serve::schedule_stream(reqs, {{0, 2, 0.0}}, 1, 0.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      serve::schedule_stream(reqs, {{0, 2, 0.0}, {1, 2, 0.0}}, 1, 0.0),
+      std::invalid_argument);
+}
+
+// --- RequestQueue: admission control ----------------------------------
+
+TEST(RequestQueue, RejectsPastConfiguredDepthWithTypedError) {
+  serve::QueueOptions qopt;
+  qopt.max_depth = 3;
+  serve::RequestQueue queue(qopt);
+  const auto batch = make_batch(4, 900);
+
+  for (int i = 0; i < 3; ++i)
+    queue.submit(batch[static_cast<std::size_t>(i)], 0.001 * i);
+  EXPECT_EQ(queue.depth(), 3u);
+
+  // The 4th submission sheds load with the typed error (which is still a
+  // runtime_error, so generic handlers keep working).
+  try {
+    queue.submit(batch[3], 0.003);
+    FAIL() << "expected serve::AdmissionError";
+  } catch (const serve::AdmissionError& e) {
+    EXPECT_NE(std::string(e.what()).find("depth limit"),
+              std::string::npos);
+  }
+  EXPECT_TRUE((std::is_base_of<std::runtime_error,
+                               serve::AdmissionError>::value));
+  EXPECT_FALSE(queue.try_submit(batch[3], 0.003).has_value());
+  EXPECT_EQ(queue.rejected(), 2u);
+  EXPECT_EQ(queue.submitted(), 3u);
+
+  queue.close();
+  EXPECT_THROW(queue.submit(batch[3], 0.004), serve::AdmissionError);
+  EXPECT_EQ(queue.rejected(), 3u);
+}
+
+TEST(RequestQueue, ValidatesArrivalStamps) {
+  serve::RequestQueue queue;
+  const SparseTensor x = random_tensor(30, 8, 4, 901);
+  queue.submit(x, 1.0);
+  EXPECT_THROW(queue.submit(x, 0.5), std::invalid_argument);
+  EXPECT_THROW(queue.submit(x, -1.0), std::invalid_argument);
+  // Invalid stamps are caller bugs, not load shedding.
+  EXPECT_EQ(queue.rejected(), 0u);
+}
+
+// --- BatchRunner::serve: the end-to-end streaming path ----------------
+
+TEST(StreamingServe, ResultsAreBitIdenticalToSerialRunModel) {
+  const ModelFn model = small_unet(21);
+  const auto batch = make_batch(6, 1000);
+  const DeviceSpec dev = rtx2080ti();
+  const EngineConfig cfg = torchsparse_config();
+
+  serve::BatchOptions opt;
+  opt.workers = 3;
+  opt.run.numerics = true;
+  serve::StreamOptions sopt;
+  sopt.batcher.max_batch = 3;
+  sopt.batcher.slo_budget_seconds = 0.005;
+
+  serve::RequestQueue queue;
+  std::vector<serve::StreamHandle> handles;
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    handles.push_back(queue.submit(batch[i], 0.001 * double(i)));
+  queue.close();
+
+  const serve::BatchRunner runner(dev, cfg, opt);
+  const serve::StreamReport report = runner.serve(model, queue, sopt);
+
+  ASSERT_EQ(report.requests.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    RunOptions serial;
+    serial.numerics = true;
+    const Timeline ref = run_model(model, batch[i], dev, cfg, serial);
+    EXPECT_EQ(report.requests[i].id, i);
+    expect_same_timeline(report.requests[i].timeline, ref);
+    // The handle resolves to the same scheduled result.
+    const serve::StreamResult& via_handle = handles[i].get();
+    EXPECT_EQ(via_handle.id, i);
+    expect_same_timeline(via_handle.timeline, ref);
+    EXPECT_DOUBLE_EQ(via_handle.finish_seconds,
+                     report.requests[i].finish_seconds);
+    EXPECT_GE(report.requests[i].queue_wait_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(report.requests[i].e2e_seconds,
+                     report.requests[i].finish_seconds -
+                         report.requests[i].arrival_seconds);
+    // e2e covers the queue wait plus at least this request's own run.
+    EXPECT_GE(report.requests[i].e2e_seconds + 1e-15,
+              report.requests[i].queue_wait_seconds +
+                  report.requests[i].service_seconds);
+  }
+}
+
+TEST(StreamingServe, AdmissionRejectionsAreCountedInStats) {
+  const ModelFn model = small_unet(22);
+  const auto batch = make_batch(5, 1100);
+
+  serve::QueueOptions qopt;
+  qopt.max_depth = 4;
+  serve::RequestQueue queue(qopt);
+  for (int i = 0; i < 4; ++i)
+    queue.submit(batch[static_cast<std::size_t>(i)], 0.0005 * i);
+  EXPECT_THROW(queue.submit(batch[4], 0.002), serve::AdmissionError);
+  queue.close();
+
+  serve::BatchOptions opt;
+  opt.workers = 2;
+  const serve::BatchRunner runner(rtx2080ti(), torchsparse_config(), opt);
+  const serve::StreamReport report = runner.serve(model, queue);
+  EXPECT_EQ(report.stats.completed, 4u);
+  EXPECT_EQ(report.stats.rejected, 1u);
+}
+
+TEST(StreamingServe, TightSloDispatchesSmallerBatchesAndMeetsBudget) {
+  const ModelFn model = small_unet(23);
+  const DeviceSpec dev = rtx2080ti();
+  const EngineConfig cfg = torchsparse_config();
+
+  // Modeled mean service time anchors the arrival process so the test is
+  // load-calibrated on every machine (service times are cost-model
+  // output, hence machine-independent).
+  const SparseTensor probe = random_tensor(160, 12, 4, 1200);
+  const double service =
+      run_model(model, probe, dev, cfg).total_seconds();
+  ASSERT_GT(service, 0.0);
+  const double gap = 0.6 * service;
+
+  const int n = 12;
+  std::vector<SparseTensor> batch;
+  for (int i = 0; i < n; ++i)
+    batch.push_back(random_tensor(160, 12, 4,
+                                  1200 + static_cast<uint64_t>(i)));
+
+  auto serve_with = [&](double slo_budget) {
+    serve::RequestQueue queue;
+    for (int i = 0; i < n; ++i)
+      queue.submit(batch[static_cast<std::size_t>(i)], gap * i);
+    queue.close();
+    serve::BatchOptions opt;
+    // Lanes >= dispatched batches, so queue wait is purely the batcher's
+    // deadline wait and the SLO bound below is exact.
+    opt.workers = 12;
+    serve::StreamOptions sopt;
+    sopt.batcher.policy = serve::BatchPolicy::kSloAware;
+    sopt.batcher.max_batch = 6;
+    sopt.batcher.slo_budget_seconds = slo_budget;
+    return serve::BatchRunner(dev, cfg, opt).serve(model, queue, sopt);
+  };
+
+  const serve::StreamReport tight = serve_with(1.0 * service);
+  const serve::StreamReport loose = serve_with(100.0 * service);
+
+  // A tight SLO must cut batch sizes...
+  EXPECT_LT(tight.stats.mean_batch_size, loose.stats.mean_batch_size);
+  EXPECT_GT(tight.stats.batches, loose.stats.batches);
+  for (const serve::StreamBatchRecord& b : tight.batches)
+    EXPECT_LE(b.size, 6u);
+  // ...and the modeled p99 queue wait stays within the budget.
+  EXPECT_LE(tight.stats.queue_wait_p99_seconds, 1.0 * service + 1e-12);
+
+  // Deterministic: an identical re-run reproduces the schedule exactly.
+  const serve::StreamReport again = serve_with(1.0 * service);
+  EXPECT_DOUBLE_EQ(again.stats.mean_batch_size,
+                   tight.stats.mean_batch_size);
+  EXPECT_DOUBLE_EQ(again.stats.queue_wait_p99_seconds,
+                   tight.stats.queue_wait_p99_seconds);
+  EXPECT_DOUBLE_EQ(again.stats.e2e_p99_seconds,
+                   tight.stats.e2e_p99_seconds);
+  EXPECT_DOUBLE_EQ(again.stats.throughput_fps,
+                   tight.stats.throughput_fps);
+  ASSERT_EQ(again.requests.size(), tight.requests.size());
+  for (std::size_t i = 0; i < tight.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again.requests[i].start_seconds,
+                     tight.requests[i].start_seconds);
+    EXPECT_DOUBLE_EQ(again.requests[i].finish_seconds,
+                     tight.requests[i].finish_seconds);
+    EXPECT_EQ(again.requests[i].batch_id, tight.requests[i].batch_id);
+  }
+}
+
+TEST(StreamingServe, ProducerThreadSubmitsWhileServing) {
+  const ModelFn model = small_unet(24);
+  const auto batch = make_batch(8, 1300);
+
+  serve::RequestQueue queue;
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      queue.submit(batch[i], 0.002 * double(i));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    queue.close();
+  });
+
+  serve::BatchOptions opt;
+  opt.workers = 4;
+  const serve::BatchRunner runner(rtx3090(), torchsparse_config(), opt);
+  const serve::StreamReport report = runner.serve(model, queue);
+  producer.join();
+
+  EXPECT_EQ(report.stats.completed, batch.size());
+  EXPECT_EQ(report.stats.rejected, 0u);
+  EXPECT_GT(report.stats.throughput_fps, 0.0);
+  EXPECT_LE(report.stats.queue_wait_p50_seconds,
+            report.stats.queue_wait_p99_seconds);
+  EXPECT_LE(report.stats.e2e_p50_seconds, report.stats.e2e_p99_seconds);
+}
+
+TEST(StreamingServe, EmptyClosedQueueYieldsEmptyReport) {
+  serve::RequestQueue queue;
+  queue.close();
+  serve::BatchOptions opt;
+  opt.workers = 2;
+  const serve::BatchRunner runner(rtx2080ti(), torchsparse_config(), opt);
+  const serve::StreamReport report = runner.serve(small_unet(25), queue);
+  EXPECT_TRUE(report.requests.empty());
+  EXPECT_TRUE(report.batches.empty());
+  EXPECT_EQ(report.stats.completed, 0u);
+  EXPECT_DOUBLE_EQ(report.stats.throughput_fps, 0.0);
+}
+
+// --- Context reuse hook ------------------------------------------------
+
+TEST(ResetContext, ReusedContextMatchesFreshContextBitForBit) {
+  const ModelFn model = small_unet(26);
+  const SparseTensor x = random_tensor(140, 12, 4, 1400);
+  const DeviceSpec dev = rtx2080ti();
+  const EngineConfig cfg = torchsparse_config();
+  RunOptions opt;
+  opt.numerics = true;
+
+  ExecContext reused = make_run_context(dev, cfg, opt);
+  const Timeline first = run_in_context(model, x, reused);
+  reset_context(reused);
+  const Timeline second = run_in_context(model, x, reused);
+  expect_same_timeline(first, second);
+
+  const Timeline fresh = run_model(model, x, dev, cfg, opt);
+  expect_same_timeline(second, fresh);
+}
+
+}  // namespace
+}  // namespace ts
