@@ -1,8 +1,10 @@
 // Shared helpers for the paper-reproduction bench binaries.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -25,5 +27,37 @@ inline void header(const std::string& title, const std::string& paper_ref) {
 inline void note(const std::string& text) {
   std::printf("note: %s\n", text.c_str());
 }
+
+/// Machine-readable metric line ("@metric <name> <value>") consumed by
+/// scripts/bench_report.py. Modeled metrics are deterministic, so the CI
+/// regression gate compares them against a checked-in baseline; wall_*
+/// metrics are recorded for trend inspection but never gated.
+inline void metric(const std::string& name, double value) {
+  std::printf("@metric %s %.17g\n", name.c_str(), value);
+}
+
+/// Workload scale override for CI presets: TS_BENCH_SCALE multiplies the
+/// bench's default synthetic-scan scale (clamped to (0, 1]).
+inline double env_scale(double default_scale) {
+  if (const char* s = std::getenv("TS_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0 && v <= 1.0) return default_scale * v;
+  }
+  return default_scale;
+}
+
+/// Wall-clock stopwatch for the wall_* metrics.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace ts::bench

@@ -33,9 +33,11 @@ int main() {
   bench::header("Figure 13: mapping optimization breakdown",
                 "paper Fig. 13 (CenterPoint-3f, Waymo)");
 
+  const double scale = bench::env_scale(1.0);
   Workload w = make_centerpoint_workload("WM-CenterPoint (3f)", "Waymo", 3,
-                                         13001, 1.0, 1);
-  std::printf("input: %zu voxels\n", w.input.num_points());
+                                         13001, scale, 1);
+  std::printf("input: %zu voxels (scale %.2f)\n", w.input.num_points(),
+              scale);
   const DeviceSpec dev = rtx2080ti();
 
   const Step steps[] = {
@@ -50,22 +52,32 @@ int main() {
        1.1},
   };
 
-  std::printf("\n%-30s %12s %10s %10s %14s\n", "step", "mapping ms",
-              "step gain", "cum. gain", "(paper step)");
+  std::printf("\n%-30s %12s %10s %10s %14s %10s\n", "step", "mapping ms",
+              "step gain", "cum. gain", "(paper step)", "wall ms");
+  const bench::WallTimer total_wall;
   double base = 0, prev = 0;
+  int idx = 0;
   for (const Step& s : steps) {
     EngineConfig cfg = baseline_config();
     cfg.map_backend = s.backend;
     cfg.fused_downsample = s.fused_downsample;
     cfg.simplified_control = s.simplified;
     cfg.symmetric_map_search = s.symmetry;
+    const bench::WallTimer step_wall;
     const Timeline t = run_model(w.model, w.input, dev, cfg);
+    const double wall_ms = step_wall.seconds() * 1e3;
     const double ms = t.stage_seconds(Stage::kMapping) * 1e3;
     if (base == 0) base = ms;
-    std::printf("%-30s %10.3f %9.2fx %9.2fx %11.1fx\n", s.name, ms,
-                prev > 0 ? prev / ms : 1.0, base / ms, s.paper_cumulative);
+    std::printf("%-30s %10.3f %9.2fx %9.2fx %11.1fx %9.1f\n", s.name, ms,
+                prev > 0 ? prev / ms : 1.0, base / ms, s.paper_cumulative,
+                wall_ms);
+    bench::metric("fig13.mapping_ms.step" + std::to_string(idx), ms);
+    bench::metric("wall_fig13.step_ms.step" + std::to_string(idx), wall_ms);
     prev = ms;
+    ++idx;
   }
+  bench::metric("fig13.cumulative_gain", base / prev);
+  bench::metric("wall_fig13.total_seconds", total_wall.seconds());
   std::printf("\npaper total: ~4.6x end-to-end mapping speedup\n");
   return 0;
 }

@@ -31,7 +31,9 @@ int main() {
       "(earliest-available worker), so results are machine-independent");
 
   const uint64_t seed = 20260730;
-  const double scale = 0.25;  // shrinks the synthetic scans; trends transfer
+  // Shrinks the synthetic scans; trends transfer. TS_BENCH_SCALE shrinks
+  // further for the CI preset.
+  const double scale = bench::env_scale(0.25);
   Workload w = make_minkunet_workload("SK-MinkUNet (0.5x)", "SemanticKITTI",
                                       0.5, 1, seed, scale,
                                       /*tune_sample_count=*/2);
@@ -50,6 +52,7 @@ int main() {
   const std::vector<int> batch_sizes = {1, 4, 8, 16};
   const std::vector<int> worker_counts = {1, 2, 4, 8};
   serve::TunedParamStore store;
+  const bench::WallTimer total_wall;
 
   double mink_fps_w1 = 0, mink_fps_w4 = 0;
   for (const EngineConfig& cfg : paper_engines()) {
@@ -91,6 +94,10 @@ int main() {
       "@4 workers (%.2fx, required > 1.5x): %s\n",
       mink_fps_w1, mink_fps_w4, mink_fps_w4 / mink_fps_w1,
       mink_fps_w4 > 1.5 * mink_fps_w1 ? "OK" : "FAIL");
+  bench::metric("fig14.torchsparse_b16_w1_fps", mink_fps_w1);
+  bench::metric("fig14.torchsparse_b16_w4_fps", mink_fps_w4);
+  bench::metric("fig14.worker_scaling_x", mink_fps_w4 / mink_fps_w1);
+  bench::metric("wall_fig14.total_seconds", total_wall.seconds());
   std::printf("tuning runs shared via TunedParamStore: %zu (one per "
               "adaptive-grouping engine)\n",
               store.compute_count());

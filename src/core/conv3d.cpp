@@ -15,6 +15,24 @@ namespace ts {
 
 namespace {
 
+/// Applies the modeled accounting for a mapping-stage product resolved
+/// through the cross-request cache. Immediate mode (no event log) charges
+/// the warm or cold cost directly; deferred mode always charges cold and
+/// records the event for the owner's deterministic submission-order
+/// replay (see core/kernel_map_cache.hpp).
+void account_cache_resolve(const MapCacheKey& key, std::size_t bytes,
+                           const MapCharge& cold, const MapCharge& warm,
+                           bool was_hit, ExecContext& ctx) {
+  if (ctx.cache_events) {
+    apply_map_charge(cold, ctx);
+    ctx.cache_events->push_back({key, bytes, cold.seconds, cold.dram_bytes,
+                                 cold.launches, warm.seconds,
+                                 warm.dram_bytes, warm.launches});
+    return;
+  }
+  apply_map_charge(was_hit ? warm : cold, ctx);
+}
+
 /// Resolves the output coordinate set (paper §2.1.1): identity for
 /// stride 1, cached-or-computed coarse coordinates for downsampling, and
 /// cached fine coordinates for transposed (decoder) convolutions.
@@ -44,11 +62,38 @@ std::shared_ptr<const std::vector<Coord>> resolve_output_coords(
   if (auto it = cache.coords_at_stride.find(out_stride);
       it != cache.coords_at_stride.end())
     return it->second;
-  DownsampleCounters dc;
-  auto coords = std::make_shared<const std::vector<Coord>>(downsample_coords(
-      x.coords(), geom.kernel_size, geom.stride, ctx.cfg.fused_downsample,
-      ctx.cfg.simplified_control, &dc));
-  charge_downsample(dc, ctx);
+
+  std::shared_ptr<const std::vector<Coord>> coords;
+  if (ctx.map_cache) {
+    const MapCacheKey ck = downsample_cache_key(
+        x.coords(), geom.kernel_size, geom.stride, ctx.cfg.fused_downsample,
+        ctx.cfg.simplified_control);
+    bool hit = false;
+    const MapCachePayload payload = ctx.map_cache->get_or_build(
+        ck,
+        [&] {
+          MapCachePayload p;
+          DownsampleCounters dc;
+          p.coords = std::make_shared<const std::vector<Coord>>(
+              downsample_coords(x.coords(), geom.kernel_size, geom.stride,
+                                ctx.cfg.fused_downsample,
+                                ctx.cfg.simplified_control, &dc));
+          p.ds_counters = dc;
+          return p;
+        },
+        &hit);
+    coords = payload.coords;
+    account_cache_resolve(
+        ck, map_cache_payload_bytes(payload),
+        downsample_charge(payload.ds_counters, ctx),
+        map_cache_hit_charge(x.num_points(), coords->size(), ctx), hit, ctx);
+  } else {
+    DownsampleCounters dc;
+    coords = std::make_shared<const std::vector<Coord>>(downsample_coords(
+        x.coords(), geom.kernel_size, geom.stride, ctx.cfg.fused_downsample,
+        ctx.cfg.simplified_control, &dc));
+    charge_downsample(dc, ctx);
+  }
   cache.coords_at_stride[out_stride] = coords;
   return coords;
 }
@@ -56,6 +101,8 @@ std::shared_ptr<const std::vector<Coord>> resolve_output_coords(
 /// Resolves the kernel map, reusing the tensor cache: stride-1 maps are
 /// shared by every submanifold layer at the same level, and transposed
 /// convolutions relabel the matching downsample map (in/out swapped).
+/// On a tensor-cache miss, the cross-request KernelMapCache (when
+/// enabled) is consulted by content key before building from scratch.
 std::shared_ptr<const KernelMap> resolve_kernel_map(
     const SparseTensor& x, const ConvGeometry& geom,
     const std::vector<Coord>& out_coords, ExecContext& ctx) {
@@ -75,11 +122,33 @@ std::shared_ptr<const KernelMap> resolve_kernel_map(
   MapSearchOptions opts;
   opts.backend = ctx.cfg.map_backend;
   opts.use_symmetry = ctx.cfg.symmetric_map_search && geom.is_submanifold();
-  KernelMap built =
-      build_kernel_map(x.coords(), out_coords, geom, opts);
-  charge_map_build(built.stats, built.total(), out_coords.size(), ctx);
 
-  auto km = std::make_shared<const KernelMap>(std::move(built));
+  std::shared_ptr<const KernelMap> km;
+  if (ctx.map_cache) {
+    const MapCacheKey ck =
+        kernel_map_cache_key(x.coords(), out_coords, geom, opts);
+    bool hit = false;
+    const MapCachePayload payload = ctx.map_cache->get_or_build(
+        ck,
+        [&] {
+          MapCachePayload p;
+          p.kmap = std::make_shared<const KernelMap>(
+              build_kernel_map(x.coords(), out_coords, geom, opts));
+          return p;
+        },
+        &hit);
+    km = payload.kmap;
+    account_cache_resolve(
+        ck, map_cache_payload_bytes(payload),
+        map_build_charge(km->stats, km->total(), out_coords.size(), ctx),
+        map_cache_hit_charge(x.num_points(), out_coords.size(), ctx), hit,
+        ctx);
+  } else {
+    KernelMap built = build_kernel_map(x.coords(), out_coords, geom, opts);
+    charge_map_build(built.stats, built.total(), out_coords.size(), ctx);
+    km = std::make_shared<const KernelMap>(std::move(built));
+  }
+
   if (geom.transposed) {
     // Store the forward orientation so a later layer can reuse it.
     cache.kmaps[key] =

@@ -9,7 +9,9 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "core/kernel_map_cache.hpp"
 #include "core/matmul_group.hpp"
 #include "gpusim/cache.hpp"
 #include "gpusim/cost_model.hpp"
@@ -88,6 +90,18 @@ struct ExecContext {
   /// When non-null, every conv layer appends its workload snapshot here
   /// (used by the Alg. 5 tuning pass and the Fig. 12 statistics).
   std::vector<LayerRecord>* recorder = nullptr;
+
+  /// Optional cross-request kernel-map cache (null = disabled). Shared by
+  /// every worker of a serving pool and kept alive across reset_context;
+  /// results are bit-identical with or without it (the content key proves
+  /// the cached product equals what the cold path would rebuild).
+  std::shared_ptr<KernelMapCache> map_cache;
+  /// When non-null, mapping-stage cache accounting is deferred: lookups
+  /// charge the cold path into the timeline and append a MapCacheEvent
+  /// here, and the owner replays the events in submission order
+  /// (MapCacheReplay) so modeled stats are deterministic under any worker
+  /// count. When null (single-threaded runs), hits charge immediately.
+  std::vector<MapCacheEvent>* cache_events = nullptr;
 
   GroupParams params_for_layer() const {
     if (auto it = tuned.find(layer_id); it != tuned.end()) return it->second;

@@ -1,5 +1,6 @@
 #include "core/kernel_map.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ts {
@@ -12,32 +13,210 @@ void search_offset(const std::vector<Coord>& out_coords, const Offset3& d,
                    const ConvGeometry& geom, const CoordIndex& index,
                    std::vector<MapEntry>& out, std::size_t& queries) {
   const int s = geom.stride;
+  const int dil = geom.dilation;
+  // Amortize push_back growth: matches are a sizable fraction of the
+  // output set on real scans, so start at a quarter and let at most two
+  // doublings cover dense offsets.
+  out.reserve(out.size() + out_coords.size() / 4 + 16);
+  if (!geom.transposed) {
+    // Input lives at r = s*q + dilation*delta (paper Alg. 1, Fig. 5).
+    // Each find() is a random probe into an index far larger than host
+    // L1, so the loop is latency-bound: prefetch the probe slot a few
+    // outputs ahead (host hint only; modeled access counts unchanged).
+    const int32_t ox = dil * d.dx, oy = dil * d.dy, oz = dil * d.dz;
+    constexpr std::size_t kPrefetchAhead = 8;
+    const std::size_t n = out_coords.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k + kPrefetchAhead < n) {
+        const Coord& f = out_coords[k + kPrefetchAhead];
+        index.prefetch(
+            Coord{f.b, s * f.x + ox, s * f.y + oy, s * f.z + oz});
+      }
+      const Coord& q = out_coords[k];
+      const Coord r{q.b, s * q.x + ox, s * q.y + oy, s * q.z + oz};
+      ++queries;
+      const int64_t j = index.find(r);
+      if (j >= 0)
+        out.push_back({static_cast<int32_t>(j), static_cast<int32_t>(k)});
+    }
+    return;
+  }
   for (std::size_t k = 0; k < out_coords.size(); ++k) {
     const Coord& q = out_coords[k];
-    Coord r;
-    const int dil = geom.dilation;
-    if (!geom.transposed) {
-      // Input lives at r = s*q + dilation*delta (paper Alg. 1, Fig. 5).
-      r = Coord{q.b, s * q.x + dil * d.dx, s * q.y + dil * d.dy,
-                s * q.z + dil * d.dz};
-    } else {
-      // Transposed conv: input (coarse) at (q - delta)/s when divisible.
-      const int32_t ux = q.x - d.dx, uy = q.y - d.dy, uz = q.z - d.dz;
-      // Arithmetic-correct floor-divisibility for negatives.
-      auto divisible = [s](int32_t v) {
-        return ((v % s) + s) % s == 0;
-      };
-      if (!(divisible(ux) && divisible(uy) && divisible(uz))) continue;
-      auto div = [s](int32_t v) {
-        return (v - (((v % s) + s) % s)) / s;  // floor division (exact here)
-      };
-      r = Coord{q.b, div(ux), div(uy), div(uz)};
-    }
+    // Transposed conv: input (coarse) at (q - delta)/s when divisible.
+    const int32_t ux = q.x - d.dx, uy = q.y - d.dy, uz = q.z - d.dz;
+    // Arithmetic-correct floor-divisibility for negatives.
+    auto divisible = [s](int32_t v) {
+      return ((v % s) + s) % s == 0;
+    };
+    if (!(divisible(ux) && divisible(uy) && divisible(uz))) continue;
+    auto div = [s](int32_t v) {
+      return (v - (((v % s) + s) % s)) / s;  // floor division (exact here)
+    };
+    const Coord r{q.b, div(ux), div(uy), div(uz)};
     ++queries;
     const int64_t j = index.find(r);
     if (j >= 0)
       out.push_back({static_cast<int32_t>(j), static_cast<int32_t>(k)});
   }
+}
+
+// ---------------------------------------------------------------------
+// Grid-backend fast path: sorted merge-join instead of per-point probes.
+//
+// The collision-free grid models exactly one DRAM access per in-bounds
+// query, so its modeled cost is independent of how the host finds the
+// matches. The host-side probe (a random access into a grid or compact
+// hash far larger than L1) is the map-build wall-clock hotspot; we replace
+// it with a merge-join over key-sorted coordinate lists: packed keys are
+// lexicographic in (b, x, y, z), and the candidate map r = s*q + dil*delta
+// is componentwise monotone, so candidates generated from sorted outputs
+// are themselves sorted and one forward-only cursor over the sorted
+// inputs finds every match. Matches are then re-sorted by output position
+// so the emitted entries are byte-identical — content *and* order — to
+// the probe loop's, and every modeled counter (queries, index accesses,
+// build accesses) is accounted identically.
+// ---------------------------------------------------------------------
+
+/// One side of the merge: coordinates sorted by packed key, remembering
+/// original positions. Ties (duplicate coordinates) keep ascending
+/// position order so the merge matches the first duplicate, like
+/// GridHashMap::insert keeping the first value.
+struct SortedCoords {
+  std::vector<uint64_t> keys;  // sorted packed coords
+  std::vector<int32_t> pos;    // original index of each sorted entry
+  std::vector<Coord> coords;   // coords in sorted order
+};
+
+SortedCoords sort_by_key(const std::vector<Coord>& coords) {
+  SortedCoords s;
+  const std::size_t n = coords.size();
+  std::vector<std::pair<uint64_t, int32_t>> order(n);
+  for (std::size_t i = 0; i < n; ++i)
+    order[i] = {pack_coord(coords[i]), static_cast<int32_t>(i)};
+  std::sort(order.begin(), order.end());
+  s.keys.resize(n);
+  s.pos.resize(n);
+  s.coords.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.keys[i] = order[i].first;
+    s.pos[i] = order[i].second;
+    s.coords[i] = coords[order[i].second];
+  }
+  return s;
+}
+
+/// Merge-join for one offset (non-transposed). Counts queries and grid
+/// accesses exactly like the probe loop: one query and one modeled
+/// access per output candidate (CoordIndex charges the grid access
+/// whether or not the candidate is in bounds).
+void search_offset_grid_merge(const SortedCoords& in, const SortedCoords& out,
+                              const Coord& lo, const Coord& hi,
+                              const Offset3& d, int s, int dil,
+                              std::vector<MapEntry>& entries,
+                              std::vector<int32_t>& match_scratch,
+                              std::size_t& queries, std::size_t& accesses) {
+  const int32_t ox = dil * d.dx, oy = dil * d.dy, oz = dil * d.dz;
+  const std::size_t n_out = out.coords.size();
+  const std::size_t n_in = in.keys.size();
+  queries += n_out;
+  accesses += n_out;
+  std::size_t ip = 0;
+  std::size_t n_match = 0;
+  for (std::size_t t = 0; t < n_out; ++t) {
+    const Coord& q = out.coords[t];
+    const Coord r{q.b, s * q.x + ox, s * q.y + oy, s * q.z + oz};
+    if (r.x < lo.x || r.x > hi.x || r.y < lo.y || r.y > hi.y ||
+        r.z < lo.z || r.z > hi.z || r.b < lo.b || r.b > hi.b)
+      continue;  // out of bounds: no possible match
+    const uint64_t key = pack_coord(r);
+    while (ip < n_in && in.keys[ip] < key) ++ip;
+    if (ip < n_in && in.keys[ip] == key) {
+      match_scratch[static_cast<std::size_t>(out.pos[t])] = in.pos[ip];
+      ++n_match;
+    }
+  }
+  // Restore the probe loop's emission order — ascending output position,
+  // at most one entry per output — with a linear sweep over the match
+  // scratch (reset to -1 behind us for the next offset).
+  entries.reserve(n_match);
+  for (std::size_t k = 0; k < n_out; ++k) {
+    const int32_t j = match_scratch[k];
+    if (j < 0) continue;
+    entries.push_back({j, static_cast<int32_t>(k)});
+    match_scratch[k] = -1;
+  }
+}
+
+KernelMap build_kernel_map_grid_merge(const std::vector<Coord>& in_coords,
+                                      const std::vector<Coord>& out_coords,
+                                      const ConvGeometry& geom,
+                                      const MapSearchOptions& opts) {
+  const auto offsets = kernel_offsets(geom.kernel_size);
+  const int volume = static_cast<int>(offsets.size());
+
+  KernelMap km;
+  km.kernel_size = geom.kernel_size;
+  km.maps.resize(static_cast<std::size_t>(volume));
+  km.stats.backend = opts.backend;
+  // Grid construction: exactly one access per entry (paper §4.4), charged
+  // analytically — the host never materializes the grid on this path.
+  km.stats.build_accesses = in_coords.size();
+
+  const bool symmetric = opts.use_symmetry && geom.is_submanifold();
+  km.stats.used_symmetry = symmetric;
+
+  Coord lo{}, hi{};
+  std::size_t queries = 0, accesses = 0;
+  if (!coord_bounds(in_coords, lo, hi)) {
+    // Empty input: the probe loop still issues (and charges) one
+    // bounds-rejected query per output per searched offset.
+    km.stats.queries =
+        static_cast<std::size_t>(symmetric ? volume / 2 : volume) *
+        out_coords.size();
+    km.stats.index_accesses = km.stats.queries;
+    return km;
+  }
+  {
+    const SortedCoords in = sort_by_key(in_coords);
+    // Submanifold layers search the input set against itself; share the
+    // sorted view by reference instead of re-sorting (or copying) it.
+    const bool same_sets =
+        &in_coords == &out_coords || in_coords == out_coords;
+    SortedCoords out_distinct;
+    if (!same_sets) out_distinct = sort_by_key(out_coords);
+    const SortedCoords& out = same_sets ? in : out_distinct;
+    const int mid = volume / 2;
+    const int searched = symmetric ? mid : volume;
+    std::vector<int32_t> match_scratch(out_coords.size(), -1);
+    for (int n = 0; n < searched; ++n)
+      search_offset_grid_merge(in, out, lo, hi,
+                               offsets[static_cast<std::size_t>(n)],
+                               geom.stride, geom.dilation,
+                               km.maps[static_cast<std::size_t>(n)],
+                               match_scratch, queries, accesses);
+    if (symmetric) {
+      // Mirror each searched map (swap in/out, negated offset) and emit
+      // the center offset as the identity map with zero queries.
+      assert(in_coords.size() == out_coords.size());
+      for (int n = 0; n < mid; ++n) {
+        const auto& m = km.maps[static_cast<std::size_t>(n)];
+        auto& mm = km.maps[static_cast<std::size_t>(
+            mirror_offset_index(volume, n))];
+        mm.reserve(m.size());
+        for (const MapEntry& e : m) mm.push_back({e.out, e.in});
+      }
+      auto& center = km.maps[static_cast<std::size_t>(mid)];
+      center.reserve(out_coords.size());
+      for (std::size_t i = 0; i < out_coords.size(); ++i)
+        center.push_back(
+            {static_cast<int32_t>(i), static_cast<int32_t>(i)});
+    }
+  }
+
+  km.stats.queries = queries;
+  km.stats.index_accesses = accesses;
+  return km;
 }
 
 }  // namespace
@@ -46,6 +225,13 @@ KernelMap build_kernel_map(const std::vector<Coord>& in_coords,
                            const std::vector<Coord>& out_coords,
                            const ConvGeometry& geom,
                            const MapSearchOptions& opts) {
+  // Grid backend, forward convs: probe-free merge-join (identical maps,
+  // identical modeled counters, much cheaper host-side). The hashmap
+  // backend keeps the real probe loop — its modeled cost depends on the
+  // actual collision/probe counts of the table.
+  if (opts.backend == MapBackend::kGrid && !geom.transposed)
+    return build_kernel_map_grid_merge(in_coords, out_coords, geom, opts);
+
   const auto offsets = kernel_offsets(geom.kernel_size);
   const int volume = static_cast<int>(offsets.size());
 

@@ -1,0 +1,192 @@
+#include "core/kernel_map_cache.hpp"
+
+#include <chrono>
+
+namespace ts {
+
+namespace {
+
+/// Two independent splitmix-style chains over one value.
+inline void mix2(uint64_t v, uint64_t& lo, uint64_t& hi) {
+  lo = hash_key(lo ^ v);
+  hi = hash_key(hi + 0x632be59bd9b4e019ull + v);
+}
+
+void mix_coords(const std::vector<Coord>& coords, uint64_t& lo,
+                uint64_t& hi) {
+  mix2(coords.size(), lo, hi);
+  for (const Coord& c : coords) mix2(pack_coord(c), lo, hi);
+}
+
+}  // namespace
+
+MapCacheKey kernel_map_cache_key(const std::vector<Coord>& in_coords,
+                                 const std::vector<Coord>& out_coords,
+                                 const ConvGeometry& geom,
+                                 const MapSearchOptions& opts) {
+  uint64_t lo = 0x9e3779b97f4a7c15ull, hi = 0xc2b2ae3d27d4eb4full;
+  mix2(static_cast<uint64_t>(geom.kernel_size) |
+           (static_cast<uint64_t>(geom.stride) << 8) |
+           (static_cast<uint64_t>(geom.dilation) << 16) |
+           (static_cast<uint64_t>(geom.transposed) << 24) |
+           (static_cast<uint64_t>(opts.backend == MapBackend::kGrid) << 25) |
+           (static_cast<uint64_t>(opts.use_symmetry) << 26),
+       lo, hi);
+  mix_coords(in_coords, lo, hi);
+  // Stride-1 forward convs search the input set against itself; skip the
+  // second sweep when the sets are the same object.
+  if (&in_coords != &out_coords) mix_coords(out_coords, lo, hi);
+  return {lo, hi};
+}
+
+MapCacheKey downsample_cache_key(const std::vector<Coord>& in_coords,
+                                 int kernel_size, int stride, bool fused,
+                                 bool simplified_control) {
+  uint64_t lo = 0xd6e8feb86659fd93ull, hi = 0xa0761d6478bd642full;
+  mix2(static_cast<uint64_t>(kernel_size) |
+           (static_cast<uint64_t>(stride) << 8) |
+           (static_cast<uint64_t>(fused) << 16) |
+           (static_cast<uint64_t>(simplified_control) << 17),
+       lo, hi);
+  mix_coords(in_coords, lo, hi);
+  return {lo, hi};
+}
+
+std::size_t map_cache_payload_bytes(const MapCachePayload& p) {
+  std::size_t bytes = sizeof(MapCachePayload);
+  if (p.kmap) {
+    bytes += sizeof(KernelMap) +
+             p.kmap->maps.size() * sizeof(std::vector<MapEntry>) +
+             p.kmap->total() * sizeof(MapEntry);
+  }
+  if (p.coords) bytes += sizeof(*p.coords) + p.coords->size() * sizeof(Coord);
+  return bytes;
+}
+
+KernelMapCache::KernelMapCache(std::size_t byte_budget)
+    : budget_(byte_budget) {
+  stats_.byte_budget = byte_budget;
+}
+
+MapCachePayload KernelMapCache::get_or_build(
+    const MapCacheKey& key, const std::function<MapCachePayload()>& build,
+    bool* was_hit) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lookups;
+    if (auto it = entries_.find(key); it != entries_.end()) {
+      Entry& e = it->second;
+      ++e.hits;
+      ++stats_.hits;
+      stats_.build_wall_seconds_saved += e.build_wall_seconds;
+      lru_.splice(lru_.begin(), lru_, e.lru_it);
+      if (was_hit) *was_hit = true;
+      return e.payload;
+    }
+    ++stats_.misses;
+  }
+  if (was_hit) *was_hit = false;
+
+  // Build outside the lock: concurrent misses on one key may duplicate
+  // wall work during warmup, but never block the whole pool on one build.
+  const auto t0 = std::chrono::steady_clock::now();
+  MapCachePayload built = build();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const std::size_t bytes = map_cache_payload_bytes(built);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.build_wall_seconds += wall;
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    // A racing builder inserted first; share its payload so every holder
+    // of this key aliases one copy.
+    return it->second.payload;
+  }
+  if (bytes > budget_) {
+    ++stats_.oversized;
+    return built;
+  }
+  evict_to_fit_locked(bytes);
+  lru_.push_front(key);
+  Entry e;
+  e.payload = built;
+  e.bytes = bytes;
+  e.build_wall_seconds = wall;
+  e.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(e));
+  stats_.bytes_in_use += bytes;
+  stats_.entries = entries_.size();
+  ++stats_.insertions;
+  return built;
+}
+
+MapCachePayload KernelMapCache::peek(const MapCacheKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = entries_.find(key); it != entries_.end())
+    return it->second.payload;
+  return {};
+}
+
+MapCacheStats KernelMapCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void KernelMapCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  stats_.entries = 0;
+  stats_.bytes_in_use = 0;
+}
+
+void KernelMapCache::evict_to_fit_locked(std::size_t incoming_bytes) {
+  while (!lru_.empty() && stats_.bytes_in_use + incoming_bytes > budget_) {
+    const MapCacheKey victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    stats_.bytes_in_use -= it->second.bytes;
+    entries_.erase(it);
+    ++stats_.evictions;
+  }
+  stats_.entries = entries_.size();
+}
+
+MapCacheReplay::MapCacheReplay(std::size_t byte_budget)
+    : budget_(byte_budget) {}
+
+void MapCacheReplay::apply(const std::vector<MapCacheEvent>& events,
+                           Timeline& t) {
+  for (const MapCacheEvent& ev : events) {
+    ++stats_.lookups;
+    if (auto it = entries_.find(ev.key); it != entries_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      // Swap the cold charge the request measured for the warm charge.
+      t.add(Stage::kMapping, ev.hit_seconds - ev.cold_seconds);
+      t.add_dram_bytes(ev.hit_dram_bytes - ev.cold_dram_bytes);
+      if (ev.cold_launches > ev.hit_launches)
+        t.remove_kernel_launches(ev.cold_launches - ev.hit_launches);
+      else
+        t.add_kernel_launches(ev.hit_launches - ev.cold_launches);
+      stats_.modeled_seconds_saved += ev.cold_seconds - ev.hit_seconds;
+      continue;
+    }
+    ++stats_.misses;
+    if (ev.bytes > budget_) continue;  // oversized: never cached
+    while (!lru_.empty() && in_use_ + ev.bytes > budget_) {
+      const MapCacheKey victim = lru_.back();
+      lru_.pop_back();
+      auto vit = entries_.find(victim);
+      in_use_ -= vit->second.bytes;
+      entries_.erase(vit);
+      ++stats_.evictions;
+    }
+    lru_.push_front(ev.key);
+    entries_.emplace(ev.key, SimEntry{ev.bytes, lru_.begin()});
+    in_use_ += ev.bytes;
+  }
+}
+
+}  // namespace ts

@@ -1,0 +1,209 @@
+// Cross-request kernel-map cache: content-addressed reuse of mapping-stage
+// products (kernel maps and downsampled coordinate sets) across requests.
+//
+// The paper's core claim is that sparse-conv serving cost is dominated by
+// map construction and data movement, not GEMM. Within one request the
+// TensorCache already shares maps between layers at the same stride level;
+// across requests, however, every serve request rebuilds identical maps
+// from scratch even when near-duplicate LiDAR scans (consecutive frames,
+// retried requests, multi-camera rigs) hit the queue back to back. This
+// cache closes that gap, in the spirit of Tangram's reuse of already-
+// loaded GPU state across serverless invocations (PAPERS.md): the key is
+// a content digest of the exact build inputs — input coordinate set,
+// output coordinate set, convolution geometry, and search options — so a
+// hit is *proof* that the cached product is byte-identical to what the
+// cold path would rebuild. Results are therefore bit-identical with the
+// cache on or off; only the mapping-stage cost changes.
+//
+// Accounting happens on two clocks:
+//  * Host wall clock: a hit skips the real build (the fig13 hotspot).
+//    The cache tracks per-entry build wall time and bytes, and evicts
+//    LRU entries beyond a byte budget. Thread-safe; BatchRunner shares
+//    one cache across its whole worker pool.
+//  * Modeled clock: a hit charges a small re-key cost instead of the
+//    full map-build kernels. Under concurrent serving the *wall* order
+//    of lookups is racy, so modeled accounting is deferred: requests
+//    measure cold and record MapCacheEvents, and MapCacheReplay re-runs
+//    the cache decisions in submission order — deterministic for any
+//    worker count (see docs/PERFORMANCE.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/conv_config.hpp"
+#include "core/downsample.hpp"
+#include "core/kernel_map.hpp"
+#include "gpusim/timeline.hpp"
+#include "hash/coords.hpp"
+
+namespace ts {
+
+/// 128-bit content digest identifying one mapping-stage product. Two
+/// independent 64-bit mixes over the same stream make an accidental
+/// collision (which would silently serve a wrong map) cryptographically
+/// unlikely for any realistic cache population.
+struct MapCacheKey {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  friend bool operator==(const MapCacheKey&, const MapCacheKey&) = default;
+};
+
+struct MapCacheKeyHash {
+  std::size_t operator()(const MapCacheKey& k) const {
+    return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// Digest of (input coords, output coords, geometry, search options) —
+/// the exact inputs of build_kernel_map.
+MapCacheKey kernel_map_cache_key(const std::vector<Coord>& in_coords,
+                                 const std::vector<Coord>& out_coords,
+                                 const ConvGeometry& geom,
+                                 const MapSearchOptions& opts);
+
+/// Digest of (input coords, kernel size, stride, pipeline flags) — the
+/// exact inputs of downsample_coords.
+MapCacheKey downsample_cache_key(const std::vector<Coord>& in_coords,
+                                 int kernel_size, int stride, bool fused,
+                                 bool simplified_control);
+
+/// A cached mapping-stage product: exactly one of `kmap` (kernel map) or
+/// `coords` (downsampled output coordinates, with the counters that
+/// reproduce its cold modeled charge) is set.
+struct MapCachePayload {
+  std::shared_ptr<const KernelMap> kmap;
+  std::shared_ptr<const std::vector<Coord>> coords;
+  DownsampleCounters ds_counters;  // meaningful when `coords` is set
+};
+
+/// Approximate host bytes a payload pins in the cache.
+std::size_t map_cache_payload_bytes(const MapCachePayload& p);
+
+/// Aggregate wall-clock-side statistics (per-cache, thread-safe reads).
+struct MapCacheStats {
+  std::size_t lookups = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t insertions = 0;
+  std::size_t evictions = 0;
+  std::size_t oversized = 0;  // built but never cached (entry > budget)
+  std::size_t entries = 0;
+  std::size_t bytes_in_use = 0;
+  std::size_t byte_budget = 0;
+  double build_wall_seconds = 0;  // wall time spent inside build callbacks
+  double build_wall_seconds_saved = 0;  // entry build time * its hits
+  double hit_rate() const {
+    return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
+                   : 0.0;
+  }
+};
+
+/// Thread-safe content-addressed LRU cache with a byte budget.
+class KernelMapCache {
+ public:
+  /// `byte_budget` bounds the summed payload bytes; entries larger than
+  /// the whole budget are returned to the caller but never cached.
+  explicit KernelMapCache(std::size_t byte_budget);
+
+  /// Returns the payload for `key`, invoking `build` on a miss and
+  /// caching the result. `was_hit`, when non-null, reports whether the
+  /// payload came from the cache. Concurrent misses on the same key may
+  /// each run `build` (the first inserted result wins and is returned to
+  /// everyone); this only costs duplicated wall work during warmup, never
+  /// correctness — the content digest guarantees every build of a key
+  /// yields the same bytes.
+  MapCachePayload get_or_build(const MapCacheKey& key,
+                               const std::function<MapCachePayload()>& build,
+                               bool* was_hit = nullptr);
+
+  /// Probe without building; null payload pointers when absent.
+  MapCachePayload peek(const MapCacheKey& key) const;
+
+  MapCacheStats stats() const;
+  std::size_t byte_budget() const { return budget_; }
+  void clear();
+
+ private:
+  struct Entry {
+    MapCachePayload payload;
+    std::size_t bytes = 0;
+    std::size_t hits = 0;
+    double build_wall_seconds = 0;
+    std::list<MapCacheKey>::iterator lru_it;
+  };
+
+  void evict_to_fit_locked(std::size_t incoming_bytes);
+
+  std::size_t budget_;
+  mutable std::mutex mu_;
+  std::list<MapCacheKey> lru_;  // front = most recently used
+  std::unordered_map<MapCacheKey, Entry, MapCacheKeyHash> entries_;
+  MapCacheStats stats_;
+};
+
+// ---------------------------------------------------------------------
+// Deterministic modeled accounting (deferred mode)
+// ---------------------------------------------------------------------
+
+/// One deferred accounting record: a mapping-stage product the request
+/// resolved through the cache, with the modeled charge it measured (cold)
+/// and the charge a warm hit substitutes.
+struct MapCacheEvent {
+  MapCacheKey key;
+  std::size_t bytes = 0;  // payload footprint in the replayed LRU
+  double cold_seconds = 0;
+  double cold_dram_bytes = 0;
+  std::size_t cold_launches = 0;
+  double hit_seconds = 0;
+  double hit_dram_bytes = 0;
+  std::size_t hit_launches = 0;
+};
+
+struct MapCacheReplayStats {
+  std::size_t lookups = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  double modeled_seconds_saved = 0;  // sum of (cold - hit) over hits
+  double hit_rate() const {
+    return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
+                   : 0.0;
+  }
+};
+
+/// Replays cache decisions in submission order over requests' recorded
+/// events, adjusting each request's cold-measured timeline to what a
+/// sequential (submission-ordered) pass over the shared cache would have
+/// charged. Because the replay depends only on the event streams and the
+/// byte budget — never on thread interleaving — serving statistics stay
+/// bit-reproducible for any worker count.
+class MapCacheReplay {
+ public:
+  explicit MapCacheReplay(std::size_t byte_budget);
+
+  /// Replays one request's events (in order) and applies the hit/cold
+  /// charge deltas to `t`.
+  void apply(const std::vector<MapCacheEvent>& events, Timeline& t);
+
+  const MapCacheReplayStats& stats() const { return stats_; }
+
+ private:
+  struct SimEntry {
+    std::size_t bytes = 0;
+    std::list<MapCacheKey>::iterator lru_it;
+  };
+
+  std::size_t budget_;
+  std::size_t in_use_ = 0;
+  std::list<MapCacheKey> lru_;  // front = most recently used
+  std::unordered_map<MapCacheKey, SimEntry, MapCacheKeyHash> entries_;
+  MapCacheReplayStats stats_;
+};
+
+}  // namespace ts

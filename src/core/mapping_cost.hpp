@@ -7,6 +7,10 @@
 //   - staged vs fused downsample kernels (intermediate DRAM traffic)
 //   - simplified control logic + loop unrolling (per-query instructions)
 //   - symmetric map inference (half the queries on submanifold layers)
+//
+// Every charge is also available in decomposed form (MapCharge) so the
+// cross-request kernel-map cache can record cold-vs-warm deltas for its
+// deterministic deferred accounting (core/kernel_map_cache.hpp).
 #pragma once
 
 #include <cstddef>
@@ -17,12 +21,38 @@
 
 namespace ts {
 
+/// One mapping-stage charge, decomposed for deferred accounting.
+struct MapCharge {
+  double seconds = 0;
+  double dram_bytes = 0;
+  std::size_t launches = 0;
+};
+
+/// Modeled cost of the output-coordinate computation.
+MapCharge downsample_charge(const DownsampleCounters& c,
+                            const ExecContext& ctx);
+
+/// Modeled cost of index construction + map search. `entries` is the
+/// number of map entries written, `n_out` the number of output
+/// coordinates scanned.
+MapCharge map_build_charge(const MapBuildStats& stats, std::size_t entries,
+                           std::size_t n_out, const ExecContext& ctx);
+
+/// Modeled cost of a warm kernel-map-cache hit: re-streaming the
+/// coordinate sets to verify the content key plus one cache-index probe
+/// (no kernel launch — the digest rides along with host-side intake).
+/// The cached product itself is already device-resident — consuming
+/// kernels pay for reading it exactly as they do on the cold path.
+MapCharge map_cache_hit_charge(std::size_t n_in, std::size_t n_out,
+                               const ExecContext& ctx);
+
+/// Adds a mapping-stage charge to ctx.timeline.
+void apply_map_charge(const MapCharge& c, ExecContext& ctx);
+
 /// Charges the output-coordinate computation to Stage::kMapping.
 void charge_downsample(const DownsampleCounters& c, ExecContext& ctx);
 
 /// Charges index construction + map search to Stage::kMapping.
-/// `entries` is the number of map entries written, `n_out` the number of
-/// output coordinates scanned.
 void charge_map_build(const MapBuildStats& stats, std::size_t entries,
                       std::size_t n_out, ExecContext& ctx);
 

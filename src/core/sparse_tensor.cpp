@@ -23,4 +23,14 @@ SparseTensor::SparseTensor(std::shared_ptr<const std::vector<Coord>> coords,
   assert(coords_->size() == feats_.rows());
 }
 
+SparseTensor SparseTensor::with_fresh_cache() && {
+  SparseTensor t;
+  t.coords_ = std::move(coords_);
+  t.feats_ = std::move(feats_);
+  t.stride_ = stride_;
+  t.cache_ = std::make_shared<TensorCache>();
+  if (t.coords_) t.cache_->coords_at_stride[t.stride_] = t.coords_;
+  return t;
+}
+
 }  // namespace ts

@@ -43,6 +43,12 @@ class SparseTensor {
   std::shared_ptr<const std::vector<Coord>> coords_ptr() const {
     return coords_;
   }
+
+  /// Steals this tensor's storage into a tensor with a fresh, empty
+  /// TensorCache seeded with the coordinates at the current stride — the
+  /// zero-copy alternative to deep-copying an input the caller already
+  /// owns privately (engines/runner's borrow_input path).
+  SparseTensor with_fresh_cache() &&;
   const Matrix& feats() const { return feats_; }
   Matrix& feats() { return feats_; }
   std::size_t num_points() const { return coords_ ? coords_->size() : 0; }

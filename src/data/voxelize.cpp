@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "hash/coords.hpp"
@@ -10,6 +12,18 @@ namespace ts {
 
 SparseTensor voxelize(const std::vector<Point3>& points,
                       const VoxelSpec& voxels, int batch) {
+  // Always-on boundary contracts (ROADMAP "Hardening"): identical in
+  // Debug and Release. A bad voxel size or batch index would otherwise
+  // quantize points to garbage cells or alias packed coordinate keys.
+  if (!(voxels.voxel_size_m > 0) || !std::isfinite(voxels.voxel_size_m))
+    throw std::invalid_argument(
+        "voxelize: voxel_size_m must be positive and finite, got " +
+        std::to_string(voxels.voxel_size_m));
+  if (batch < 0 || batch > kCoordBatchMax)
+    throw std::invalid_argument(
+        "voxelize: batch index " + std::to_string(batch) +
+        " outside the packable range [0, " +
+        std::to_string(kCoordBatchMax) + "]");
   const float inv = static_cast<float>(1.0 / voxels.voxel_size_m);
 
   struct Accum {
@@ -21,7 +35,12 @@ SparseTensor voxelize(const std::vector<Point3>& points,
   grid.reserve(points.size());
 
   std::vector<Coord> coords;
-  for (const Point3& p : points) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point3& p = points[i];
+    if (!std::isfinite(p.x) || !std::isfinite(p.y) || !std::isfinite(p.z))
+      throw std::invalid_argument(
+          "voxelize: point " + std::to_string(i) +
+          " has a non-finite coordinate");
     const Coord c{batch, static_cast<int32_t>(std::floor(p.x * inv)),
                   static_cast<int32_t>(std::floor(p.y * inv)),
                   static_cast<int32_t>(std::floor(p.z * inv))};
@@ -43,11 +62,24 @@ SparseTensor voxelize(const std::vector<Point3>& points,
   Coord lo{batch, 0, 0, 0};
   if (!coords.empty()) {
     lo = coords[0];
+    Coord hi = coords[0];
     for (const Coord& c : coords) {
       lo.x = std::min(lo.x, c.x);
       lo.y = std::min(lo.y, c.y);
       lo.z = std::min(lo.z, c.z);
+      hi.x = std::max(hi.x, c.x);
+      hi.y = std::max(hi.y, c.y);
+      hi.z = std::max(hi.z, c.z);
     }
+    const int64_t span = std::max(
+        {static_cast<int64_t>(hi.x) - lo.x, static_cast<int64_t>(hi.y) - lo.y,
+         static_cast<int64_t>(hi.z) - lo.z});
+    if (span > kCoordSpatialMax)
+      throw std::invalid_argument(
+          "voxelize: scan spans " + std::to_string(span) +
+          " voxels along one axis, exceeding the packable coordinate "
+          "range of " + std::to_string(kCoordSpatialMax) +
+          " (increase voxel_size_m or crop the scan)");
     for (Coord& c : coords) {
       c.x -= lo.x;
       c.y -= lo.y;
@@ -75,11 +107,25 @@ SparseTensor make_input(const LidarSpec& lidar, const VoxelSpec& voxels,
 }
 
 SparseTensor merge_batches(const std::vector<SparseTensor>& scans) {
+  if (scans.size() > static_cast<std::size_t>(kCoordBatchMax) + 1)
+    throw std::invalid_argument(
+        "merge_batches: " + std::to_string(scans.size()) +
+        " scans exceed the packable batch range of " +
+        std::to_string(kCoordBatchMax + 1));
   std::size_t total = 0;
   std::size_t channels = 0;
-  for (const SparseTensor& s : scans) {
-    assert(s.stride() == 1);
-    assert(channels == 0 || s.channels() == channels);
+  for (std::size_t b = 0; b < scans.size(); ++b) {
+    const SparseTensor& s = scans[b];
+    if (s.stride() != 1)
+      throw std::invalid_argument(
+          "merge_batches: scan " + std::to_string(b) + " has stride " +
+          std::to_string(s.stride()) +
+          "; only stride-1 tensors can be batched");
+    if (channels != 0 && s.channels() != channels)
+      throw std::invalid_argument(
+          "merge_batches: scan " + std::to_string(b) + " has " +
+          std::to_string(s.channels()) + " channels but earlier scans have " +
+          std::to_string(channels));
     channels = s.channels();
     total += s.num_points();
   }

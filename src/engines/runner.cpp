@@ -1,5 +1,7 @@
 #include "engines/runner.hpp"
 
+#include <utility>
+
 namespace ts {
 
 SparseTensor fresh_input(const SparseTensor& x) {
@@ -12,6 +14,7 @@ ExecContext make_run_context(const DeviceSpec& dev, const EngineConfig& cfg,
   ctx.compute_numerics = opt.numerics;
   ctx.simulate_cache = opt.simulate_cache;
   ctx.tuned = opt.tuned;
+  ctx.map_cache = opt.map_cache;
   return ctx;
 }
 
@@ -19,11 +22,21 @@ void reset_context(ExecContext& ctx) {
   ctx.timeline = Timeline{};
   ctx.l2.reset();
   ctx.layer_id = -1;
+  ctx.cache_events = nullptr;
+  // ctx.map_cache is intentionally kept: warm kernel maps are the point
+  // of sharing the cache across requests.
 }
 
 Timeline run_in_context(const ModelFn& model, const SparseTensor& input,
                         ExecContext& ctx) {
   const SparseTensor in = fresh_input(input);
+  model(in, ctx);
+  return ctx.timeline;
+}
+
+Timeline run_in_context(const ModelFn& model, SparseTensor&& input,
+                        ExecContext& ctx) {
+  const SparseTensor in = std::move(input).with_fresh_cache();
   model(in, ctx);
   return ctx.timeline;
 }

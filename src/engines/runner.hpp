@@ -28,6 +28,15 @@ struct RunOptions {
   bool numerics = false;       // compute real feature values
   bool simulate_cache = true;  // L2 replay (vs analytic approximation)
   std::unordered_map<int, GroupParams> tuned;  // per-layer (epsilon, S)
+  /// Optional cross-request kernel-map cache shared by every context built
+  /// from these options (null = disabled). See core/kernel_map_cache.hpp;
+  /// serving pools size it via serve::BatchOptions::map_cache_bytes.
+  std::shared_ptr<KernelMapCache> map_cache;
+  /// Serve-path copy elision: when true, runners that own their inputs
+  /// privately (the streaming queue does) move each input into the run
+  /// via the rvalue run_in_context overload instead of deep-copying it.
+  /// Never affects results — only the redundant host copy.
+  bool borrow_input = false;
 };
 
 /// Deep-copies input with a fresh TensorCache, so every run rebuilds its
@@ -43,12 +52,14 @@ ExecContext make_run_context(const DeviceSpec& dev, const EngineConfig& cfg,
                              const RunOptions& opt = {});
 
 /// Resets `ctx` for reuse on the next request: clears the accumulated
-/// timeline, the L2 replay simulator, and the current layer id, while
-/// keeping the cost model, engine config, numerics/cache flags, and tuned
-/// parameters. After reset_context, running a model yields the exact
-/// timeline a freshly built context would — this is the serving runtime's
-/// context-reuse hook (one context per worker, reset between requests,
-/// skipping repeated cost-model and cache-simulator construction).
+/// timeline, the L2 replay simulator, the current layer id, and the
+/// deferred cache-event pointer, while keeping the cost model, engine
+/// config, numerics/cache flags, tuned parameters, and the shared
+/// kernel-map cache (warm maps survive across requests by design). After
+/// reset_context, running a model yields the exact timeline a freshly
+/// built context would — this is the serving runtime's context-reuse hook
+/// (one context per worker, reset between requests, skipping repeated
+/// cost-model and cache-simulator construction).
 /// Precondition: no request is currently executing in `ctx`.
 void reset_context(ExecContext& ctx);
 
@@ -57,6 +68,13 @@ void reset_context(ExecContext& ctx);
 /// the model propagate unchanged; `ctx` is then mid-request garbage and
 /// must be reset_context'ed (or discarded) before reuse.
 Timeline run_in_context(const ModelFn& model, const SparseTensor& input,
+                        ExecContext& ctx);
+
+/// Borrowing overload (RunOptions::borrow_input): consumes `input` —
+/// stealing its storage into a tensor with a fresh TensorCache — instead
+/// of deep-copying coordinates and features. Identical results; use only
+/// when the caller owns `input` privately and is done with it.
+Timeline run_in_context(const ModelFn& model, SparseTensor&& input,
                         ExecContext& ctx);
 
 /// One inference pass; returns the accumulated timeline. Deterministic:

@@ -1,69 +1,75 @@
 #include "gpusim/cache.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
 
 namespace ts {
 
+namespace {
+
+/// Largest power of two <= v (v >= 1).
+std::size_t floor_pow2(std::size_t v) {
+  std::size_t s = 1;
+  while (s * 2 <= v) s *= 2;
+  return s;
+}
+
+unsigned log2_exact(std::size_t v) {
+  unsigned n = 0;
+  while ((std::size_t(1) << n) < v) ++n;
+  return n;
+}
+
+}  // namespace
+
 CacheSim::CacheSim(std::size_t capacity_bytes, int ways,
                    std::size_t line_bytes)
-    : line_bytes_(line_bytes), ways_(ways) {
-  num_sets_ = std::max<std::size_t>(1, capacity_bytes / (line_bytes * ways));
+    : line_bytes_(floor_pow2(std::max<std::size_t>(line_bytes, 1))),
+      ways_(static_cast<std::size_t>(std::clamp(ways, 1, 64))) {
+  line_shift_ = log2_exact(line_bytes_);
+  num_sets_ = std::max<std::size_t>(1, capacity_bytes / (line_bytes_ * ways_));
   // Power-of-two sets for cheap indexing.
-  std::size_t s = 1;
-  while (s * 2 <= num_sets_) s *= 2;
-  num_sets_ = s;
-  lines_.assign(num_sets_ * static_cast<std::size_t>(ways_), Line{});
+  num_sets_ = floor_pow2(num_sets_);
+  set_shift_ = log2_exact(num_sets_);
+  tags_.assign(num_sets_ * ways_, kInvalidTag);
+  dirty_.assign(num_sets_, 0);
 }
 
 void CacheSim::reset() {
-  std::fill(lines_.begin(), lines_.end(), Line{});
-  tick_ = 0;
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+  std::fill(dirty_.begin(), dirty_.end(), uint64_t{0});
   hits_ = read_misses_ = write_misses_ = writebacks_ = 0;
 }
 
-std::size_t CacheSim::access(uint64_t addr, std::size_t bytes,
-                             bool is_write) {
-  if (bytes == 0) return 0;
-  const uint64_t first = addr / line_bytes_;
-  const uint64_t last = (addr + bytes - 1) / line_bytes_;
-  std::size_t line_misses = 0;
-  for (uint64_t l = first; l <= last; ++l)
-    line_misses += access_line(l, is_write);
-  return line_misses;
-}
-
-std::size_t CacheSim::access_line(uint64_t line_addr, bool is_write) {
-  const std::size_t set = static_cast<std::size_t>(line_addr) & (num_sets_ - 1);
-  const uint64_t tag = line_addr / num_sets_;
-  Line* base = lines_.data() + set * static_cast<std::size_t>(ways_);
-  ++tick_;
-
-  Line* victim = base;
-  for (int w = 0; w < ways_; ++w) {
-    Line& ln = base[w];
-    if (ln.valid && ln.tag == tag) {
-      ln.lru = tick_;
-      ln.dirty = ln.dirty || is_write;
-      ++hits_;
-      return 0;
-    }
-    if (!ln.valid) {
-      victim = &ln;
-    } else if (victim->valid && ln.lru < victim->lru) {
-      victim = &ln;
-    }
-  }
+// Miss path (out of line; the inline header scan handles hits): the
+// victim is the back slot — the least recently used way, or an invalid
+// way (invalid tags only ever sink backward, so any invalid way reaches
+// the back before a valid one is evicted).
+std::size_t CacheSim::install_line(uint32_t* tags, uint64_t& dirty,
+                                   uint32_t tag, bool is_write) {
+  const uint64_t wbit = is_write ? 1 : 0;
   if (is_write) {
     ++write_misses_;  // allocate without fill (streaming store)
   } else {
     ++read_misses_;
   }
-  if (victim->valid && victim->dirty) ++writebacks_;
-  victim->valid = true;
-  victim->tag = tag;
-  victim->lru = tick_;
-  victim->dirty = is_write;
+  const std::size_t back = ways_ - 1;
+  if (tags[back] != kInvalidTag && ((dirty >> back) & 1)) ++writebacks_;
+  std::memmove(tags + 1, tags, back * sizeof(uint32_t));
+  tags[0] = tag;
+  dirty = ((dirty << 1) | wbit) &
+          (ways_ == 64 ? ~uint64_t{0} : (uint64_t{1} << ways_) - 1);
   return 1;
+}
+
+void CacheSim::throw_tag_overflow(uint64_t line_addr) const {
+  throw std::runtime_error(
+      "CacheSim: line address " + std::to_string(line_addr) +
+      " exceeds the 32-bit tag range for a " +
+      std::to_string(num_sets_) + "-set cache (address/capacity "
+      "combination outside the simulated slab layout)");
 }
 
 }  // namespace ts

@@ -2,6 +2,7 @@
 // (Data Movement / GEMM / Mapping / 2D+NMS / Misc).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <string>
@@ -43,6 +44,12 @@ class Timeline {
   }
   void add_dram_bytes(double bytes) { dram_bytes_ += bytes; }
   void add_kernel_launches(std::size_t n) { kernels_ += n; }
+  /// Retracts previously added launches (clamped at zero). Used by the
+  /// kernel-map cache's deterministic replay, which swaps an already-
+  /// charged cold map build for the cheaper warm-hit charge.
+  void remove_kernel_launches(std::size_t n) {
+    kernels_ -= std::min(n, kernels_);
+  }
   void add_flops(double f) { flops_ += f; }
 
   double stage_seconds(Stage s) const {

@@ -39,17 +39,6 @@ CoordIndex::CoordIndex(const std::vector<Coord>& coords, MapBackend backend)
   }
 }
 
-int64_t CoordIndex::find(const Coord& c) const {
-  if (backend_ == MapBackend::kHashMap) {
-    std::size_t probes = 0;
-    const int64_t v = hash_.find(c, &probes);
-    query_accesses_ += probes;
-    return v;
-  }
-  query_accesses_ += 1;  // collision-free: exactly one access
-  return grid_.find(c);
-}
-
 std::size_t CoordIndex::memory_bytes() const {
   if (backend_ == MapBackend::kHashMap)
     return hash_.capacity() * (sizeof(uint64_t) + sizeof(int64_t));

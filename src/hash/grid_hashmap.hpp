@@ -89,6 +89,18 @@ class GridHashMap {
   /// (the modeled dense footprint, regardless of host backing store).
   std::size_t capacity() const { return total_cells_; }
 
+  /// Host-side cache hint for an upcoming find(c) (see FlatHashMap).
+  void prefetch(const Coord& c) const {
+    if (!in_bounds(c)) return;
+#if defined(__GNUC__) || defined(__clang__)
+    if (!cells_.empty()) {
+      __builtin_prefetch(cells_.data() + flatten(c));
+      return;
+    }
+#endif
+    sparse_.prefetch(static_cast<uint64_t>(flatten(c)));
+  }
+
  private:
   std::size_t flatten(const Coord& c) const {
     const int64_t i =
@@ -123,8 +135,27 @@ class CoordIndex {
   CoordIndex(const std::vector<Coord>& coords, MapBackend backend);
 
   /// Returns the point index of `c`, or -1. Accumulates DRAM access count
-  /// into an internal counter readable via `query_accesses()`.
-  int64_t find(const Coord& c) const;
+  /// into an internal counter readable via `query_accesses()`. Inline:
+  /// this is the innermost call of map search (one per query, tens of
+  /// millions per forward pass).
+  int64_t find(const Coord& c) const {
+    if (backend_ == MapBackend::kHashMap) {
+      std::size_t probes = 0;
+      const int64_t v = hash_.find(c, &probes);
+      query_accesses_ += probes;
+      return v;
+    }
+    query_accesses_ += 1;  // collision-free: exactly one access
+    return grid_.find(c);
+  }
+
+  /// Host-side cache hint for an upcoming find(c); no modeled counters.
+  void prefetch(const Coord& c) const {
+    if (backend_ == MapBackend::kHashMap)
+      hash_.prefetch(pack_coord(c));
+    else
+      grid_.prefetch(c);
+  }
 
   MapBackend backend() const { return backend_; }
   std::size_t size() const { return size_; }

@@ -1,8 +1,9 @@
 #include "nn/layers.hpp"
 
 #include <atomic>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "core/mapping_cost.hpp"
 
@@ -66,10 +67,16 @@ BatchNorm::BatchNorm(std::size_t channels, std::mt19937_64& rng) {
 }
 
 SparseTensor BatchNorm::forward(const SparseTensor& x, ExecContext& ctx) {
+  // Always-on shape contract (ROADMAP "Hardening"): must hold identically
+  // in Debug and Release, and on cost-only passes too.
+  if (x.channels() != scale_.size())
+    throw std::invalid_argument(
+        "spnn::BatchNorm: input has " + std::to_string(x.channels()) +
+        " channels but the layer was built for " +
+        std::to_string(scale_.size()));
   charge_elementwise(x.num_points(), x.channels(), ctx);
   SparseTensor y = x;
   if (ctx.compute_numerics) {
-    assert(x.channels() == scale_.size());
     Matrix& f = y.feats();
     for (std::size_t r = 0; r < f.rows(); ++r) {
       float* row = f.row(r);
@@ -132,8 +139,16 @@ SparseTensor ResidualBlock::forward(const SparseTensor& x,
 
 SparseTensor add_features(const SparseTensor& a, const SparseTensor& b,
                           ExecContext& ctx) {
-  assert(a.num_points() == b.num_points());
-  assert(a.channels() == b.channels());
+  if (a.num_points() != b.num_points())
+    throw std::invalid_argument(
+        "spnn::add_features: point counts differ (" +
+        std::to_string(a.num_points()) + " vs " +
+        std::to_string(b.num_points()) + ")");
+  if (a.channels() != b.channels())
+    throw std::invalid_argument(
+        "spnn::add_features: channel counts differ (" +
+        std::to_string(a.channels()) + " vs " +
+        std::to_string(b.channels()) + ")");
   charge_elementwise(a.num_points(), a.channels(), ctx);
   SparseTensor y = a;
   if (ctx.compute_numerics) {
@@ -148,7 +163,11 @@ SparseTensor add_features(const SparseTensor& a, const SparseTensor& b,
 
 SparseTensor concat_features(const SparseTensor& a, const SparseTensor& b,
                              ExecContext& ctx) {
-  assert(a.num_points() == b.num_points());
+  if (a.num_points() != b.num_points())
+    throw std::invalid_argument(
+        "spnn::concat_features: point counts differ (" +
+        std::to_string(a.num_points()) + " vs " +
+        std::to_string(b.num_points()) + ")");
   charge_elementwise(a.num_points(), a.channels() + b.channels(), ctx);
   Matrix f(a.num_points(), a.channels() + b.channels());
   if (ctx.compute_numerics) {

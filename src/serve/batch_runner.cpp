@@ -151,6 +151,9 @@ StreamStats schedule_stream(std::vector<StreamResult>& requests,
 BatchRunner::BatchRunner(DeviceSpec dev, EngineConfig cfg, BatchOptions opt)
     : dev_(std::move(dev)), cfg_(std::move(cfg)), opt_(std::move(opt)) {
   opt_.workers = std::max(opt_.workers, 1);
+  if (!opt_.run.map_cache && opt_.map_cache_bytes > 0)
+    opt_.run.map_cache =
+        std::make_shared<KernelMapCache>(opt_.map_cache_bytes);
 }
 
 BatchReport BatchRunner::run(const ModelFn& model,
@@ -163,8 +166,12 @@ BatchReport BatchRunner::run(const ModelFn& model,
   report.requests.resize(inputs.size());
 
   // Execute: workers pull the next un-served request off a shared ticket
-  // counter. Contexts and caches are per-request, so interleaving cannot
-  // leak state between requests.
+  // counter. Contexts and tensor caches are per-request, so interleaving
+  // cannot leak state between requests; the shared kernel-map cache uses
+  // deferred accounting (events below) so modeled stats cannot depend on
+  // which worker warmed an entry first.
+  const bool cached = static_cast<bool>(opt_.run.map_cache);
+  std::vector<std::vector<MapCacheEvent>> events(cached ? inputs.size() : 0);
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mu;
@@ -174,6 +181,7 @@ BatchReport BatchRunner::run(const ModelFn& model,
       if (i >= inputs.size()) return;
       try {
         ExecContext ctx = make_run_context(dev_, cfg_, opt_.run);
+        if (cached) ctx.cache_events = &events[i];
         RequestResult& r = report.requests[i];
         r.index = i;
         r.timeline = run_in_context(model, inputs[i], ctx);
@@ -196,10 +204,25 @@ BatchReport BatchRunner::run(const ModelFn& model,
   for (std::thread& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
 
+  // Deterministic kernel-map cache accounting: replay the recorded cache
+  // resolutions in input order, swapping cold charges for warm ones
+  // wherever a sequential pass would have hit.
+  MapCacheReplayStats cache_stats;
+  if (cached) {
+    MapCacheReplay replay(opt_.run.map_cache->byte_budget());
+    for (std::size_t i = 0; i < report.requests.size(); ++i) {
+      RequestResult& r = report.requests[i];
+      replay.apply(events[i], r.timeline);
+      r.service_seconds = r.timeline.total_seconds();
+    }
+    cache_stats = replay.stats();
+  }
+
   // Deterministic modeled schedule: requests arrive in input order and go
   // to the earliest-available worker lane. With modeled (not wall-clock)
   // service times this makes every statistic reproducible.
   report.stats = schedule_stats(report.requests, opt_.workers);
+  report.stats.map_cache = cache_stats;
   return report;
 }
 
@@ -211,9 +234,11 @@ StreamReport BatchRunner::serve(const ModelFn& model, RequestQueue& queue,
   // coordinator appends and workers write measured service times.
   std::deque<StreamResult> results;               // submission order
   std::deque<SparseTensor> inputs;                // parallel to results
+  std::deque<std::vector<MapCacheEvent>> events;  // parallel to results
   std::deque<std::promise<StreamResult>> promises;
   std::vector<PlannedBatch> plan;
   DynamicBatcher batcher(sopt.batcher);
+  const bool cached = static_cast<bool>(opt_.run.map_cache);
 
   // Measurement work queue. Batch membership only shapes the modeled
   // schedule, so measurement starts the moment a request is drained — no
@@ -221,8 +246,9 @@ StreamReport BatchRunner::serve(const ModelFn& model, RequestQueue& queue,
   // push_back never moves existing elements), so workers never touch the
   // growing containers themselves.
   struct WorkItem {
-    const SparseTensor* input;
+    SparseTensor* input;  // mutable: borrow_input moves the tensor out
     StreamResult* result;
+    std::vector<MapCacheEvent>* events;
   };
   std::mutex mu;
   std::condition_variable cv;
@@ -243,15 +269,23 @@ StreamReport BatchRunner::serve(const ModelFn& model, RequestQueue& queue,
       }
       try {
         Timeline t;
+        auto run_one = [&](ExecContext& c) {
+          if (item.events) c.cache_events = item.events;
+          // borrow_input: the queue owns the drained tensor and nothing
+          // reads it after measurement, so steal it instead of copying.
+          return opt_.run.borrow_input
+                     ? run_in_context(model, std::move(*item.input), c)
+                     : run_in_context(model, *item.input, c);
+        };
         if (sopt.reuse_context) {
           if (!ctx)
             ctx.emplace(make_run_context(dev_, cfg_, opt_.run));
           else
             reset_context(*ctx);
-          t = run_in_context(model, *item.input, *ctx);
+          t = run_one(*ctx);
         } else {
           ExecContext fresh = make_run_context(dev_, cfg_, opt_.run);
-          t = run_in_context(model, *item.input, fresh);
+          t = run_one(fresh);
         }
         item.result->timeline = t;
         item.result->service_seconds = t.total_seconds();
@@ -293,11 +327,13 @@ StreamReport BatchRunner::serve(const ModelFn& model, RequestQueue& queue,
     results.back().arrival_seconds = pr.arrival_seconds;
     inputs.push_back(std::move(pr.input));
     promises.push_back(std::move(pr.promise));
+    if (cached) events.emplace_back();
     for (const PlannedBatch& b : batcher.on_arrival(pr.arrival_seconds))
       plan.push_back(b);
     {
       std::lock_guard<std::mutex> lock(mu);
-      work.push_back({&inputs.back(), &results.back()});
+      work.push_back({&inputs.back(), &results.back(),
+                      cached ? &events.back() : nullptr});
     }
     cv.notify_one();
   }
@@ -318,9 +354,27 @@ StreamReport BatchRunner::serve(const ModelFn& model, RequestQueue& queue,
 
   report.requests.assign(std::make_move_iterator(results.begin()),
                          std::make_move_iterator(results.end()));
+
+  // Deterministic kernel-map cache accounting: replay the recorded cache
+  // resolutions in submission order, swapping cold charges for warm ones
+  // wherever a sequential pass over the shared cache would have hit. The
+  // outcome depends only on the submitted stream and the byte budget —
+  // never on worker count or thread timing.
+  MapCacheReplayStats cache_stats;
+  if (cached) {
+    MapCacheReplay replay(opt_.run.map_cache->byte_budget());
+    for (std::size_t i = 0; i < report.requests.size(); ++i) {
+      StreamResult& r = report.requests[i];
+      replay.apply(events[i], r.timeline);
+      r.service_seconds = r.timeline.total_seconds();
+    }
+    cache_stats = replay.stats();
+  }
+
   report.stats = schedule_stream(report.requests, plan, opt_.workers,
                                  sopt.batch_overhead_seconds,
                                  &report.batches);
+  report.stats.map_cache = cache_stats;
   report.stats.rejected = queue.rejected();
   for (std::size_t i = 0; i < report.requests.size(); ++i)
     promises[i].set_value(report.requests[i]);

@@ -14,10 +14,15 @@
 //
 // Every request gets its own ExecContext state (fresh, or one reusable
 // context per worker reset between requests) and a private TensorCache
-// (via fresh_input), so per-request results are bit-identical to a serial
-// run_model loop — concurrency changes wall time, never outputs. Tuned
-// grouping parameters arrive through RunOptions, typically from a
-// TunedParamStore shared by all workers.
+// (via fresh_input, or a zero-copy move when RunOptions::borrow_input is
+// set), so per-request results are bit-identical to a serial run_model
+// loop — concurrency changes wall time, never outputs. Tuned grouping
+// parameters arrive through RunOptions, typically from a TunedParamStore
+// shared by all workers. A pool-owned cross-request KernelMapCache
+// (BatchOptions::map_cache_bytes) lets near-duplicate scans reuse each
+// other's kernel maps: outputs stay bit-identical, and modeled stats use
+// a deterministic submission-order replay so they remain independent of
+// worker count (docs/PERFORMANCE.md).
 //
 // Because layer runtimes are produced by the device cost model rather
 // than wall clocks, all serving statistics are also modeled: arrivals,
@@ -39,6 +44,15 @@ namespace ts::serve {
 struct BatchOptions {
   int workers = 1;  // worker threads (and schedule lanes); clamped to >= 1
   RunOptions run;   // shared per-request options (numerics, tuned params)
+  /// Byte budget for a pool-owned cross-request KernelMapCache (0 =
+  /// disabled). Near-duplicate scans in a stream then reuse each other's
+  /// kernel maps and downsampled coordinate sets: results stay
+  /// bit-identical to the cold path, map-build wall time is skipped on
+  /// hits, and the modeled mapping charge is replaced by a small re-key
+  /// cost via a deterministic submission-order replay (worker-count
+  /// independent). Ignored when run.map_cache is already set (pools can
+  /// share one cache that way).
+  std::size_t map_cache_bytes = 0;
 };
 
 /// One request's outcome on the fixed-batch path: the modeled timeline
@@ -61,6 +75,9 @@ struct BatchStats {
   double latency_p99_seconds = 0;
   double mean_service_seconds = 0;
   Timeline aggregate;             // sum of all request timelines
+  /// Deterministic (submission-order replay) kernel-map cache outcome;
+  /// zeros when the cache is disabled.
+  MapCacheReplayStats map_cache;
 };
 
 struct BatchReport {
@@ -121,6 +138,9 @@ struct StreamStats {
   double e2e_p99_seconds = 0;
   double mean_service_seconds = 0;
   Timeline aggregate;              // sum of all request timelines
+  /// Deterministic (submission-order replay) kernel-map cache outcome;
+  /// zeros when the cache is disabled.
+  MapCacheReplayStats map_cache;
 };
 
 struct StreamReport {
@@ -177,6 +197,13 @@ class BatchRunner {
                      const StreamOptions& sopt = {}) const;
 
   const BatchOptions& options() const { return opt_; }
+
+  /// The pool's cross-request kernel-map cache (null when disabled).
+  /// Exposes wall-clock-side observability: hit rate, bytes pinned,
+  /// build seconds saved.
+  const std::shared_ptr<KernelMapCache>& map_cache() const {
+    return opt_.run.map_cache;
+  }
 
  private:
   DeviceSpec dev_;

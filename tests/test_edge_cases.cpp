@@ -4,6 +4,7 @@
 // Release (descriptive exceptions, never NDEBUG-stripped asserts).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <random>
 #include <sstream>
 #include <stdexcept>
@@ -166,6 +167,80 @@ TEST(EdgeCases, SerializeSaveToUnopenablePathThrows) {
                std::runtime_error);
   EXPECT_THROW(io::save_points_file("/nonexistent-dir/x.tspts", {}),
                std::runtime_error);
+}
+
+TEST(EdgeCases, BatchNormChannelMismatchThrows) {
+  // Regression (ROADMAP "Hardening"): an NDEBUG build used to scale
+  // features with out-of-bounds gamma/beta reads; now a descriptive
+  // exception in Debug and Release, on cost-only passes too.
+  std::mt19937_64 rng(11);
+  spnn::BatchNorm bn(8, rng);
+  std::vector<Coord> coords = {{0, 1, 1, 1}};
+  SparseTensor x(coords, Matrix(1, 4, 1.0f));
+  ExecContext ctx = fp32_ctx();
+  try {
+    bn.forward(x, ctx);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "spnn::BatchNorm: input has 4 channels but the layer was "
+                 "built for 8");
+  }
+  ctx.compute_numerics = false;  // the contract is not numerics-gated
+  EXPECT_THROW(bn.forward(x, ctx), std::invalid_argument);
+}
+
+TEST(EdgeCases, AddFeaturesShapeMismatchThrows) {
+  std::vector<Coord> c1 = {{0, 1, 1, 1}};
+  std::vector<Coord> c2 = {{0, 1, 1, 1}, {0, 2, 2, 2}};
+  SparseTensor a(c1, Matrix(1, 4, 1.0f));
+  SparseTensor b(c2, Matrix(2, 4, 1.0f));
+  SparseTensor c(c1, Matrix(1, 3, 1.0f));
+  ExecContext ctx = fp32_ctx();
+  EXPECT_THROW(spnn::add_features(a, b, ctx), std::invalid_argument);
+  EXPECT_THROW(spnn::add_features(a, c, ctx), std::invalid_argument);
+  EXPECT_THROW(spnn::concat_features(a, b, ctx), std::invalid_argument);
+}
+
+TEST(EdgeCases, VoxelizeRejectsBadSpecAndPoints) {
+  VoxelSpec bad = segmentation_voxels();
+  bad.voxel_size_m = 0.0;
+  EXPECT_THROW(voxelize({Point3{1, 2, 3, 0.5f, 0.0f}}, bad),
+               std::invalid_argument);
+  bad.voxel_size_m = -0.1;
+  EXPECT_THROW(voxelize({Point3{1, 2, 3, 0.5f, 0.0f}}, bad),
+               std::invalid_argument);
+  EXPECT_THROW(
+      voxelize({Point3{1, 2, 3, 0.5f, 0.0f}}, segmentation_voxels(), -1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      voxelize({Point3{1, 2, 3, 0.5f, 0.0f}}, segmentation_voxels(),
+               kCoordBatchMax + 1),
+      std::invalid_argument);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(voxelize({Point3{nan, 0, 0, 0.5f, 0.0f}},
+                        segmentation_voxels()),
+               std::invalid_argument);
+}
+
+TEST(EdgeCases, VoxelizeRejectsUnpackableSpan) {
+  // Two points farther apart than the packable 18-bit coordinate range.
+  VoxelSpec spec = segmentation_voxels();
+  spec.voxel_size_m = 0.001;  // 1mm voxels blow up the span
+  std::vector<Point3> pts = {Point3{0, 0, 0, 0.5f, 0.0f},
+                             Point3{1000, 0, 0, 0.5f, 0.0f}};
+  EXPECT_THROW(voxelize(pts, spec), std::invalid_argument);
+}
+
+TEST(EdgeCases, MergeBatchesRejectsStridedAndMismatchedScans) {
+  std::vector<Coord> coords = {{0, 2, 2, 2}};
+  const SparseTensor fine(coords, Matrix(1, 4, 1.0f));
+  // A stride-2 tensor (derived constructor) must be rejected.
+  const SparseTensor strided(fine.coords_ptr(), Matrix(1, 4, 1.0f), 2,
+                             fine.cache());
+  EXPECT_THROW(merge_batches({fine, strided}), std::invalid_argument);
+  const SparseTensor narrow(coords, Matrix(1, 3, 1.0f));
+  EXPECT_THROW(merge_batches({fine, narrow}), std::invalid_argument);
 }
 
 TEST(EdgeCases, LargeCoordinatesStayInPackableRange) {

@@ -1,0 +1,365 @@
+// Cross-request kernel-map cache: content-addressed keys, bit-identical
+// warm-vs-cold results, byte-budget LRU eviction, hit accounting, and —
+// through BatchRunner — thread-safe sharing with modeled statistics that
+// are deterministic for any worker count.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+#include "core/conv3d.hpp"
+#include "core/kernel_map_cache.hpp"
+#include "engines/presets.hpp"
+#include "engines/runner.hpp"
+#include "gpusim/device.hpp"
+#include "nn/layers.hpp"
+#include "nn/minkunet.hpp"
+#include "serve/batch_runner.hpp"
+#include "serve/request_queue.hpp"
+
+namespace ts {
+namespace {
+
+SparseTensor random_tensor(int n, int extent, std::size_t channels,
+                           uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int32_t> d(0, extent);
+  std::uniform_real_distribution<float> f(-1.0f, 1.0f);
+  std::vector<Coord> coords;
+  std::unordered_set<uint64_t> seen;
+  while (static_cast<int>(coords.size()) < n) {
+    const Coord c{0, d(rng), d(rng), d(rng)};
+    if (seen.insert(pack_coord(c)).second) coords.push_back(c);
+  }
+  Matrix feats(coords.size(), channels);
+  for (std::size_t i = 0; i < feats.size(); ++i) feats.data()[i] = f(rng);
+  return SparseTensor(std::move(coords), std::move(feats));
+}
+
+/// Down + submanifold + up, so the cache sees downsample coords, strided
+/// maps, stride-1 maps, and transposed reuse.
+ModelFn small_unet(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto net = std::make_shared<spnn::Sequential>();
+  net->emplace<spnn::ConvBlock>(4, 16, 3, 1, false, rng);
+  net->emplace<spnn::ConvBlock>(16, 32, 2, 2, false, rng);
+  net->emplace<spnn::ConvBlock>(32, 32, 3, 1, false, rng);
+  net->emplace<spnn::ConvBlock>(32, 16, 2, 2, true, rng);
+  return [net](const SparseTensor& x, ExecContext& ctx) {
+    net->forward(x, ctx);
+  };
+}
+
+void expect_same_timeline(const Timeline& a, const Timeline& b) {
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    const Stage st = static_cast<Stage>(s);
+    EXPECT_DOUBLE_EQ(a.stage_seconds(st), b.stage_seconds(st))
+        << to_string(st);
+  }
+  EXPECT_DOUBLE_EQ(a.dram_bytes(), b.dram_bytes());
+  EXPECT_EQ(a.kernel_launches(), b.kernel_launches());
+  EXPECT_DOUBLE_EQ(a.flops(), b.flops());
+}
+
+// --- Content keys -----------------------------------------------------
+
+TEST(MapCacheKey, DeterministicAndContentSensitive) {
+  const SparseTensor t = random_tensor(200, 14, 4, 1);
+  const std::vector<Coord>& in = t.coords();
+  ConvGeometry geom{3, 1, false, 1};
+  MapSearchOptions opts{MapBackend::kGrid, true};
+
+  const MapCacheKey a = kernel_map_cache_key(in, in, geom, opts);
+  const MapCacheKey b = kernel_map_cache_key(in, in, geom, opts);
+  EXPECT_EQ(a, b);
+
+  // Any build-input change must move the key: coordinate content,
+  // coordinate order, geometry, and search options.
+  std::vector<Coord> perturbed = in;
+  perturbed[0].x += 1;
+  EXPECT_FALSE(a == kernel_map_cache_key(perturbed, perturbed, geom, opts));
+  std::vector<Coord> swapped = in;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_FALSE(a == kernel_map_cache_key(swapped, swapped, geom, opts));
+  ConvGeometry k5 = geom;
+  k5.kernel_size = 5;
+  EXPECT_FALSE(a == kernel_map_cache_key(in, in, k5, opts));
+  MapSearchOptions hash_opts{MapBackend::kHashMap, true};
+  EXPECT_FALSE(a == kernel_map_cache_key(in, in, geom, hash_opts));
+
+  const MapCacheKey d1 = downsample_cache_key(in, 2, 2, true, true);
+  EXPECT_EQ(d1, downsample_cache_key(in, 2, 2, true, true));
+  EXPECT_FALSE(d1 == downsample_cache_key(in, 2, 2, false, true));
+  EXPECT_FALSE(d1 == downsample_cache_key(perturbed, 2, 2, true, true));
+}
+
+// --- Warm vs cold: results and accounting -----------------------------
+
+TEST(KernelMapCache, WarmRunIsBitIdenticalAndCheaper) {
+  const SparseTensor input = random_tensor(300, 14, 4, 2);
+  std::mt19937_64 rng(7);
+  spnn::MinkUNet net(0.25, 4, 5, 7);
+
+  auto run_once = [&](const std::shared_ptr<KernelMapCache>& cache,
+                      Matrix& out) {
+    RunOptions opt;
+    opt.numerics = true;
+    opt.map_cache = cache;
+    ExecContext ctx = make_run_context(rtx2080ti(), torchsparse_config(), opt);
+    const SparseTensor in = fresh_input(input);
+    out = net.forward(in, ctx).feats();
+    return ctx.timeline;
+  };
+
+  Matrix cold_out, warm_out, off_out;
+  const Timeline off = run_once(nullptr, off_out);
+  auto cache = std::make_shared<KernelMapCache>(std::size_t(256) << 20);
+  const Timeline cold = run_once(cache, cold_out);
+  const Timeline warm = run_once(cache, warm_out);
+
+  // Cold with the cache on charges exactly the cache-off path (misses
+  // add no modeled overhead), and outputs are bit-identical across all
+  // three runs.
+  expect_same_timeline(off, cold);
+  EXPECT_EQ(max_abs_diff(off_out, cold_out), 0.0f);
+  EXPECT_EQ(max_abs_diff(off_out, warm_out), 0.0f);
+
+  // Warm mapping time collapses to the re-key cost; everything else is
+  // untouched.
+  EXPECT_LT(warm.stage_seconds(Stage::kMapping),
+            0.5 * cold.stage_seconds(Stage::kMapping));
+  EXPECT_DOUBLE_EQ(warm.stage_seconds(Stage::kMatMul),
+                   cold.stage_seconds(Stage::kMatMul));
+  EXPECT_DOUBLE_EQ(warm.data_movement_seconds(),
+                   cold.data_movement_seconds());
+
+  const MapCacheStats s = cache->stats();
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+}
+
+TEST(KernelMapCache, SurvivesResetContext) {
+  const SparseTensor input = random_tensor(250, 13, 4, 3);
+  const ModelFn model = small_unet(11);
+  RunOptions opt;
+  opt.map_cache = std::make_shared<KernelMapCache>(std::size_t(64) << 20);
+  ExecContext ctx = make_run_context(rtx2080ti(), torchsparse_config(), opt);
+
+  const Timeline cold = run_in_context(model, input, ctx);
+  reset_context(ctx);
+  ASSERT_NE(ctx.map_cache, nullptr);  // warm maps outlive the reset
+  const Timeline warm = run_in_context(model, input, ctx);
+  EXPECT_LT(warm.stage_seconds(Stage::kMapping),
+            cold.stage_seconds(Stage::kMapping));
+  EXPECT_GT(opt.map_cache->stats().hits, 0u);
+}
+
+// --- LRU eviction and byte budget -------------------------------------
+
+TEST(KernelMapCache, LruEvictsUnderTinyByteBudget) {
+  const SparseTensor a = random_tensor(200, 13, 4, 4);
+  const SparseTensor b = random_tensor(200, 13, 4, 5);
+  ConvGeometry geom{3, 1, false, 1};
+  MapSearchOptions opts{MapBackend::kGrid, false};
+
+  auto build = [&](const SparseTensor& t) {
+    return [&]() {
+      MapCachePayload p;
+      p.kmap = std::make_shared<const KernelMap>(
+          build_kernel_map(t.coords(), t.coords(), geom, opts));
+      return p;
+    };
+  };
+  const MapCacheKey ka = kernel_map_cache_key(a.coords(), a.coords(), geom,
+                                              opts);
+  const MapCacheKey kb = kernel_map_cache_key(b.coords(), b.coords(), geom,
+                                              opts);
+
+  // Budget sized for roughly one entry: alternating keys must evict.
+  MapCachePayload probe;
+  probe.kmap = std::make_shared<const KernelMap>(
+      build_kernel_map(a.coords(), a.coords(), geom, opts));
+  auto cache = std::make_shared<KernelMapCache>(
+      map_cache_payload_bytes(probe) + 1024);
+  bool hit = false;
+  cache->get_or_build(ka, build(a), &hit);
+  EXPECT_FALSE(hit);
+  cache->get_or_build(kb, build(b), &hit);  // evicts a
+  EXPECT_FALSE(hit);
+  cache->get_or_build(ka, build(a), &hit);  // rebuilt: a was evicted
+  EXPECT_FALSE(hit);
+  cache->get_or_build(ka, build(a), &hit);  // now warm
+  EXPECT_TRUE(hit);
+
+  const MapCacheStats s = cache->stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_LE(s.bytes_in_use, s.byte_budget);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(KernelMapCache, OversizedEntriesAreReturnedButNeverCached) {
+  const SparseTensor a = random_tensor(200, 13, 4, 6);
+  ConvGeometry geom{3, 1, false, 1};
+  MapSearchOptions opts{MapBackend::kGrid, false};
+  auto cache = std::make_shared<KernelMapCache>(64);  // far below any map
+  const MapCacheKey ka = kernel_map_cache_key(a.coords(), a.coords(), geom,
+                                              opts);
+  bool hit = true;
+  const MapCachePayload p = cache->get_or_build(
+      ka,
+      [&] {
+        MapCachePayload out;
+        out.kmap = std::make_shared<const KernelMap>(
+            build_kernel_map(a.coords(), a.coords(), geom, opts));
+        return out;
+      },
+      &hit);
+  EXPECT_FALSE(hit);
+  ASSERT_NE(p.kmap, nullptr);
+  EXPECT_GT(p.kmap->total(), 0u);
+  const MapCacheStats s = cache->stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.oversized, 1u);
+  EXPECT_EQ(s.bytes_in_use, 0u);
+}
+
+TEST(KernelMapCache, HitRateAccounting) {
+  const SparseTensor a = random_tensor(150, 12, 4, 8);
+  ConvGeometry geom{3, 1, false, 1};
+  MapSearchOptions opts{MapBackend::kGrid, false};
+  auto cache = std::make_shared<KernelMapCache>(std::size_t(64) << 20);
+  const MapCacheKey ka = kernel_map_cache_key(a.coords(), a.coords(), geom,
+                                              opts);
+  auto build = [&] {
+    MapCachePayload p;
+    p.kmap = std::make_shared<const KernelMap>(
+        build_kernel_map(a.coords(), a.coords(), geom, opts));
+    return p;
+  };
+  for (int i = 0; i < 5; ++i) cache->get_or_build(ka, build);
+  const MapCacheStats s = cache->stats();
+  EXPECT_EQ(s.lookups, 5u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 4u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.8);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_GE(s.build_wall_seconds_saved, 0.0);
+}
+
+// --- Serving integration ----------------------------------------------
+
+serve::StreamReport serve_stream(int workers, std::size_t cache_bytes,
+                                 const std::vector<SparseTensor>& scans,
+                                 bool borrow = false) {
+  const ModelFn model = small_unet(21);
+  serve::BatchOptions opt;
+  opt.workers = workers;
+  opt.map_cache_bytes = cache_bytes;
+  opt.run.borrow_input = borrow;
+  const serve::BatchRunner runner(rtx2080ti(), torchsparse_config(), opt);
+  serve::RequestQueue queue;
+  std::vector<serve::StreamHandle> handles;
+  for (std::size_t i = 0; i < scans.size(); ++i)
+    handles.push_back(
+        queue.submit(scans[i], 0.001 * static_cast<double>(i)));
+  queue.close();
+  return runner.serve(model, queue);
+}
+
+TEST(KernelMapCacheServe, DuplicateStreamAmortizesMappingDeterministically) {
+  // 12 requests, all the same scan: the warm path must amortize the
+  // mapping stage away and the modeled stats must not depend on the
+  // worker count (deferred submission-order accounting).
+  const SparseTensor scan = random_tensor(250, 13, 4, 9);
+  const std::vector<SparseTensor> scans(12, scan);
+
+  const serve::StreamReport off = serve_stream(4, 0, scans);
+  const serve::StreamReport on1 = serve_stream(1, 64 << 20, scans);
+  const serve::StreamReport on4 = serve_stream(4, 64 << 20, scans);
+
+  // Deterministic across worker counts: identical aggregate timeline and
+  // per-request service times.
+  expect_same_timeline(on1.stats.aggregate, on4.stats.aggregate);
+  ASSERT_EQ(on1.requests.size(), on4.requests.size());
+  for (std::size_t i = 0; i < on1.requests.size(); ++i)
+    EXPECT_DOUBLE_EQ(on1.requests[i].service_seconds,
+                     on4.requests[i].service_seconds);
+
+  // Amortization: 11 of 12 requests hit every mapping product.
+  const double map_off = off.stats.aggregate.stage_seconds(Stage::kMapping);
+  const double map_on = on4.stats.aggregate.stage_seconds(Stage::kMapping);
+  EXPECT_LT(map_on, 0.25 * map_off);
+  EXPECT_GT(on4.stats.map_cache.hits, 0u);
+  EXPECT_EQ(on4.stats.map_cache.hits + on4.stats.map_cache.misses,
+            on4.stats.map_cache.lookups);
+  EXPECT_GT(on4.stats.map_cache.modeled_seconds_saved, 0.0);
+
+  // Non-mapping stages are untouched by the cache.
+  EXPECT_DOUBLE_EQ(off.stats.aggregate.stage_seconds(Stage::kMatMul),
+                   on4.stats.aggregate.stage_seconds(Stage::kMatMul));
+}
+
+TEST(KernelMapCacheServe, UniqueStreamMatchesCacheOffBitExactly) {
+  // 0% duplicates: the cache must be invisible in the modeled stats.
+  std::vector<SparseTensor> scans;
+  for (int i = 0; i < 6; ++i)
+    scans.push_back(random_tensor(200 + 10 * i, 13, 4,
+                                  100 + static_cast<uint64_t>(i)));
+  const serve::StreamReport off = serve_stream(3, 0, scans);
+  const serve::StreamReport on = serve_stream(3, 64 << 20, scans);
+  expect_same_timeline(off.stats.aggregate, on.stats.aggregate);
+  EXPECT_EQ(on.stats.map_cache.hits, 0u);
+}
+
+TEST(KernelMapCacheServe, RepeatedServeRunsAreDeterministic) {
+  // Same stream, fresh runner, several repeats: every modeled statistic
+  // must be bit-equal run to run even with a warm shared cache and many
+  // workers racing.
+  std::vector<SparseTensor> scans;
+  const SparseTensor dup = random_tensor(220, 13, 4, 10);
+  for (int i = 0; i < 10; ++i)
+    scans.push_back(i % 2 ? dup
+                          : random_tensor(200, 13, 4,
+                                          200 + static_cast<uint64_t>(i)));
+  const serve::StreamReport first = serve_stream(8, 32 << 20, scans);
+  for (int rep = 0; rep < 2; ++rep) {
+    const serve::StreamReport again = serve_stream(8, 32 << 20, scans);
+    expect_same_timeline(first.stats.aggregate, again.stats.aggregate);
+    EXPECT_DOUBLE_EQ(first.stats.e2e_p99_seconds,
+                     again.stats.e2e_p99_seconds);
+    EXPECT_EQ(first.stats.map_cache.hits, again.stats.map_cache.hits);
+    EXPECT_EQ(first.stats.map_cache.evictions,
+              again.stats.map_cache.evictions);
+  }
+}
+
+TEST(KernelMapCacheServe, BorrowInputMatchesCopyPath) {
+  std::vector<SparseTensor> scans;
+  for (int i = 0; i < 6; ++i)
+    scans.push_back(random_tensor(180, 12, 4,
+                                  300 + static_cast<uint64_t>(i)));
+  const serve::StreamReport copy =
+      serve_stream(2, 16 << 20, scans, /*borrow=*/false);
+  const serve::StreamReport borrow =
+      serve_stream(2, 16 << 20, scans, /*borrow=*/true);
+  expect_same_timeline(copy.stats.aggregate, borrow.stats.aggregate);
+  ASSERT_EQ(copy.requests.size(), borrow.requests.size());
+  for (std::size_t i = 0; i < copy.requests.size(); ++i)
+    EXPECT_DOUBLE_EQ(copy.requests[i].service_seconds,
+                     borrow.requests[i].service_seconds);
+}
+
+TEST(KernelMapCacheServe, BorrowedRunInContextMatchesCopy) {
+  const SparseTensor input = random_tensor(200, 13, 4, 12);
+  const ModelFn model = small_unet(31);
+  ExecContext a = make_run_context(rtx2080ti(), torchsparse_config(), {});
+  ExecContext b = make_run_context(rtx2080ti(), torchsparse_config(), {});
+  const Timeline copied = run_in_context(model, input, a);
+  SparseTensor own(input.coords(), input.feats());
+  const Timeline borrowed = run_in_context(model, std::move(own), b);
+  expect_same_timeline(copied, borrowed);
+}
+
+}  // namespace
+}  // namespace ts
