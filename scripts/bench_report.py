@@ -2,9 +2,10 @@
 """Run the perf-tracked benches and emit BENCH_fig*.json trajectory files.
 
 Each tracked bench prints machine-readable "@metric <name> <value>" lines
-(see bench/bench_util.hpp).  This script runs fig13 (mapping), fig14
-(serving throughput), and fig16 (kernel-map cache) binaries, collects
-their metrics, and writes one BENCH_<fig>.json per bench.
+(see bench/bench_util.hpp).  This script runs the fig13 (mapping), fig14
+(serving throughput), fig16 (kernel-map cache), and fig17 (multi-device
+sharding) binaries, collects their metrics, and writes one
+BENCH_<fig>.json per bench.
 
 Modeled metrics are produced by the deterministic cost model, so they are
 bit-reproducible across machines; the CI regression gate (--check)
@@ -34,6 +35,7 @@ BENCHES = {
     "fig13": "bench_fig13_mapping",
     "fig14": "bench_fig14_throughput",
     "fig16": "bench_fig16_map_cache",
+    "fig17": "bench_fig17_sharding",
 }
 PRESET_SCALE = {"ci": "0.2", "full": ""}
 TOLERANCE = 0.20

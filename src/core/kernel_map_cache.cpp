@@ -128,6 +128,43 @@ MapCachePayload KernelMapCache::peek(const MapCacheKey& key) const {
   return {};
 }
 
+bool KernelMapCache::contains(const MapCacheKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.find(key) != entries_.end();
+}
+
+KernelMapCache::RecordOutcome KernelMapCache::record_lookup(
+    const MapCacheKey& key, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+  RecordOutcome out;
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    Entry& e = it->second;
+    ++e.hits;
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, e.lru_it);
+    out.hit = true;
+    return out;
+  }
+  ++stats_.misses;
+  if (bytes > budget_) {
+    ++stats_.oversized;
+    return out;
+  }
+  const std::size_t evictions_before = stats_.evictions;
+  evict_to_fit_locked(bytes);
+  out.evictions = stats_.evictions - evictions_before;
+  lru_.push_front(key);
+  Entry e;
+  e.bytes = bytes;
+  e.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(e));
+  stats_.bytes_in_use += bytes;
+  stats_.entries = entries_.size();
+  ++stats_.insertions;
+  return out;
+}
+
 MapCacheStats KernelMapCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
@@ -156,6 +193,16 @@ void KernelMapCache::evict_to_fit_locked(std::size_t incoming_bytes) {
 MapCacheReplay::MapCacheReplay(std::size_t byte_budget)
     : budget_(byte_budget) {}
 
+void apply_map_cache_hit(const MapCacheEvent& ev, Timeline& t) {
+  // Swap the cold charge the request measured for the warm charge.
+  t.add(Stage::kMapping, ev.hit_seconds - ev.cold_seconds);
+  t.add_dram_bytes(ev.hit_dram_bytes - ev.cold_dram_bytes);
+  if (ev.cold_launches > ev.hit_launches)
+    t.remove_kernel_launches(ev.cold_launches - ev.hit_launches);
+  else
+    t.add_kernel_launches(ev.hit_launches - ev.cold_launches);
+}
+
 void MapCacheReplay::apply(const std::vector<MapCacheEvent>& events,
                            Timeline& t) {
   for (const MapCacheEvent& ev : events) {
@@ -163,13 +210,7 @@ void MapCacheReplay::apply(const std::vector<MapCacheEvent>& events,
     if (auto it = entries_.find(ev.key); it != entries_.end()) {
       ++stats_.hits;
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-      // Swap the cold charge the request measured for the warm charge.
-      t.add(Stage::kMapping, ev.hit_seconds - ev.cold_seconds);
-      t.add_dram_bytes(ev.hit_dram_bytes - ev.cold_dram_bytes);
-      if (ev.cold_launches > ev.hit_launches)
-        t.remove_kernel_launches(ev.cold_launches - ev.hit_launches);
-      else
-        t.add_kernel_launches(ev.hit_launches - ev.cold_launches);
+      apply_map_cache_hit(ev, t);
       stats_.modeled_seconds_saved += ev.cold_seconds - ev.hit_seconds;
       continue;
     }

@@ -125,6 +125,30 @@ class KernelMapCache {
   /// Probe without building; null payload pointers when absent.
   MapCachePayload peek(const MapCacheKey& key) const;
 
+  /// Ownership query: does the cache currently hold `key`? Unlike peek,
+  /// this does not copy the payload and never touches the LRU order, so
+  /// routing layers (serve::DeviceGroup's cache-affinity dispatcher) can
+  /// probe many devices without perturbing eviction state.
+  bool contains(const MapCacheKey& key) const;
+
+  /// Outcome of one record-mode lookup (see record_lookup).
+  struct RecordOutcome {
+    bool hit = false;
+    std::size_t evictions = 0;  // entries evicted to admit this key
+  };
+
+  /// Record-mode lookup: applies the cache's exact hit/miss/LRU/eviction
+  /// bookkeeping for `key` with a declared payload footprint of `bytes`,
+  /// without storing any payload. This is how a *modeled* device cache is
+  /// driven (serve::DeviceGroup): the deterministic submission-order
+  /// accounting pass replays each request's MapCacheEvents through the
+  /// device it was routed to, and the decisions here are bit-compatible
+  /// with MapCacheReplay for any event stream. Entries larger than the
+  /// whole budget follow the get_or_build rule (counted oversized, never
+  /// cached). Do not mix record-mode and get_or_build on one cache: a
+  /// record-mode hit has no payload to return.
+  RecordOutcome record_lookup(const MapCacheKey& key, std::size_t bytes);
+
   MapCacheStats stats() const;
   std::size_t byte_budget() const { return budget_; }
   void clear();
@@ -164,6 +188,13 @@ struct MapCacheEvent {
   double hit_dram_bytes = 0;
   std::size_t hit_launches = 0;
 };
+
+/// Applies one warm-hit substitution to a cold-measured timeline:
+/// swaps the event's cold mapping charge (seconds, DRAM traffic, kernel
+/// launches) for its warm re-key charge. The single definition of the
+/// hit-delta arithmetic, shared by MapCacheReplay and the serving
+/// layer's per-device record-mode replay — both must stay bit-identical.
+void apply_map_cache_hit(const MapCacheEvent& ev, Timeline& t);
 
 struct MapCacheReplayStats {
   std::size_t lookups = 0;

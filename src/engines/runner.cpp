@@ -23,8 +23,9 @@ void reset_context(ExecContext& ctx) {
   ctx.l2.reset();
   ctx.layer_id = -1;
   ctx.cache_events = nullptr;
-  // ctx.map_cache is intentionally kept: warm kernel maps are the point
-  // of sharing the cache across requests.
+  // ctx.map_cache and ctx.device_index are intentionally kept: warm
+  // kernel maps are the point of sharing the cache across requests, and
+  // a serving worker's pool provenance doesn't change between requests.
 }
 
 Timeline run_in_context(const ModelFn& model, const SparseTensor& input,

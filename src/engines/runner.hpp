@@ -54,8 +54,10 @@ ExecContext make_run_context(const DeviceSpec& dev, const EngineConfig& cfg,
 /// Resets `ctx` for reuse on the next request: clears the accumulated
 /// timeline, the L2 replay simulator, the current layer id, and the
 /// deferred cache-event pointer, while keeping the cost model, engine
-/// config, numerics/cache flags, tuned parameters, and the shared
-/// kernel-map cache (warm maps survive across requests by design). After
+/// config, numerics/cache flags, tuned parameters, the device identity
+/// (ExecContext::device_index — host-pool provenance a serving worker
+/// keeps across requests), and the shared kernel-map cache
+/// (warm maps survive across requests by design). After
 /// reset_context, running a model yields the exact timeline a freshly
 /// built context would — this is the serving runtime's context-reuse hook
 /// (one context per worker, reset between requests, skipping repeated

@@ -19,6 +19,13 @@ namespace ts {
 
 struct DeviceSpec {
   std::string name;
+  /// Identity of this device instance inside a multi-device group
+  /// (serve::DeviceGroup stamps shard k with index k). Never consulted by
+  /// the cost model — two specs differing only in device_index produce
+  /// bit-identical timelines — it exists so modeled accounting (per-device
+  /// serve stats, per-device cache ownership) can name the instance a
+  /// piece of work ran on.
+  int device_index = 0;
   double dram_bandwidth_gbps;   // GB/s, effective
   double peak_fp32_tflops;      // dense GEMM peak, FP32
   double peak_fp16_tflops;      // dense GEMM peak, FP16 (FP32 accumulate)

@@ -1,5 +1,6 @@
 #include "io/serialize.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -98,8 +99,15 @@ SparseTensor load_tensor(std::istream& is) {
   expect_header(is, kTensorMagic);
   const uint64_t n = read_count(is, 1ull << 32);
   const uint64_t c = read_count(is, 1ull << 20);
+  // A corrupt header can pass the magic check and still describe an
+  // impossible tensor; every structural claim is validated before it can
+  // mis-size an allocation or feed the engine state it assumes away.
+  if (c == 0 && n > 0)
+    throw std::runtime_error("channel count 0 with nonzero points");
   const int32_t stride = read_pod<int32_t>(is);
   if (stride < 1) throw std::runtime_error("bad tensor stride");
+  if (stride > kCoordSpatialMax)
+    throw std::runtime_error("implausible tensor stride");
   std::vector<Coord> coords(n);
   for (Coord& cc : coords) {
     cc.b = read_pod<int32_t>(is);
@@ -108,11 +116,28 @@ SparseTensor load_tensor(std::istream& is) {
     cc.z = read_pod<int32_t>(is);
     if (!coord_in_packable_range(cc))
       throw std::runtime_error("coordinate out of range");
+    // A stride-s coordinate is a stride-1 lattice point divided by s;
+    // if scaling it back overflows the packable grid, the (coordinate,
+    // stride) pair cannot have come from this engine and would overflow
+    // grid addressing downstream.
+    const auto scaled_ok = [stride](int32_t v) {
+      const int64_t sv = static_cast<int64_t>(v) * stride;
+      return sv >= kCoordSpatialMin && sv <= kCoordSpatialMax;
+    };
+    if (!(scaled_ok(cc.x) && scaled_ok(cc.y) && scaled_ok(cc.z)))
+      throw std::runtime_error(
+          "coordinate/stride combination overflows grid addressing");
   }
   Matrix feats(n, c);
   is.read(reinterpret_cast<char*>(feats.data()),
           static_cast<std::streamsize>(feats.size() * sizeof(float)));
   if (!is) throw std::runtime_error("truncated feature block");
+  // Downstream numerics (pooling averages, BatchNorm, dense heads)
+  // assume finite features; reject poison at the format boundary.
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    if (!std::isfinite(feats.data()[i]))
+      throw std::runtime_error("non-finite feature value in tensor stream");
+  }
   // Loaded tensors start a fresh cache at stride 1 semantics; non-unit
   // strides are restored by re-wrapping.
   SparseTensor base(std::move(coords), std::move(feats));

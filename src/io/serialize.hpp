@@ -5,9 +5,13 @@
 // exported for offline analysis. Formats are little-endian,
 // magic-and-version tagged. Error contract (identical in Debug and
 // Release — no asserts at this API boundary): loading validates structure
-// and throws std::runtime_error on malformed input; saving throws
-// std::runtime_error when the stream cannot be opened or a write fails
-// (full disk, failed stream), never silently truncates.
+// — magic/version, element-count plausibility, truncation, packable
+// coordinates, stride sanity (including (coordinate, stride) pairs that
+// would overflow grid addressing when scaled back to the stride-1
+// lattice), a nonzero channel count whenever points exist, and finite
+// feature values — and throws std::runtime_error on malformed input;
+// saving throws std::runtime_error when the stream cannot be opened or a
+// write fails (full disk, failed stream), never silently truncates.
 #pragma once
 
 #include <iosfwd>

@@ -2,30 +2,50 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/mapping_cost.hpp"
+#include "hash/coords.hpp"
 
 namespace ts::spnn {
 
-Matrix global_pool(const SparseTensor& x, PoolKind kind, ExecContext& ctx) {
-  // API-boundary validation (not an assert: a negative batch index would
-  // index out of bounds under NDEBUG instead of failing loudly).
+namespace {
+
+/// API-boundary validation shared by both overloads (not asserts: a bad
+/// batch index reaching the pooling loops would silently mis-index under
+/// NDEBUG instead of failing loudly). `declared`, when set, is the
+/// caller's batch count; otherwise indexes are bounded by the packable
+/// batch range, past which no valid tensor can exist and the inferred
+/// output allocation itself would be the failure.
+void validate_batch_indices(const SparseTensor& x,
+                            std::optional<int> declared) {
   for (std::size_t i = 0; i < x.num_points(); ++i) {
-    if (x.coords()[i].b < 0)
+    const int32_t b = x.coords()[i].b;
+    if (b < 0)
       throw std::invalid_argument(
-          "global_pool: negative batch index " +
-          std::to_string(x.coords()[i].b) + " at point " +
-          std::to_string(i));
+          "global_pool: negative batch index " + std::to_string(b) +
+          " at point " + std::to_string(i));
+    if (declared) {
+      if (b >= *declared)
+        throw std::invalid_argument(
+            "global_pool: batch index " + std::to_string(b) + " at point " +
+            std::to_string(i) + " is out of range for declared batch count " +
+            std::to_string(*declared));
+    } else if (b > kCoordBatchMax) {
+      throw std::invalid_argument(
+          "global_pool: batch index " + std::to_string(b) + " at point " +
+          std::to_string(i) + " exceeds the packable batch range [0, " +
+          std::to_string(kCoordBatchMax) + "]");
+    }
   }
+}
 
+Matrix pool_validated(const SparseTensor& x, PoolKind kind, int num_batches,
+                      ExecContext& ctx) {
   charge_elementwise(x.num_points(), x.channels(), ctx);
-
-  int num_batches = 0;
-  for (const Coord& c : x.coords())
-    num_batches = std::max(num_batches, c.b + 1);
   if (num_batches == 0) return Matrix(0, x.channels());
 
   const std::size_t ch = x.channels();
@@ -64,6 +84,26 @@ Matrix global_pool(const SparseTensor& x, PoolKind kind, ExecContext& ctx) {
     }
   }
   return out;
+}
+
+}  // namespace
+
+Matrix global_pool(const SparseTensor& x, PoolKind kind, ExecContext& ctx) {
+  validate_batch_indices(x, std::nullopt);
+  int num_batches = 0;
+  for (const Coord& c : x.coords())
+    num_batches = std::max(num_batches, c.b + 1);
+  return pool_validated(x, kind, num_batches, ctx);
+}
+
+Matrix global_pool(const SparseTensor& x, PoolKind kind, int num_batches,
+                   ExecContext& ctx) {
+  if (num_batches < 0)
+    throw std::invalid_argument(
+        "global_pool: declared batch count must be >= 0, got " +
+        std::to_string(num_batches));
+  validate_batch_indices(x, num_batches);
+  return pool_validated(x, kind, num_batches, ctx);
 }
 
 }  // namespace ts::spnn

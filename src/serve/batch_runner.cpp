@@ -12,17 +12,81 @@
 #include <thread>
 #include <utility>
 
+#include "serve/serve_stats.hpp"
+
 namespace ts::serve {
 
 namespace {
 
-/// Nearest-rank percentile of an ascending-sorted sample.
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double rank = q * static_cast<double>(sorted.size());
-  auto idx = static_cast<std::size_t>(std::ceil(rank));
-  idx = std::min(std::max<std::size_t>(idx, 1), sorted.size());
-  return sorted[idx - 1];
+/// Shared precondition of both stream schedulers: the plan must
+/// partition [0, requests) contiguously and the overhead must be sane.
+void validate_stream_plan(std::size_t requests,
+                          const std::vector<PlannedBatch>& plan,
+                          double batch_overhead_seconds) {
+  if (!std::isfinite(batch_overhead_seconds) || batch_overhead_seconds < 0)
+    throw std::invalid_argument(
+        "schedule_stream: batch_overhead_seconds must be finite and >= 0");
+  std::size_t expected = 0;
+  for (const PlannedBatch& b : plan) {
+    if (b.first != expected || b.count == 0)
+      throw std::invalid_argument(
+          "schedule_stream: plan must cover requests contiguously from 0");
+    expected += b.count;
+  }
+  if (expected != requests)
+    throw std::invalid_argument(
+        "schedule_stream: plan covers " + std::to_string(expected) +
+        " requests, have " + std::to_string(requests));
+}
+
+/// Replays one recorded cache resolution through a device's modeled
+/// cache (record mode), applying the shared warm-hit delta on hits.
+/// record_lookup's decisions and apply_map_cache_hit's arithmetic are
+/// the same ones MapCacheReplay uses, so a 1-device group reproduces
+/// the single-device replay bit-for-bit.
+void replay_event(KernelMapCache& cache, const MapCacheEvent& ev,
+                  Timeline& t, MapCacheReplayStats& st) {
+  ++st.lookups;
+  const KernelMapCache::RecordOutcome out =
+      cache.record_lookup(ev.key, ev.bytes);
+  st.evictions += out.evictions;
+  if (!out.hit) {
+    ++st.misses;
+    return;
+  }
+  ++st.hits;
+  apply_map_cache_hit(ev, t);
+  st.modeled_seconds_saved += ev.cold_seconds - ev.hit_seconds;
+}
+
+/// The batch's dominant kernel-map digest: the content key with the
+/// largest summed cold mapping charge across the members' recorded
+/// events (ties -> first encountered in submission order). Returns
+/// false when the batch recorded no events.
+bool dominant_digest(const std::vector<std::vector<MapCacheEvent>>& events,
+                     std::size_t first, std::size_t count,
+                     MapCacheKey* out) {
+  // Batches are small (max_batch) and events few per request, so a flat
+  // first-occurrence-ordered scan beats a hash map here.
+  std::vector<MapCacheKey> keys;
+  std::vector<double> weight;
+  for (std::size_t i = first; i < first + count; ++i) {
+    for (const MapCacheEvent& ev : events[i]) {
+      std::size_t k = 0;
+      while (k < keys.size() && !(keys[k] == ev.key)) ++k;
+      if (k == keys.size()) {
+        keys.push_back(ev.key);
+        weight.push_back(0.0);
+      }
+      weight[k] += ev.cold_seconds;
+    }
+  }
+  if (keys.empty()) return false;
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < keys.size(); ++k)
+    if (weight[k] > weight[best]) best = k;  // strict: ties keep earliest
+  *out = keys[best];
+  return true;
 }
 
 }  // namespace
@@ -66,31 +130,46 @@ StreamStats schedule_stream(std::vector<StreamResult>& requests,
                             const std::vector<PlannedBatch>& plan,
                             int workers, double batch_overhead_seconds,
                             std::vector<StreamBatchRecord>* batches) {
-  if (!std::isfinite(batch_overhead_seconds) || batch_overhead_seconds < 0)
+  // A single-device group with no cache events reduces the sharded
+  // scheduler to exactly this function's historical placement math
+  // (every batch to device 0's earliest lane) — one scheduler body,
+  // bit-identical results (ScheduleStreamSharded.OneDeviceBitEquals*).
+  // The device spec is identity metadata only; the scheduler never
+  // consults it.
+  DeviceGroup single(DeviceSpec{}, 1, 0);
+  return schedule_stream_sharded(requests, plan, single,
+                                 RoutePolicy::kRoundRobin, workers,
+                                 batch_overhead_seconds, nullptr, batches);
+}
+
+StreamStats schedule_stream_sharded(
+    std::vector<StreamResult>& requests,
+    const std::vector<PlannedBatch>& plan, DeviceGroup& group,
+    RoutePolicy policy, int workers_per_device,
+    double batch_overhead_seconds,
+    const std::vector<std::vector<MapCacheEvent>>* events,
+    std::vector<StreamBatchRecord>* batches) {
+  validate_stream_plan(requests.size(), plan, batch_overhead_seconds);
+  if (events && events->size() != requests.size())
     throw std::invalid_argument(
-        "schedule_stream: batch_overhead_seconds must be finite and >= 0");
-  // The plan must partition [0, requests.size()) in order.
-  std::size_t expected = 0;
-  for (const PlannedBatch& b : plan) {
-    if (b.first != expected || b.count == 0)
-      throw std::invalid_argument(
-          "schedule_stream: plan must cover requests contiguously from 0");
-    expected += b.count;
-  }
-  if (expected != requests.size())
-    throw std::invalid_argument(
-        "schedule_stream: plan covers " + std::to_string(expected) +
-        " requests, have " + std::to_string(requests.size()));
+        "schedule_stream_sharded: events must be parallel to requests");
+
+  const int devices = group.size();
+  group.begin_schedule(workers_per_device);
 
   StreamStats s;
-  s.workers = std::max(workers, 1);
+  s.workers = std::max(workers_per_device, 1);
+  s.devices = devices;
   s.completed = requests.size();
   s.batches = plan.size();
+  s.per_device.resize(static_cast<std::size_t>(devices));
   if (batches) batches->clear();
-  if (requests.empty()) return s;
+  if (requests.empty()) {
+    for (int d = 0; d < devices; ++d) s.per_device[d] = group.stats(d);
+    return s;
+  }
 
-  std::vector<double> lane(static_cast<std::size_t>(s.workers), 0.0);
-  std::vector<double> waits, e2es;
+  std::vector<double> waits, e2es, services;
   waits.reserve(requests.size());
   e2es.reserve(requests.size());
   double sum_service = 0;
@@ -98,8 +177,52 @@ StreamStats schedule_stream(std::vector<StreamResult>& requests,
 
   for (std::size_t k = 0; k < plan.size(); ++k) {
     const PlannedBatch& b = plan[k];
-    auto it = std::min_element(lane.begin(), lane.end());
-    const double start = std::max(b.dispatch_seconds, *it);
+
+    // 1. Route. Policy inputs (accumulated modeled work, modeled cache
+    // ownership) are independent of lane count, so routing — and with it
+    // every per-device cache decision — is worker-count invariant.
+    int dev = 0;
+    if (devices > 1) {
+      switch (policy) {
+        case RoutePolicy::kRoundRobin:
+          dev = static_cast<int>(k % static_cast<std::size_t>(devices));
+          break;
+        case RoutePolicy::kLeastLoaded:
+          dev = group.least_loaded();
+          break;
+        case RoutePolicy::kCacheAffinity: {
+          MapCacheKey dom;
+          dev = events && dominant_digest(*events, b.first, b.count, &dom)
+                    ? group.owner_of(dom)
+                    : -1;
+          if (dev < 0) dev = group.least_loaded();
+          break;
+        }
+      }
+    }
+
+    // 2. Per-device deterministic cache accounting: replay the members'
+    // recorded resolutions (in submission order — the plan is contiguous
+    // and ascending) through the routed device's modeled cache.
+    if (events) {
+      for (std::size_t i = b.first; i < b.first + b.count; ++i) {
+        StreamResult& r = requests[i];
+        for (const MapCacheEvent& ev : (*events)[i])
+          replay_event(group.cache(dev), ev, r.timeline,
+                       group.stats(dev).map_cache);
+        r.service_seconds = r.timeline.total_seconds();
+      }
+    }
+
+    // 3. Place on the device's earliest-available lane and fill member
+    // schedule slots (same accounting as schedule_stream).
+    services.clear();
+    for (std::size_t i = b.first; i < b.first + b.count; ++i)
+      services.push_back(requests[i].service_seconds);
+    double start = 0, finish = 0;
+    const int lane = group.place_batch(dev, b.dispatch_seconds,
+                                       batch_overhead_seconds, services,
+                                       &start, &finish);
     double cursor = start + batch_overhead_seconds;
     for (std::size_t i = b.first; i < b.first + b.count; ++i) {
       StreamResult& r = requests[i];
@@ -115,17 +238,16 @@ StreamStats schedule_stream(std::vector<StreamResult>& requests,
       r.e2e_seconds = r.finish_seconds - r.arrival_seconds;
       r.batch_id = k;
       r.batch_size = b.count;
+      r.device = dev;
       waits.push_back(r.queue_wait_seconds);
       e2es.push_back(r.e2e_seconds);
       sum_service += r.service_seconds;
       s.aggregate += r.timeline;
     }
-    *it = cursor;
     last_finish = std::max(last_finish, cursor);
     if (batches)
       batches->push_back({k, b.first, b.count, b.dispatch_seconds, start,
-                          cursor,
-                          static_cast<int>(it - lane.begin())});
+                          cursor, lane, dev});
   }
 
   s.mean_batch_size = static_cast<double>(requests.size()) /
@@ -145,6 +267,23 @@ StreamStats schedule_stream(std::vector<StreamResult>& requests,
   s.e2e_p50_seconds = percentile(e2es, 0.50);
   s.e2e_p90_seconds = percentile(e2es, 0.90);
   s.e2e_p99_seconds = percentile(e2es, 0.99);
+
+  // Per-device clocks and the group-wide cache summary.
+  for (int d = 0; d < devices; ++d) {
+    DeviceShardStats& ds = group.stats(d);
+    ds.free_seconds = group.lane_high_water(d);
+    ds.utilization =
+        s.makespan_seconds > 0
+            ? ds.busy_seconds /
+                  (static_cast<double>(s.workers) * s.makespan_seconds)
+            : 0.0;
+    s.map_cache.lookups += ds.map_cache.lookups;
+    s.map_cache.hits += ds.map_cache.hits;
+    s.map_cache.misses += ds.map_cache.misses;
+    s.map_cache.evictions += ds.map_cache.evictions;
+    s.map_cache.modeled_seconds_saved += ds.map_cache.modeled_seconds_saved;
+    s.per_device[static_cast<std::size_t>(d)] = ds;
+  }
   return s;
 }
 
@@ -256,7 +395,15 @@ StreamReport BatchRunner::serve(const ModelFn& model, RequestQueue& queue,
   bool producer_done = false;
   std::exception_ptr first_error;
 
-  auto worker = [&] {
+  auto worker = [&](int device_index) {
+    // Each device shard contributes its own measurement pool; a worker
+    // carries its pool's identity in its (reusable) context as host-side
+    // provenance. Measurement itself is device-agnostic — the group is
+    // homogeneous and cache accounting is deferred — and the modeled
+    // placement (StreamResult::device) is decided later by the routing
+    // pass, independently of which pool measured a request.
+    DeviceSpec shard_dev = dev_;
+    shard_dev.device_index = device_index;
     std::optional<ExecContext> ctx;
     for (;;) {
       WorkItem item;
@@ -279,12 +426,12 @@ StreamReport BatchRunner::serve(const ModelFn& model, RequestQueue& queue,
         };
         if (sopt.reuse_context) {
           if (!ctx)
-            ctx.emplace(make_run_context(dev_, cfg_, opt_.run));
+            ctx.emplace(make_run_context(shard_dev, cfg_, opt_.run));
           else
             reset_context(*ctx);
           t = run_one(*ctx);
         } else {
-          ExecContext fresh = make_run_context(dev_, cfg_, opt_.run);
+          ExecContext fresh = make_run_context(shard_dev, cfg_, opt_.run);
           t = run_one(fresh);
         }
         item.result->timeline = t;
@@ -303,9 +450,27 @@ StreamReport BatchRunner::serve(const ModelFn& model, RequestQueue& queue,
     }
   };
 
+  // One measurement pool of opt_.workers threads per device shard,
+  // capped at the host's core count: modeled stats are thread-count
+  // independent (deterministic accounting below), so oversubscribing
+  // the host beyond its cores buys contention, not wall time. Device
+  // count is bounds-checked up front (and 64-bit below) so a bogus
+  // shard option fails loudly instead of overflowing the arithmetic.
+  const int devices = std::max(sopt.shard.devices, 1);
+  if (devices > kMaxModeledDevices)
+    throw std::invalid_argument(
+        "BatchRunner::serve: shard.devices = " + std::to_string(devices) +
+        " exceeds kMaxModeledDevices (" +
+        std::to_string(kMaxModeledDevices) + ")");
+  const int pool_cap = std::max(
+      opt_.workers,
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
+  const int pool = static_cast<int>(
+      std::min<long long>(static_cast<long long>(opt_.workers) * devices,
+                          pool_cap));
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(opt_.workers));
-  for (int t = 0; t < opt_.workers; ++t) threads.emplace_back(worker);
+  threads.reserve(static_cast<std::size_t>(pool));
+  for (int t = 0; t < pool; ++t) threads.emplace_back(worker, t / opt_.workers);
 
   // Coordinator (this thread): drain the queue in arrival order, feed the
   // batcher, and hand each request to the measurement pool. After a
@@ -355,26 +520,22 @@ StreamReport BatchRunner::serve(const ModelFn& model, RequestQueue& queue,
   report.requests.assign(std::make_move_iterator(results.begin()),
                          std::make_move_iterator(results.end()));
 
-  // Deterministic kernel-map cache accounting: replay the recorded cache
-  // resolutions in submission order, swapping cold charges for warm ones
-  // wherever a sequential pass over the shared cache would have hit. The
-  // outcome depends only on the submitted stream and the byte budget —
-  // never on worker count or thread timing.
-  MapCacheReplayStats cache_stats;
-  if (cached) {
-    MapCacheReplay replay(opt_.run.map_cache->byte_budget());
-    for (std::size_t i = 0; i < report.requests.size(); ++i) {
-      StreamResult& r = report.requests[i];
-      replay.apply(events[i], r.timeline);
-      r.service_seconds = r.timeline.total_seconds();
-    }
-    cache_stats = replay.stats();
-  }
-
-  report.stats = schedule_stream(report.requests, plan, opt_.workers,
-                                 sopt.batch_overhead_seconds,
-                                 &report.batches);
-  report.stats.map_cache = cache_stats;
+  // Deterministic routing + accounting + placement pass. Per-device
+  // kernel-map cache accounting replays the recorded resolutions in
+  // submission order through each batch's routed device, so the outcome
+  // depends only on the submitted stream, the policy, and the byte
+  // budget — never on worker count or thread timing. With one device
+  // this is bit-identical to the unsharded replay + schedule_stream.
+  std::vector<std::vector<MapCacheEvent>> event_log;
+  if (cached)
+    event_log.assign(std::make_move_iterator(events.begin()),
+                     std::make_move_iterator(events.end()));
+  DeviceGroup group(dev_, devices,
+                    cached ? opt_.run.map_cache->byte_budget() : 0);
+  report.stats = schedule_stream_sharded(
+      report.requests, plan, group, sopt.shard.route, opt_.workers,
+      sopt.batch_overhead_seconds, cached ? &event_log : nullptr,
+      &report.batches);
   report.stats.rejected = queue.rejected();
   for (std::size_t i = 0; i < report.requests.size(); ++i)
     promises[i].set_value(report.requests[i]);

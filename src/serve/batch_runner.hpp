@@ -9,8 +9,12 @@
 //  * serve() — the streaming path: the pool drains a RequestQueue whose
 //              producers submit asynchronously, a DynamicBatcher groups
 //              requests into dispatch batches under an SLO-aware policy,
-//              and the report carries per-request end-to-end latency
-//              (queue wait + run) percentiles plus rejection counts.
+//              a shard-aware dispatcher routes each batch onto one of
+//              StreamOptions::shard.devices modeled devices (round-robin,
+//              least-loaded, or kernel-map-cache affinity — see
+//              device_group.hpp), and the report carries per-request
+//              end-to-end latency (queue wait + run) percentiles,
+//              rejection counts, and per-device utilization.
 //
 // Every request gets its own ExecContext state (fresh, or one reusable
 // context per worker reset between requests) and a private TensorCache
@@ -36,6 +40,7 @@
 #include <vector>
 
 #include "engines/runner.hpp"
+#include "serve/device_group.hpp"
 #include "serve/dynamic_batcher.hpp"
 #include "serve/request_queue.hpp"
 
@@ -109,6 +114,14 @@ struct StreamOptions {
   /// Results are bit-identical either way; reuse skips the repeated
   /// cost-model and L2-simulator construction.
   bool reuse_context = true;
+  /// Multi-device sharding (see device_group.hpp): `shard.devices`
+  /// modeled device instances, each with its own pool of
+  /// BatchOptions::workers lanes (and measurement threads), its own
+  /// modeled kernel-map cache, and its own clock/utilization counters;
+  /// every dispatched batch is routed to one device by `shard.route`.
+  /// Defaults to a single device, which is bit-identical to the
+  /// pre-sharding serve path under every policy.
+  ShardOptions shard;
 };
 
 /// One dispatched batch's slot in the modeled schedule.
@@ -119,7 +132,8 @@ struct StreamBatchRecord {
   double dispatch_seconds = 0;    // when the batcher released it
   double start_seconds = 0;       // max(dispatch, lane free) on its lane
   double finish_seconds = 0;      // last member's completion
-  int lane = 0;                   // worker lane it ran on
+  int lane = 0;                   // worker lane it ran on (within device)
+  int device = 0;                 // device shard it was routed to
 };
 
 struct StreamStats {
@@ -138,9 +152,16 @@ struct StreamStats {
   double e2e_p99_seconds = 0;
   double mean_service_seconds = 0;
   Timeline aggregate;              // sum of all request timelines
-  /// Deterministic (submission-order replay) kernel-map cache outcome;
-  /// zeros when the cache is disabled.
+  /// Deterministic (submission-order replay) kernel-map cache outcome
+  /// summed over all device shards; zeros when the cache is disabled.
   MapCacheReplayStats map_cache;
+  /// Device shards the stream was served on (1 = unsharded).
+  int devices = 1;
+  /// Per-device modeled outcome (size == devices): routed batch/request
+  /// counts, busy/free clocks, utilization, and the shard's own
+  /// kernel-map cache accounting. Deterministic and worker-count
+  /// independent, like every other modeled stat.
+  std::vector<DeviceShardStats> per_device;
 };
 
 struct StreamReport {
@@ -163,6 +184,31 @@ StreamStats schedule_stream(std::vector<StreamResult>& requests,
                             const std::vector<PlannedBatch>& plan,
                             int workers, double batch_overhead_seconds,
                             std::vector<StreamBatchRecord>* batches = nullptr);
+
+/// Sharded generalization of schedule_stream: one combined routing +
+/// accounting + placement pass over the planned batches, in dispatch
+/// order. For each batch it (1) routes to a device by `policy` — using
+/// the group's accumulated modeled work and modeled cache ownership,
+/// never lane state, so routing is worker-count independent — then
+/// (2) replays the members' recorded MapCacheEvents (in submission
+/// order) through that device's modeled cache, swapping cold mapping
+/// charges for warm ones on hits exactly like MapCacheReplay, and
+/// (3) places the batch on the device's earliest-available lane.
+/// `events`, when non-null, must be parallel to `requests`; null means
+/// the kernel-map cache is disabled. `group` is reset via
+/// begin_schedule, so every call accounts from a cold modeled state.
+///
+/// With group.size() == 1 this is bit-identical — results, schedule,
+/// and stats — to MapCacheReplay over the event streams followed by
+/// schedule_stream, i.e. to the pre-sharding single-device serve path,
+/// under every policy (tests/test_device_group.cpp pins this).
+StreamStats schedule_stream_sharded(
+    std::vector<StreamResult>& requests,
+    const std::vector<PlannedBatch>& plan, DeviceGroup& group,
+    RoutePolicy policy, int workers_per_device,
+    double batch_overhead_seconds,
+    const std::vector<std::vector<MapCacheEvent>>* events = nullptr,
+    std::vector<StreamBatchRecord>* batches = nullptr);
 
 class BatchRunner {
  public:

@@ -1,0 +1,125 @@
+#include "serve/device_group.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace ts::serve {
+
+const char* to_string(RoutePolicy p) {
+  switch (p) {
+    case RoutePolicy::kRoundRobin: return "round_robin";
+    case RoutePolicy::kLeastLoaded: return "least_loaded";
+    case RoutePolicy::kCacheAffinity: return "cache_affinity";
+  }
+  return "?";
+}
+
+DeviceGroup::DeviceGroup(const DeviceSpec& base, int devices,
+                         std::size_t map_cache_bytes)
+    : map_cache_bytes_(map_cache_bytes) {
+  if (devices > kMaxModeledDevices)
+    throw std::invalid_argument(
+        "DeviceGroup: " + std::to_string(devices) +
+        " devices exceeds kMaxModeledDevices (" +
+        std::to_string(kMaxModeledDevices) + ")");
+  const int n = std::max(devices, 1);
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    Shard s;
+    s.spec = base;
+    s.spec.device_index = d;
+    s.cache = std::make_unique<KernelMapCache>(map_cache_bytes);
+    s.stats.device = d;
+    shards_.push_back(std::move(s));
+  }
+}
+
+DeviceGroup::Shard& DeviceGroup::shard_at(int device) {
+  if (device < 0 || device >= size())
+    throw std::out_of_range("DeviceGroup: device " + std::to_string(device) +
+                            " out of range [0, " + std::to_string(size()) +
+                            ")");
+  return shards_[static_cast<std::size_t>(device)];
+}
+
+const DeviceGroup::Shard& DeviceGroup::shard_at(int device) const {
+  return const_cast<DeviceGroup*>(this)->shard_at(device);
+}
+
+const DeviceSpec& DeviceGroup::spec(int device) const {
+  return shard_at(device).spec;
+}
+
+KernelMapCache& DeviceGroup::cache(int device) {
+  return *shard_at(device).cache;
+}
+
+const KernelMapCache& DeviceGroup::cache(int device) const {
+  return *shard_at(device).cache;
+}
+
+void DeviceGroup::begin_schedule(int workers_per_device) {
+  const int workers = std::max(workers_per_device, 1);
+  for (Shard& s : shards_) {
+    s.lane_free.assign(static_cast<std::size_t>(workers), 0.0);
+    const int id = s.stats.device;
+    s.stats = DeviceShardStats{};
+    s.stats.device = id;
+    s.cache = std::make_unique<KernelMapCache>(map_cache_bytes_);
+  }
+}
+
+int DeviceGroup::least_loaded() const {
+  int best = 0;
+  for (int d = 1; d < size(); ++d) {
+    if (shards_[static_cast<std::size_t>(d)].stats.busy_seconds <
+        shards_[static_cast<std::size_t>(best)].stats.busy_seconds)
+      best = d;
+  }
+  return best;
+}
+
+int DeviceGroup::owner_of(const MapCacheKey& key) const {
+  for (int d = 0; d < size(); ++d) {
+    if (shards_[static_cast<std::size_t>(d)].cache->contains(key)) return d;
+  }
+  return -1;
+}
+
+int DeviceGroup::place_batch(int device, double dispatch_seconds,
+                             double overhead_seconds,
+                             const std::vector<double>& member_service_seconds,
+                             double* start_seconds, double* finish_seconds) {
+  Shard& s = shard_at(device);
+  if (s.lane_free.empty())
+    throw std::logic_error(
+        "DeviceGroup::place_batch before begin_schedule: no lanes");
+  auto it = std::min_element(s.lane_free.begin(), s.lane_free.end());
+  const double start = std::max(dispatch_seconds, *it);
+  double cursor = start + overhead_seconds;
+  for (double service : member_service_seconds) cursor += service;
+  *it = cursor;
+  s.stats.busy_seconds += cursor - start;
+  s.stats.batches += 1;
+  s.stats.requests += member_service_seconds.size();
+  if (start_seconds) *start_seconds = start;
+  if (finish_seconds) *finish_seconds = cursor;
+  return static_cast<int>(it - s.lane_free.begin());
+}
+
+DeviceShardStats& DeviceGroup::stats(int device) {
+  return shard_at(device).stats;
+}
+
+const DeviceShardStats& DeviceGroup::stats(int device) const {
+  return shard_at(device).stats;
+}
+
+double DeviceGroup::lane_high_water(int device) const {
+  const Shard& s = shard_at(device);
+  if (s.lane_free.empty()) return 0.0;
+  return *std::max_element(s.lane_free.begin(), s.lane_free.end());
+}
+
+}  // namespace ts::serve

@@ -1,0 +1,158 @@
+// Multi-device sharded serving: a group of N modeled device instances
+// with per-device worker lanes, per-device modeled kernel-map caches,
+// and per-device clock/utilization accounting.
+//
+// The paper's engine is single-device; at serving scale the next
+// throughput multiplier is sharding the stream across devices. Where the
+// win actually comes from — per Tangram's affinity-aware placement of
+// serverless work onto GPUs that already hold the warm state (PAPERS.md)
+// — is routing: a dispatched batch that lands on the device whose cache
+// already holds its kernel maps pays the warm re-key cost instead of the
+// full map rebuild. The KernelMapCache's content digests (PR 3) make
+// that signal exact, so the dispatcher can ask "which device owns this
+// batch's dominant digest?" and route accordingly.
+//
+// Determinism contract. Routing runs inside the deterministic accounting
+// pass (schedule_stream_sharded), over the submission-ordered request
+// stream — never over racy wall-clock cache state. Two consequences:
+//  * With one device, every policy degenerates to device 0 and the
+//    schedule/accounting math reduces exactly to the single-device
+//    serve path: results and stats are bit-identical to a 1-device run.
+//  * Routing inputs (accumulated modeled work, modeled cache ownership)
+//    are independent of the per-device worker-lane count, so per-device
+//    cache accounting — and every modeled serve statistic — is invariant
+//    to worker count at every device count (tests/test_device_group.cpp).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/kernel_map_cache.hpp"
+#include "gpusim/device.hpp"
+
+namespace ts::serve {
+
+/// Batch-routing policies of the sharded dispatcher.
+enum class RoutePolicy {
+  /// Batch k to device k mod N. The baseline: perfectly fair, blind to
+  /// both load imbalance and cache state.
+  kRoundRobin,
+  /// Device with the least accumulated modeled work (earliest modeled
+  /// free time on the device's work queue; ties -> lowest id). Computed
+  /// from assigned service + overhead seconds — deliberately not from
+  /// lane state, so routing (and therefore per-device cache accounting)
+  /// is independent of the per-device worker count.
+  kLeastLoaded,
+  /// Device whose modeled cache already owns the batch's dominant
+  /// kernel-map digest (the content key with the largest summed cold
+  /// mapping charge across the batch's cache events); falls back to
+  /// least-loaded when no device owns it (cold digest, or caching off).
+  kCacheAffinity,
+};
+
+const char* to_string(RoutePolicy p);
+
+/// Upper bound on modeled device instances per group. Far above any
+/// realistic deployment; exists so an absurd request fails loudly
+/// (std::invalid_argument) instead of overflowing pool arithmetic or
+/// allocating billions of shards.
+inline constexpr int kMaxModeledDevices = 4096;
+
+/// serve()-side sharding knobs (see StreamOptions::shard).
+struct ShardOptions {
+  /// Modeled device instances in the group; clamped to >= 1, rejected
+  /// past kMaxModeledDevices. Each gets its own worker lanes
+  /// (BatchOptions::workers *per device*), its own modeled kernel-map
+  /// cache, and its own clock/utilization counters.
+  int devices = 1;
+  RoutePolicy route = RoutePolicy::kLeastLoaded;
+};
+
+/// One device's modeled serve outcome. Deterministic throughout; the
+/// routing/accounting fields (batches, requests, busy_seconds,
+/// map_cache) are additionally worker-count independent, while the
+/// placement fields (free_seconds, utilization) legitimately change
+/// with the lane count — more lanes drain the same assigned work
+/// earlier (see the header comment).
+struct DeviceShardStats {
+  int device = 0;
+  std::size_t batches = 0;          // dispatched batches routed here
+  std::size_t requests = 0;         // requests inside those batches
+  double busy_seconds = 0;          // assigned modeled service + overhead
+  double free_seconds = 0;          // modeled clock when the last lane frees
+  double utilization = 0;           // busy / (workers * group makespan)
+  /// Per-device submission-order kernel-map cache accounting; zeros when
+  /// the cache is disabled.
+  MapCacheReplayStats map_cache;
+};
+
+/// N modeled instances of one device spec. Owns each shard's modeled
+/// kernel-map cache (driven in record mode by the deterministic
+/// accounting pass), worker-lane clock, and utilization counters.
+/// Single-threaded by design: it lives inside the scheduling pass, not
+/// on the measurement pool's hot path.
+class DeviceGroup {
+ public:
+  /// `devices` is clamped to >= 1 and must not exceed
+  /// kMaxModeledDevices (std::invalid_argument). Each shard's spec is
+  /// `base` with device_index stamped to its shard id; each shard's
+  /// modeled cache gets its own `map_cache_bytes` byte budget (0 =
+  /// caching disabled, every record-mode lookup misses).
+  DeviceGroup(const DeviceSpec& base, int devices,
+              std::size_t map_cache_bytes);
+
+  int size() const { return static_cast<int>(shards_.size()); }
+  const DeviceSpec& spec(int device) const;
+  KernelMapCache& cache(int device);
+  const KernelMapCache& cache(int device) const;
+
+  /// Prepares a fresh schedule pass: `workers` lanes per device at t=0,
+  /// zeroed busy clocks and stats, cold modeled caches. Called by
+  /// schedule_stream_sharded; a reused group therefore accounts every
+  /// serve call from a cold modeled state, exactly like the single-device
+  /// MapCacheReplay it generalizes.
+  void begin_schedule(int workers_per_device);
+
+  /// Routing query: device with the least accumulated modeled work
+  /// (ties -> lowest id).
+  int least_loaded() const;
+
+  /// Ownership query: lowest device id whose modeled cache currently
+  /// holds `key`, or -1 when none does.
+  int owner_of(const MapCacheKey& key) const;
+
+  /// Places one batch (modeled dispatch stamp, per-batch overhead,
+  /// member service times appended back-to-back) on `device`'s earliest
+  /// available lane. Returns the lane index; writes the batch's start
+  /// and finish stamps, and advances the device's clock, busy counter,
+  /// and batch/request tallies.
+  int place_batch(int device, double dispatch_seconds,
+                  double overhead_seconds,
+                  const std::vector<double>& member_service_seconds,
+                  double* start_seconds, double* finish_seconds);
+
+  /// Mutable per-device accounting (the scheduler fills map_cache and
+  /// the final free/utilization fields).
+  DeviceShardStats& stats(int device);
+  const DeviceShardStats& stats(int device) const;
+
+  /// Modeled time at which `device`'s last-busy lane frees.
+  double lane_high_water(int device) const;
+
+ private:
+  struct Shard {
+    DeviceSpec spec;
+    std::unique_ptr<KernelMapCache> cache;
+    std::vector<double> lane_free;  // per-worker modeled free time
+    DeviceShardStats stats;
+  };
+
+  Shard& shard_at(int device);
+  const Shard& shard_at(int device) const;
+
+  std::size_t map_cache_bytes_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ts::serve

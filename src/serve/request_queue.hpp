@@ -58,6 +58,7 @@ struct StreamResult {
   double e2e_seconds = 0;          // finish - arrival (queue wait + run)
   std::size_t batch_id = 0;        // dispatched batch that served it
   std::size_t batch_size = 0;      // size of that batch
+  int device = 0;                  // device shard the batch was routed to
 };
 
 /// Future-like handle returned by RequestQueue::submit.

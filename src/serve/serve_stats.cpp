@@ -1,0 +1,22 @@
+#include "serve/serve_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace ts::serve {
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (!std::isfinite(q) || q < 0.0 || q > 1.0)
+    throw std::invalid_argument(
+        "serve::percentile: q must be finite and within [0, 1], got " +
+        std::to_string(q));
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  auto idx = static_cast<std::size_t>(std::ceil(rank));
+  idx = std::min(std::max<std::size_t>(idx, 1), sorted.size());
+  return sorted[idx - 1];
+}
+
+}  // namespace ts::serve

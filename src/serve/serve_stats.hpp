@@ -1,0 +1,28 @@
+// Shared statistics helpers for the serving layer's modeled reports.
+//
+// Every serve-side percentile (fixed-batch completion latency, streaming
+// queue wait and e2e) goes through one audited nearest-rank
+// implementation rather than per-call-site copies, so edge behavior
+// (q = 0, q = 1, single-sample inputs) is defined — and unit-tested —
+// in exactly one place (tests/test_serve.cpp).
+#pragma once
+
+#include <vector>
+
+namespace ts::serve {
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+///
+/// Definition: the smallest element whose rank r (1-based) satisfies
+/// r >= q * n, i.e. sorted[max(ceil(q * n), 1) - 1]. Consequences the
+/// call sites rely on:
+///  * q = 0 returns the minimum (rank clamps up to 1);
+///  * q = 1 returns the maximum (rank n, never past the end);
+///  * a single-sample input returns that sample for every q;
+///  * an empty sample returns 0.0 (there is nothing to report).
+/// Preconditions (std::invalid_argument): q is finite and within
+/// [0, 1]; `sorted` must already be ascending (not validated — callers
+/// sort once and query three percentiles).
+double percentile(const std::vector<double>& sorted, double q);
+
+}  // namespace ts::serve

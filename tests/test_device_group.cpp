@@ -1,0 +1,523 @@
+// Multi-device sharded serving: DeviceGroup state, record-mode cache
+// parity with MapCacheReplay, routing policies, single-device
+// bit-equivalence with the pre-sharding serve path, and the
+// determinism stress matrix (devices x workers).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "engines/presets.hpp"
+#include "engines/runner.hpp"
+#include "gpusim/device.hpp"
+#include "nn/layers.hpp"
+#include "serve/batch_runner.hpp"
+#include "serve/device_group.hpp"
+#include "serve/request_queue.hpp"
+
+namespace ts {
+namespace {
+
+SparseTensor random_tensor(int n, int extent, std::size_t channels,
+                           uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int32_t> d(0, extent);
+  std::uniform_real_distribution<float> f(-1.0f, 1.0f);
+  std::vector<Coord> coords;
+  std::unordered_set<uint64_t> seen;
+  while (static_cast<int>(coords.size()) < n) {
+    const Coord c{0, d(rng), d(rng), d(rng)};
+    if (seen.insert(pack_coord(c)).second) coords.push_back(c);
+  }
+  Matrix feats(coords.size(), channels);
+  for (std::size_t i = 0; i < feats.size(); ++i) feats.data()[i] = f(rng);
+  return SparseTensor(std::move(coords), std::move(feats));
+}
+
+ModelFn small_unet(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto net = std::make_shared<spnn::Sequential>();
+  net->emplace<spnn::ConvBlock>(4, 16, 3, 1, false, rng);
+  net->emplace<spnn::ConvBlock>(16, 32, 2, 2, false, rng);
+  net->emplace<spnn::ConvBlock>(32, 32, 3, 1, false, rng);
+  net->emplace<spnn::ConvBlock>(32, 16, 2, 2, true, rng);
+  return [net](const SparseTensor& x, ExecContext& ctx) {
+    net->forward(x, ctx);
+  };
+}
+
+void expect_same_timeline(const Timeline& a, const Timeline& b) {
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    const Stage st = static_cast<Stage>(s);
+    EXPECT_DOUBLE_EQ(a.stage_seconds(st), b.stage_seconds(st))
+        << to_string(st);
+  }
+  EXPECT_DOUBLE_EQ(a.dram_bytes(), b.dram_bytes());
+  EXPECT_EQ(a.kernel_launches(), b.kernel_launches());
+  EXPECT_DOUBLE_EQ(a.flops(), b.flops());
+}
+
+MapCacheKey key_of(uint64_t tag) { return MapCacheKey{tag, ~tag}; }
+
+MapCacheEvent event_of(uint64_t tag, std::size_t bytes, double cold,
+                       double hit) {
+  MapCacheEvent ev;
+  ev.key = key_of(tag);
+  ev.bytes = bytes;
+  ev.cold_seconds = cold;
+  ev.cold_dram_bytes = cold * 1e9;
+  ev.cold_launches = 7;
+  ev.hit_seconds = hit;
+  ev.hit_dram_bytes = hit * 1e9;
+  ev.hit_launches = 2;
+  return ev;
+}
+
+// --- DeviceGroup state ------------------------------------------------
+
+TEST(DeviceGroup, ConstructionStampsIdentityAndClampsSize) {
+  serve::DeviceGroup g(rtx2080ti(), 3, 1 << 20);
+  EXPECT_EQ(g.size(), 3);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(g.spec(d).device_index, d);
+    EXPECT_EQ(g.spec(d).name, rtx2080ti().name);
+    EXPECT_EQ(g.cache(d).byte_budget(), std::size_t(1) << 20);
+    EXPECT_EQ(g.stats(d).device, d);
+  }
+  serve::DeviceGroup clamped(rtx2080ti(), 0, 0);
+  EXPECT_EQ(clamped.size(), 1);
+  EXPECT_THROW(g.spec(3), std::out_of_range);
+  EXPECT_THROW(g.spec(-1), std::out_of_range);
+  // Absurd device counts fail loudly instead of overflowing pool
+  // arithmetic or allocating billions of shards.
+  EXPECT_THROW(
+      serve::DeviceGroup(rtx2080ti(), serve::kMaxModeledDevices + 1, 0),
+      std::invalid_argument);
+  EXPECT_THROW(serve::DeviceGroup(rtx2080ti(),
+                                  std::numeric_limits<int>::max(), 0),
+               std::invalid_argument);
+}
+
+TEST(DeviceGroup, OwnerOfFindsLowestDeviceHoldingDigest) {
+  serve::DeviceGroup g(rtx2080ti(), 3, 1 << 20);
+  g.begin_schedule(1);
+  EXPECT_EQ(g.owner_of(key_of(42)), -1);
+  g.cache(2).record_lookup(key_of(42), 100);
+  EXPECT_EQ(g.owner_of(key_of(42)), 2);
+  g.cache(1).record_lookup(key_of(42), 100);
+  EXPECT_EQ(g.owner_of(key_of(42)), 1);
+  EXPECT_TRUE(g.cache(1).contains(key_of(42)));
+  EXPECT_FALSE(g.cache(0).contains(key_of(42)));
+  // begin_schedule starts the next pass from cold modeled caches.
+  g.begin_schedule(1);
+  EXPECT_EQ(g.owner_of(key_of(42)), -1);
+}
+
+TEST(DeviceGroup, PlaceBatchUsesEarliestLaneAndTracksBusy) {
+  serve::DeviceGroup g(rtx2080ti(), 1, 0);
+  g.begin_schedule(2);
+  double start = 0, finish = 0;
+  // Lane 0: batch of 2.0s at dispatch 1.0 with 0.5 overhead.
+  EXPECT_EQ(g.place_batch(0, 1.0, 0.5, {2.0}, &start, &finish), 0);
+  EXPECT_DOUBLE_EQ(start, 1.0);
+  EXPECT_DOUBLE_EQ(finish, 3.5);
+  // Lane 1 is free earlier than lane 0.
+  EXPECT_EQ(g.place_batch(0, 1.0, 0.5, {1.0}, &start, &finish), 1);
+  EXPECT_DOUBLE_EQ(start, 1.0);
+  EXPECT_DOUBLE_EQ(finish, 2.5);
+  EXPECT_DOUBLE_EQ(g.stats(0).busy_seconds, 4.0);  // 2.5 + 1.5
+  EXPECT_EQ(g.stats(0).batches, 2u);
+  EXPECT_EQ(g.stats(0).requests, 2u);
+  EXPECT_DOUBLE_EQ(g.lane_high_water(0), 3.5);
+}
+
+// --- Record-mode cache parity with MapCacheReplay ---------------------
+
+TEST(DeviceGroup, RecordLookupMatchesMapCacheReplayDecisions) {
+  // A stream that exercises hit, miss, LRU eviction, re-insertion after
+  // eviction, and the oversized rule.
+  const std::size_t budget = 250;  // holds 2 entries of 100 bytes
+  std::vector<MapCacheEvent> stream = {
+      event_of(1, 100, 0.010, 0.001),  // miss, insert      LRU [1]
+      event_of(2, 100, 0.020, 0.002),  // miss, insert      LRU [2,1]
+      event_of(1, 100, 0.010, 0.001),  // hit               LRU [1,2]
+      event_of(3, 100, 0.030, 0.003),  // miss, evicts 2    LRU [3,1]
+      event_of(2, 100, 0.020, 0.002),  // miss, evicts 1    LRU [2,3]
+      event_of(4, 9999, 0.040, 0.004), // oversized miss, never cached
+      event_of(1, 100, 0.010, 0.001),  // miss, evicts 3    LRU [1,2]
+  };
+
+  MapCacheReplay replay(budget);
+  Timeline replay_t;
+  replay.apply(stream, replay_t);
+
+  KernelMapCache recorded(budget);
+  Timeline record_t;
+  MapCacheReplayStats st;
+  for (const MapCacheEvent& ev : stream) {
+    ++st.lookups;
+    const auto out = recorded.record_lookup(ev.key, ev.bytes);
+    st.evictions += out.evictions;
+    if (out.hit) {
+      ++st.hits;
+      record_t.add(Stage::kMapping, ev.hit_seconds - ev.cold_seconds);
+      record_t.add_dram_bytes(ev.hit_dram_bytes - ev.cold_dram_bytes);
+      record_t.remove_kernel_launches(0);  // launches handled below
+      st.modeled_seconds_saved += ev.cold_seconds - ev.hit_seconds;
+    } else {
+      ++st.misses;
+    }
+  }
+
+  EXPECT_EQ(st.lookups, replay.stats().lookups);
+  EXPECT_EQ(st.hits, replay.stats().hits);
+  EXPECT_EQ(st.misses, replay.stats().misses);
+  EXPECT_EQ(st.evictions, replay.stats().evictions);
+  EXPECT_DOUBLE_EQ(st.modeled_seconds_saved,
+                   replay.stats().modeled_seconds_saved);
+  // Decisions in detail (trace above): one warm hit, three LRU
+  // evictions, and the oversized entry never displaced anything.
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 6u);
+  EXPECT_EQ(st.evictions, 3u);
+  EXPECT_TRUE(recorded.contains(key_of(1)));
+  EXPECT_TRUE(recorded.contains(key_of(2)));
+  EXPECT_FALSE(recorded.contains(key_of(3)));
+  EXPECT_FALSE(recorded.contains(key_of(4)));
+  EXPECT_EQ(recorded.stats().oversized, 1u);
+}
+
+// --- Sharded scheduler: single-device bit-equivalence -----------------
+
+/// Synthetic stream: 6 requests, batches of 2, per-request events with a
+/// shared digest so the cache replay actually changes timelines.
+struct SyntheticStream {
+  std::vector<serve::StreamResult> requests;
+  std::vector<serve::PlannedBatch> plan;
+  std::vector<std::vector<MapCacheEvent>> events;
+};
+
+SyntheticStream make_synthetic() {
+  SyntheticStream s;
+  s.requests.resize(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    serve::StreamResult& r = s.requests[i];
+    r.id = i;
+    r.arrival_seconds = 0.01 * static_cast<double>(i);
+    r.timeline.add(Stage::kMapping, 0.004);
+    r.timeline.add(Stage::kMatMul, 0.001 * static_cast<double>(i + 1));
+    r.timeline.add_kernel_launches(20);
+    r.service_seconds = r.timeline.total_seconds();
+    // Requests 2i and 2i+1... share digests pairwise across batches:
+    // {0,2,4} use key 7, {1,3,5} use key 9.
+    s.events.push_back({event_of(7 + 2 * (i % 2), 200, 0.003, 0.0004)});
+  }
+  s.plan = {{0, 2, 0.01}, {2, 2, 0.03}, {4, 2, 0.05}};
+  return s;
+}
+
+TEST(ScheduleStreamSharded, OneDeviceBitEqualsReplayPlusScheduleStream) {
+  for (const serve::RoutePolicy policy :
+       {serve::RoutePolicy::kRoundRobin, serve::RoutePolicy::kLeastLoaded,
+        serve::RoutePolicy::kCacheAffinity}) {
+    SyntheticStream pre = make_synthetic();   // pre-PR pipeline
+    SyntheticStream post = make_synthetic();  // sharded pipeline
+
+    // Pre-sharding accounting: MapCacheReplay in submission order, then
+    // schedule_stream.
+    const std::size_t budget = 1 << 16;
+    MapCacheReplay replay(budget);
+    for (std::size_t i = 0; i < pre.requests.size(); ++i) {
+      replay.apply(pre.events[i], pre.requests[i].timeline);
+      pre.requests[i].service_seconds =
+          pre.requests[i].timeline.total_seconds();
+    }
+    std::vector<serve::StreamBatchRecord> pre_batches;
+    const serve::StreamStats ref = serve::schedule_stream(
+        pre.requests, pre.plan, /*workers=*/2,
+        /*batch_overhead_seconds=*/0.002, &pre_batches);
+
+    serve::DeviceGroup group(rtx2080ti(), 1, budget);
+    std::vector<serve::StreamBatchRecord> post_batches;
+    const serve::StreamStats got = serve::schedule_stream_sharded(
+        post.requests, post.plan, group, policy, /*workers_per_device=*/2,
+        /*batch_overhead_seconds=*/0.002, &post.events, &post_batches);
+
+    EXPECT_EQ(got.devices, 1);
+    ASSERT_EQ(got.per_device.size(), 1u);
+    for (std::size_t i = 0; i < pre.requests.size(); ++i) {
+      expect_same_timeline(post.requests[i].timeline,
+                           pre.requests[i].timeline);
+      EXPECT_DOUBLE_EQ(post.requests[i].service_seconds,
+                       pre.requests[i].service_seconds);
+      EXPECT_DOUBLE_EQ(post.requests[i].start_seconds,
+                       pre.requests[i].start_seconds);
+      EXPECT_DOUBLE_EQ(post.requests[i].finish_seconds,
+                       pre.requests[i].finish_seconds);
+      EXPECT_DOUBLE_EQ(post.requests[i].queue_wait_seconds,
+                       pre.requests[i].queue_wait_seconds);
+      EXPECT_DOUBLE_EQ(post.requests[i].e2e_seconds,
+                       pre.requests[i].e2e_seconds);
+      EXPECT_EQ(post.requests[i].batch_id, pre.requests[i].batch_id);
+      EXPECT_EQ(post.requests[i].device, 0);
+    }
+    ASSERT_EQ(post_batches.size(), pre_batches.size());
+    for (std::size_t k = 0; k < pre_batches.size(); ++k) {
+      EXPECT_DOUBLE_EQ(post_batches[k].start_seconds,
+                       pre_batches[k].start_seconds);
+      EXPECT_DOUBLE_EQ(post_batches[k].finish_seconds,
+                       pre_batches[k].finish_seconds);
+      EXPECT_EQ(post_batches[k].lane, pre_batches[k].lane);
+      EXPECT_EQ(post_batches[k].device, 0);
+    }
+    EXPECT_DOUBLE_EQ(got.makespan_seconds, ref.makespan_seconds);
+    EXPECT_DOUBLE_EQ(got.throughput_fps, ref.throughput_fps);
+    EXPECT_DOUBLE_EQ(got.queue_wait_p99_seconds, ref.queue_wait_p99_seconds);
+    EXPECT_DOUBLE_EQ(got.e2e_p99_seconds, ref.e2e_p99_seconds);
+    EXPECT_DOUBLE_EQ(got.mean_service_seconds, ref.mean_service_seconds);
+    expect_same_timeline(got.aggregate, ref.aggregate);
+    EXPECT_EQ(got.map_cache.lookups, replay.stats().lookups);
+    EXPECT_EQ(got.map_cache.hits, replay.stats().hits);
+    EXPECT_EQ(got.map_cache.misses, replay.stats().misses);
+    EXPECT_EQ(got.map_cache.evictions, replay.stats().evictions);
+    EXPECT_DOUBLE_EQ(got.map_cache.modeled_seconds_saved,
+                     replay.stats().modeled_seconds_saved);
+  }
+}
+
+// --- Routing policies --------------------------------------------------
+
+SyntheticStream singleton_batches(const std::vector<double>& services,
+                                  const std::vector<uint64_t>& tags) {
+  SyntheticStream s;
+  s.requests.resize(services.size());
+  for (std::size_t i = 0; i < services.size(); ++i) {
+    serve::StreamResult& r = s.requests[i];
+    r.id = i;
+    r.arrival_seconds = 0.0;
+    r.timeline.add(Stage::kMatMul, services[i]);
+    r.service_seconds = services[i];
+    s.plan.push_back({i, 1, 0.0});
+    s.events.push_back({event_of(tags[i], 100, 0.0, 0.0)});
+  }
+  return s;
+}
+
+TEST(ScheduleStreamSharded, RoundRobinCyclesDevices) {
+  SyntheticStream s = singleton_batches({1, 1, 1, 1, 1}, {1, 2, 3, 4, 5});
+  serve::DeviceGroup group(rtx2080ti(), 3, 1 << 16);
+  serve::schedule_stream_sharded(s.requests, s.plan, group,
+                                 serve::RoutePolicy::kRoundRobin, 1, 0.0,
+                                 &s.events);
+  const int want[] = {0, 1, 2, 0, 1};
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(s.requests[i].device, want[i]) << "request " << i;
+}
+
+TEST(ScheduleStreamSharded, LeastLoadedBalancesAccumulatedWork) {
+  // Batch 0 is heavy: everything after it should drain to device 1
+  // until its accumulated work catches up.
+  SyntheticStream s = singleton_batches({10, 1, 1, 1}, {1, 2, 3, 4});
+  serve::DeviceGroup group(rtx2080ti(), 2, 0);
+  serve::schedule_stream_sharded(s.requests, s.plan, group,
+                                 serve::RoutePolicy::kLeastLoaded, 1, 0.0,
+                                 nullptr);
+  const int want[] = {0, 1, 1, 1};
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(s.requests[i].device, want[i]) << "request " << i;
+  EXPECT_DOUBLE_EQ(group.stats(0).busy_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(group.stats(1).busy_seconds, 3.0);
+}
+
+TEST(ScheduleStreamSharded, CacheAffinityRoutesToDigestOwner) {
+  // Digests AABB: affinity must co-locate the duplicates; round-robin
+  // must split them (and therefore never hit).
+  SyntheticStream aff = singleton_batches({1, 1, 1, 1}, {7, 7, 9, 9});
+  serve::DeviceGroup g_aff(rtx2080ti(), 2, 1 << 16);
+  const serve::StreamStats s_aff = serve::schedule_stream_sharded(
+      aff.requests, aff.plan, g_aff, serve::RoutePolicy::kCacheAffinity, 1,
+      0.0, &aff.events);
+  // Request 0: no owner -> least-loaded -> device 0. Request 1: owner of
+  // digest 7 is device 0 -> hit there. Request 2: digest 9 cold ->
+  // least-loaded -> device 1 (device 0 has 2 batches of work). Request
+  // 3: owner of 9 -> device 1 -> hit.
+  const int want[] = {0, 0, 1, 1};
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(aff.requests[i].device, want[i]) << "request " << i;
+  EXPECT_EQ(s_aff.map_cache.hits, 2u);
+  EXPECT_EQ(g_aff.stats(0).map_cache.hits, 1u);
+  EXPECT_EQ(g_aff.stats(1).map_cache.hits, 1u);
+
+  SyntheticStream rr = singleton_batches({1, 1, 1, 1}, {7, 7, 9, 9});
+  serve::DeviceGroup g_rr(rtx2080ti(), 2, 1 << 16);
+  const serve::StreamStats s_rr = serve::schedule_stream_sharded(
+      rr.requests, rr.plan, g_rr, serve::RoutePolicy::kRoundRobin, 1, 0.0,
+      &rr.events);
+  EXPECT_EQ(s_rr.map_cache.hits, 0u);
+  EXPECT_GT(s_aff.map_cache.hit_rate(), s_rr.map_cache.hit_rate());
+}
+
+// --- End-to-end determinism stress matrix ------------------------------
+
+serve::StreamReport serve_stream(const ModelFn& model,
+                                 const std::vector<SparseTensor>& stream,
+                                 int devices, int workers,
+                                 serve::RoutePolicy policy,
+                                 std::size_t cache_bytes) {
+  serve::RequestQueue queue({/*max_depth=*/stream.size() + 1});
+  std::vector<serve::StreamHandle> handles;
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    handles.push_back(
+        queue.submit(stream[i], 0.002 * static_cast<double>(i)));
+  queue.close();
+  serve::BatchOptions opt;
+  opt.workers = workers;
+  opt.map_cache_bytes = cache_bytes;
+  serve::StreamOptions sopt;
+  sopt.batcher.policy = serve::BatchPolicy::kImmediate;
+  sopt.batch_overhead_seconds = 0.0005;
+  sopt.shard.devices = devices;
+  sopt.shard.route = policy;
+  const serve::BatchRunner runner(rtx2080ti(), torchsparse_config(), opt);
+  return runner.serve(model, queue, sopt);
+}
+
+void expect_same_report(const serve::StreamReport& a,
+                        const serve::StreamReport& b) {
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    expect_same_timeline(a.requests[i].timeline, b.requests[i].timeline);
+    EXPECT_DOUBLE_EQ(a.requests[i].service_seconds,
+                     b.requests[i].service_seconds);
+    EXPECT_DOUBLE_EQ(a.requests[i].start_seconds,
+                     b.requests[i].start_seconds);
+    EXPECT_DOUBLE_EQ(a.requests[i].finish_seconds,
+                     b.requests[i].finish_seconds);
+    EXPECT_EQ(a.requests[i].batch_id, b.requests[i].batch_id);
+    EXPECT_EQ(a.requests[i].device, b.requests[i].device);
+  }
+  EXPECT_DOUBLE_EQ(a.stats.makespan_seconds, b.stats.makespan_seconds);
+  EXPECT_DOUBLE_EQ(a.stats.throughput_fps, b.stats.throughput_fps);
+  EXPECT_DOUBLE_EQ(a.stats.e2e_p99_seconds, b.stats.e2e_p99_seconds);
+  expect_same_timeline(a.stats.aggregate, b.stats.aggregate);
+  EXPECT_EQ(a.stats.map_cache.lookups, b.stats.map_cache.lookups);
+  EXPECT_EQ(a.stats.map_cache.hits, b.stats.map_cache.hits);
+  EXPECT_EQ(a.stats.map_cache.evictions, b.stats.map_cache.evictions);
+  EXPECT_DOUBLE_EQ(a.stats.map_cache.modeled_seconds_saved,
+                   b.stats.map_cache.modeled_seconds_saved);
+  ASSERT_EQ(a.stats.per_device.size(), b.stats.per_device.size());
+  for (std::size_t d = 0; d < a.stats.per_device.size(); ++d) {
+    EXPECT_EQ(a.stats.per_device[d].batches, b.stats.per_device[d].batches);
+    EXPECT_EQ(a.stats.per_device[d].requests,
+              b.stats.per_device[d].requests);
+    EXPECT_DOUBLE_EQ(a.stats.per_device[d].busy_seconds,
+                     b.stats.per_device[d].busy_seconds);
+    EXPECT_DOUBLE_EQ(a.stats.per_device[d].free_seconds,
+                     b.stats.per_device[d].free_seconds);
+    EXPECT_EQ(a.stats.per_device[d].map_cache.hits,
+              b.stats.per_device[d].map_cache.hits);
+    EXPECT_EQ(a.stats.per_device[d].map_cache.misses,
+              b.stats.per_device[d].map_cache.misses);
+  }
+}
+
+TEST(ShardedServe, ModeledStatsIndependentOfWorkerCountPerDeviceCount) {
+  const ModelFn model = small_unet(31);
+  // 12 requests, 50% duplicates, adjacent (u0 u0 u1 u1 ...): the layout
+  // where affinity matters most.
+  std::vector<SparseTensor> stream;
+  for (int i = 0; i < 12; ++i)
+    stream.push_back(random_tensor(140 + 10 * (i / 2), 12, 4,
+                                   2000 + static_cast<uint64_t>(i / 2)));
+
+  for (const int devices : {1, 2, 4}) {
+    const serve::StreamReport base =
+        serve_stream(model, stream, devices, /*workers=*/1,
+                     serve::RoutePolicy::kCacheAffinity, std::size_t(64)
+                                                             << 20);
+    EXPECT_EQ(base.stats.devices, devices);
+    ASSERT_EQ(base.stats.per_device.size(),
+              static_cast<std::size_t>(devices));
+    for (const int workers : {2, 4}) {
+      const serve::StreamReport got =
+          serve_stream(model, stream, devices, workers,
+                       serve::RoutePolicy::kCacheAffinity, std::size_t(64)
+                                                               << 20);
+      // Modeled serve stats and outputs are bit-identical for any
+      // worker count at this device count; only the placement clocks
+      // may change (same lanes-per-device math, more lanes).
+      ASSERT_EQ(got.requests.size(), base.requests.size());
+      for (std::size_t i = 0; i < got.requests.size(); ++i) {
+        expect_same_timeline(got.requests[i].timeline,
+                             base.requests[i].timeline);
+        EXPECT_DOUBLE_EQ(got.requests[i].service_seconds,
+                         base.requests[i].service_seconds);
+        EXPECT_EQ(got.requests[i].device, base.requests[i].device);
+      }
+      expect_same_timeline(got.stats.aggregate, base.stats.aggregate);
+      EXPECT_EQ(got.stats.map_cache.hits, base.stats.map_cache.hits);
+      EXPECT_EQ(got.stats.map_cache.misses, base.stats.map_cache.misses);
+      EXPECT_DOUBLE_EQ(got.stats.map_cache.modeled_seconds_saved,
+                       base.stats.map_cache.modeled_seconds_saved);
+      for (int d = 0; d < devices; ++d) {
+        EXPECT_EQ(got.stats.per_device[d].map_cache.hits,
+                  base.stats.per_device[d].map_cache.hits);
+        EXPECT_EQ(got.stats.per_device[d].batches,
+                  base.stats.per_device[d].batches);
+        EXPECT_DOUBLE_EQ(got.stats.per_device[d].busy_seconds,
+                         base.stats.per_device[d].busy_seconds);
+      }
+    }
+    // Re-running the identical configuration reproduces the whole
+    // report bit-for-bit.
+    const serve::StreamReport again =
+        serve_stream(model, stream, devices, /*workers=*/1,
+                     serve::RoutePolicy::kCacheAffinity, std::size_t(64)
+                                                             << 20);
+    expect_same_report(base, again);
+  }
+}
+
+TEST(ShardedServe, SingleDeviceMatchesUnshardedServeUnderEveryPolicy) {
+  const ModelFn model = small_unet(32);
+  std::vector<SparseTensor> stream;
+  for (int i = 0; i < 8; ++i)
+    stream.push_back(random_tensor(130, 12, 4,
+                                   3000 + static_cast<uint64_t>(i % 4)));
+
+  // Default options = pre-sharding single-device serve.
+  const serve::StreamReport ref =
+      serve_stream(model, stream, 1, 2, serve::ShardOptions{}.route,
+                   std::size_t(64) << 20);
+  for (const serve::RoutePolicy policy :
+       {serve::RoutePolicy::kRoundRobin, serve::RoutePolicy::kLeastLoaded,
+        serve::RoutePolicy::kCacheAffinity}) {
+    const serve::StreamReport got =
+        serve_stream(model, stream, 1, 2, policy, std::size_t(64) << 20);
+    expect_same_report(ref, got);
+  }
+}
+
+TEST(ShardedServe, AggregateComputeInvariantToDeviceCountWithCacheOff) {
+  const ModelFn model = small_unet(33);
+  std::vector<SparseTensor> stream;
+  for (int i = 0; i < 6; ++i)
+    stream.push_back(random_tensor(120, 12, 4,
+                                   4000 + static_cast<uint64_t>(i)));
+  const serve::StreamReport n1 = serve_stream(
+      model, stream, 1, 2, serve::RoutePolicy::kLeastLoaded, 0);
+  for (const int devices : {2, 4}) {
+    const serve::StreamReport nd = serve_stream(
+        model, stream, devices, 2, serve::RoutePolicy::kLeastLoaded, 0);
+    // Sharding is a scheduling construct: per-request compute is
+    // untouched, so the aggregate timeline is device-count invariant.
+    expect_same_timeline(nd.stats.aggregate, n1.stats.aggregate);
+    EXPECT_EQ(nd.stats.map_cache.lookups, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ts

@@ -8,6 +8,7 @@
 #include <random>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "core/conv3d.hpp"
 #include "core/downsample.hpp"
@@ -144,6 +145,66 @@ TEST(EdgeCases, GlobalPoolEmptyTensor) {
   const Matrix out = spnn::global_pool(x, spnn::PoolKind::kAvg, ctx);
   EXPECT_EQ(out.rows(), 0u);
   EXPECT_EQ(out.cols(), 4u);
+}
+
+TEST(EdgeCases, GlobalPoolRejectsBatchIndexPastPackableRange) {
+  // Regression (ROADMAP "Hardening", nn/pooling sweep): a batch index
+  // past the packable range cannot come from any valid tensor; inferring
+  // the batch count from it would make the output allocation itself the
+  // failure (max+1 rows, or signed overflow at INT32_MAX). It must be a
+  // descriptive invalid_argument in Debug and Release alike.
+  std::vector<Coord> coords = {{0, 1, 1, 1},
+                               {std::numeric_limits<int32_t>::max(), 2, 2, 2}};
+  SparseTensor x(coords, Matrix(2, 4, 1.0f));
+  ExecContext ctx = fp32_ctx();
+  try {
+    spnn::global_pool(x, spnn::PoolKind::kAvg, ctx);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds the packable batch range"),
+              std::string::npos);
+  }
+  std::vector<Coord> big = {{kCoordBatchMax + 1, 1, 1, 1}};
+  SparseTensor y(big, Matrix(1, 4, 1.0f));
+  EXPECT_THROW(spnn::global_pool(y, spnn::PoolKind::kMax, ctx),
+               std::invalid_argument);
+  // The top of the packable range itself is legal.
+  std::vector<Coord> edge = {{kCoordBatchMax, 1, 1, 1}};
+  SparseTensor z(edge, Matrix(1, 4, 1.0f));
+  const Matrix out = spnn::global_pool(z, spnn::PoolKind::kMax, ctx);
+  EXPECT_EQ(out.rows(), static_cast<std::size_t>(kCoordBatchMax) + 1);
+}
+
+TEST(EdgeCases, GlobalPoolDeclaredBatchCountValidatesAndShapes) {
+  // The serving-head overload: the declared count fixes the output shape
+  // (empty batches pool to zero) and turns an index past it into a
+  // descriptive error instead of a silent mis-index.
+  std::vector<Coord> coords = {{0, 1, 1, 1}, {2, 2, 2, 2}};
+  Matrix feats(2, 3);
+  feats.at(0, 0) = 4.0f;
+  feats.at(1, 1) = 6.0f;
+  SparseTensor x(coords, feats);
+  ExecContext ctx = fp32_ctx();
+
+  const Matrix out = spnn::global_pool(x, spnn::PoolKind::kAvg, 4, ctx);
+  ASSERT_EQ(out.rows(), 4u);
+  EXPECT_EQ(out.at(0, 0), 4.0f);
+  EXPECT_EQ(out.at(1, 0), 0.0f);  // declared-but-empty batch
+  EXPECT_EQ(out.at(2, 1), 6.0f);
+  EXPECT_EQ(out.at(3, 2), 0.0f);
+
+  try {
+    spnn::global_pool(x, spnn::PoolKind::kAvg, 2, ctx);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "global_pool: batch index 2 at point 1 is out of range "
+                 "for declared batch count 2");
+  }
+  EXPECT_THROW(spnn::global_pool(x, spnn::PoolKind::kAvg, -1, ctx),
+               std::invalid_argument);
+  EXPECT_THROW(spnn::global_pool(x, spnn::PoolKind::kMax, 0, ctx),
+               std::invalid_argument);  // points exist past count 0
 }
 
 TEST(EdgeCases, SerializeSaveToFailedStreamThrows) {

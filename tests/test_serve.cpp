@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <random>
+#include <stdexcept>
 #include <thread>
 #include <unordered_set>
 
@@ -15,6 +17,7 @@
 #include "gpusim/device.hpp"
 #include "nn/layers.hpp"
 #include "serve/batch_runner.hpp"
+#include "serve/serve_stats.hpp"
 #include "serve/tuned_param_store.hpp"
 
 namespace ts {
@@ -252,6 +255,48 @@ TEST(TunedParamStore, GetIsNonBlockingAndMissTolerant) {
   EXPECT_TRUE(store.get("never-tuned").empty());
   EXPECT_FALSE(store.contains("never-tuned"));
   EXPECT_EQ(store.compute_count(), 0u);
+}
+
+// --- serve::percentile: the shared nearest-rank implementation --------
+
+TEST(ServeStats, PercentileNearestRankInteriorValues) {
+  const std::vector<double> s = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  // Nearest rank: ceil(q * n)-th smallest (1-based).
+  EXPECT_DOUBLE_EQ(serve::percentile(s, 0.50), 5.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(s, 0.90), 9.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(s, 0.99), 10.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(s, 0.05), 1.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(s, 0.11), 2.0);
+  // Exact rank boundary: q*n integral picks that element, not the next.
+  EXPECT_DOUBLE_EQ(serve::percentile(s, 0.30), 3.0);
+}
+
+TEST(ServeStats, PercentileEdgeQuantilesAndDegenerateSamples) {
+  const std::vector<double> s = {3, 7, 11};
+  // q = 0 clamps the rank up to 1 -> the minimum; q = 1 is the maximum
+  // (rank n, never one past the end).
+  EXPECT_DOUBLE_EQ(serve::percentile(s, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(s, 1.0), 11.0);
+  // A single sample answers every quantile with itself.
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(serve::percentile(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(one, 0.99), 42.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(one, 1.0), 42.0);
+  // Empty sample: nothing to report.
+  EXPECT_DOUBLE_EQ(serve::percentile({}, 0.5), 0.0);
+}
+
+TEST(ServeStats, PercentileRejectsOutOfRangeQuantiles) {
+  const std::vector<double> s = {1, 2};
+  EXPECT_THROW(serve::percentile(s, -0.01), std::invalid_argument);
+  EXPECT_THROW(serve::percentile(s, 1.01), std::invalid_argument);
+  EXPECT_THROW(
+      serve::percentile(s, std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      serve::percentile(s, std::numeric_limits<double>::infinity()),
+      std::invalid_argument);
 }
 
 }  // namespace
