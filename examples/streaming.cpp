@@ -1,17 +1,17 @@
-// Streaming serving demo: asynchronous request submission, bounded-depth
-// admission control, SLO-aware dynamic batching on the modeled clock,
-// and multi-device sharding with cache-affinity routing.
+// Streaming serving demo on the serve::Server session API: priority
+// classes with strict-priority-plus-aging batching, bounded-depth
+// admission control with priority preemption, incremental StreamHandle
+// fulfillment, and multi-device sharding with cache-affinity routing.
 //
-// A burst of LiDAR scans arrives faster than the deployment's queue can
-// absorb: the RequestQueue admits up to its configured depth and sheds
-// the rest with a typed AdmissionError (counted, never silent). The
-// admitted requests are drained by BatchRunner::serve, which forms
-// dispatch batches under a latency-SLO-aware policy and reports per-
-// request end-to-end latency (queue wait + run) percentiles. A second
-// pass serves a duplicate-heavy stream across two modeled devices,
-// routing each batch to the device whose kernel-map cache already holds
-// its dominant digest. All times are modeled, so this demo prints the
-// same numbers on every machine.
+// Requests carry priority classes — the default batching policy serves
+// the high class first, aging keeps the low class from starving, and
+// the report breaks latency percentiles out per class. Handles resolve
+// *incrementally*: a request's result is readable the moment its batch
+// is placed on the modeled schedule, while the session is still open.
+// A second pass serves a duplicate-heavy stream across two modeled
+// devices, routing each batch to the device whose kernel-map cache
+// already holds its dominant digest. All modeled numbers print the
+// same on every machine.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -20,16 +20,15 @@
 #include "engines/presets.hpp"
 #include "engines/workloads.hpp"
 #include "gpusim/device.hpp"
-#include "serve/batch_runner.hpp"
-#include "serve/dynamic_batcher.hpp"
-#include "serve/request_queue.hpp"
+#include "serve/server.hpp"
 #include "serve/tuned_param_store.hpp"
 
 using namespace ts;
 
 int main() {
   // 1. The deployment: MinkUNet on a modeled RTX 2080Ti, TorchSparse
-  //    engine, with Alg. 5 grouping parameters tuned once per key.
+  //    engine, with Alg. 5 grouping parameters tuned once per key. One
+  //    ServerConfig now carries every serving knob.
   const uint64_t seed = 5353;
   Workload w = make_minkunet_workload("SK-MinkUNet (0.5x)", "SemanticKITTI",
                                       0.5, 1, seed, /*scale=*/0.2,
@@ -38,59 +37,104 @@ int main() {
   const EngineConfig cfg = torchsparse_config();
 
   serve::TunedParamStore store;
-  serve::BatchOptions opt;
-  opt.workers = 4;
-  opt.run.tuned = store.get_or_tune(serve::tuned_key(w.name, dev, cfg),
-                                    w.model, w.tune_samples, dev, cfg);
+  RunOptions run;
+  run.tuned = store.get_or_tune(serve::tuned_key(w.name, dev, cfg), w.model,
+                                w.tune_samples, dev, cfg);
+
+  serve::BatcherOptions batcher;
+  batcher.policy = serve::BatchPolicy::kSloAware;
+  batcher.max_batch = 4;
+  batcher.slo_budget_seconds = 0.008;  // 8 ms queue-wait budget
+  serve::PriorityOptions aging;
+  aging.aging_seconds = 0.016;  // promote a waiting class every 16 ms
+
+  serve::ServerConfig scfg;
+  scfg.with_device(dev)
+      .with_engine(cfg)
+      .with_workers(4)
+      .with_run(run)
+      .with_queue_depth(32)
+      .with_batcher(batcher)
+      .with_priority(aging)
+      .with_batch_overhead(0.001);  // amortizable dispatch setup
+  serve::Server server(scfg);
   std::printf("deployment: %s on %s / %s (%zu tuned layers)\n",
               w.name.c_str(), dev.name.c_str(), cfg.name.c_str(),
-              opt.run.tuned.size());
+              run.tuned.size());
 
-  // 2. A burst of 12 scans hits a queue bounded at depth 8: admission
-  //    control sheds the overflow with a typed error instead of letting
-  //    the backlog (and every request's tail latency) grow without bound.
   LidarSpec lidar = semantic_kitti_spec();
   lidar.azimuth_steps = std::max(32, lidar.azimuth_steps / 5);
-  serve::QueueOptions qopt;
-  qopt.max_depth = 8;
-  serve::RequestQueue queue(qopt);
 
+  // 2. The admission boundary, demonstrated standalone (no consumer, so
+  //    the outcome is deterministic): a depth-3 queue with priority
+  //    preemption sheds a 4th low-class scan with a typed error, and a
+  //    late high-class scan preempts the newest low instead of being
+  //    rejected itself. ServerConfig::with_queue_depth /
+  //    with_priority_preemption configure exactly this machinery inside
+  //    a Server.
+  {
+    serve::QueueOptions qopt;
+    qopt.max_depth = 3;
+    qopt.priority_preemption = true;
+    serve::RequestQueue gate(qopt);
+    std::vector<serve::StreamHandle> low_handles;
+    const SparseTensor probe =
+        make_input(lidar, segmentation_voxels(), seed + 99);
+    for (int i = 0; i < 4; ++i) {
+      try {
+        low_handles.push_back(
+            gate.submit(probe, 0.001 * i, serve::Priority::kLow));
+        std::printf("  low scan %d admitted (depth %zu/3)\n", i,
+                    gate.depth());
+      } catch (const serve::AdmissionError& e) {
+        std::printf("  low scan %d REJECTED: %s\n", i, e.what());
+      }
+    }
+    gate.submit(probe, 0.004, serve::Priority::kHigh);
+    std::printf("  high scan admitted by preempting the newest low "
+                "(depth %zu/3, %zu shed)\n",
+                gate.depth(), gate.rejected());
+  }
+
+  // 3. A live session: 12 scans, every 3rd a high-priority request
+  //    (say, the vehicle's forward-facing sweep), the rest best-effort
+  //    backfill.
+  server.start(w.model);
   std::vector<serve::StreamHandle> handles;
   const double gap = 0.004;  // modeled 4 ms between arrivals
   for (int i = 0; i < 12; ++i) {
     const SparseTensor scan = make_input(
         lidar, segmentation_voxels(), seed + 10 + static_cast<uint64_t>(i));
-    try {
-      handles.push_back(queue.submit(scan, gap * i));
-      std::printf("  t=%5.1f ms  scan %2d admitted (depth %zu/%zu)\n",
-                  gap * i * 1e3, i, queue.depth(), qopt.max_depth);
-    } catch (const serve::AdmissionError& e) {
-      std::printf("  t=%5.1f ms  scan %2d REJECTED: %s\n", gap * i * 1e3,
-                  i, e.what());
-    }
+    handles.push_back(server.submit(
+        scan, gap * i,
+        i % 3 == 0 ? serve::Priority::kHigh : serve::Priority::kLow));
   }
-  queue.close();
 
-  // 3. Serve with an SLO-aware dynamic batcher: dispatch on max_batch or
-  //    when the oldest request's queue-wait budget is spent.
-  serve::StreamOptions sopt;
-  sopt.batcher.policy = serve::BatchPolicy::kSloAware;
-  sopt.batcher.max_batch = 4;
-  sopt.batcher.slo_budget_seconds = 0.008;  // 8 ms queue-wait budget
-  sopt.batch_overhead_seconds = 0.001;      // amortizable dispatch setup
+  // 4. Incremental fulfillment: with all twelve arrivals fed, the
+  //    high-priority head request is certainly in an already-dispatched
+  //    batch, which is placed as soon as its members are measured — so
+  //    its handle resolves while the session is still open, no drain
+  //    needed. (Blocking on a handle the batcher might still be
+  //    holding must wait for drain(); see StreamHandle.)
+  const serve::StreamResult& first = handles.front().get();
+  std::printf("\nincremental: scan %zu resolved mid-session "
+              "(e2e %.2f ms, batch %zu) while the server is %s\n",
+              first.id, first.e2e_seconds * 1e3, first.batch_id,
+              server.running() ? "still running" : "stopped");
 
-  const serve::BatchRunner runner(dev, cfg, opt);
-  const serve::StreamReport report = runner.serve(w.model, queue, sopt);
+  // 5. Drain the session and read the report: per-class percentiles
+  //    show the priority classes separating under load.
+  const serve::StreamReport report = server.drain();
   const serve::StreamStats& s = report.stats;
 
   std::printf("\nserved %zu requests (%zu rejected) in %zu batches on %d "
               "workers\n",
               s.completed, s.rejected, s.batches, s.workers);
   std::printf("  policy        %s, max_batch %d, SLO budget %.1f ms, "
-              "overhead %.1f ms\n",
-              to_string(sopt.batcher.policy), sopt.batcher.max_batch,
-              sopt.batcher.slo_budget_seconds * 1e3,
-              sopt.batch_overhead_seconds * 1e3);
+              "aging %.1f ms, overhead %.1f ms\n",
+              to_string(batcher.policy), batcher.max_batch,
+              batcher.slo_budget_seconds * 1e3, aging.aging_seconds * 1e3,
+              scfg.batch_overhead_seconds * 1e3);
   std::printf("  throughput    %8.1f scans/s (makespan %.2f ms)\n",
               s.throughput_fps, s.makespan_seconds * 1e3);
   std::printf("  queue wait    p50 %.2f / p90 %.2f / p99 %.2f ms\n",
@@ -100,8 +144,13 @@ int main() {
   std::printf("  e2e latency   p50 %.2f / p90 %.2f / p99 %.2f ms\n",
               s.e2e_p50_seconds * 1e3, s.e2e_p90_seconds * 1e3,
               s.e2e_p99_seconds * 1e3);
-  std::printf("  mean service  %7.2f ms per scan, mean batch %.2f\n",
-              s.mean_service_seconds * 1e3, s.mean_batch_size);
+  std::printf("\nclass   served  wait p99(ms)  e2e p99(ms)\n");
+  for (const serve::PriorityClassStats& pc : s.per_class) {
+    if (pc.completed == 0) continue;
+    std::printf("%-6s  %6zu  %12.2f  %11.2f\n", to_string(pc.priority),
+                pc.completed, pc.queue_wait_p99_seconds * 1e3,
+                pc.e2e_p99_seconds * 1e3);
+  }
 
   std::printf("\nbatch  size  dispatch(ms)  start(ms)  finish(ms)  lane\n");
   for (const serve::StreamBatchRecord& b : report.batches)
@@ -109,48 +158,47 @@ int main() {
                 b.size, b.dispatch_seconds * 1e3, b.start_seconds * 1e3,
                 b.finish_seconds * 1e3, b.lane);
 
-  // 4. Producers read results through their handles (futures).
-  std::printf("\nreq  arrive(ms)  wait(ms)  service(ms)  e2e(ms)  batch\n");
+  std::printf("\nreq  class   arrive(ms)  wait(ms)  e2e(ms)  batch\n");
   for (const serve::StreamHandle& h : handles) {
     const serve::StreamResult& r = h.get();
-    std::printf("%3zu  %10.2f  %8.2f  %11.2f  %7.2f  %5zu\n", r.id,
-                r.arrival_seconds * 1e3, r.queue_wait_seconds * 1e3,
-                r.service_seconds * 1e3, r.e2e_seconds * 1e3, r.batch_id);
+    std::printf("%3zu  %-6s  %10.2f  %8.2f  %7.2f  %5zu\n", r.id,
+                to_string(r.priority), r.arrival_seconds * 1e3,
+                r.queue_wait_seconds * 1e3, r.e2e_seconds * 1e3,
+                r.batch_id);
   }
 
-  // 5. Scale out: the same deployment sharded across two modeled
-  //    devices, each with its own worker lanes and kernel-map cache. The
-  //    stream repeats every scan twice back-to-back (consecutive LiDAR
-  //    frames); cache-affinity routing sends each duplicate to the
-  //    device that already built its kernel maps, so the second copy
-  //    pays the warm re-key cost instead of the full mapping stage.
-  serve::RequestQueue shard_queue({/*max_depth=*/32});
+  // 6. Scale out: the same deployment as a 2-device server
+  //    (sessions are cheap — policies, caches, and warm contexts carry
+  //    over through the config). The stream repeats every scan twice
+  //    back-to-back (consecutive LiDAR frames); cache-affinity routing
+  //    sends each duplicate to the device that already built its kernel
+  //    maps, so the second copy pays the warm re-key cost instead of
+  //    the full mapping stage.
+  serve::ServerConfig shard_cfg = scfg;
+  serve::BatcherOptions immediate;
+  immediate.policy = serve::BatchPolicy::kImmediate;
+  shard_cfg.with_workers(2)
+      .with_queue_depth(32)
+      .with_batcher(immediate)
+      .with_batch_overhead(0.0005)
+      .with_devices(2)
+      .with_route(serve::RoutePolicy::kCacheAffinity)
+      .with_map_cache_bytes(std::size_t(64) << 20);  // per device
+  serve::Server shard_server(shard_cfg);
+  shard_server.start(w.model);
   int submitted = 0;
   for (int i = 0; i < 8; ++i) {
     const SparseTensor scan = make_input(
         lidar, segmentation_voxels(), seed + 50 + static_cast<uint64_t>(i));
     for (int rep = 0; rep < 2; ++rep)
-      shard_queue.submit(scan, 0.0005 * (submitted++));
+      shard_server.submit(scan, 0.0005 * (submitted++));
   }
-  shard_queue.close();
-
-  serve::BatchOptions shard_opt = opt;
-  shard_opt.workers = 2;
-  shard_opt.map_cache_bytes = std::size_t(64) << 20;  // per device
-  serve::StreamOptions shard_sopt;
-  shard_sopt.batcher.policy = serve::BatchPolicy::kImmediate;
-  shard_sopt.batch_overhead_seconds = 0.0005;
-  shard_sopt.shard.devices = 2;
-  shard_sopt.shard.route = serve::RoutePolicy::kCacheAffinity;
-
-  const serve::BatchRunner shard_runner(dev, cfg, shard_opt);
-  const serve::StreamReport sharded =
-      shard_runner.serve(w.model, shard_queue, shard_sopt);
+  const serve::StreamReport sharded = shard_server.drain();
 
   std::printf("\nsharded serve: %zu requests on %d devices x %d workers, "
               "%s routing\n",
               sharded.stats.completed, sharded.stats.devices,
-              sharded.stats.workers, to_string(shard_sopt.shard.route));
+              sharded.stats.workers, to_string(shard_cfg.shard.route));
   std::printf("  throughput    %8.1f scans/s (makespan %.2f ms)\n",
               sharded.stats.throughput_fps,
               sharded.stats.makespan_seconds * 1e3);

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Header hygiene gate: every public header must compile standalone.
+
+API splits (like the serve::Server redesign) tend to leave headers that
+only compile because some .cpp happened to include their dependencies
+first.  This script compiles each public header in the checked
+directories as its own translation unit (-fsyntax-only), so a header
+missing an include or a forward declaration fails CI instead of
+surfacing as an unrelated build break later.
+
+Usage:
+  check_headers.py [--compiler g++] [--std c++20] [dirs...]
+
+Default directories: src/serve src/core (the API-redesign surface and
+the kernel-engine surface it sits on).
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def headers_under(repo, rel_dir):
+    root = os.path.join(repo, rel_dir)
+    found = []
+    for dirpath, _, files in os.walk(root):
+        for name in sorted(files):
+            if name.endswith(".hpp") or name.endswith(".h"):
+                path = os.path.join(dirpath, name)
+                found.append(os.path.relpath(path, os.path.join(repo, "src")))
+    return found
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--compiler", default=os.environ.get("CXX", "g++"))
+    ap.add_argument("--std", default="c++20")
+    ap.add_argument("dirs", nargs="*", default=["src/serve", "src/core"])
+    args = ap.parse_args()
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    include_dir = os.path.join(repo, "src")
+    headers = []
+    for d in args.dirs:
+        headers.extend(headers_under(repo, d))
+    if not headers:
+        print("no headers found under", args.dirs)
+        return 1
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for header in headers:
+            tu = os.path.join(tmp, "tu.cpp")
+            with open(tu, "w") as f:
+                f.write(f'#include "{header}"\n')
+                # A second include proves the guard works.
+                f.write(f'#include "{header}"\n')
+            cmd = [
+                args.compiler, f"-std={args.std}", "-fsyntax-only",
+                "-Wall", "-Wextra", "-Werror", f"-I{include_dir}", tu,
+            ]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            status = "ok" if proc.returncode == 0 else "FAIL"
+            print(f"  {header:<40} {status}")
+            if proc.returncode != 0:
+                failures.append((header, proc.stderr.strip()))
+
+    if failures:
+        print(f"\n{len(failures)} header(s) do not compile standalone:")
+        for header, err in failures:
+            print(f"\n== {header} ==\n{err}")
+        return 1
+    print(f"\n{len(headers)} headers compile standalone")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

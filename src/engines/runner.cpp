@@ -28,6 +28,11 @@ void reset_context(ExecContext& ctx) {
   // a serving worker's pool provenance doesn't change between requests.
 }
 
+void reset_context(ExecContext& ctx, int device_index) {
+  reset_context(ctx);
+  ctx.device_index = device_index;
+}
+
 Timeline run_in_context(const ModelFn& model, const SparseTensor& input,
                         ExecContext& ctx) {
   const SparseTensor in = fresh_input(input);

@@ -65,6 +65,15 @@ ExecContext make_run_context(const DeviceSpec& dev, const EngineConfig& cfg,
 /// Precondition: no request is currently executing in `ctx`.
 void reset_context(ExecContext& ctx);
 
+/// Hand-off variant for context reuse *across* serving sessions: resets
+/// `ctx` exactly like reset_context(ctx) and restamps its device
+/// identity. A serve::Server keeps each worker's warm context in a pool
+/// between start()/drain() sessions; the next session's workers may
+/// belong to a different device shard, so the adopted context's
+/// provenance is restamped at checkout. Results are unaffected —
+/// device_index is host-side identity only (see ExecContext).
+void reset_context(ExecContext& ctx, int device_index);
+
 /// Runs the model on a private copy of `input` (fresh TensorCache) inside
 /// `ctx` and returns the context's accumulated timeline. Exceptions from
 /// the model propagate unchanged; `ctx` is then mid-request garbage and

@@ -3,22 +3,21 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
-#include <deque>
 #include <exception>
 #include <mutex>
-#include <optional>
+#include <numeric>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "serve/serve_stats.hpp"
+#include "serve/server.hpp"
 
 namespace ts::serve {
 
 namespace {
 
-/// Shared precondition of both stream schedulers: the plan must
+/// Shared precondition of the legacy stream schedulers: the plan must
 /// partition [0, requests) contiguously and the overhead must be sane.
 void validate_stream_plan(std::size_t requests,
                           const std::vector<PlannedBatch>& plan,
@@ -39,54 +38,19 @@ void validate_stream_plan(std::size_t requests,
         " requests, have " + std::to_string(requests));
 }
 
-/// Replays one recorded cache resolution through a device's modeled
-/// cache (record mode), applying the shared warm-hit delta on hits.
-/// record_lookup's decisions and apply_map_cache_hit's arithmetic are
-/// the same ones MapCacheReplay uses, so a 1-device group reproduces
-/// the single-device replay bit-for-bit.
-void replay_event(KernelMapCache& cache, const MapCacheEvent& ev,
-                  Timeline& t, MapCacheReplayStats& st) {
-  ++st.lookups;
-  const KernelMapCache::RecordOutcome out =
-      cache.record_lookup(ev.key, ev.bytes);
-  st.evictions += out.evictions;
-  if (!out.hit) {
-    ++st.misses;
-    return;
+/// Legacy contiguous plan -> explicit member lists (ascending ids).
+std::vector<DispatchBatch> to_dispatch_plan(
+    const std::vector<PlannedBatch>& plan) {
+  std::vector<DispatchBatch> out;
+  out.reserve(plan.size());
+  for (const PlannedBatch& b : plan) {
+    DispatchBatch d;
+    d.dispatch_seconds = b.dispatch_seconds;
+    d.members.resize(b.count);
+    std::iota(d.members.begin(), d.members.end(), b.first);
+    out.push_back(std::move(d));
   }
-  ++st.hits;
-  apply_map_cache_hit(ev, t);
-  st.modeled_seconds_saved += ev.cold_seconds - ev.hit_seconds;
-}
-
-/// The batch's dominant kernel-map digest: the content key with the
-/// largest summed cold mapping charge across the members' recorded
-/// events (ties -> first encountered in submission order). Returns
-/// false when the batch recorded no events.
-bool dominant_digest(const std::vector<std::vector<MapCacheEvent>>& events,
-                     std::size_t first, std::size_t count,
-                     MapCacheKey* out) {
-  // Batches are small (max_batch) and events few per request, so a flat
-  // first-occurrence-ordered scan beats a hash map here.
-  std::vector<MapCacheKey> keys;
-  std::vector<double> weight;
-  for (std::size_t i = first; i < first + count; ++i) {
-    for (const MapCacheEvent& ev : events[i]) {
-      std::size_t k = 0;
-      while (k < keys.size() && !(keys[k] == ev.key)) ++k;
-      if (k == keys.size()) {
-        keys.push_back(ev.key);
-        weight.push_back(0.0);
-      }
-      weight[k] += ev.cold_seconds;
-    }
-  }
-  if (keys.empty()) return false;
-  std::size_t best = 0;
-  for (std::size_t k = 1; k < keys.size(); ++k)
-    if (weight[k] > weight[best]) best = k;  // strict: ties keep earliest
-  *out = keys[best];
-  return true;
+  return out;
 }
 
 }  // namespace
@@ -149,142 +113,19 @@ StreamStats schedule_stream_sharded(
     double batch_overhead_seconds,
     const std::vector<std::vector<MapCacheEvent>>* events,
     std::vector<StreamBatchRecord>* batches) {
+  // Legacy contiguous entry point: validate the historical contract,
+  // then delegate to the generalized scheduler (server.hpp) with the
+  // built-in routing policy for `policy` — one scheduler body for the
+  // legacy, priority, and custom-policy paths, bit-identical here.
   validate_stream_plan(requests.size(), plan, batch_overhead_seconds);
   if (events && events->size() != requests.size())
     throw std::invalid_argument(
         "schedule_stream_sharded: events must be parallel to requests");
-
-  const int devices = group.size();
-  group.begin_schedule(workers_per_device);
-
-  StreamStats s;
-  s.workers = std::max(workers_per_device, 1);
-  s.devices = devices;
-  s.completed = requests.size();
-  s.batches = plan.size();
-  s.per_device.resize(static_cast<std::size_t>(devices));
-  if (batches) batches->clear();
-  if (requests.empty()) {
-    for (int d = 0; d < devices; ++d) s.per_device[d] = group.stats(d);
-    return s;
-  }
-
-  std::vector<double> waits, e2es, services;
-  waits.reserve(requests.size());
-  e2es.reserve(requests.size());
-  double sum_service = 0;
-  double last_finish = 0;
-
-  for (std::size_t k = 0; k < plan.size(); ++k) {
-    const PlannedBatch& b = plan[k];
-
-    // 1. Route. Policy inputs (accumulated modeled work, modeled cache
-    // ownership) are independent of lane count, so routing — and with it
-    // every per-device cache decision — is worker-count invariant.
-    int dev = 0;
-    if (devices > 1) {
-      switch (policy) {
-        case RoutePolicy::kRoundRobin:
-          dev = static_cast<int>(k % static_cast<std::size_t>(devices));
-          break;
-        case RoutePolicy::kLeastLoaded:
-          dev = group.least_loaded();
-          break;
-        case RoutePolicy::kCacheAffinity: {
-          MapCacheKey dom;
-          dev = events && dominant_digest(*events, b.first, b.count, &dom)
-                    ? group.owner_of(dom)
-                    : -1;
-          if (dev < 0) dev = group.least_loaded();
-          break;
-        }
-      }
-    }
-
-    // 2. Per-device deterministic cache accounting: replay the members'
-    // recorded resolutions (in submission order — the plan is contiguous
-    // and ascending) through the routed device's modeled cache.
-    if (events) {
-      for (std::size_t i = b.first; i < b.first + b.count; ++i) {
-        StreamResult& r = requests[i];
-        for (const MapCacheEvent& ev : (*events)[i])
-          replay_event(group.cache(dev), ev, r.timeline,
-                       group.stats(dev).map_cache);
-        r.service_seconds = r.timeline.total_seconds();
-      }
-    }
-
-    // 3. Place on the device's earliest-available lane and fill member
-    // schedule slots (same accounting as schedule_stream).
-    services.clear();
-    for (std::size_t i = b.first; i < b.first + b.count; ++i)
-      services.push_back(requests[i].service_seconds);
-    double start = 0, finish = 0;
-    const int lane = group.place_batch(dev, b.dispatch_seconds,
-                                       batch_overhead_seconds, services,
-                                       &start, &finish);
-    double cursor = start + batch_overhead_seconds;
-    for (std::size_t i = b.first; i < b.first + b.count; ++i) {
-      StreamResult& r = requests[i];
-      r.start_seconds = cursor;
-      r.finish_seconds = cursor + r.service_seconds;
-      cursor = r.finish_seconds;
-      // Queue wait ends when the *batch* starts executing; the once-per-
-      // batch overhead and batch-mates ahead of this request are part of
-      // the (batched) run phase, not the queue. This is what the SLO
-      // budget bounds: with free lanes, wait <= slo_budget_seconds by
-      // construction of the batcher's deadline rule.
-      r.queue_wait_seconds = start - r.arrival_seconds;
-      r.e2e_seconds = r.finish_seconds - r.arrival_seconds;
-      r.batch_id = k;
-      r.batch_size = b.count;
-      r.device = dev;
-      waits.push_back(r.queue_wait_seconds);
-      e2es.push_back(r.e2e_seconds);
-      sum_service += r.service_seconds;
-      s.aggregate += r.timeline;
-    }
-    last_finish = std::max(last_finish, cursor);
-    if (batches)
-      batches->push_back({k, b.first, b.count, b.dispatch_seconds, start,
-                          cursor, lane, dev});
-  }
-
-  s.mean_batch_size = static_cast<double>(requests.size()) /
-                      static_cast<double>(plan.size());
-  s.mean_service_seconds =
-      sum_service / static_cast<double>(requests.size());
-  s.makespan_seconds = last_finish - requests.front().arrival_seconds;
-  s.throughput_fps =
-      s.makespan_seconds > 0
-          ? static_cast<double>(requests.size()) / s.makespan_seconds
-          : 0.0;
-  std::sort(waits.begin(), waits.end());
-  std::sort(e2es.begin(), e2es.end());
-  s.queue_wait_p50_seconds = percentile(waits, 0.50);
-  s.queue_wait_p90_seconds = percentile(waits, 0.90);
-  s.queue_wait_p99_seconds = percentile(waits, 0.99);
-  s.e2e_p50_seconds = percentile(e2es, 0.50);
-  s.e2e_p90_seconds = percentile(e2es, 0.90);
-  s.e2e_p99_seconds = percentile(e2es, 0.99);
-
-  // Per-device clocks and the group-wide cache summary.
-  for (int d = 0; d < devices; ++d) {
-    DeviceShardStats& ds = group.stats(d);
-    ds.free_seconds = group.lane_high_water(d);
-    ds.utilization =
-        s.makespan_seconds > 0
-            ? ds.busy_seconds /
-                  (static_cast<double>(s.workers) * s.makespan_seconds)
-            : 0.0;
-    s.map_cache.lookups += ds.map_cache.lookups;
-    s.map_cache.hits += ds.map_cache.hits;
-    s.map_cache.misses += ds.map_cache.misses;
-    s.map_cache.evictions += ds.map_cache.evictions;
-    s.map_cache.modeled_seconds_saved += ds.map_cache.modeled_seconds_saved;
-    s.per_device[static_cast<std::size_t>(d)] = ds;
-  }
-  return s;
+  const std::vector<DispatchBatch> dplan = to_dispatch_plan(plan);
+  const std::unique_ptr<RoutingPolicy> routing = make_routing_policy(policy);
+  return schedule_stream_dispatch(requests, dplan, group, *routing,
+                                  workers_per_device,
+                                  batch_overhead_seconds, events, batches);
 }
 
 BatchRunner::BatchRunner(DeviceSpec dev, EngineConfig cfg, BatchOptions opt)
@@ -367,179 +208,24 @@ BatchReport BatchRunner::run(const ModelFn& model,
 
 StreamReport BatchRunner::serve(const ModelFn& model, RequestQueue& queue,
                                 const StreamOptions& sopt) const {
-  StreamReport report;
-
-  // Drained stream state. Deques keep element references stable while the
-  // coordinator appends and workers write measured service times.
-  std::deque<StreamResult> results;               // submission order
-  std::deque<SparseTensor> inputs;                // parallel to results
-  std::deque<std::vector<MapCacheEvent>> events;  // parallel to results
-  std::deque<std::promise<StreamResult>> promises;
-  std::vector<PlannedBatch> plan;
-  DynamicBatcher batcher(sopt.batcher);
-  const bool cached = static_cast<bool>(opt_.run.map_cache);
-
-  // Measurement work queue. Batch membership only shapes the modeled
-  // schedule, so measurement starts the moment a request is drained — no
-  // need to wait for its batch. Work items carry stable pointers (deque
-  // push_back never moves existing elements), so workers never touch the
-  // growing containers themselves.
-  struct WorkItem {
-    SparseTensor* input;  // mutable: borrow_input moves the tensor out
-    StreamResult* result;
-    std::vector<MapCacheEvent>* events;
-  };
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<WorkItem> work;
-  bool producer_done = false;
-  std::exception_ptr first_error;
-
-  auto worker = [&](int device_index) {
-    // Each device shard contributes its own measurement pool; a worker
-    // carries its pool's identity in its (reusable) context as host-side
-    // provenance. Measurement itself is device-agnostic — the group is
-    // homogeneous and cache accounting is deferred — and the modeled
-    // placement (StreamResult::device) is decided later by the routing
-    // pass, independently of which pool measured a request.
-    DeviceSpec shard_dev = dev_;
-    shard_dev.device_index = device_index;
-    std::optional<ExecContext> ctx;
-    for (;;) {
-      WorkItem item;
-      {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return producer_done || !work.empty(); });
-        if (work.empty()) return;
-        item = work.front();
-        work.pop_front();
-      }
-      try {
-        Timeline t;
-        auto run_one = [&](ExecContext& c) {
-          if (item.events) c.cache_events = item.events;
-          // borrow_input: the queue owns the drained tensor and nothing
-          // reads it after measurement, so steal it instead of copying.
-          return opt_.run.borrow_input
-                     ? run_in_context(model, std::move(*item.input), c)
-                     : run_in_context(model, *item.input, c);
-        };
-        if (sopt.reuse_context) {
-          if (!ctx)
-            ctx.emplace(make_run_context(shard_dev, cfg_, opt_.run));
-          else
-            reset_context(*ctx);
-          t = run_one(*ctx);
-        } else {
-          ExecContext fresh = make_run_context(shard_dev, cfg_, opt_.run);
-          t = run_one(fresh);
-        }
-        item.result->timeline = t;
-        item.result->service_seconds = t.total_seconds();
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(mu);
-          if (!first_error) first_error = std::current_exception();
-          work.clear();
-          producer_done = true;
-        }
-        cv.notify_all();
-        queue.close();  // unblock the coordinator's wait_pop
-        return;
-      }
-    }
-  };
-
-  // One measurement pool of opt_.workers threads per device shard,
-  // capped at the host's core count: modeled stats are thread-count
-  // independent (deterministic accounting below), so oversubscribing
-  // the host beyond its cores buys contention, not wall time. Device
-  // count is bounds-checked up front (and 64-bit below) so a bogus
-  // shard option fails loudly instead of overflowing the arithmetic.
-  const int devices = std::max(sopt.shard.devices, 1);
-  if (devices > kMaxModeledDevices)
-    throw std::invalid_argument(
-        "BatchRunner::serve: shard.devices = " + std::to_string(devices) +
-        " exceeds kMaxModeledDevices (" +
-        std::to_string(kMaxModeledDevices) + ")");
-  const int pool_cap = std::max(
-      opt_.workers,
-      static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
-  const int pool = static_cast<int>(
-      std::min<long long>(static_cast<long long>(opt_.workers) * devices,
-                          pool_cap));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(pool));
-  for (int t = 0; t < pool; ++t) threads.emplace_back(worker, t / opt_.workers);
-
-  // Coordinator (this thread): drain the queue in arrival order, feed the
-  // batcher, and hand each request to the measurement pool. After a
-  // worker failure the queue is already closed; keep draining it so every
-  // outstanding promise can receive the error.
-  PendingRequest pr;
-  while (queue.wait_pop(pr)) {
-    bool errored;
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      errored = static_cast<bool>(first_error);
-    }
-    if (errored) {
-      promises.push_back(std::move(pr.promise));
-      continue;
-    }
-    results.emplace_back();
-    results.back().id = pr.id;
-    results.back().arrival_seconds = pr.arrival_seconds;
-    inputs.push_back(std::move(pr.input));
-    promises.push_back(std::move(pr.promise));
-    if (cached) events.emplace_back();
-    for (const PlannedBatch& b : batcher.on_arrival(pr.arrival_seconds))
-      plan.push_back(b);
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      work.push_back({&inputs.back(), &results.back(),
-                      cached ? &events.back() : nullptr});
-    }
-    cv.notify_one();
-  }
-  for (const PlannedBatch& b : batcher.flush()) plan.push_back(b);
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    producer_done = true;
-  }
-  cv.notify_all();
-  for (std::thread& t : threads) t.join();
-
-  if (first_error) {
-    // Every outstanding handle observes the same failure, then rethrow.
-    for (std::promise<StreamResult>& p : promises)
-      p.set_exception(first_error);
-    std::rethrow_exception(first_error);
-  }
-
-  report.requests.assign(std::make_move_iterator(results.begin()),
-                         std::make_move_iterator(results.end()));
-
-  // Deterministic routing + accounting + placement pass. Per-device
-  // kernel-map cache accounting replays the recorded resolutions in
-  // submission order through each batch's routed device, so the outcome
-  // depends only on the submitted stream, the policy, and the byte
-  // budget — never on worker count or thread timing. With one device
-  // this is bit-identical to the unsharded replay + schedule_stream.
-  std::vector<std::vector<MapCacheEvent>> event_log;
-  if (cached)
-    event_log.assign(std::make_move_iterator(events.begin()),
-                     std::make_move_iterator(events.end()));
-  DeviceGroup group(dev_, devices,
-                    cached ? opt_.run.map_cache->byte_budget() : 0);
-  report.stats = schedule_stream_sharded(
-      report.requests, plan, group, sopt.shard.route, opt_.workers,
-      sopt.batch_overhead_seconds, cached ? &event_log : nullptr,
-      &report.batches);
-  report.stats.rejected = queue.rejected();
-  for (std::size_t i = 0; i < report.requests.size(); ++i)
-    promises[i].set_value(report.requests[i]);
-  return report;
+  // Thin compatibility wrapper: express the legacy option structs as a
+  // ServerConfig and run one session of the shared serving core with
+  // the default policies on the caller's thread. Pinned bit-identical
+  // to both the pre-Server implementation and a serve::Server session
+  // by tests (ServeEquivalence.*).
+  ServerConfig cfg;
+  cfg.device = dev_;
+  cfg.engine = cfg_;
+  cfg.workers = opt_.workers;
+  cfg.run = opt_.run;  // map_cache resolved in the constructor
+  cfg.batcher = sopt.batcher;
+  cfg.batch_overhead_seconds = sopt.batch_overhead_seconds;
+  cfg.reuse_context = sopt.reuse_context;
+  cfg.shard = sopt.shard;
+  SloBatchingPolicy batching(sopt.batcher);
+  const std::unique_ptr<RoutingPolicy> routing =
+      make_routing_policy(sopt.shard.route);
+  return serve_stream(model, queue, cfg, batching, *routing, nullptr);
 }
 
 }  // namespace ts::serve

@@ -6,15 +6,18 @@
 //  * run()   — the PR-1 fixed-batch path: a pre-collected vector of point
 //              clouds is sharded across worker threads and placed on a
 //              deterministic earliest-available-worker schedule.
-//  * serve() — the streaming path: the pool drains a RequestQueue whose
-//              producers submit asynchronously, a DynamicBatcher groups
-//              requests into dispatch batches under an SLO-aware policy,
-//              a shard-aware dispatcher routes each batch onto one of
-//              StreamOptions::shard.devices modeled devices (round-robin,
-//              least-loaded, or kernel-map-cache affinity — see
-//              device_group.hpp), and the report carries per-request
-//              end-to-end latency (queue wait + run) percentiles,
-//              rejection counts, and per-device utilization.
+//  * serve() — the streaming path: a thin compatibility wrapper over the
+//              serve::Server core (server.hpp). It drains a RequestQueue
+//              on the caller's thread, forms dispatch batches with the
+//              default SLO-aware batching policy, routes each batch onto
+//              one of StreamOptions::shard.devices modeled devices via
+//              the built-in routing policy for StreamOptions::shard.route
+//              (serve_policies.hpp), and returns a report with
+//              per-request end-to-end latency (queue wait + run)
+//              percentiles, per-priority-class percentiles, rejection
+//              counts, and per-device utilization. New code should
+//              configure a serve::Server directly; this wrapper is pinned
+//              bit-identical to it by test and kept for one-shot callers.
 //
 // Every request gets its own ExecContext state (fresh, or one reusable
 // context per worker reset between requests) and a private TensorCache
@@ -43,6 +46,7 @@
 #include "serve/device_group.hpp"
 #include "serve/dynamic_batcher.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/serve_stats.hpp"
 
 namespace ts::serve {
 
@@ -101,9 +105,13 @@ BatchStats schedule_stats(std::vector<RequestResult>& requests, int workers);
 // Streaming path
 // ---------------------------------------------------------------------
 
-/// Knobs of the streaming serve() path beyond BatchOptions.
+/// Knobs of the streaming serve() path beyond BatchOptions. The
+/// serve::ServerConfig builder (server.hpp) unifies these with
+/// BatchOptions and QueueOptions for the session API; this struct
+/// remains for the one-shot wrapper.
 struct StreamOptions {
-  /// Batch-formation policy (see dynamic_batcher.hpp).
+  /// Batch-formation knobs of the default SLO-aware batching policy
+  /// (see dynamic_batcher.hpp and serve_policies.hpp).
   BatcherOptions batcher;
   /// Fixed modeled setup cost charged once per dispatched batch — the
   /// amortizable slice (kernel-map reuse, weight staging, launch setup)
@@ -152,6 +160,11 @@ struct StreamStats {
   double e2e_p99_seconds = 0;
   double mean_service_seconds = 0;
   Timeline aggregate;              // sum of all request timelines
+  /// Per-priority-class latency percentiles (size kNumPriorityClasses,
+  /// indexed by static_cast<int>(Priority); zero counts for classes
+  /// that saw no traffic). Single-class streams put everything in the
+  /// submitting class's entry.
+  std::vector<PriorityClassStats> per_class;
   /// Deterministic (submission-order replay) kernel-map cache outcome
   /// summed over all device shards; zeros when the cache is disabled.
   MapCacheReplayStats map_cache;
@@ -224,21 +237,25 @@ class BatchRunner {
   BatchReport run(const ModelFn& model,
                   const std::vector<SparseTensor>& inputs) const;
 
-  /// Streaming entry point: drains `queue` until it is closed and empty,
-  /// forming dispatch batches with a DynamicBatcher(sopt.batcher) and
-  /// executing requests on the worker pool. Producers may keep submitting
-  /// concurrently while serve() runs; every StreamHandle is fulfilled
-  /// with its StreamResult (or the serving error) once the stream
-  /// completes — schedule slots are only final when every batch is
-  /// placed, so producers must close() the queue before blocking on a
-  /// handle (see StreamHandle).
+  /// Streaming entry point (compatibility wrapper over serve_stream,
+  /// see server.hpp): drains `queue` until it is closed and empty,
+  /// forming dispatch batches with the default SLO-aware batching
+  /// policy over sopt.batcher and executing requests on the worker
+  /// pool. Producers may keep submitting concurrently while serve()
+  /// runs; every StreamHandle is fulfilled *incrementally* — a handle
+  /// resolves with its final StreamResult the moment its batch is
+  /// placed on the modeled schedule (all earlier batches placed, all
+  /// batch members measured), so other threads can collect early
+  /// results while the stream is still open. The caller of serve()
+  /// itself must still close() the queue for serve() to return.
   ///
   /// Thread-safety: one serve() call per queue at a time (single
   /// consumer); safe alongside any number of producers. Exception
   /// guarantee: on a request failure the queue is closed, every
-  /// outstanding handle receives the error, and the error is rethrown.
-  /// Determinism: the returned report depends only on the submitted
-  /// (input, arrival) stream and the options — never on thread timing.
+  /// still-unfulfilled handle receives the error, and the error is
+  /// rethrown. Determinism: the returned report depends only on the
+  /// submitted (input, arrival, priority) stream and the options —
+  /// never on thread timing or when handles are observed.
   StreamReport serve(const ModelFn& model, RequestQueue& queue,
                      const StreamOptions& sopt = {}) const;
 

@@ -33,7 +33,11 @@
 
 namespace ts::serve {
 
-/// Batch-routing policies of the sharded dispatcher.
+/// Built-in batch-routing policies of the sharded dispatcher. Each is
+/// also available as a RoutingPolicy object via make_routing_policy
+/// (serve_policies.hpp), which is where custom policies — e.g.
+/// heterogeneous groups routed on per-device service estimates — plug
+/// in.
 enum class RoutePolicy {
   /// Batch k to device k mod N. The baseline: perfectly fair, blind to
   /// both load imbalance and cache state.

@@ -15,6 +15,12 @@
 // are identical across runs and machines. Batch membership depends only
 // on arrivals and the policy, never on how fast the host happens to
 // execute, which is what makes the SLO tests deterministic.
+//
+// The serving sessions of serve::Server run the priority-aware
+// generalization of this rule (SloBatchingPolicy, serve_policies.hpp),
+// which reproduces DynamicBatcher batch-for-batch on single-class
+// streams; this class remains the single-class reference
+// implementation and the BatcherOptions struct both are configured by.
 #pragma once
 
 #include <cstddef>

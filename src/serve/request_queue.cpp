@@ -11,11 +11,13 @@ RequestQueue::RequestQueue(QueueOptions opt) : opt_(opt) {
 }
 
 StreamHandle RequestQueue::admit_locked(SparseTensor&& input,
-                                        double arrival_seconds) {
+                                        double arrival_seconds,
+                                        Priority priority) {
   PendingRequest req;
   req.id = next_id_++;
   req.input = std::move(input);
   req.arrival_seconds = arrival_seconds;
+  req.priority = priority;
   StreamHandle handle(req.id, req.promise.get_future().share());
   last_arrival_ = arrival_seconds;
   queue_.push_back(std::move(req));
@@ -23,9 +25,48 @@ StreamHandle RequestQueue::admit_locked(SparseTensor&& input,
   return handle;
 }
 
-StreamHandle RequestQueue::submit(SparseTensor input,
-                                  double arrival_seconds) {
+bool RequestQueue::preempt_locked(Priority incoming) {
+  if (!opt_.priority_preemption) return false;
+  // Victim: the lowest class present; among those, the newest request
+  // (least sunk wait). Deterministic — pure queue state.
+  std::ptrdiff_t victim = -1;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (victim < 0 ||
+        queue_[i].priority >=
+            queue_[static_cast<std::size_t>(victim)].priority)
+      victim = static_cast<std::ptrdiff_t>(i);
+  }
+  if (victim < 0) return false;
+  PendingRequest& v = queue_[static_cast<std::size_t>(victim)];
+  if (v.priority <= incoming) return false;  // nothing strictly lower
+  v.promise.set_exception(std::make_exception_ptr(AdmissionError(
+      "RequestQueue: request " + std::to_string(v.id) +
+      " preempted by a higher-priority submission under full queue")));
+  queue_.erase(queue_.begin() + victim);
+  ++rejected_;
+  return true;
+}
+
+namespace {
+
+/// Priority is an index into per-class accounting downstream; an
+/// out-of-enumerator value (a well-formed enum can hold one) is a
+/// caller bug and must die at the admission boundary, not corrupt the
+/// scheduler's per-class vectors.
+void validate_priority(const char* who, Priority priority) {
+  const int cls = static_cast<int>(priority);
+  if (cls < 0 || cls >= kNumPriorityClasses)
+    throw std::invalid_argument(
+        std::string(who) + ": priority class " + std::to_string(cls) +
+        " outside [0, " + std::to_string(kNumPriorityClasses) + ")");
+}
+
+}  // namespace
+
+StreamHandle RequestQueue::submit(SparseTensor input, double arrival_seconds,
+                                  Priority priority) {
   std::lock_guard<std::mutex> lock(mu_);
+  validate_priority("RequestQueue::submit", priority);
   if (!std::isfinite(arrival_seconds) || arrival_seconds < 0)
     throw std::invalid_argument(
         "RequestQueue::submit: arrival time must be finite and >= 0");
@@ -38,29 +79,31 @@ StreamHandle RequestQueue::submit(SparseTensor input,
     ++rejected_;
     throw AdmissionError("RequestQueue::submit: queue is closed");
   }
-  if (queue_.size() >= opt_.max_depth) {
+  if (queue_.size() >= opt_.max_depth && !preempt_locked(priority)) {
     ++rejected_;
     throw AdmissionError(
         "RequestQueue::submit: queue depth limit reached (" +
         std::to_string(opt_.max_depth) + " pending)");
   }
-  return admit_locked(std::move(input), arrival_seconds);
+  return admit_locked(std::move(input), arrival_seconds, priority);
 }
 
 std::optional<StreamHandle> RequestQueue::try_submit(
-    SparseTensor input, double arrival_seconds) {
+    SparseTensor input, double arrival_seconds, Priority priority) {
   std::lock_guard<std::mutex> lock(mu_);
+  validate_priority("RequestQueue::try_submit", priority);
   if (!std::isfinite(arrival_seconds) || arrival_seconds < 0)
     throw std::invalid_argument(
         "RequestQueue::try_submit: arrival time must be finite and >= 0");
   if (next_id_ > 0 && arrival_seconds < last_arrival_)
     throw std::invalid_argument(
         "RequestQueue::try_submit: arrival times must be non-decreasing");
-  if (closed_ || queue_.size() >= opt_.max_depth) {
+  if (closed_ ||
+      (queue_.size() >= opt_.max_depth && !preempt_locked(priority))) {
     ++rejected_;
     return std::nullopt;
   }
-  return admit_locked(std::move(input), arrival_seconds);
+  return admit_locked(std::move(input), arrival_seconds, priority);
 }
 
 void RequestQueue::close() {

@@ -2,21 +2,26 @@
 //
 // A RequestQueue is the admission boundary of the serving runtime:
 // producers submit point-cloud inference requests (each stamped with a
-// modeled arrival time) and immediately receive a StreamHandle — a future
-// over the request's eventual StreamResult. A bounded queue depth gives
-// the runtime explicit load-shedding semantics: once `max_depth` requests
-// are queued and not yet drained by the serving loop, further submissions
-// fail fast with a typed AdmissionError instead of growing an unbounded
-// backlog (the classic tail-latency failure mode of queueing systems).
+// modeled arrival time and a priority class) and immediately receive a
+// StreamHandle — a future over the request's eventual StreamResult. A
+// bounded queue depth gives the runtime explicit load-shedding
+// semantics: once `max_depth` requests are queued and not yet drained
+// by the serving loop, further submissions fail fast with a typed
+// AdmissionError instead of growing an unbounded backlog (the classic
+// tail-latency failure mode of queueing systems). With
+// QueueOptions::priority_preemption, shedding is priority-aware: a
+// higher-class submission displaces the newest lowest-class pending
+// request instead of being rejected itself.
 //
 // Time is *modeled*, not wall-clock: arrival stamps are supplied by the
-// caller (monotone non-decreasing), and the downstream DynamicBatcher and
-// scheduler operate purely on those stamps plus cost-model service times.
-// That makes every queue-wait and end-to-end latency statistic bit-
-// reproducible across runs and machines, exactly like the rest of the
-// cost-model engine.
+// caller (monotone non-decreasing), and the downstream batching policy
+// and scheduler operate purely on those stamps plus cost-model service
+// times. That makes every queue-wait and end-to-end latency statistic
+// bit-reproducible across runs and machines, exactly like the rest of
+// the cost-model engine.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -28,12 +33,15 @@
 
 #include "core/sparse_tensor.hpp"
 #include "gpusim/timeline.hpp"
+#include "serve/priority.hpp"
 
 namespace ts::serve {
 
 /// Typed load-shedding error: thrown by RequestQueue::submit when the
-/// bounded queue is full or the queue has been closed. Catch this (and
-/// only this) to implement client-side backoff/retry.
+/// bounded queue is full or the queue has been closed, and delivered
+/// through a StreamHandle whose pending request was preempted by a
+/// higher-priority submission. Catch this (and only this) to implement
+/// client-side backoff/retry.
 class AdmissionError : public std::runtime_error {
  public:
   explicit AdmissionError(const std::string& what)
@@ -47,6 +55,7 @@ struct StreamResult {
   std::size_t id = 0;              // submission order (0-based)
   Timeline timeline;               // identical to serial run_model
   double arrival_seconds = 0;      // modeled submit stamp
+  Priority priority = Priority::kNormal;  // submitted priority class
   double service_seconds = 0;      // modeled single-request runtime
   double start_seconds = 0;        // modeled execution start on its lane
   double finish_seconds = 0;       // start + service
@@ -63,25 +72,48 @@ struct StreamResult {
 
 /// Future-like handle returned by RequestQueue::submit.
 ///
-/// Thread-safety: `get()` may be called from any thread. Fulfillment
-/// semantics: handles resolve when BatchRunner::serve finishes the
-/// whole stream (a request's modeled schedule slot is only final once
-/// every batch is placed), i.e. after the queue has been closed and
-/// drained. Do NOT block on `get()` from the producer before calling
-/// close() — that deadlocks, because serve() is still waiting for the
-/// end of the stream. Submit everything (or hand the queue to another
-/// thread), close, then collect. If serving fails, `get()` rethrows the
-/// serving error. Copyable; all copies share one result.
+/// Thread-safety: `get()`/`ready()` may be called from any thread.
+/// Fulfillment is *incremental*: a handle resolves the moment its
+/// request's dispatch batch is placed on the modeled schedule — all
+/// earlier batches placed and every batch member measured — not when
+/// the whole stream ends, so an early request's result is readable
+/// while later requests are still queued, measuring, or unsubmitted.
+/// The resolved value is final: batches are placed in dispatch order,
+/// so no later submission can change an already-placed slot.
+///
+/// Deadlock caveat: a request still *held by the batching policy* (an
+/// open batch waiting to fill, or a low class held back by strict
+/// priority) only dispatches when a later arrival triggers it or the
+/// stream ends — there is no wall-clock timer behind the modeled
+/// deadlines. So block on `get()` only once the request's batch is
+/// certain to dispatch: after enough further submissions (e.g. the
+/// kImmediate policy dispatches every request on arrival), from a
+/// thread other than the one that will close()/drain(), or after
+/// Server::drain()/queue close. In particular the single controlling
+/// thread of a Server must not `get()` an undispatched request before
+/// drain(). With the legacy synchronous BatchRunner::serve, the
+/// serving loop runs on the *caller's* thread, so that caller must
+/// still submit, close(), and serve() before collecting.
+/// If serving fails, `get()` rethrows the serving error (or
+/// AdmissionError if the request was preempted by a higher-priority
+/// submission). Copyable; all copies share one result.
 class StreamHandle {
  public:
   StreamHandle() = default;
   StreamHandle(std::size_t id, std::shared_future<StreamResult> fut)
       : id_(id), fut_(std::move(fut)) {}
 
-  /// Submission id (also the index into StreamReport::requests).
+  /// Submission id (matches StreamResult::id in the final report).
   std::size_t id() const { return id_; }
 
   bool valid() const { return fut_.valid(); }
+
+  /// True once the result (or the serving error) is available, i.e.
+  /// the request's batch has been placed on the modeled schedule.
+  bool ready() const {
+    return fut_.valid() && fut_.wait_for(std::chrono::seconds(0)) ==
+                               std::future_status::ready;
+  }
 
   /// Blocks until the request has been served; returns its result or
   /// rethrows the serving loop's failure.
@@ -97,14 +129,23 @@ struct QueueOptions {
   /// requests. Submissions past this depth throw AdmissionError (submit)
   /// or return nullopt (try_submit) and are counted as rejected.
   std::size_t max_depth = 64;
+  /// Priority-aware shedding: when the queue is full and the incoming
+  /// request's class strictly outranks the lowest class currently
+  /// pending, the *newest* request of that lowest class is evicted (its
+  /// StreamHandle receives AdmissionError, the eviction is counted as
+  /// rejected) and the incoming request is admitted. Off by default —
+  /// legacy first-come-first-admitted shedding.
+  bool priority_preemption = false;
 };
 
 /// Internal unit drained by the serving loop: the input, its arrival
-/// stamp, and the promise that fulfills the producer's StreamHandle.
+/// stamp and priority class, and the promise that fulfills the
+/// producer's StreamHandle.
 struct PendingRequest {
   std::size_t id = 0;
   SparseTensor input;
   double arrival_seconds = 0;
+  Priority priority = Priority::kNormal;
   std::promise<StreamResult> promise;
 };
 
@@ -114,23 +155,28 @@ struct PendingRequest {
 /// any number of producer threads; wait_pop is intended for one consumer
 /// (the serving loop). Exception guarantees: submit offers the strong
 /// guarantee — on AdmissionError or std::invalid_argument the queue is
-/// unchanged (the rejection counter aside).
+/// unchanged (the rejection counter, and a priority-preemption
+/// eviction, aside).
 class RequestQueue {
  public:
   explicit RequestQueue(QueueOptions opt = {});
 
-  /// Enqueues a request with a modeled arrival stamp and returns its
-  /// handle. Preconditions (std::invalid_argument): `arrival_seconds` is
-  /// finite, non-negative, and non-decreasing across submissions.
-  /// Throws AdmissionError when the queue is closed or `max_depth`
-  /// requests are already pending; the rejection is counted.
-  StreamHandle submit(SparseTensor input, double arrival_seconds);
+  /// Enqueues a request with a modeled arrival stamp and priority
+  /// class, and returns its handle. Preconditions
+  /// (std::invalid_argument): `arrival_seconds` is finite,
+  /// non-negative, and non-decreasing across submissions. Throws
+  /// AdmissionError when the queue is closed or `max_depth` requests
+  /// are already pending and no lower-class request can be preempted;
+  /// the rejection is counted.
+  StreamHandle submit(SparseTensor input, double arrival_seconds,
+                      Priority priority = Priority::kNormal);
 
   /// Non-throwing admission: nullopt instead of AdmissionError. Invalid
   /// arrival stamps still throw std::invalid_argument (caller bug, not
   /// load shedding).
-  std::optional<StreamHandle> try_submit(SparseTensor input,
-                                         double arrival_seconds);
+  std::optional<StreamHandle> try_submit(
+      SparseTensor input, double arrival_seconds,
+      Priority priority = Priority::kNormal);
 
   /// Marks the end of the stream: subsequent submissions are rejected and
   /// wait_pop returns false once the backlog drains. Idempotent.
@@ -141,7 +187,8 @@ class RequestQueue {
   /// Currently queued (admitted, not yet drained) requests.
   std::size_t depth() const;
 
-  /// Totals since construction.
+  /// Totals since construction. `rejected` counts depth/closed
+  /// rejections and priority-preemption evictions.
   std::size_t submitted() const;
   std::size_t rejected() const;
 
@@ -153,7 +200,12 @@ class RequestQueue {
   const QueueOptions& options() const { return opt_; }
 
  private:
-  StreamHandle admit_locked(SparseTensor&& input, double arrival_seconds);
+  StreamHandle admit_locked(SparseTensor&& input, double arrival_seconds,
+                            Priority priority);
+  /// Preemption shed: evicts the newest pending request of the lowest
+  /// class if that class is strictly below `incoming`. Returns true on
+  /// eviction (a slot is now free).
+  bool preempt_locked(Priority incoming);
 
   QueueOptions opt_;
   mutable std::mutex mu_;

@@ -1,0 +1,251 @@
+#include "serve/serve_policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+
+namespace ts::serve {
+
+const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------
+// SloBatchingPolicy
+// ---------------------------------------------------------------------
+
+SloBatchingPolicy::SloBatchingPolicy(BatcherOptions opt,
+                                     PriorityOptions priority)
+    : opt_(opt), prio_(priority) {
+  if (opt_.max_batch < 1) opt_.max_batch = 1;
+  if (!(opt_.slo_budget_seconds >= 0) ||
+      !std::isfinite(opt_.slo_budget_seconds))
+    throw std::invalid_argument(
+        "SloBatchingPolicy: slo_budget_seconds must be finite and >= 0");
+  if (!(prio_.aging_seconds > 0))  // NaN and <= 0 both fail here
+    throw std::invalid_argument(
+        "SloBatchingPolicy: aging_seconds must be > 0 (infinity = aging "
+        "off)");
+}
+
+int SloBatchingPolicy::effective_class(const Pending& p, double now) const {
+  int c = static_cast<int>(p.priority);
+  if (c > 0 && prio_.aging_enabled()) {
+    const double waited = now - p.arrival;
+    if (waited > 0) {
+      // Compare in double before narrowing: a tiny aging interval can
+      // put the promotion count far past INT_MAX, and the cast itself
+      // would be UB. Any count >= the class index clamps to the top.
+      const double promotions = std::floor(waited / prio_.aging_seconds);
+      c = promotions >= static_cast<double>(c)
+              ? 0
+              : c - static_cast<int>(promotions);
+    }
+  }
+  return c;
+}
+
+int SloBatchingPolicy::batch_cap() const {
+  return opt_.policy == BatchPolicy::kImmediate ? 1 : opt_.max_batch;
+}
+
+bool SloBatchingPolicy::class_full(double now) const {
+  if (pending_.empty()) return false;
+  int top = kNumPriorityClasses;
+  for (const Pending& p : pending_) top = std::min(top, effective_class(p, now));
+  std::size_t count = 0;
+  for (const Pending& p : pending_)
+    if (effective_class(p, now) == top) ++count;
+  return count >= static_cast<std::size_t>(batch_cap());
+}
+
+void SloBatchingPolicy::dispatch_at(double when,
+                                    std::vector<DispatchBatch>& out) {
+  const double stamp = std::max(when, last_dispatch_);
+  // Strict-priority-plus-aging selection among requests that had
+  // arrived by the dispatch stamp; later arrivals stay pending (a batch
+  // may not contain a request from its own modeled future).
+  std::vector<std::size_t> eligible;
+  eligible.reserve(pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i)
+    if (pending_[i].arrival <= stamp) eligible.push_back(i);
+  std::sort(eligible.begin(), eligible.end(),
+            [&](std::size_t a, std::size_t b) {
+              const Pending& pa = pending_[a];
+              const Pending& pb = pending_[b];
+              return std::make_tuple(effective_class(pa, stamp), pa.arrival,
+                                     pa.id) <
+                     std::make_tuple(effective_class(pb, stamp), pb.arrival,
+                                     pb.id);
+            });
+  const std::size_t n =
+      std::min<std::size_t>(static_cast<std::size_t>(batch_cap()),
+                            eligible.size());
+  DispatchBatch batch;
+  batch.dispatch_seconds = stamp;
+  batch.members.reserve(n);
+  for (std::size_t k = 0; k < n; ++k)
+    batch.members.push_back(pending_[eligible[k]].id);
+  // Remove the selected members (positions, highest first, so earlier
+  // indices stay valid).
+  std::vector<std::size_t> taken(eligible.begin(), eligible.begin() + n);
+  std::sort(taken.begin(), taken.end());
+  for (std::size_t k = taken.size(); k > 0; --k)
+    pending_.erase(pending_.begin() +
+                   static_cast<std::ptrdiff_t>(taken[k - 1]));
+  last_dispatch_ = stamp;
+  out.push_back(std::move(batch));
+}
+
+std::vector<DispatchBatch> SloBatchingPolicy::on_arrival(
+    const ArrivalInfo& arrival) {
+  if (!std::isfinite(arrival.arrival_seconds) || arrival.arrival_seconds < 0)
+    throw std::invalid_argument(
+        "SloBatchingPolicy::on_arrival: arrival time must be finite and >= "
+        "0");
+  if (any_arrival_ && arrival.arrival_seconds < last_arrival_)
+    throw std::invalid_argument(
+        "SloBatchingPolicy::on_arrival: arrival times must be "
+        "non-decreasing (got " + std::to_string(arrival.arrival_seconds) +
+        " after " + std::to_string(last_arrival_) + ")");
+
+  std::vector<DispatchBatch> out;
+  // Deadline sweep: any pending request whose wait budget ran out
+  // strictly before this arrival forces a (back-stamped) dispatch; the
+  // loop drains a backlog one priority-selected batch at a time. Each
+  // dispatched batch is guaranteed at least one member (the request
+  // whose deadline fired), so the sweep terminates.
+  if (opt_.policy == BatchPolicy::kSloAware) {
+    while (!pending_.empty()) {
+      double oldest = pending_.front().arrival;
+      for (const Pending& p : pending_) oldest = std::min(oldest, p.arrival);
+      const double deadline = oldest + opt_.slo_budget_seconds;
+      if (!(arrival.arrival_seconds > deadline)) break;
+      dispatch_at(deadline, out);
+    }
+  }
+
+  pending_.push_back(
+      {arrival.id, arrival.arrival_seconds, arrival.priority});
+  last_arrival_ = arrival.arrival_seconds;
+  any_arrival_ = true;
+
+  // Class-full trigger: the highest pending effective class filled a
+  // batch. Counting only the top class is the strict-priority gate —
+  // lower-class requests neither trigger nor (unless aged up) win
+  // slots while a higher class is pending.
+  while (class_full(arrival.arrival_seconds))
+    dispatch_at(arrival.arrival_seconds, out);
+  return out;
+}
+
+std::vector<DispatchBatch> SloBatchingPolicy::flush() {
+  std::vector<DispatchBatch> out;
+  while (!pending_.empty()) dispatch_at(last_arrival_, out);
+  last_arrival_ = 0;
+  last_dispatch_ = 0;
+  any_arrival_ = false;
+  return out;
+}
+
+std::vector<DispatchBatch> SloBatchingPolicy::plan(
+    const std::vector<ArrivalInfo>& arrivals, const BatcherOptions& opt,
+    const PriorityOptions& priority) {
+  SloBatchingPolicy policy(opt, priority);
+  std::vector<DispatchBatch> plan;
+  for (const ArrivalInfo& a : arrivals)
+    for (DispatchBatch& b : policy.on_arrival(a)) plan.push_back(std::move(b));
+  for (DispatchBatch& b : policy.flush()) plan.push_back(std::move(b));
+  return plan;
+}
+
+// ---------------------------------------------------------------------
+// Built-in routing policies
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// The batch's dominant kernel-map digest: the content key with the
+/// largest summed cold mapping charge across the members' recorded
+/// events (ties -> first encountered in member order). Returns false
+/// when the batch recorded no events (or the cache is disabled).
+bool dominant_digest(const RouteQuery& q, MapCacheKey* out) {
+  if (!q.events_of) return false;
+  // Batches are small (max_batch) and events few per request, so a flat
+  // first-occurrence-ordered scan beats a hash map here.
+  std::vector<MapCacheKey> keys;
+  std::vector<double> weight;
+  for (const std::size_t m : q.members) {
+    const std::vector<MapCacheEvent>* events = q.events_of(m);
+    if (!events) continue;
+    for (const MapCacheEvent& ev : *events) {
+      std::size_t k = 0;
+      while (k < keys.size() && !(keys[k] == ev.key)) ++k;
+      if (k == keys.size()) {
+        keys.push_back(ev.key);
+        weight.push_back(0.0);
+      }
+      weight[k] += ev.cold_seconds;
+    }
+  }
+  if (keys.empty()) return false;
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < keys.size(); ++k)
+    if (weight[k] > weight[best]) best = k;  // strict: ties keep earliest
+  *out = keys[best];
+  return true;
+}
+
+class RoundRobinRouting final : public RoutingPolicy {
+ public:
+  int route(const RouteQuery& query, const DeviceGroup& group) override {
+    return static_cast<int>(query.batch_index %
+                            static_cast<std::size_t>(group.size()));
+  }
+  const char* name() const override { return "round_robin"; }
+};
+
+class LeastLoadedRouting final : public RoutingPolicy {
+ public:
+  int route(const RouteQuery& query, const DeviceGroup& group) override {
+    (void)query;
+    return group.least_loaded();
+  }
+  const char* name() const override { return "least_loaded"; }
+};
+
+class CacheAffinityRouting final : public RoutingPolicy {
+ public:
+  int route(const RouteQuery& query, const DeviceGroup& group) override {
+    MapCacheKey dominant;
+    if (dominant_digest(query, &dominant)) {
+      const int owner = group.owner_of(dominant);
+      if (owner >= 0) return owner;
+    }
+    return group.least_loaded();
+  }
+  const char* name() const override { return "cache_affinity"; }
+};
+
+}  // namespace
+
+std::unique_ptr<RoutingPolicy> make_routing_policy(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kRoundRobin:
+      return std::make_unique<RoundRobinRouting>();
+    case RoutePolicy::kLeastLoaded:
+      return std::make_unique<LeastLoadedRouting>();
+    case RoutePolicy::kCacheAffinity:
+      return std::make_unique<CacheAffinityRouting>();
+  }
+  throw std::invalid_argument("make_routing_policy: unknown RoutePolicy");
+}
+
+}  // namespace ts::serve

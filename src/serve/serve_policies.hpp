@@ -1,0 +1,200 @@
+// Pluggable serving policies: batch formation and device routing.
+//
+// PR 1-4 grew the serving runtime around two hard-coded decision points
+// — the DynamicBatcher's enum-selected dispatch rule and the
+// RoutePolicy switch inside the sharded scheduler. This header turns
+// both into interfaces so a serve::Server composes its scheduling
+// discipline instead of switching on enums:
+//
+//  * BatchingPolicy — groups the drained request stream into dispatch
+//    batches. The default SloBatchingPolicy keeps the SLO-aware
+//    deadline rule of dynamic_batcher.hpp and adds strict-priority-
+//    plus-aging member selection (priority.hpp); on a single-class
+//    stream it reproduces DynamicBatcher's plan batch-for-batch.
+//  * RoutingPolicy — maps each dispatched batch onto one device of a
+//    DeviceGroup. round_robin / least_loaded / cache_affinity are the
+//    three built-in implementations (make_routing_policy), and the
+//    device_service_estimate hook is where heterogeneous device groups
+//    slot in: a custom policy can model per-device speed factors and
+//    the scheduler will place batches with the estimated service times.
+//
+// Both interfaces are driven single-threaded from inside the
+// deterministic serving pass: decisions may depend only on modeled
+// inputs (arrival stamps, accumulated modeled work, modeled cache
+// ownership), never on wall-clock or lane state, which is what keeps
+// every modeled statistic reproducible and worker-count invariant.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/kernel_map_cache.hpp"
+#include "serve/device_group.hpp"
+#include "serve/dynamic_batcher.hpp"
+#include "serve/priority.hpp"
+
+namespace ts::serve {
+
+/// One drained request as the batching policy sees it: its scheduling
+/// id (index into the drained stream), modeled arrival stamp, and
+/// priority class.
+struct ArrivalInfo {
+  std::size_t id = 0;
+  double arrival_seconds = 0;
+  Priority priority = Priority::kNormal;
+};
+
+/// One dispatch decision of a BatchingPolicy: `members` (scheduling
+/// ids, in the order they will run back-to-back on their lane) leave
+/// the batcher together at `dispatch_seconds`. Unlike the legacy
+/// PlannedBatch, members need not be contiguous — priority selection
+/// reorders across arrival order. Contract: members are non-empty,
+/// each id is dispatched exactly once per stream, every member arrived
+/// at or before `dispatch_seconds`, and stamps are non-decreasing
+/// across the emitted sequence.
+struct DispatchBatch {
+  std::vector<std::size_t> members;
+  double dispatch_seconds = 0;
+};
+
+/// Batch-formation interface. Driven by the single serving loop in
+/// feed order: one on_arrival per drained request (non-decreasing
+/// modeled stamps), then one flush at end of stream. flush() must
+/// dispatch everything still pending and reset the policy for reuse.
+/// Implementations must be deterministic functions of the fed stream.
+class BatchingPolicy {
+ public:
+  virtual ~BatchingPolicy() = default;
+
+  /// Feeds the next drained request; returns every batch its arrival
+  /// closes (possibly none, possibly several when a backlog drains).
+  virtual std::vector<DispatchBatch> on_arrival(const ArrivalInfo& arrival) = 0;
+
+  /// End of stream: dispatches all remaining pending requests (modeled
+  /// as instantaneous at the last arrival stamp) and resets state.
+  virtual std::vector<DispatchBatch> flush() = 0;
+
+  /// Requests currently held back waiting for a dispatch trigger.
+  virtual std::size_t pending() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// The default batching policy: the SLO-aware deadline rule of
+/// DynamicBatcher, generalized with strict-priority-plus-aging member
+/// selection.
+///
+/// Triggers (evaluated on the modeled clock, kSloAware):
+///  * Class-full: the moment the highest pending effective class holds
+///    `max_batch` requests, a batch of them dispatches. Lower classes
+///    never count toward this trigger while a higher class is pending —
+///    that is the strict-priority gate.
+///  * Deadline: when the earliest wait-budget expiry among all pending
+///    requests (arrival + slo_budget_seconds) passes, a batch
+///    dispatches at that stamp.
+/// Selection at a dispatch: among requests arrived by the dispatch
+/// stamp, order by (effective class, arrival, id) and take up to
+/// max_batch; the rest stay pending. Effective class = static class
+/// promoted one level per PriorityOptions::aging_seconds of wait, so
+/// with aging enabled an old low-class request eventually ties the top
+/// class and wins its slot by arrival; with aging disabled (default)
+/// selection is strictly by static class.
+///
+/// kImmediate / kFullBatch keep their dynamic_batcher.hpp meanings
+/// (cap 1 / no deadline). On a stream where every request has the same
+/// priority, all three policies reproduce DynamicBatcher's plan
+/// batch-for-batch and stamp-for-stamp (pinned by test) — which is how
+/// the legacy BatchRunner::serve wrapper stays bit-identical.
+class SloBatchingPolicy final : public BatchingPolicy {
+ public:
+  /// Preconditions (std::invalid_argument): slo_budget_seconds finite
+  /// and >= 0; priority.aging_seconds > 0 (infinity = aging off).
+  explicit SloBatchingPolicy(BatcherOptions opt,
+                             PriorityOptions priority = {});
+
+  std::vector<DispatchBatch> on_arrival(const ArrivalInfo& arrival) override;
+  std::vector<DispatchBatch> flush() override;
+  std::size_t pending() const override { return pending_.size(); }
+  const char* name() const override { return "slo-priority"; }
+
+  const BatcherOptions& options() const { return opt_; }
+  const PriorityOptions& priority_options() const { return prio_; }
+
+  /// Convenience for offline sweeps: plans a whole arrival trace at
+  /// once — on_arrival over each entry, then flush.
+  static std::vector<DispatchBatch> plan(
+      const std::vector<ArrivalInfo>& arrivals, const BatcherOptions& opt,
+      const PriorityOptions& priority = {});
+
+ private:
+  struct Pending {
+    std::size_t id = 0;
+    double arrival = 0;
+    Priority priority = Priority::kNormal;
+  };
+
+  int effective_class(const Pending& p, double now) const;
+  /// Dispatches one batch at `when`: strict-priority-plus-aging
+  /// selection among requests arrived by `when`, up to the batch cap.
+  void dispatch_at(double when, std::vector<DispatchBatch>& out);
+  /// True while the class-full trigger holds at `now`.
+  bool class_full(double now) const;
+  int batch_cap() const;
+
+  BatcherOptions opt_;
+  PriorityOptions prio_;
+  std::vector<Pending> pending_;  // arrival order
+  double last_arrival_ = 0;
+  double last_dispatch_ = 0;
+  bool any_arrival_ = false;
+};
+
+/// Everything a RoutingPolicy may consult about the batch being routed.
+/// `events_of(id)` returns the member's recorded kernel-map cache
+/// events, or null when the cache is disabled (cache_affinity then
+/// falls back to least-loaded).
+struct RouteQuery {
+  std::size_t batch_index = 0;
+  const std::vector<std::size_t>& members;
+  double dispatch_seconds = 0;
+  std::function<const std::vector<MapCacheEvent>*(std::size_t)> events_of;
+};
+
+/// Batch-routing interface over a DeviceGroup. route() is called once
+/// per dispatched batch, in dispatch order, from inside the
+/// deterministic scheduling pass; it may read the group's accumulated
+/// modeled work (DeviceGroup::least_loaded) and modeled cache ownership
+/// (DeviceGroup::owner_of) — never lane state, so routing stays
+/// worker-count invariant.
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  /// Device index in [0, group.size()) the batch runs on.
+  virtual int route(const RouteQuery& query, const DeviceGroup& group) = 0;
+
+  /// Heterogeneous-group hook: the modeled seconds `service_seconds`
+  /// of single-device work takes on `device`. The scheduler places and
+  /// accounts batches with these estimates, so a policy that models
+  /// per-device speed factors (mixed GPU generations) changes lane
+  /// occupancy and least-loaded inputs coherently. The default is the
+  /// identity — a homogeneous group, bit-identical to the pre-policy
+  /// scheduler.
+  virtual double device_service_estimate(int device,
+                                         double service_seconds) const {
+    (void)device;
+    return service_seconds;
+  }
+
+  virtual const char* name() const = 0;
+};
+
+/// The three built-in policies (see RoutePolicy in device_group.hpp
+/// for the routing rules they implement): round_robin, least_loaded,
+/// cache_affinity. Each is stateless between batches beyond the group
+/// it reads, so one instance may be reused across serving sessions.
+std::unique_ptr<RoutingPolicy> make_routing_policy(RoutePolicy policy);
+
+}  // namespace ts::serve

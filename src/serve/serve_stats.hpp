@@ -7,9 +7,27 @@
 // in exactly one place (tests/test_serve.cpp).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
+#include "serve/priority.hpp"
+
 namespace ts::serve {
+
+/// One priority class's modeled latency outcome within a served stream
+/// (StreamStats::per_class). Percentiles are over the class's own
+/// requests; zeros when the class saw no traffic. Deterministic and
+/// worker-count invariant like every other modeled serve statistic.
+struct PriorityClassStats {
+  Priority priority = Priority::kNormal;
+  std::size_t completed = 0;
+  double queue_wait_p50_seconds = 0;
+  double queue_wait_p90_seconds = 0;
+  double queue_wait_p99_seconds = 0;
+  double e2e_p50_seconds = 0;
+  double e2e_p90_seconds = 0;
+  double e2e_p99_seconds = 0;
+};
 
 /// Nearest-rank percentile of an ascending-sorted sample.
 ///

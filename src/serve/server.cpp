@@ -1,0 +1,793 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace ts::serve {
+
+// ---------------------------------------------------------------------
+// ServerConfig builder
+// ---------------------------------------------------------------------
+
+ServerConfig& ServerConfig::with_device(DeviceSpec d) {
+  device = std::move(d);
+  return *this;
+}
+ServerConfig& ServerConfig::with_engine(EngineConfig e) {
+  engine = std::move(e);
+  return *this;
+}
+ServerConfig& ServerConfig::with_workers(int n) {
+  workers = n;
+  return *this;
+}
+ServerConfig& ServerConfig::with_run(RunOptions r) {
+  run = std::move(r);
+  return *this;
+}
+ServerConfig& ServerConfig::with_map_cache_bytes(std::size_t bytes) {
+  map_cache_bytes = bytes;
+  return *this;
+}
+ServerConfig& ServerConfig::with_queue_depth(std::size_t depth) {
+  queue.max_depth = depth;
+  return *this;
+}
+ServerConfig& ServerConfig::with_priority_preemption(bool on) {
+  queue.priority_preemption = on;
+  return *this;
+}
+ServerConfig& ServerConfig::with_batcher(BatcherOptions b) {
+  batcher = b;
+  return *this;
+}
+ServerConfig& ServerConfig::with_priority(PriorityOptions p) {
+  priority = p;
+  return *this;
+}
+ServerConfig& ServerConfig::with_batch_overhead(double seconds) {
+  batch_overhead_seconds = seconds;
+  return *this;
+}
+ServerConfig& ServerConfig::with_reuse_context(bool on) {
+  reuse_context = on;
+  return *this;
+}
+ServerConfig& ServerConfig::with_devices(int n) {
+  shard.devices = n;
+  return *this;
+}
+ServerConfig& ServerConfig::with_route(RoutePolicy r) {
+  shard.route = r;
+  return *this;
+}
+ServerConfig& ServerConfig::with_batching_policy(
+    std::shared_ptr<BatchingPolicy> p) {
+  batching = std::move(p);
+  return *this;
+}
+ServerConfig& ServerConfig::with_routing_policy(
+    std::shared_ptr<RoutingPolicy> p) {
+  routing = std::move(p);
+  return *this;
+}
+
+// ---------------------------------------------------------------------
+// Incremental placement
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Replays one recorded cache resolution through a device's modeled
+/// cache (record mode), applying the shared warm-hit delta on hits.
+/// record_lookup's decisions and apply_map_cache_hit's arithmetic are
+/// the same ones MapCacheReplay uses, so a 1-device group reproduces
+/// the single-device replay bit-for-bit.
+void replay_event(KernelMapCache& cache, const MapCacheEvent& ev,
+                  Timeline& t, MapCacheReplayStats& st) {
+  ++st.lookups;
+  const KernelMapCache::RecordOutcome out =
+      cache.record_lookup(ev.key, ev.bytes);
+  st.evictions += out.evictions;
+  if (!out.hit) {
+    ++st.misses;
+    return;
+  }
+  ++st.hits;
+  apply_map_cache_hit(ev, t);
+  st.modeled_seconds_saved += ev.cold_seconds - ev.hit_seconds;
+}
+
+using RequestAt = std::function<StreamResult&(std::size_t)>;
+using EventsAt = std::function<const std::vector<MapCacheEvent>*(std::size_t)>;
+
+/// One batch at a time, in dispatch order: route -> per-device cache
+/// accounting -> lane placement, accumulating everything finalize()
+/// needs for the stream statistics. This is the single scheduler body
+/// behind both the one-shot schedule_stream_dispatch (and through it
+/// the legacy schedule_stream/_sharded wrappers) and the incremental
+/// serve_stream core — which is what keeps the legacy and session
+/// paths bit-identical by construction.
+class StreamPlacer {
+ public:
+  StreamPlacer(DeviceGroup& group, RoutingPolicy& routing,
+               int workers_per_device, double batch_overhead_seconds,
+               RequestAt request_at, EventsAt events_at, bool cached)
+      : group_(group),
+        routing_(routing),
+        workers_(std::max(workers_per_device, 1)),
+        overhead_(batch_overhead_seconds),
+        request_at_(std::move(request_at)),
+        events_at_(std::move(events_at)),
+        cached_(cached),
+        class_waits_(kNumPriorityClasses),
+        class_e2es_(kNumPriorityClasses) {
+    if (!std::isfinite(overhead_) || overhead_ < 0)
+      throw std::invalid_argument(
+          "schedule_stream: batch_overhead_seconds must be finite and >= 0");
+    group_.begin_schedule(workers_);
+  }
+
+  /// Places the next batch (caller guarantees every member is measured
+  /// and every earlier batch is placed) and fills its members'
+  /// schedule fields — final the moment this returns.
+  StreamBatchRecord place(const DispatchBatch& b) {
+    if (b.members.empty())
+      throw std::invalid_argument(
+          "serve: batching policy emitted an empty batch");
+    const std::size_t k = placed_batches_;
+
+    // 1. Route. Policy inputs (accumulated modeled work, modeled cache
+    // ownership) are independent of lane count, so routing — and with
+    // it every per-device cache decision — is worker-count invariant.
+    const int dev = routing_.route(
+        RouteQuery{k, b.members, b.dispatch_seconds,
+                   cached_ ? events_at_ : EventsAt{}},
+        group_);
+    if (dev < 0 || dev >= group_.size())
+      throw std::invalid_argument(
+          "serve: routing policy returned device " + std::to_string(dev) +
+          " outside [0, " + std::to_string(group_.size()) + ")");
+
+    // 2. Per-device deterministic cache accounting: replay the members'
+    // recorded resolutions (in batch-member order) through the routed
+    // device's modeled cache.
+    if (cached_) {
+      for (const std::size_t m : b.members) {
+        StreamResult& r = request_at_(m);
+        if (const std::vector<MapCacheEvent>* evs = events_at_(m))
+          for (const MapCacheEvent& ev : *evs)
+            replay_event(group_.cache(dev), ev, r.timeline,
+                         group_.stats(dev).map_cache);
+        r.service_seconds = r.timeline.total_seconds();
+      }
+    }
+
+    // 3. Place on the device's earliest-available lane. Member service
+    // times go through the routing policy's per-device estimate hook —
+    // the identity for homogeneous groups, a speed factor for
+    // heterogeneous ones — so lane occupancy, busy accounting, and
+    // least-loaded inputs all see the same device-local seconds.
+    services_.clear();
+    for (const std::size_t m : b.members)
+      services_.push_back(routing_.device_service_estimate(
+          dev, request_at_(m).service_seconds));
+    double start = 0, finish = 0;
+    const int lane = group_.place_batch(dev, b.dispatch_seconds, overhead_,
+                                        services_, &start, &finish);
+    double cursor = start + overhead_;
+    std::size_t si = 0;
+    for (const std::size_t m : b.members) {
+      StreamResult& r = request_at_(m);
+      r.start_seconds = cursor;
+      r.finish_seconds = cursor + services_[si];
+      cursor = r.finish_seconds;
+      ++si;
+      // Queue wait ends when the *batch* starts executing; the once-per-
+      // batch overhead and batch-mates ahead of this request are part of
+      // the (batched) run phase, not the queue. This is what the SLO
+      // budget bounds: with free lanes, wait <= slo_budget_seconds by
+      // construction of the batcher's deadline rule.
+      r.queue_wait_seconds = start - r.arrival_seconds;
+      r.e2e_seconds = r.finish_seconds - r.arrival_seconds;
+      r.batch_id = k;
+      r.batch_size = b.members.size();
+      r.device = dev;
+      waits_.push_back(r.queue_wait_seconds);
+      e2es_.push_back(r.e2e_seconds);
+      const int cls = static_cast<int>(r.priority);
+      class_waits_[static_cast<std::size_t>(cls)].push_back(
+          r.queue_wait_seconds);
+      class_e2es_[static_cast<std::size_t>(cls)].push_back(r.e2e_seconds);
+      sum_service_ += r.service_seconds;
+      aggregate_ += r.timeline;
+      ++placed_requests_;
+    }
+    last_finish_ = std::max(last_finish_, cursor);
+    ++placed_batches_;
+    return StreamBatchRecord{k,     b.members.front(), b.members.size(),
+                             b.dispatch_seconds, start, cursor,
+                             lane,  dev};
+  }
+
+  std::size_t placed_batches() const { return placed_batches_; }
+  std::size_t placed_requests() const { return placed_requests_; }
+
+  /// Stream statistics over everything placed so far. `first_arrival`
+  /// is the first drained request's stamp (the makespan origin).
+  StreamStats finalize(double first_arrival) {
+    StreamStats s;
+    s.workers = workers_;
+    s.devices = group_.size();
+    s.completed = placed_requests_;
+    s.batches = placed_batches_;
+    s.per_device.resize(static_cast<std::size_t>(group_.size()));
+    s.per_class.resize(kNumPriorityClasses);
+    for (int c = 0; c < kNumPriorityClasses; ++c)
+      s.per_class[static_cast<std::size_t>(c)].priority =
+          static_cast<Priority>(c);
+    if (placed_requests_ == 0) {
+      for (int d = 0; d < group_.size(); ++d)
+        s.per_device[static_cast<std::size_t>(d)] = group_.stats(d);
+      return s;
+    }
+
+    s.mean_batch_size = static_cast<double>(placed_requests_) /
+                        static_cast<double>(placed_batches_);
+    s.mean_service_seconds =
+        sum_service_ / static_cast<double>(placed_requests_);
+    s.makespan_seconds = last_finish_ - first_arrival;
+    s.throughput_fps =
+        s.makespan_seconds > 0
+            ? static_cast<double>(placed_requests_) / s.makespan_seconds
+            : 0.0;
+    std::sort(waits_.begin(), waits_.end());
+    std::sort(e2es_.begin(), e2es_.end());
+    s.queue_wait_p50_seconds = percentile(waits_, 0.50);
+    s.queue_wait_p90_seconds = percentile(waits_, 0.90);
+    s.queue_wait_p99_seconds = percentile(waits_, 0.99);
+    s.e2e_p50_seconds = percentile(e2es_, 0.50);
+    s.e2e_p90_seconds = percentile(e2es_, 0.90);
+    s.e2e_p99_seconds = percentile(e2es_, 0.99);
+    for (int c = 0; c < kNumPriorityClasses; ++c) {
+      PriorityClassStats& pc = s.per_class[static_cast<std::size_t>(c)];
+      std::vector<double>& w = class_waits_[static_cast<std::size_t>(c)];
+      std::vector<double>& e = class_e2es_[static_cast<std::size_t>(c)];
+      pc.completed = w.size();
+      if (w.empty()) continue;
+      std::sort(w.begin(), w.end());
+      std::sort(e.begin(), e.end());
+      pc.queue_wait_p50_seconds = percentile(w, 0.50);
+      pc.queue_wait_p90_seconds = percentile(w, 0.90);
+      pc.queue_wait_p99_seconds = percentile(w, 0.99);
+      pc.e2e_p50_seconds = percentile(e, 0.50);
+      pc.e2e_p90_seconds = percentile(e, 0.90);
+      pc.e2e_p99_seconds = percentile(e, 0.99);
+    }
+    s.aggregate = aggregate_;
+
+    // Per-device clocks and the group-wide cache summary.
+    for (int d = 0; d < group_.size(); ++d) {
+      DeviceShardStats& ds = group_.stats(d);
+      ds.free_seconds = group_.lane_high_water(d);
+      ds.utilization =
+          s.makespan_seconds > 0
+              ? ds.busy_seconds /
+                    (static_cast<double>(s.workers) * s.makespan_seconds)
+              : 0.0;
+      s.map_cache.lookups += ds.map_cache.lookups;
+      s.map_cache.hits += ds.map_cache.hits;
+      s.map_cache.misses += ds.map_cache.misses;
+      s.map_cache.evictions += ds.map_cache.evictions;
+      s.map_cache.modeled_seconds_saved +=
+          ds.map_cache.modeled_seconds_saved;
+      s.per_device[static_cast<std::size_t>(d)] = ds;
+    }
+    return s;
+  }
+
+ private:
+  DeviceGroup& group_;
+  RoutingPolicy& routing_;
+  int workers_;
+  double overhead_;
+  RequestAt request_at_;
+  EventsAt events_at_;
+  bool cached_;
+  std::vector<double> services_;  // scratch, reused per batch
+  std::size_t placed_batches_ = 0;
+  std::size_t placed_requests_ = 0;
+  std::vector<double> waits_, e2es_;
+  std::vector<std::vector<double>> class_waits_, class_e2es_;
+  double sum_service_ = 0;
+  double last_finish_ = 0;
+  Timeline aggregate_;
+};
+
+}  // namespace
+
+StreamStats schedule_stream_dispatch(
+    std::vector<StreamResult>& requests,
+    const std::vector<DispatchBatch>& plan, DeviceGroup& group,
+    RoutingPolicy& routing, int workers_per_device,
+    double batch_overhead_seconds,
+    const std::vector<std::vector<MapCacheEvent>>* events,
+    std::vector<StreamBatchRecord>* batches) {
+  if (events && events->size() != requests.size())
+    throw std::invalid_argument(
+        "schedule_stream_dispatch: events must be parallel to requests");
+  // Validate the whole plan before mutating anything: members must
+  // partition [0, requests.size()) and no batch may dispatch before one
+  // of its members arrives.
+  std::vector<char> assigned(requests.size(), 0);
+  std::size_t covered = 0;
+  for (const DispatchBatch& b : plan) {
+    if (b.members.empty())
+      throw std::invalid_argument(
+          "schedule_stream_dispatch: plan contains an empty batch");
+    for (const std::size_t m : b.members) {
+      if (m >= requests.size() || assigned[m])
+        throw std::invalid_argument(
+            "schedule_stream_dispatch: plan must dispatch each request "
+            "exactly once");
+      if (requests[m].arrival_seconds > b.dispatch_seconds)
+        throw std::invalid_argument(
+            "schedule_stream_dispatch: batch dispatched before member "
+            "arrival");
+      assigned[m] = 1;
+      ++covered;
+    }
+  }
+  if (covered != requests.size())
+    throw std::invalid_argument(
+        "schedule_stream_dispatch: plan covers " + std::to_string(covered) +
+        " requests, have " + std::to_string(requests.size()));
+
+  StreamPlacer placer(
+      group, routing, workers_per_device, batch_overhead_seconds,
+      [&requests](std::size_t i) -> StreamResult& { return requests[i]; },
+      [events](std::size_t i) {
+        return events ? &(*events)[i] : nullptr;
+      },
+      events != nullptr);
+  if (batches) batches->clear();
+  for (const DispatchBatch& b : plan) {
+    const StreamBatchRecord rec = placer.place(b);
+    if (batches) batches->push_back(rec);
+  }
+  return placer.finalize(
+      requests.empty() ? 0.0 : requests.front().arrival_seconds);
+}
+
+// ---------------------------------------------------------------------
+// serve_stream: the incremental serving session core
+// ---------------------------------------------------------------------
+
+StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
+                          const ServerConfig& config,
+                          BatchingPolicy& batching, RoutingPolicy& routing,
+                          std::vector<ExecContext>* context_pool) {
+  const int workers = std::max(config.workers, 1);
+  const int devices = std::max(config.shard.devices, 1);
+  if (devices > kMaxModeledDevices)
+    throw std::invalid_argument(
+        "serve_stream: shard.devices = " + std::to_string(devices) +
+        " exceeds kMaxModeledDevices (" +
+        std::to_string(kMaxModeledDevices) + ")");
+  RunOptions run = config.run;
+  if (!run.map_cache && config.map_cache_bytes > 0)
+    run.map_cache = std::make_shared<KernelMapCache>(config.map_cache_bytes);
+  const bool cached = static_cast<bool>(run.map_cache);
+
+  StreamReport report;
+
+  // Drained stream state. Deques keep element references stable while
+  // the coordinator appends and workers write measured service times.
+  std::deque<StreamResult> results;               // drained order
+  std::deque<SparseTensor> inputs;                // parallel to results
+  std::deque<std::vector<MapCacheEvent>> events;  // parallel to results
+  std::deque<std::promise<StreamResult>> promises;
+  std::deque<char> fulfilled;  // parallel to promises
+  std::deque<char> measured;   // parallel to results
+  std::deque<char> assigned;   // parallel to results (batched yet?)
+  std::vector<DispatchBatch> plan;
+  std::size_t next_place = 0;
+
+  DeviceGroup group(config.device, devices,
+                    cached ? run.map_cache->byte_budget() : 0);
+  StreamPlacer placer(
+      group, routing, workers, config.batch_overhead_seconds,
+      [&results](std::size_t i) -> StreamResult& { return results[i]; },
+      [&events, cached](std::size_t i) {
+        return cached ? &events[i] : nullptr;
+      },
+      cached);
+
+  // Measurement work queue. Batch membership only shapes the modeled
+  // schedule, so measurement starts the moment a request is drained — no
+  // need to wait for its batch. Work items carry stable pointers (deque
+  // push_back never moves existing elements), so workers never touch the
+  // growing containers themselves.
+  struct WorkItem {
+    std::size_t index = 0;  // drained-order scheduling id
+    SparseTensor* input;    // mutable: borrow_input moves the tensor out
+    StreamResult* result;
+    std::vector<MapCacheEvent>* events;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<WorkItem> work;
+  bool producer_done = false;
+  std::exception_ptr first_error;
+
+  auto fail_locked = [&](std::exception_ptr error) {
+    if (!first_error) first_error = error;
+    work.clear();
+    producer_done = true;
+  };
+
+  // Incremental placement: batches are placed strictly in dispatch
+  // order, each as soon as every member is measured, and the members'
+  // promises are fulfilled on the spot — that is what makes an early
+  // StreamHandle readable while later batches are still pending.
+  // Placement order never depends on measurement timing, so the
+  // schedule is bit-identical to a one-shot pass over the same plan.
+  auto try_place_locked = [&] {
+    if (first_error) return;
+    try {
+      while (next_place < plan.size()) {
+        const DispatchBatch& b = plan[next_place];
+        bool ready = true;
+        for (const std::size_t m : b.members)
+          if (!measured[m]) {
+            ready = false;
+            break;
+          }
+        if (!ready) break;
+        report.batches.push_back(placer.place(b));
+        for (const std::size_t m : b.members) {
+          promises[m].set_value(results[m]);
+          fulfilled[m] = 1;
+        }
+        ++next_place;
+      }
+    } catch (...) {
+      // A policy contract violation surfaced during placement: fail the
+      // stream like a request failure would.
+      fail_locked(std::current_exception());
+      queue.close();
+      cv.notify_all();
+    }
+  };
+
+  // Validates and appends one policy-emitted batch (under mu).
+  auto append_batch_locked = [&](DispatchBatch&& b) {
+    if (b.members.empty())
+      throw std::invalid_argument(
+          "serve_stream: batching policy emitted an empty batch");
+    for (const std::size_t m : b.members) {
+      if (m >= results.size() || assigned[m])
+        throw std::invalid_argument(
+            "serve_stream: batching policy must dispatch each request "
+            "exactly once");
+      if (results[m].arrival_seconds > b.dispatch_seconds)
+        throw std::invalid_argument(
+            "serve_stream: batch dispatched before member arrival");
+      assigned[m] = 1;
+    }
+    plan.push_back(std::move(b));
+  };
+
+  auto worker = [&](int device_index) {
+    // Each device shard contributes its own measurement pool; a worker
+    // carries its pool's identity in its (reusable) context as host-side
+    // provenance. Measurement itself is device-agnostic — the group is
+    // homogeneous at measurement time and cache accounting is deferred —
+    // and the modeled placement (StreamResult::device) is decided by the
+    // routing pass, independently of which pool measured a request.
+    DeviceSpec shard_dev = config.device;
+    shard_dev.device_index = device_index;
+    std::optional<ExecContext> ctx;
+    if (context_pool && config.reuse_context) {
+      // Context hand-off: adopt a warm context from a previous session,
+      // restamped to this worker's device pool.
+      std::lock_guard<std::mutex> lock(mu);
+      if (!context_pool->empty()) {
+        ctx.emplace(std::move(context_pool->back()));
+        context_pool->pop_back();
+        reset_context(*ctx, device_index);
+      }
+    }
+    for (;;) {
+      WorkItem item;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return producer_done || !work.empty(); });
+        if (work.empty()) break;
+        item = work.front();
+        work.pop_front();
+      }
+      try {
+        Timeline t;
+        auto run_one = [&](ExecContext& c) {
+          if (item.events) c.cache_events = item.events;
+          // borrow_input: the queue owns the drained tensor and nothing
+          // reads it after measurement, so steal it instead of copying.
+          return run.borrow_input
+                     ? run_in_context(model, std::move(*item.input), c)
+                     : run_in_context(model, *item.input, c);
+        };
+        if (config.reuse_context) {
+          if (!ctx)
+            ctx.emplace(make_run_context(shard_dev, config.engine, run));
+          else
+            reset_context(*ctx);
+          t = run_one(*ctx);
+        } else {
+          ExecContext fresh = make_run_context(shard_dev, config.engine, run);
+          t = run_one(fresh);
+        }
+        item.result->timeline = t;
+        item.result->service_seconds = t.total_seconds();
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          measured[item.index] = 1;
+          try_place_locked();
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          fail_locked(std::current_exception());
+        }
+        cv.notify_all();
+        queue.close();  // unblock the coordinator's wait_pop
+        break;
+      }
+    }
+    if (context_pool && ctx) {
+      // Hand the warm context back for the next session.
+      std::lock_guard<std::mutex> lock(mu);
+      context_pool->push_back(std::move(*ctx));
+    }
+  };
+
+  // One measurement pool of `workers` threads per device shard, capped
+  // at the host's core count: modeled stats are thread-count independent
+  // (deterministic accounting above), so oversubscribing the host beyond
+  // its cores buys contention, not wall time.
+  const int pool_cap = std::max(
+      workers,
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
+  const int pool = static_cast<int>(
+      std::min<long long>(static_cast<long long>(workers) * devices,
+                          pool_cap));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(pool));
+  for (int t = 0; t < pool; ++t) threads.emplace_back(worker, t / workers);
+
+  // Coordinator (this thread): drain the queue in arrival order, feed
+  // the batching policy, and hand each request to the measurement pool.
+  // Every container mutation happens under `mu` — workers index the
+  // same deques during incremental placement, and a deque push_back
+  // may reallocate the internal chunk map they would be reading.
+  // After a failure the queue is already closed; keep draining it so
+  // every outstanding promise can receive the error.
+  PendingRequest pr;
+  while (queue.wait_pop(pr)) {
+    bool errored = false;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error) {
+        promises.push_back(std::move(pr.promise));
+        fulfilled.push_back(0);
+        continue;
+      }
+      const std::size_t idx = results.size();
+      results.emplace_back();
+      results.back().id = pr.id;
+      results.back().arrival_seconds = pr.arrival_seconds;
+      results.back().priority = pr.priority;
+      inputs.push_back(std::move(pr.input));
+      promises.push_back(std::move(pr.promise));
+      fulfilled.push_back(0);
+      measured.push_back(0);
+      assigned.push_back(0);
+      if (cached) events.emplace_back();
+      try {
+        std::vector<DispatchBatch> closed =
+            batching.on_arrival({idx, pr.arrival_seconds, pr.priority});
+        for (DispatchBatch& b : closed) append_batch_locked(std::move(b));
+        work.push_back({idx, &inputs.back(), &results.back(),
+                        cached ? &events.back() : nullptr});
+        try_place_locked();
+      } catch (...) {
+        fail_locked(std::current_exception());
+        queue.close();
+        errored = true;
+      }
+    }
+    // One new work item per iteration — wake one worker; a failure set
+    // producer_done, so every worker must see it.
+    if (errored)
+      cv.notify_all();
+    else
+      cv.notify_one();
+  }
+  {
+    bool errored;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      errored = static_cast<bool>(first_error);
+    }
+    if (!errored) {
+      try {
+        std::vector<DispatchBatch> tail = batching.flush();
+        std::lock_guard<std::mutex> lock(mu);
+        for (DispatchBatch& b : tail) append_batch_locked(std::move(b));
+        try_place_locked();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        fail_locked(std::current_exception());
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    producer_done = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : threads) t.join();
+
+  // Everything is measured now; any still-unplaced batches place here
+  // (and a policy that failed to cover the stream is a contract error).
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    try_place_locked();
+    if (!first_error &&
+        (next_place != plan.size() ||
+         placer.placed_requests() != results.size()))
+      fail_locked(std::make_exception_ptr(std::invalid_argument(
+          "serve_stream: batching policy left " +
+          std::to_string(results.size() - placer.placed_requests()) +
+          " request(s) undispatched at end of stream")));
+  }
+
+  if (first_error) {
+    // Reset the batching policy (a failed stream skipped the normal
+    // flush) so a caller-supplied instance can serve the next session;
+    // discard whatever it still had pending.
+    try {
+      batching.flush();
+    } catch (...) {
+    }
+    // Every unfulfilled handle observes the failure, then rethrow.
+    for (std::size_t i = 0; i < promises.size(); ++i)
+      if (!fulfilled[i]) promises[i].set_exception(first_error);
+    std::rethrow_exception(first_error);
+  }
+
+  report.requests.assign(std::make_move_iterator(results.begin()),
+                         std::make_move_iterator(results.end()));
+  report.stats = placer.finalize(
+      report.requests.empty() ? 0.0
+                              : report.requests.front().arrival_seconds);
+  report.stats.rejected = queue.rejected();
+  return report;
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+Server::Server(ServerConfig config) : cfg_(std::move(config)) {
+  cfg_.workers = std::max(cfg_.workers, 1);
+  if (cfg_.shard.devices > kMaxModeledDevices)
+    throw std::invalid_argument(
+        "Server: shard.devices = " + std::to_string(cfg_.shard.devices) +
+        " exceeds kMaxModeledDevices (" +
+        std::to_string(kMaxModeledDevices) + ")");
+  cfg_.shard.devices = std::max(cfg_.shard.devices, 1);
+  if (!std::isfinite(cfg_.batch_overhead_seconds) ||
+      cfg_.batch_overhead_seconds < 0)
+    throw std::invalid_argument(
+        "Server: batch_overhead_seconds must be finite and >= 0");
+  if (cfg_.queue.max_depth == 0)
+    throw std::invalid_argument("Server: queue.max_depth must be >= 1");
+  // Validate the default policy knobs eagerly (throws invalid_argument)
+  // so a bad configuration fails at construction, not at start().
+  if (!cfg_.batching) SloBatchingPolicy probe(cfg_.batcher, cfg_.priority);
+  if (!cfg_.run.map_cache && cfg_.map_cache_bytes > 0)
+    cfg_.run.map_cache =
+        std::make_shared<KernelMapCache>(cfg_.map_cache_bytes);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start(ModelFn model) {
+  if (running_)
+    throw std::logic_error("Server::start: a session is already running");
+  if (!model) throw std::invalid_argument("Server::start: null model");
+  if (loop_.joinable()) loop_.join();
+  queue_ = std::make_unique<RequestQueue>(cfg_.queue);
+  report_ = StreamReport{};
+  error_ = nullptr;
+  std::shared_ptr<BatchingPolicy> batching = cfg_.batching;
+  if (!batching)
+    batching = std::make_shared<SloBatchingPolicy>(cfg_.batcher,
+                                                   cfg_.priority);
+  std::shared_ptr<RoutingPolicy> routing = cfg_.routing;
+  if (!routing) routing = make_routing_policy(cfg_.shard.route);
+  running_ = true;
+  loop_ = std::thread([this, model = std::move(model), batching, routing] {
+    try {
+      report_ = serve_stream(model, *queue_, cfg_, *batching, *routing,
+                             &spare_contexts_);
+    } catch (...) {
+      error_ = std::current_exception();
+    }
+  });
+}
+
+StreamHandle Server::submit(SparseTensor input, double arrival_seconds,
+                            Priority priority) {
+  if (!running_ || !queue_)
+    throw std::logic_error("Server::submit: no session is running");
+  return queue_->submit(std::move(input), arrival_seconds, priority);
+}
+
+std::optional<StreamHandle> Server::try_submit(SparseTensor input,
+                                               double arrival_seconds,
+                                               Priority priority) {
+  if (!running_ || !queue_)
+    throw std::logic_error("Server::try_submit: no session is running");
+  return queue_->try_submit(std::move(input), arrival_seconds, priority);
+}
+
+StreamReport Server::drain() {
+  if (!running_)
+    throw std::logic_error("Server::drain: no session is running");
+  queue_->close();
+  loop_.join();
+  running_ = false;
+  if (error_) std::rethrow_exception(error_);
+  return std::move(report_);
+}
+
+void Server::stop() {
+  if (!running_) {
+    if (loop_.joinable()) loop_.join();
+    return;
+  }
+  queue_->close();
+  loop_.join();
+  running_ = false;
+  // A failed session already delivered its error through the handles;
+  // stop() discards the report either way.
+  error_ = nullptr;
+}
+
+BatchReport Server::run_batch(const ModelFn& model,
+                              const std::vector<SparseTensor>& inputs) const {
+  BatchOptions opt;
+  opt.workers = cfg_.workers;
+  opt.run = cfg_.run;  // map_cache already resolved in the constructor
+  const BatchRunner runner(cfg_.device, cfg_.engine, opt);
+  return runner.run(model, inputs);
+}
+
+std::size_t Server::depth() const {
+  return running_ && queue_ ? queue_->depth() : 0;
+}
+
+std::size_t Server::rejected() const {
+  return running_ && queue_ ? queue_->rejected() : 0;
+}
+
+}  // namespace ts::serve

@@ -1,0 +1,235 @@
+// serve::Server — the unified, long-lived serving session API.
+//
+// PR 1-4 accreted four overlapping option structs (BatchOptions,
+// StreamOptions, QueueOptions, ShardOptions) around a one-shot
+// BatchRunner::serve entry point. This header replaces that surface
+// with one composable deployment object:
+//
+//   ServerConfig cfg;                      // builder: unify every knob
+//   cfg.with_device(rtx2080ti())
+//      .with_engine(torchsparse_config())
+//      .with_workers(4)
+//      .with_devices(2)
+//      .with_route(RoutePolicy::kCacheAffinity)
+//      .with_map_cache_bytes(256u << 20);
+//   Server server(cfg);
+//   server.start(model);                   // spawn the serving session
+//   auto h = server.submit(scan, t, Priority::kHigh);
+//   ... h.get() the moment its batch is placed (incremental) ...
+//   StreamReport report = server.drain();  // close, join, full stats
+//
+// What the lifecycle buys over one-shot serve():
+//  * Pluggable policies — batch formation (BatchingPolicy) and device
+//    routing (RoutingPolicy) are interfaces (serve_policies.hpp), not
+//    enum switches; heterogeneous device groups plug in through the
+//    routing policy's per-device service-estimate hook.
+//  * Priority classes — every submission carries a Priority; the
+//    default batching policy implements strict-priority-plus-aging and
+//    StreamStats reports per-class latency percentiles.
+//  * Incremental fulfillment — batches are placed on the modeled
+//    schedule in dispatch order as soon as all their members are
+//    measured, so a StreamHandle resolves when its own batch completes
+//    in modeled submission order, not at stream end.
+//
+// The modeled-determinism contract is unchanged: every result is
+// bit-identical to a serial run_model, and every modeled statistic
+// depends only on the submitted (input, arrival, priority) stream and
+// the configuration — never on thread timing, worker count, or when a
+// handle was observed. The legacy BatchRunner::serve remains as a thin
+// wrapper over serve_stream below and is pinned bit-identical by test.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "serve/batch_runner.hpp"
+#include "serve/serve_policies.hpp"
+
+namespace ts::serve {
+
+/// One unified deployment description: device/engine, worker pool,
+/// per-request run options, admission, batching, sharding, and the
+/// pluggable policies. Plain struct with chainable with_* setters —
+/// set fields directly or build fluently, both are fine.
+struct ServerConfig {
+  DeviceSpec device;               // modeled device spec of every shard
+  EngineConfig engine;
+  int workers = 1;                 // worker threads and lanes per device
+  RunOptions run;                  // numerics, tuned params, map_cache...
+  /// Byte budget for a server-owned cross-request KernelMapCache (0 =
+  /// disabled; ignored when run.map_cache is already set). See
+  /// BatchOptions::map_cache_bytes.
+  std::size_t map_cache_bytes = 0;
+  QueueOptions queue;              // admission depth + priority preemption
+  BatcherOptions batcher;          // default batching policy's knobs
+  PriorityOptions priority;        // strict-priority aging knobs
+  /// Fixed modeled setup cost charged once per dispatched batch; the
+  /// amortizable slice that makes larger batches cheaper per request.
+  double batch_overhead_seconds = 0;
+  /// Reuse one ExecContext per worker across requests (bit-identical
+  /// either way; reuse skips repeated cost-model construction).
+  bool reuse_context = true;
+  ShardOptions shard;              // device count + built-in route policy
+  /// Custom batch formation; when null the server builds a
+  /// SloBatchingPolicy(batcher, priority) per session. Stateful and
+  /// driven single-threaded — do not share one instance between
+  /// concurrently running servers.
+  std::shared_ptr<BatchingPolicy> batching;
+  /// Custom routing (e.g. heterogeneous service estimates); when null
+  /// the server uses make_routing_policy(shard.route).
+  std::shared_ptr<RoutingPolicy> routing;
+
+  ServerConfig& with_device(DeviceSpec d);
+  ServerConfig& with_engine(EngineConfig e);
+  ServerConfig& with_workers(int n);
+  ServerConfig& with_run(RunOptions r);
+  ServerConfig& with_map_cache_bytes(std::size_t bytes);
+  ServerConfig& with_queue_depth(std::size_t depth);
+  ServerConfig& with_priority_preemption(bool on);
+  ServerConfig& with_batcher(BatcherOptions b);
+  ServerConfig& with_priority(PriorityOptions p);
+  ServerConfig& with_batch_overhead(double seconds);
+  ServerConfig& with_reuse_context(bool on);
+  ServerConfig& with_devices(int n);
+  ServerConfig& with_route(RoutePolicy r);
+  ServerConfig& with_batching_policy(std::shared_ptr<BatchingPolicy> p);
+  ServerConfig& with_routing_policy(std::shared_ptr<RoutingPolicy> p);
+};
+
+/// Generalized one-shot modeled scheduler: places `plan` (explicit,
+/// possibly non-contiguous member lists, in dispatch order) over the
+/// device group under `routing`, replaying per-member cache events
+/// through each batch's routed device and filling every request's
+/// schedule fields. The generalization of schedule_stream_sharded that
+/// priority batching and custom routing need; the legacy contiguous
+/// entry points delegate here (bit-identical, pinned by test).
+/// Preconditions (std::invalid_argument): plan members partition
+/// [0, requests.size()), every member arrived by its batch's dispatch
+/// stamp, overhead finite >= 0, `events` (when non-null) parallel to
+/// requests.
+StreamStats schedule_stream_dispatch(
+    std::vector<StreamResult>& requests,
+    const std::vector<DispatchBatch>& plan, DeviceGroup& group,
+    RoutingPolicy& routing, int workers_per_device,
+    double batch_overhead_seconds,
+    const std::vector<std::vector<MapCacheEvent>>* events = nullptr,
+    std::vector<StreamBatchRecord>* batches = nullptr);
+
+/// One serving session over an externally owned queue with explicit
+/// policies — the engine room shared by Server (which runs it on a
+/// background thread) and the legacy BatchRunner::serve wrapper (which
+/// runs it on the caller's thread). Drains `queue` until closed and
+/// empty, measures every request on the worker pool, forms batches with
+/// `batching`, and places them incrementally: each batch is routed,
+/// cache-accounted, and laned as soon as all earlier batches are placed
+/// and its members measured, fulfilling the members' StreamHandles at
+/// that moment. `context_pool`, when non-null, supplies reusable
+/// ExecContexts handed back on return (Server keeps warm contexts
+/// across sessions this way).
+///
+/// Determinism: the report depends only on the drained (input, arrival,
+/// priority) stream, the config, and the policies. Exception guarantee:
+/// on a request failure (or a policy contract violation) the queue is
+/// closed, every unfulfilled handle receives the error, and the error
+/// is rethrown.
+StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
+                          const ServerConfig& config,
+                          BatchingPolicy& batching, RoutingPolicy& routing,
+                          std::vector<ExecContext>* context_pool = nullptr);
+
+/// Long-lived serving session host: owns the admission queue, the
+/// serving thread, and warm per-worker contexts kept across sessions.
+///
+/// Lifecycle: construct → start(model) → submit(...)* → drain() →
+/// (start again with the same or another model) → ... → stop().
+/// start/drain pairs are serving *sessions*; modeled statistics are
+/// per session (cold modeled caches each time, like the legacy path),
+/// while the wall-clock KernelMapCache and the worker contexts stay
+/// warm across sessions.
+///
+/// Thread-safety: submit/try_submit are safe from any number of
+/// producer threads while the session runs; start/drain/stop must be
+/// called from one controlling thread.
+class Server {
+ public:
+  /// Validates the configuration (std::invalid_argument): workers
+  /// clamped to >= 1, shard.devices clamped to >= 1 and bounded by
+  /// kMaxModeledDevices, overhead finite >= 0; builds the shared
+  /// kernel-map cache from map_cache_bytes when run.map_cache is null.
+  explicit Server(ServerConfig config);
+
+  /// Joins a running session (discarding its report) before destroying.
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Opens a serving session: fresh queue, background serving thread.
+  /// Precondition (std::logic_error): no session is running.
+  void start(ModelFn model);
+
+  /// True between start() and drain()/stop().
+  bool running() const { return running_; }
+
+  /// Submits one request to the running session (std::logic_error when
+  /// no session is running). Same admission semantics as
+  /// RequestQueue::submit; the handle resolves incrementally, the
+  /// moment the request's batch is placed on the modeled schedule.
+  /// Mind the StreamHandle deadlock caveat: a request the batching
+  /// policy is still holding (open batch, strict-priority hold) only
+  /// dispatches on a later arrival or at drain(), so the controlling
+  /// thread must not block on such a handle before drain().
+  StreamHandle submit(SparseTensor input, double arrival_seconds,
+                      Priority priority = Priority::kNormal);
+
+  /// Non-throwing admission: nullopt instead of AdmissionError.
+  std::optional<StreamHandle> try_submit(
+      SparseTensor input, double arrival_seconds,
+      Priority priority = Priority::kNormal);
+
+  /// Ends the session: closes the queue, joins the serving thread, and
+  /// returns the session's report (rethrows the serving error if the
+  /// session failed). Precondition (std::logic_error): a session is
+  /// running.
+  StreamReport drain();
+
+  /// Ends any running session and discards its report (errors were
+  /// already delivered through the handles). Safe to call when idle;
+  /// called by the destructor.
+  void stop();
+
+  /// Convenience for the offline fixed-batch path under the same
+  /// deployment (BatchRunner::run semantics): shards `inputs` across
+  /// the worker pool and returns the deterministic batch report. Does
+  /// not interact with the streaming session.
+  BatchReport run_batch(const ModelFn& model,
+                        const std::vector<SparseTensor>& inputs) const;
+
+  /// Admission-side observers of the running session (0 when idle).
+  std::size_t depth() const;
+  std::size_t rejected() const;
+
+  const ServerConfig& config() const { return cfg_; }
+
+  /// The server-owned cross-request kernel-map cache (null when
+  /// disabled). Wall-clock observability; stays warm across sessions.
+  const std::shared_ptr<KernelMapCache>& map_cache() const {
+    return cfg_.run.map_cache;
+  }
+
+ private:
+  ServerConfig cfg_;
+  std::unique_ptr<RequestQueue> queue_;
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  StreamReport report_;
+  std::exception_ptr error_;
+  /// Warm contexts handed back by the session's workers, reused by the
+  /// next session (restamped to their new device via reset_context).
+  std::vector<ExecContext> spare_contexts_;
+};
+
+}  // namespace ts::serve

@@ -1,0 +1,575 @@
+// serve::Server session API: lifecycle, bit-equivalence of the legacy
+// BatchRunner::serve wrapper with a Server session, incremental
+// StreamHandle fulfillment, pluggable routing (heterogeneous
+// service-estimate hook), and warm-context hand-off across sessions.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "engines/presets.hpp"
+#include "engines/runner.hpp"
+#include "gpusim/device.hpp"
+#include "nn/layers.hpp"
+#include "serve/batch_runner.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/serve_policies.hpp"
+#include "serve/server.hpp"
+
+namespace ts {
+namespace {
+
+SparseTensor random_tensor(int n, int extent, std::size_t channels,
+                           uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int32_t> d(0, extent);
+  std::uniform_real_distribution<float> f(-1.0f, 1.0f);
+  std::vector<Coord> coords;
+  std::unordered_set<uint64_t> seen;
+  while (static_cast<int>(coords.size()) < n) {
+    const Coord c{0, d(rng), d(rng), d(rng)};
+    if (seen.insert(pack_coord(c)).second) coords.push_back(c);
+  }
+  Matrix feats(coords.size(), channels);
+  for (std::size_t i = 0; i < feats.size(); ++i) feats.data()[i] = f(rng);
+  return SparseTensor(std::move(coords), std::move(feats));
+}
+
+ModelFn small_unet(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto net = std::make_shared<spnn::Sequential>();
+  net->emplace<spnn::ConvBlock>(4, 16, 3, 1, false, rng);
+  net->emplace<spnn::ConvBlock>(16, 32, 2, 2, false, rng);
+  net->emplace<spnn::ConvBlock>(32, 32, 3, 1, false, rng);
+  net->emplace<spnn::ConvBlock>(32, 16, 2, 2, true, rng);
+  return [net](const SparseTensor& x, ExecContext& ctx) {
+    net->forward(x, ctx);
+  };
+}
+
+void expect_same_timeline(const Timeline& a, const Timeline& b) {
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    const Stage st = static_cast<Stage>(s);
+    EXPECT_DOUBLE_EQ(a.stage_seconds(st), b.stage_seconds(st))
+        << to_string(st);
+  }
+  EXPECT_DOUBLE_EQ(a.dram_bytes(), b.dram_bytes());
+  EXPECT_EQ(a.kernel_launches(), b.kernel_launches());
+  EXPECT_DOUBLE_EQ(a.flops(), b.flops());
+}
+
+void expect_same_report(const serve::StreamReport& a,
+                        const serve::StreamReport& b) {
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    expect_same_timeline(a.requests[i].timeline, b.requests[i].timeline);
+    EXPECT_EQ(a.requests[i].id, b.requests[i].id);
+    EXPECT_EQ(a.requests[i].priority, b.requests[i].priority);
+    EXPECT_DOUBLE_EQ(a.requests[i].service_seconds,
+                     b.requests[i].service_seconds);
+    EXPECT_DOUBLE_EQ(a.requests[i].start_seconds,
+                     b.requests[i].start_seconds);
+    EXPECT_DOUBLE_EQ(a.requests[i].finish_seconds,
+                     b.requests[i].finish_seconds);
+    EXPECT_DOUBLE_EQ(a.requests[i].queue_wait_seconds,
+                     b.requests[i].queue_wait_seconds);
+    EXPECT_DOUBLE_EQ(a.requests[i].e2e_seconds, b.requests[i].e2e_seconds);
+    EXPECT_EQ(a.requests[i].batch_id, b.requests[i].batch_id);
+    EXPECT_EQ(a.requests[i].device, b.requests[i].device);
+  }
+  ASSERT_EQ(a.batches.size(), b.batches.size());
+  for (std::size_t k = 0; k < a.batches.size(); ++k) {
+    EXPECT_EQ(a.batches[k].first, b.batches[k].first);
+    EXPECT_EQ(a.batches[k].size, b.batches[k].size);
+    EXPECT_DOUBLE_EQ(a.batches[k].dispatch_seconds,
+                     b.batches[k].dispatch_seconds);
+    EXPECT_DOUBLE_EQ(a.batches[k].start_seconds, b.batches[k].start_seconds);
+    EXPECT_DOUBLE_EQ(a.batches[k].finish_seconds,
+                     b.batches[k].finish_seconds);
+    EXPECT_EQ(a.batches[k].lane, b.batches[k].lane);
+    EXPECT_EQ(a.batches[k].device, b.batches[k].device);
+  }
+  EXPECT_DOUBLE_EQ(a.stats.makespan_seconds, b.stats.makespan_seconds);
+  EXPECT_DOUBLE_EQ(a.stats.throughput_fps, b.stats.throughput_fps);
+  EXPECT_DOUBLE_EQ(a.stats.mean_batch_size, b.stats.mean_batch_size);
+  EXPECT_DOUBLE_EQ(a.stats.queue_wait_p99_seconds,
+                   b.stats.queue_wait_p99_seconds);
+  EXPECT_DOUBLE_EQ(a.stats.e2e_p99_seconds, b.stats.e2e_p99_seconds);
+  expect_same_timeline(a.stats.aggregate, b.stats.aggregate);
+  EXPECT_EQ(a.stats.map_cache.lookups, b.stats.map_cache.lookups);
+  EXPECT_EQ(a.stats.map_cache.hits, b.stats.map_cache.hits);
+  EXPECT_EQ(a.stats.map_cache.evictions, b.stats.map_cache.evictions);
+  EXPECT_DOUBLE_EQ(a.stats.map_cache.modeled_seconds_saved,
+                   b.stats.map_cache.modeled_seconds_saved);
+  ASSERT_EQ(a.stats.per_device.size(), b.stats.per_device.size());
+  for (std::size_t d = 0; d < a.stats.per_device.size(); ++d) {
+    EXPECT_EQ(a.stats.per_device[d].batches, b.stats.per_device[d].batches);
+    EXPECT_EQ(a.stats.per_device[d].requests,
+              b.stats.per_device[d].requests);
+    EXPECT_DOUBLE_EQ(a.stats.per_device[d].busy_seconds,
+                     b.stats.per_device[d].busy_seconds);
+    EXPECT_DOUBLE_EQ(a.stats.per_device[d].free_seconds,
+                     b.stats.per_device[d].free_seconds);
+    EXPECT_EQ(a.stats.per_device[d].map_cache.hits,
+              b.stats.per_device[d].map_cache.hits);
+  }
+  ASSERT_EQ(a.stats.per_class.size(), b.stats.per_class.size());
+  for (std::size_t c = 0; c < a.stats.per_class.size(); ++c) {
+    EXPECT_EQ(a.stats.per_class[c].completed,
+              b.stats.per_class[c].completed);
+    EXPECT_DOUBLE_EQ(a.stats.per_class[c].e2e_p99_seconds,
+                     b.stats.per_class[c].e2e_p99_seconds);
+    EXPECT_DOUBLE_EQ(a.stats.per_class[c].queue_wait_p99_seconds,
+                     b.stats.per_class[c].queue_wait_p99_seconds);
+  }
+}
+
+/// A duplicate-heavy stream (u0 u0 u1 u1 ...) so the kernel-map cache
+/// and affinity routing are genuinely exercised.
+std::vector<SparseTensor> duplicate_stream(int n, uint64_t seed) {
+  std::vector<SparseTensor> stream;
+  for (int i = 0; i < n; ++i)
+    stream.push_back(random_tensor(130 + 10 * (i / 2), 12, 4,
+                                   seed + static_cast<uint64_t>(i / 2)));
+  return stream;
+}
+
+// --- ServerConfig builder ---------------------------------------------
+
+TEST(ServerConfig, BuilderChainsAndSetsEveryKnob) {
+  serve::ServerConfig cfg;
+  cfg.with_device(rtx3090())
+      .with_engine(torchsparse_config())
+      .with_workers(3)
+      .with_map_cache_bytes(1 << 20)
+      .with_queue_depth(7)
+      .with_priority_preemption(true)
+      .with_batch_overhead(0.002)
+      .with_reuse_context(false)
+      .with_devices(2)
+      .with_route(serve::RoutePolicy::kCacheAffinity);
+  serve::BatcherOptions b;
+  b.max_batch = 5;
+  cfg.with_batcher(b);
+  serve::PriorityOptions p;
+  p.aging_seconds = 0.25;
+  cfg.with_priority(p);
+
+  EXPECT_EQ(cfg.device.name, rtx3090().name);
+  EXPECT_EQ(cfg.workers, 3);
+  EXPECT_EQ(cfg.map_cache_bytes, std::size_t(1) << 20);
+  EXPECT_EQ(cfg.queue.max_depth, 7u);
+  EXPECT_TRUE(cfg.queue.priority_preemption);
+  EXPECT_EQ(cfg.batcher.max_batch, 5);
+  EXPECT_DOUBLE_EQ(cfg.priority.aging_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.batch_overhead_seconds, 0.002);
+  EXPECT_FALSE(cfg.reuse_context);
+  EXPECT_EQ(cfg.shard.devices, 2);
+  EXPECT_EQ(cfg.shard.route, serve::RoutePolicy::kCacheAffinity);
+}
+
+TEST(Server, ValidatesConfigurationAtConstruction) {
+  serve::ServerConfig bad_overhead;
+  bad_overhead.batch_overhead_seconds = -1.0;
+  EXPECT_THROW(serve::Server{bad_overhead}, std::invalid_argument);
+
+  serve::ServerConfig bad_devices;
+  bad_devices.shard.devices = serve::kMaxModeledDevices + 1;
+  EXPECT_THROW(serve::Server{bad_devices}, std::invalid_argument);
+
+  serve::ServerConfig bad_queue;
+  bad_queue.queue.max_depth = 0;
+  EXPECT_THROW(serve::Server{bad_queue}, std::invalid_argument);
+
+  serve::ServerConfig bad_batcher;
+  bad_batcher.batcher.slo_budget_seconds = -0.5;
+  EXPECT_THROW(serve::Server{bad_batcher}, std::invalid_argument);
+
+  serve::ServerConfig bad_aging;
+  bad_aging.priority.aging_seconds = 0.0;
+  EXPECT_THROW(serve::Server{bad_aging}, std::invalid_argument);
+}
+
+TEST(Server, LifecycleMisuseThrowsLogicError) {
+  serve::ServerConfig cfg;
+  cfg.with_device(rtx2080ti()).with_engine(torchsparse_config());
+  serve::Server server(cfg);
+  const SparseTensor x = random_tensor(40, 8, 4, 11);
+  EXPECT_THROW(server.submit(x, 0.0), std::logic_error);
+  EXPECT_THROW(server.drain(), std::logic_error);
+  server.start(small_unet(12));
+  EXPECT_TRUE(server.running());
+  EXPECT_THROW(server.start(small_unet(12)), std::logic_error);
+  server.submit(x, 0.0);
+  const serve::StreamReport report = server.drain();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(report.stats.completed, 1u);
+  // stop() when idle is a no-op.
+  server.stop();
+}
+
+// --- Legacy wrapper <-> Server session bit-equivalence ----------------
+
+TEST(ServeEquivalence, LegacyServeBitEqualsServerSession) {
+  const ModelFn model = small_unet(41);
+  const auto stream = duplicate_stream(10, 4100);
+  const DeviceSpec dev = rtx2080ti();
+  const EngineConfig engine = torchsparse_config();
+  const std::size_t cache_bytes = std::size_t(64) << 20;
+
+  // Legacy one-shot path: external queue + BatchRunner::serve.
+  serve::BatchOptions opt;
+  opt.workers = 2;
+  opt.map_cache_bytes = cache_bytes;
+  serve::StreamOptions sopt;
+  sopt.batcher.policy = serve::BatchPolicy::kSloAware;
+  sopt.batcher.max_batch = 3;
+  sopt.batcher.slo_budget_seconds = 0.004;
+  sopt.batch_overhead_seconds = 0.0005;
+  sopt.shard.devices = 2;
+  sopt.shard.route = serve::RoutePolicy::kCacheAffinity;
+  serve::RequestQueue queue({/*max_depth=*/stream.size() + 1});
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    queue.submit(stream[i], 0.002 * static_cast<double>(i));
+  queue.close();
+  const serve::StreamReport legacy =
+      serve::BatchRunner(dev, engine, opt).serve(model, queue, sopt);
+
+  // Session path: the same deployment expressed as a ServerConfig.
+  serve::ServerConfig cfg;
+  cfg.with_device(dev)
+      .with_engine(engine)
+      .with_workers(2)
+      .with_map_cache_bytes(cache_bytes)
+      .with_queue_depth(stream.size() + 1)
+      .with_batcher(sopt.batcher)
+      .with_batch_overhead(sopt.batch_overhead_seconds)
+      .with_devices(2)
+      .with_route(serve::RoutePolicy::kCacheAffinity);
+  serve::Server server(cfg);
+  server.start(model);
+  std::vector<serve::StreamHandle> handles;
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    handles.push_back(
+        server.submit(stream[i], 0.002 * static_cast<double>(i)));
+  const serve::StreamReport session = server.drain();
+
+  // Identical modeled outputs, schedule, and stats through either API.
+  expect_same_report(legacy, session);
+  EXPECT_EQ(session.stats.per_class[1].completed, stream.size());
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const serve::StreamResult& r = handles[i].get();
+    EXPECT_DOUBLE_EQ(r.finish_seconds,
+                     legacy.requests[i].finish_seconds);
+    expect_same_timeline(r.timeline, legacy.requests[i].timeline);
+  }
+}
+
+TEST(ServeEquivalence, WorkerAndDeviceCountsKeepModeledStatsInvariant) {
+  // The Server path inherits the legacy invariance: modeled accounting
+  // stats are independent of worker count at every device count.
+  const ModelFn model = small_unet(42);
+  const auto stream = duplicate_stream(8, 4200);
+  auto serve_with = [&](int workers, int devices) {
+    serve::ServerConfig cfg;
+    cfg.with_device(rtx2080ti())
+        .with_engine(torchsparse_config())
+        .with_workers(workers)
+        .with_map_cache_bytes(std::size_t(64) << 20)
+        .with_queue_depth(stream.size() + 1)
+        .with_devices(devices)
+        .with_route(serve::RoutePolicy::kCacheAffinity);
+    serve::BatcherOptions b;
+    b.policy = serve::BatchPolicy::kImmediate;
+    cfg.with_batcher(b);
+    serve::Server server(cfg);
+    server.start(model);
+    for (std::size_t i = 0; i < stream.size(); ++i)
+      server.submit(stream[i], 0.001 * static_cast<double>(i));
+    return server.drain();
+  };
+  for (const int devices : {1, 2}) {
+    const serve::StreamReport w1 = serve_with(1, devices);
+    const serve::StreamReport w4 = serve_with(4, devices);
+    expect_same_timeline(w1.stats.aggregate, w4.stats.aggregate);
+    EXPECT_EQ(w1.stats.map_cache.hits, w4.stats.map_cache.hits);
+    EXPECT_EQ(w1.stats.map_cache.misses, w4.stats.map_cache.misses);
+    ASSERT_EQ(w1.requests.size(), w4.requests.size());
+    for (std::size_t i = 0; i < w1.requests.size(); ++i) {
+      EXPECT_DOUBLE_EQ(w1.requests[i].service_seconds,
+                       w4.requests[i].service_seconds);
+      EXPECT_EQ(w1.requests[i].device, w4.requests[i].device);
+    }
+  }
+}
+
+// --- Incremental fulfillment ------------------------------------------
+
+TEST(IncrementalFulfillment, EarlyHandleReadyWhileLaterBatchesPending) {
+  const ModelFn model = small_unet(43);
+  const auto stream = duplicate_stream(6, 4300);
+
+  serve::ServerConfig cfg;
+  cfg.with_device(rtx2080ti())
+      .with_engine(torchsparse_config())
+      .with_workers(2)
+      .with_queue_depth(stream.size() + 1);
+  serve::BatcherOptions b;
+  b.policy = serve::BatchPolicy::kImmediate;
+  cfg.with_batcher(b);
+  serve::Server server(cfg);
+  server.start(model);
+
+  // Submit only the first request; its singleton batch is placeable the
+  // moment it is measured, long before the stream ends.
+  serve::StreamHandle first = server.submit(stream[0], 0.0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!first.ready() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // The queue is still open and five later requests have not even been
+  // submitted — yet the early handle has resolved.
+  ASSERT_TRUE(first.ready());
+  EXPECT_TRUE(server.running());
+  const serve::StreamResult early = first.get();
+  EXPECT_EQ(early.id, 0u);
+  EXPECT_EQ(early.batch_id, 0u);
+
+  std::vector<serve::StreamHandle> rest;
+  for (std::size_t i = 1; i < stream.size(); ++i)
+    rest.push_back(server.submit(stream[i], 0.001 * static_cast<double>(i)));
+  const serve::StreamReport report = server.drain();
+
+  // The early value is the final value: bit-identical to the end-of-
+  // stream report...
+  expect_same_timeline(early.timeline, report.requests[0].timeline);
+  EXPECT_DOUBLE_EQ(early.start_seconds, report.requests[0].start_seconds);
+  EXPECT_DOUBLE_EQ(early.finish_seconds, report.requests[0].finish_seconds);
+  EXPECT_DOUBLE_EQ(early.e2e_seconds, report.requests[0].e2e_seconds);
+
+  // ...and the whole stream is bit-identical to the legacy stream-end
+  // path on the same (input, arrival) stream.
+  serve::BatchOptions opt;
+  opt.workers = 2;
+  serve::StreamOptions sopt;
+  sopt.batcher.policy = serve::BatchPolicy::kImmediate;
+  serve::RequestQueue queue({/*max_depth=*/stream.size() + 1});
+  queue.submit(stream[0], 0.0);
+  for (std::size_t i = 1; i < stream.size(); ++i)
+    queue.submit(stream[i], 0.001 * static_cast<double>(i));
+  queue.close();
+  const serve::StreamReport legacy =
+      serve::BatchRunner(rtx2080ti(), torchsparse_config(), opt)
+          .serve(model, queue, sopt);
+  expect_same_report(legacy, report);
+}
+
+// --- Pluggable routing: heterogeneous service estimates ----------------
+
+/// A custom policy modeling a group whose second device runs at half
+/// speed: alternate batches between the devices and scale device 1's
+/// service estimates by 2x.
+class SlowSecondDeviceRouting final : public serve::RoutingPolicy {
+ public:
+  int route(const serve::RouteQuery& query,
+            const serve::DeviceGroup& group) override {
+    return static_cast<int>(query.batch_index %
+                            static_cast<std::size_t>(group.size()));
+  }
+  double device_service_estimate(int device,
+                                 double service_seconds) const override {
+    return device == 1 ? 2.0 * service_seconds : service_seconds;
+  }
+  const char* name() const override { return "slow-second-device"; }
+};
+
+TEST(RoutingPolicyHook, ServiceEstimatesShapeHeterogeneousPlacement) {
+  std::vector<serve::StreamResult> requests(2);
+  std::vector<serve::DispatchBatch> plan;
+  for (std::size_t i = 0; i < 2; ++i) {
+    requests[i].id = i;
+    requests[i].arrival_seconds = 0.0;
+    requests[i].timeline.add(Stage::kMatMul, 1.0);
+    requests[i].service_seconds = 1.0;
+    plan.push_back({{i}, 0.0});
+  }
+  serve::DeviceGroup group(rtx2080ti(), 2, 0);
+  SlowSecondDeviceRouting routing;
+  std::vector<serve::StreamBatchRecord> batches;
+  const serve::StreamStats stats = serve::schedule_stream_dispatch(
+      requests, plan, group, routing, /*workers_per_device=*/1,
+      /*batch_overhead_seconds=*/0.0, nullptr, &batches);
+
+  // Device 0 finishes its unit batch at 1.0; device 1 models the same
+  // work at 2x, so its lane (and the request's finish) lands at 2.0.
+  EXPECT_EQ(requests[0].device, 0);
+  EXPECT_EQ(requests[1].device, 1);
+  EXPECT_DOUBLE_EQ(requests[0].finish_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(requests[1].finish_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(group.stats(0).busy_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(group.stats(1).busy_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(stats.makespan_seconds, 2.0);
+  // The modeled single-request runtime is a device-neutral measurement;
+  // the estimate only shapes placement.
+  EXPECT_DOUBLE_EQ(requests[1].service_seconds, 1.0);
+  expect_same_timeline(requests[0].timeline, requests[1].timeline);
+}
+
+TEST(ScheduleStreamDispatch, RejectsMalformedPlans) {
+  std::vector<serve::StreamResult> requests(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    requests[i].id = i;
+    requests[i].arrival_seconds = 0.1 * static_cast<double>(i);
+    requests[i].service_seconds = 1.0;
+  }
+  serve::DeviceGroup group(rtx2080ti(), 1, 0);
+  const auto routing =
+      serve::make_routing_policy(serve::RoutePolicy::kRoundRobin);
+  auto run_plan = [&](std::vector<serve::DispatchBatch> plan) {
+    std::vector<serve::StreamResult> reqs = requests;
+    serve::schedule_stream_dispatch(reqs, plan, group, *routing, 1, 0.0);
+  };
+  // Missing coverage, duplicate member, empty batch, pre-arrival
+  // dispatch: all rejected.
+  EXPECT_THROW(run_plan({{{0, 1}, 0.1}}), std::invalid_argument);
+  EXPECT_THROW(run_plan({{{0, 1}, 0.1}, {{1, 2}, 0.2}}),
+               std::invalid_argument);
+  EXPECT_THROW(run_plan({{{0, 1}, 0.1}, {{}, 0.2}, {{2}, 0.2}}),
+               std::invalid_argument);
+  EXPECT_THROW(run_plan({{{0, 1, 2}, 0.1}}), std::invalid_argument);
+  // A well-formed non-contiguous plan is accepted.
+  std::vector<serve::StreamResult> reqs = requests;
+  const serve::StreamStats ok = serve::schedule_stream_dispatch(
+      reqs, {{{1, 0}, 0.1}, {{2}, 0.2}}, group, *routing, 1, 0.0);
+  EXPECT_EQ(ok.completed, 3u);
+  EXPECT_EQ(reqs[1].batch_id, 0u);
+  EXPECT_DOUBLE_EQ(reqs[1].start_seconds, 0.1);
+}
+
+// --- Context hand-off across sessions ---------------------------------
+
+TEST(ContextHandOff, ResetWithDeviceRestampsIdentityOnly) {
+  const ModelFn model = small_unet(44);
+  const SparseTensor x = random_tensor(120, 12, 4, 4400);
+  RunOptions opt;
+  opt.numerics = true;
+  ExecContext ctx = make_run_context(rtx2080ti(), torchsparse_config(), opt);
+  EXPECT_EQ(ctx.device_index, 0);
+  const Timeline first = run_in_context(model, x, ctx);
+  reset_context(ctx, 3);
+  EXPECT_EQ(ctx.device_index, 3);
+  const Timeline second = run_in_context(model, x, ctx);
+  expect_same_timeline(first, second);
+}
+
+TEST(ContextHandOff, SessionsReuseWarmContextsWithIdenticalResults) {
+  const ModelFn model = small_unet(45);
+  const auto stream = duplicate_stream(6, 4500);
+  auto run_session = [&](serve::Server& server) {
+    server.start(model);
+    for (std::size_t i = 0; i < stream.size(); ++i)
+      server.submit(stream[i], 0.001 * static_cast<double>(i));
+    return server.drain();
+  };
+
+  serve::ServerConfig cfg;
+  cfg.with_device(rtx2080ti())
+      .with_engine(torchsparse_config())
+      .with_workers(2)
+      .with_queue_depth(stream.size() + 1)
+      .with_devices(2);
+  serve::Server reused(cfg);
+  const serve::StreamReport s1 = run_session(reused);
+  // Session 2 adopts session 1's warm contexts (hand-off); a fresh
+  // server serves the identical stream with cold contexts.
+  const serve::StreamReport s2 = run_session(reused);
+  serve::Server fresh(cfg);
+  const serve::StreamReport ref = run_session(fresh);
+  expect_same_report(s1, s2);
+  expect_same_report(ref, s2);
+}
+
+// --- Error delivery ----------------------------------------------------
+
+TEST(Server, RequestFailureReachesUnfulfilledHandlesAndDrainRethrows) {
+  serve::ServerConfig cfg;
+  cfg.with_device(rtx2080ti()).with_engine(torchsparse_config());
+  serve::Server server(cfg);
+  const ModelFn broken = [](const SparseTensor&, ExecContext&) {
+    throw std::runtime_error("model exploded");
+  };
+  server.start(broken);
+  serve::StreamHandle h =
+      server.submit(random_tensor(50, 8, 4, 4600), 0.0);
+  EXPECT_THROW(server.drain(), std::runtime_error);
+  EXPECT_THROW(h.get(), std::runtime_error);
+  // The server is reusable after a failed session.
+  server.start(small_unet(46));
+  server.submit(random_tensor(50, 8, 4, 4601), 0.0);
+  const serve::StreamReport ok = server.drain();
+  EXPECT_EQ(ok.stats.completed, 1u);
+}
+
+TEST(Server, CustomBatchingPolicyIsResetAfterFailedSession) {
+  // A caller-supplied policy instance is reused across sessions; a
+  // failed stream skips the normal end-of-stream flush, so the core
+  // must reset it on the error path or session 2 would trip over
+  // session 1's stale arrival clock and pending ids.
+  serve::ServerConfig cfg;
+  cfg.with_device(rtx2080ti()).with_engine(torchsparse_config());
+  auto policy = std::make_shared<serve::SloBatchingPolicy>(
+      serve::BatcherOptions{});
+  cfg.with_batching_policy(policy);
+  serve::Server server(cfg);
+
+  const ModelFn broken = [](const SparseTensor&, ExecContext&) {
+    throw std::runtime_error("model exploded");
+  };
+  server.start(broken);
+  server.submit(random_tensor(50, 8, 4, 4800), 5.0);  // late stamp
+  EXPECT_THROW(server.drain(), std::runtime_error);
+  EXPECT_EQ(policy->pending(), 0u);
+
+  // Session 2 submits at an *earlier* modeled stamp than session 1's
+  // last arrival — only a reset policy accepts it.
+  server.start(small_unet(48));
+  server.submit(random_tensor(50, 8, 4, 4801), 0.0);
+  const serve::StreamReport ok = server.drain();
+  EXPECT_EQ(ok.stats.completed, 1u);
+}
+
+TEST(Server, RunBatchMatchesBatchRunnerRun) {
+  const ModelFn model = small_unet(47);
+  std::vector<SparseTensor> inputs;
+  for (int i = 0; i < 4; ++i)
+    inputs.push_back(random_tensor(100 + 10 * i, 12, 4,
+                                   4700 + static_cast<uint64_t>(i)));
+  serve::ServerConfig cfg;
+  cfg.with_device(rtx2080ti())
+      .with_engine(torchsparse_config())
+      .with_workers(2);
+  const serve::Server server(cfg);
+  const serve::BatchReport via_server = server.run_batch(model, inputs);
+
+  serve::BatchOptions opt;
+  opt.workers = 2;
+  const serve::BatchReport direct =
+      serve::BatchRunner(rtx2080ti(), torchsparse_config(), opt)
+          .run(model, inputs);
+  ASSERT_EQ(via_server.requests.size(), direct.requests.size());
+  for (std::size_t i = 0; i < direct.requests.size(); ++i) {
+    expect_same_timeline(via_server.requests[i].timeline,
+                         direct.requests[i].timeline);
+    EXPECT_DOUBLE_EQ(via_server.requests[i].finish_seconds,
+                     direct.requests[i].finish_seconds);
+  }
+  EXPECT_DOUBLE_EQ(via_server.stats.makespan_seconds,
+                   direct.stats.makespan_seconds);
+}
+
+}  // namespace
+}  // namespace ts

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <thread>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "engines/presets.hpp"
@@ -18,6 +19,8 @@
 #include "serve/batch_runner.hpp"
 #include "serve/dynamic_batcher.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/serve_policies.hpp"
+#include "serve/server.hpp"
 
 namespace ts {
 namespace {
@@ -211,7 +214,13 @@ TEST(RequestQueue, ValidatesArrivalStamps) {
   queue.submit(x, 1.0);
   EXPECT_THROW(queue.submit(x, 0.5), std::invalid_argument);
   EXPECT_THROW(queue.submit(x, -1.0), std::invalid_argument);
-  // Invalid stamps are caller bugs, not load shedding.
+  // Out-of-enumerator priority values (an index into per-class
+  // accounting downstream) die at the admission boundary too.
+  EXPECT_THROW(queue.submit(x, 1.5, static_cast<serve::Priority>(3)),
+               std::invalid_argument);
+  EXPECT_THROW(queue.try_submit(x, 1.5, static_cast<serve::Priority>(-1)),
+               std::invalid_argument);
+  // Invalid stamps and priorities are caller bugs, not load shedding.
   EXPECT_EQ(queue.rejected(), 0u);
 }
 
@@ -388,6 +397,321 @@ TEST(StreamingServe, EmptyClosedQueueYieldsEmptyReport) {
   EXPECT_TRUE(report.batches.empty());
   EXPECT_EQ(report.stats.completed, 0u);
   EXPECT_DOUBLE_EQ(report.stats.throughput_fps, 0.0);
+}
+
+// --- Priority classes: batching policy --------------------------------
+
+TEST(SloBatchingPolicy, SingleClassPlanMatchesDynamicBatcher) {
+  // On a single-class stream the priority-aware policy must reproduce
+  // DynamicBatcher batch-for-batch and stamp-for-stamp — that is what
+  // keeps the legacy serve wrapper bit-identical. Randomized monotone
+  // trace, all three dispatch policies.
+  std::mt19937_64 rng(515);
+  std::uniform_real_distribution<double> gap(0.0, 0.02);
+  std::vector<double> arrivals;
+  double t = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += gap(rng);
+    arrivals.push_back(t);
+  }
+  std::vector<serve::ArrivalInfo> infos;
+  for (std::size_t i = 0; i < arrivals.size(); ++i)
+    infos.push_back({i, arrivals[i], serve::Priority::kNormal});
+
+  for (const serve::BatchPolicy policy :
+       {serve::BatchPolicy::kImmediate, serve::BatchPolicy::kFullBatch,
+        serve::BatchPolicy::kSloAware}) {
+    serve::BatcherOptions opt;
+    opt.policy = policy;
+    opt.max_batch = 5;
+    opt.slo_budget_seconds = 0.015;
+    const auto legacy = serve::DynamicBatcher::plan(arrivals, opt);
+    const auto priority = serve::SloBatchingPolicy::plan(infos, opt);
+    ASSERT_EQ(priority.size(), legacy.size()) << to_string(policy);
+    for (std::size_t k = 0; k < legacy.size(); ++k) {
+      EXPECT_DOUBLE_EQ(priority[k].dispatch_seconds,
+                       legacy[k].dispatch_seconds);
+      ASSERT_EQ(priority[k].members.size(), legacy[k].count);
+      for (std::size_t j = 0; j < legacy[k].count; ++j)
+        EXPECT_EQ(priority[k].members[j], legacy[k].first + j)
+            << to_string(policy) << " batch " << k;
+    }
+  }
+}
+
+TEST(SloBatchingPolicy, StrictPriorityHoldsLowClassBackDeterministically) {
+  // H0@0.0 H2@0.2 fill a class-0 batch (cap 2) at 0.2 while L1@0.1 is
+  // held back by strict priority; H3,H4 fill the next. The held low —
+  // alone, so it can never fill a class batch — dispatches only when
+  // its own wait budget expires, back-stamped to the deadline.
+  serve::BatcherOptions opt;
+  opt.policy = serve::BatchPolicy::kSloAware;
+  opt.max_batch = 2;
+  opt.slo_budget_seconds = 1.0;
+  std::vector<serve::ArrivalInfo> infos = {
+      {0, 0.0, serve::Priority::kHigh}, {1, 0.1, serve::Priority::kLow},
+      {2, 0.2, serve::Priority::kHigh}, {3, 0.3, serve::Priority::kHigh},
+      {4, 0.4, serve::Priority::kHigh}, {5, 2.0, serve::Priority::kHigh},
+  };
+  const auto plan = serve::SloBatchingPolicy::plan(infos, opt);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan[0].members, (std::vector<std::size_t>{0, 2}));
+  EXPECT_DOUBLE_EQ(plan[0].dispatch_seconds, 0.2);
+  // The low arrived before H3/H4 but is outranked: they dispatch ahead
+  // of it at 0.4 while it keeps waiting.
+  EXPECT_EQ(plan[1].members, (std::vector<std::size_t>{3, 4}));
+  EXPECT_DOUBLE_EQ(plan[1].dispatch_seconds, 0.4);
+  // The held low dispatches at its deadline (0.1 + 1.0), swept when the
+  // arrival at 2.0 passes it.
+  EXPECT_EQ(plan[2].members, (std::vector<std::size_t>{1}));
+  EXPECT_DOUBLE_EQ(plan[2].dispatch_seconds, 1.1);
+  // End of stream flushes the remaining high at the last arrival.
+  EXPECT_EQ(plan[3].members, (std::vector<std::size_t>{5}));
+  EXPECT_DOUBLE_EQ(plan[3].dispatch_seconds, 2.0);
+
+  // Once the highs drain, a full batch of lows is work-conserving:
+  // strict priority holds lows back only while higher-class work is
+  // pending.
+  std::vector<serve::ArrivalInfo> lows_alone = {
+      {0, 0.0, serve::Priority::kHigh}, {1, 0.1, serve::Priority::kLow},
+      {2, 0.2, serve::Priority::kHigh}, {3, 0.3, serve::Priority::kLow},
+  };
+  const auto conserving = serve::SloBatchingPolicy::plan(lows_alone, opt);
+  ASSERT_EQ(conserving.size(), 2u);
+  EXPECT_EQ(conserving[0].members, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(conserving[1].members, (std::vector<std::size_t>{1, 3}));
+  EXPECT_DOUBLE_EQ(conserving[1].dispatch_seconds, 0.3);
+}
+
+TEST(SloBatchingPolicy, AgingPromotesStarvingLowIntoEarlyBatch) {
+  // kFullBatch, continuous highs, one early low. Without aging the low
+  // starves until the end-of-stream flush; with aging it is promoted to
+  // the top class and wins a slot by arrival order.
+  serve::BatcherOptions opt;
+  opt.policy = serve::BatchPolicy::kFullBatch;
+  opt.max_batch = 2;
+  std::vector<serve::ArrivalInfo> infos = {
+      {0, 0.0, serve::Priority::kHigh}, {1, 0.1, serve::Priority::kLow},
+      {2, 0.2, serve::Priority::kHigh}, {3, 0.3, serve::Priority::kHigh},
+      {4, 0.4, serve::Priority::kHigh},
+  };
+
+  const auto strict = serve::SloBatchingPolicy::plan(infos, opt);
+  ASSERT_EQ(strict.size(), 3u);
+  EXPECT_EQ(strict[0].members, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(strict[1].members, (std::vector<std::size_t>{3, 4}));
+  EXPECT_EQ(strict[2].members, (std::vector<std::size_t>{1}));  // starved
+
+  serve::PriorityOptions aging;
+  aging.aging_seconds = 0.05;  // promoted 2 classes after 0.1s of wait
+  const auto aged = serve::SloBatchingPolicy::plan(infos, opt, aging);
+  ASSERT_EQ(aged.size(), 3u);
+  // At 0.2 the low has waited 0.1 = 2 aging intervals: effective class
+  // 0, older than H2 -> it takes the second slot of the first batch.
+  EXPECT_EQ(aged[0].members, (std::vector<std::size_t>{0, 1}));
+  EXPECT_DOUBLE_EQ(aged[0].dispatch_seconds, 0.2);
+  EXPECT_EQ(aged[1].members, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(aged[2].members, (std::vector<std::size_t>{4}));
+}
+
+TEST(SloBatchingPolicy, ValidatesOptionsAndStamps) {
+  serve::BatcherOptions opt;
+  serve::PriorityOptions bad;
+  bad.aging_seconds = 0.0;
+  EXPECT_THROW(serve::SloBatchingPolicy(opt, bad), std::invalid_argument);
+  bad.aging_seconds = -1.0;
+  EXPECT_THROW(serve::SloBatchingPolicy(opt, bad), std::invalid_argument);
+  serve::SloBatchingPolicy policy(opt);
+  policy.on_arrival({0, 1.0, serve::Priority::kNormal});
+  EXPECT_THROW(policy.on_arrival({1, 0.5, serve::Priority::kNormal}),
+               std::invalid_argument);
+}
+
+// --- Priority classes: queue preemption --------------------------------
+
+TEST(RequestQueue, PriorityPreemptionEvictsNewestLowestClass) {
+  serve::QueueOptions qopt;
+  qopt.max_depth = 3;
+  qopt.priority_preemption = true;
+  serve::RequestQueue queue(qopt);
+  const auto batch = make_batch(5, 950);
+
+  serve::StreamHandle l0 =
+      queue.submit(batch[0], 0.00, serve::Priority::kLow);
+  serve::StreamHandle n1 =
+      queue.submit(batch[1], 0.01, serve::Priority::kNormal);
+  serve::StreamHandle l2 =
+      queue.submit(batch[2], 0.02, serve::Priority::kLow);
+  EXPECT_EQ(queue.depth(), 3u);
+
+  // A high submission preempts the *newest lowest-class* pending
+  // request (l2, not l0); the victim's handle reports AdmissionError.
+  serve::StreamHandle h3 =
+      queue.submit(batch[3], 0.03, serve::Priority::kHigh);
+  EXPECT_EQ(queue.depth(), 3u);
+  EXPECT_EQ(queue.rejected(), 1u);
+  EXPECT_THROW(l2.get(), serve::AdmissionError);
+
+  // An equal-or-lower class submission cannot preempt: normal vs
+  // lowest-pending normal/low... a low incoming finds no strictly
+  // lower class and is shed itself.
+  EXPECT_THROW(queue.submit(batch[4], 0.04, serve::Priority::kLow),
+               serve::AdmissionError);
+  EXPECT_EQ(queue.rejected(), 2u);
+
+  // The surviving entries drain in arrival order with their classes.
+  serve::PendingRequest pr;
+  ASSERT_TRUE(queue.wait_pop(pr));
+  EXPECT_EQ(pr.id, l0.id());
+  EXPECT_EQ(pr.priority, serve::Priority::kLow);
+  ASSERT_TRUE(queue.wait_pop(pr));
+  EXPECT_EQ(pr.id, n1.id());
+  ASSERT_TRUE(queue.wait_pop(pr));
+  EXPECT_EQ(pr.id, h3.id());
+  EXPECT_EQ(pr.priority, serve::Priority::kHigh);
+}
+
+// --- Priority classes: end-to-end separation ---------------------------
+
+/// Serves an overloaded 3:1 priority mix through a Server: requests at
+/// i % 4 == 3 carry `minority`, the rest `majority`. Arrivals outrun
+/// capacity by design, so class scheduling — not spare lanes — decides
+/// who waits.
+serve::StreamReport serve_priority_mix(const ModelFn& model,
+                                       const std::vector<SparseTensor>& in,
+                                       double gap, double budget,
+                                       int workers, int devices,
+                                       serve::Priority majority,
+                                       serve::Priority minority,
+                                       double aging_seconds = 0) {
+  serve::ServerConfig cfg;
+  cfg.with_device(rtx2080ti())
+      .with_engine(torchsparse_config())
+      .with_workers(workers)
+      .with_devices(devices)
+      .with_queue_depth(in.size() + 1);
+  serve::BatcherOptions b;
+  b.policy = serve::BatchPolicy::kSloAware;
+  b.max_batch = 4;
+  b.slo_budget_seconds = budget;
+  cfg.with_batcher(b);
+  if (aging_seconds > 0) {
+    serve::PriorityOptions p;
+    p.aging_seconds = aging_seconds;
+    cfg.with_priority(p);
+  }
+  serve::Server server(cfg);
+  server.start(model);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    server.submit(in[i], gap * static_cast<double>(i),
+                  i % 4 == 3 ? minority : majority);
+  return server.drain();
+}
+
+TEST(PriorityServe, HighClassP99StrictlyBelowLowClassUnderOverload) {
+  const ModelFn model = small_unet(27);
+  const DeviceSpec dev = rtx2080ti();
+  const EngineConfig cfg = torchsparse_config();
+  const SparseTensor probe = random_tensor(150, 12, 4, 1500);
+  const double service = run_model(model, probe, dev, cfg).total_seconds();
+  ASSERT_GT(service, 0.0);
+  const double gap = 0.05 * service;   // heavy overload
+  const double budget = 8.0 * gap;
+
+  std::vector<SparseTensor> stream;
+  for (int i = 0; i < 32; ++i)
+    stream.push_back(random_tensor(150, 12, 4,
+                                   1500 + static_cast<uint64_t>(i)));
+
+  const int kHigh = static_cast<int>(serve::Priority::kHigh);
+  const int kLow = static_cast<int>(serve::Priority::kLow);
+  for (const auto& [workers, devices] :
+       std::vector<std::pair<int, int>>{{1, 1}, {2, 1}, {4, 1}, {1, 2},
+                                        {2, 2}}) {
+    const serve::StreamReport rep = serve_priority_mix(
+        model, stream, gap, budget, workers, devices,
+        serve::Priority::kLow, serve::Priority::kHigh);
+    const serve::PriorityClassStats& high = rep.stats.per_class[kHigh];
+    const serve::PriorityClassStats& low = rep.stats.per_class[kLow];
+    EXPECT_EQ(high.completed, 8u);
+    EXPECT_EQ(low.completed, 24u);
+    // The priority contract, at every worker and device count: the
+    // high class's modeled tail latency sits strictly below the low
+    // class's, on both the queue-wait and end-to-end axes.
+    EXPECT_LT(high.e2e_p99_seconds, low.e2e_p99_seconds)
+        << "workers=" << workers << " devices=" << devices;
+    EXPECT_LT(high.queue_wait_p99_seconds, low.queue_wait_p99_seconds)
+        << "workers=" << workers << " devices=" << devices;
+  }
+
+  // Deterministic: an identical re-run reproduces the per-class stats
+  // bit-for-bit.
+  const serve::StreamReport a =
+      serve_priority_mix(model, stream, gap, budget, 2, 2,
+                         serve::Priority::kLow, serve::Priority::kHigh);
+  const serve::StreamReport b =
+      serve_priority_mix(model, stream, gap, budget, 2, 2,
+                         serve::Priority::kLow, serve::Priority::kHigh);
+  for (int c = 0; c < serve::kNumPriorityClasses; ++c) {
+    EXPECT_DOUBLE_EQ(a.stats.per_class[c].e2e_p99_seconds,
+                     b.stats.per_class[c].e2e_p99_seconds);
+    EXPECT_DOUBLE_EQ(a.stats.per_class[c].queue_wait_p99_seconds,
+                     b.stats.per_class[c].queue_wait_p99_seconds);
+    EXPECT_EQ(a.stats.per_class[c].completed,
+              b.stats.per_class[c].completed);
+  }
+  // Priorities are a scheduling construct: each request's class rides
+  // through to its result, and per-class counts partition the stream.
+  for (const serve::StreamResult& r : a.requests)
+    EXPECT_EQ(r.priority, r.id % 4 == 3 ? serve::Priority::kHigh
+                                        : serve::Priority::kLow);
+}
+
+TEST(PriorityServe, AgingBoundsLowClassTailUnderOverload) {
+  // High-dominated overload (H H H L repeating): without aging the
+  // sparse lows are held back behind a steady stream of high-class
+  // batches; with aging each low is promoted after 2 aging intervals
+  // and wins a slot in an early mixed batch by arrival order.
+  const ModelFn model = small_unet(28);
+  const DeviceSpec dev = rtx2080ti();
+  const EngineConfig cfg = torchsparse_config();
+  const SparseTensor probe = random_tensor(150, 12, 4, 1600);
+  const double service = run_model(model, probe, dev, cfg).total_seconds();
+  const double gap = 0.05 * service;
+  const double budget = 40.0 * gap;  // lows never deadline out mid-stream
+
+  std::vector<SparseTensor> stream;
+  for (int i = 0; i < 32; ++i)
+    stream.push_back(random_tensor(150, 12, 4,
+                                   1600 + static_cast<uint64_t>(i)));
+
+  const int kLow = static_cast<int>(serve::Priority::kLow);
+  const serve::StreamReport strict = serve_priority_mix(
+      model, stream, gap, budget, 2, 1, serve::Priority::kHigh,
+      serve::Priority::kLow);
+  const serve::StreamReport aged = serve_priority_mix(
+      model, stream, gap, budget, 2, 1, serve::Priority::kHigh,
+      serve::Priority::kLow, /*aging_seconds=*/2.0 * gap);
+  // With aging, promoted lows win batch slots earlier, pulling the low
+  // class's queue-wait tail strictly down — no starvation; every
+  // request still completes exactly once under both disciplines, and
+  // priorities never touch modeled compute.
+  EXPECT_LT(aged.stats.per_class[kLow].queue_wait_p99_seconds,
+            strict.stats.per_class[kLow].queue_wait_p99_seconds);
+  EXPECT_EQ(aged.stats.completed, stream.size());
+  EXPECT_EQ(strict.stats.completed, stream.size());
+  expect_same_timeline(aged.stats.aggregate, strict.stats.aggregate);
+
+  // Structural view of the same fact: the first batch carrying a low
+  // request dispatches strictly earlier (in plan order) with aging on.
+  auto first_low_batch = [](const serve::StreamReport& rep) {
+    std::size_t first = rep.batches.size();
+    for (const serve::StreamResult& r : rep.requests)
+      if (r.priority == serve::Priority::kLow)
+        first = std::min(first, r.batch_id);
+    return first;
+  };
+  EXPECT_LT(first_low_batch(aged), first_low_batch(strict));
 }
 
 // --- Context reuse hook ------------------------------------------------
