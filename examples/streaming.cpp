@@ -8,10 +8,12 @@
 // the report breaks latency percentiles out per class. Handles resolve
 // *incrementally*: a request's result is readable the moment its batch
 // is placed on the modeled schedule, while the session is still open.
-// A second pass serves a duplicate-heavy stream across two modeled
-// devices, routing each batch to the device whose kernel-map cache
-// already holds its dominant digest. All modeled numbers print the
-// same on every machine.
+// A second pass serves the stream on a heterogeneous 1080Ti+3090 fleet
+// with estimate-aware routing: requests are measured once on the
+// reference tier and placed with per-tier service estimates, so the
+// tensor-core 3090 absorbs the GEMM-heavy work while the 1080Ti takes
+// the overflow — the per-tier table shows the split. All modeled
+// numbers print the same on every machine.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -167,49 +169,55 @@ int main() {
                 r.batch_id);
   }
 
-  // 6. Scale out: the same deployment as a 2-device server
-  //    (sessions are cheap — policies, caches, and warm contexts carry
-  //    over through the config). The stream repeats every scan twice
-  //    back-to-back (consecutive LiDAR frames); cache-affinity routing
-  //    sends each duplicate to the device that already built its kernel
-  //    maps, so the second copy pays the warm re-key cost instead of
-  //    the full mapping stage.
-  serve::ServerConfig shard_cfg = scfg;
+  // 6. Scale out onto a heterogeneous fleet: one modeled GTX 1080Ti
+  //    (listed first — the measurement reference) plus one RTX 3090,
+  //    in a single device group. The duplicate-heavy stream repeats
+  //    every scan twice back-to-back (consecutive LiDAR frames);
+  //    estimate-aware routing scales each batch's measured service to
+  //    every tier (GEMM seconds by peak-GEMM ratio, the rest by DRAM
+  //    bandwidth) and places it at the earliest estimated completion,
+  //    so the tensor-core 3090 soaks up the GEMM-heavy work while the
+  //    1080Ti absorbs the overflow.
+  serve::ServerConfig fleet_cfg = scfg;
   serve::BatcherOptions immediate;
   immediate.policy = serve::BatchPolicy::kImmediate;
-  shard_cfg.with_workers(2)
+  fleet_cfg.with_workers(2)
       .with_queue_depth(32)
       .with_batcher(immediate)
       .with_batch_overhead(0.0005)
-      .with_devices(2)
-      .with_route(serve::RoutePolicy::kCacheAffinity)
+      .with_fleet({{device_spec_by_name("1080ti"), 1},
+                   {device_spec_by_name("3090"), 1}})
+      .with_route(serve::RoutePolicy::kEstimateAware)
       .with_map_cache_bytes(std::size_t(64) << 20);  // per device
-  serve::Server shard_server(shard_cfg);
-  shard_server.start(w.model);
+  serve::Server fleet_server(fleet_cfg);
+  fleet_server.start(w.model);
   int submitted = 0;
   for (int i = 0; i < 8; ++i) {
     const SparseTensor scan = make_input(
         lidar, segmentation_voxels(), seed + 50 + static_cast<uint64_t>(i));
     for (int rep = 0; rep < 2; ++rep)
-      shard_server.submit(scan, 0.0005 * (submitted++));
+      fleet_server.submit(scan, 0.0005 * (submitted++));
   }
-  const serve::StreamReport sharded = shard_server.drain();
+  const serve::StreamReport fleet = fleet_server.drain();
 
-  std::printf("\nsharded serve: %zu requests on %d devices x %d workers, "
-              "%s routing\n",
-              sharded.stats.completed, sharded.stats.devices,
-              sharded.stats.workers, to_string(shard_cfg.shard.route));
+  std::printf("\nfleet serve: %zu requests on %d devices x %d workers, "
+              "%s routing (reference tier: %s)\n",
+              fleet.stats.completed, fleet.stats.devices,
+              fleet.stats.workers, to_string(fleet_cfg.shard.route),
+              fleet_cfg.device.name.c_str());
   std::printf("  throughput    %8.1f scans/s (makespan %.2f ms)\n",
-              sharded.stats.throughput_fps,
-              sharded.stats.makespan_seconds * 1e3);
+              fleet.stats.throughput_fps,
+              fleet.stats.makespan_seconds * 1e3);
   std::printf("  map cache     %.0f%% warm hits, %.2f ms modeled mapping "
               "saved\n",
-              sharded.stats.map_cache.hit_rate() * 100.0,
-              sharded.stats.map_cache.modeled_seconds_saved * 1e3);
-  std::printf("\ndevice  batches  requests  busy(ms)  util   warm hits\n");
-  for (const serve::DeviceShardStats& d : sharded.stats.per_device)
-    std::printf("%6d  %7zu  %8zu  %8.2f  %4.2f  %5zu/%zu\n", d.device,
-                d.batches, d.requests, d.busy_seconds * 1e3, d.utilization,
-                d.map_cache.hits, d.map_cache.lookups);
+              fleet.stats.map_cache.hit_rate() * 100.0,
+              fleet.stats.map_cache.modeled_seconds_saved * 1e3);
+  std::printf("\ndev  tier        batches  requests  busy(ms)  util   "
+              "warm hits\n");
+  for (const serve::DeviceShardStats& d : fleet.stats.per_device)
+    std::printf("%3d  %-10s  %7zu  %8zu  %8.2f  %4.2f  %5zu/%zu\n",
+                d.device, d.name.c_str(), d.batches, d.requests,
+                d.busy_seconds * 1e3, d.utilization, d.map_cache.hits,
+                d.map_cache.lookups);
   return 0;
 }

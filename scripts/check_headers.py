@@ -11,8 +11,9 @@ surfacing as an unrelated build break later.
 Usage:
   check_headers.py [--compiler g++] [--std c++20] [dirs...]
 
-Default directories: src/serve src/core (the API-redesign surface and
-the kernel-engine surface it sits on).
+Default directories: src/serve src/core src/gpusim (the API-redesign
+surface, the kernel-engine surface it sits on, and the device-spec
+registry the fleet layer consumes).
 """
 
 import argparse
@@ -37,7 +38,8 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--compiler", default=os.environ.get("CXX", "g++"))
     ap.add_argument("--std", default="c++20")
-    ap.add_argument("dirs", nargs="*", default=["src/serve", "src/core"])
+    ap.add_argument("dirs", nargs="*",
+                    default=["src/serve", "src/core", "src/gpusim"])
     args = ap.parse_args()
 
     repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))

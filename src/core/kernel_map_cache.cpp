@@ -151,9 +151,8 @@ KernelMapCache::RecordOutcome KernelMapCache::record_lookup(
     ++stats_.oversized;
     return out;
   }
-  const std::size_t evictions_before = stats_.evictions;
-  evict_to_fit_locked(bytes);
-  out.evictions = stats_.evictions - evictions_before;
+  evict_to_fit_locked(bytes, &out.evicted);
+  out.evictions = out.evicted.size();
   lru_.push_front(key);
   Entry e;
   e.bytes = bytes;
@@ -162,6 +161,7 @@ KernelMapCache::RecordOutcome KernelMapCache::record_lookup(
   stats_.bytes_in_use += bytes;
   stats_.entries = entries_.size();
   ++stats_.insertions;
+  out.inserted = true;
   return out;
 }
 
@@ -178,7 +178,8 @@ void KernelMapCache::clear() {
   stats_.bytes_in_use = 0;
 }
 
-void KernelMapCache::evict_to_fit_locked(std::size_t incoming_bytes) {
+void KernelMapCache::evict_to_fit_locked(std::size_t incoming_bytes,
+                                         std::vector<MapCacheKey>* evicted) {
   while (!lru_.empty() && stats_.bytes_in_use + incoming_bytes > budget_) {
     const MapCacheKey victim = lru_.back();
     lru_.pop_back();
@@ -186,6 +187,7 @@ void KernelMapCache::evict_to_fit_locked(std::size_t incoming_bytes) {
     stats_.bytes_in_use -= it->second.bytes;
     entries_.erase(it);
     ++stats_.evictions;
+    if (evicted) evicted->push_back(victim);
   }
   stats_.entries = entries_.size();
 }

@@ -131,10 +131,16 @@ class KernelMapCache {
   /// probe many devices without perturbing eviction state.
   bool contains(const MapCacheKey& key) const;
 
-  /// Outcome of one record-mode lookup (see record_lookup).
+  /// Outcome of one record-mode lookup (see record_lookup). Besides the
+  /// hit/miss decision it reports the cache-population deltas — whether
+  /// `key` was admitted and exactly which keys were evicted to admit it —
+  /// so an external ownership index (serve::DeviceGroup's digest->owner
+  /// map) can mirror the cache contents without rescanning them.
   struct RecordOutcome {
     bool hit = false;
+    bool inserted = false;      // key admitted to the cache by this lookup
     std::size_t evictions = 0;  // entries evicted to admit this key
+    std::vector<MapCacheKey> evicted;  // the evicted keys, LRU order
   };
 
   /// Record-mode lookup: applies the cache's exact hit/miss/LRU/eviction
@@ -162,7 +168,11 @@ class KernelMapCache {
     std::list<MapCacheKey>::iterator lru_it;
   };
 
-  void evict_to_fit_locked(std::size_t incoming_bytes);
+  /// Evicts LRU entries until `incoming_bytes` fits the budget. When
+  /// `evicted` is non-null each victim key is appended (LRU order) —
+  /// record_lookup uses this to report population deltas.
+  void evict_to_fit_locked(std::size_t incoming_bytes,
+                           std::vector<MapCacheKey>* evicted = nullptr);
 
   std::size_t budget_;
   mutable std::mutex mu_;

@@ -12,7 +12,10 @@
 // TFLOP/s FP16-FMA-with-FP32-accumulate rate.
 #pragma once
 
+#include <cctype>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ts {
@@ -111,6 +114,42 @@ inline DeviceSpec rtx3090() {
 
 inline std::vector<DeviceSpec> all_devices() {
   return {rtx3090(), rtx2080ti(), gtx1080ti()};
+}
+
+/// The short names the registry accepts (canonical forms; see
+/// device_spec_by_name for the accepted spellings).
+inline std::vector<std::string> known_device_names() {
+  return {"1080ti", "2080ti", "3090"};
+}
+
+/// Named-spec registry: resolves a device name to its DeviceSpec so
+/// fleets are describable as data ("which GPUs" in a config file or a
+/// ServerConfig::with_fleet call, not a factory-function call site).
+/// Matching is forgiving: case-insensitive, spaces/dashes/underscores
+/// ignored, and an optional "gtx"/"rtx" prefix allowed — "3090",
+/// "RTX 3090", and "rtx-3090" all resolve to rtx3090(). Unknown names
+/// throw std::invalid_argument listing the known ones.
+inline DeviceSpec device_spec_by_name(std::string_view name) {
+  std::string norm;
+  norm.reserve(name.size());
+  for (const char c : name) {
+    if (c == ' ' || c == '-' || c == '_') continue;
+    norm.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (norm.rfind("gtx", 0) == 0 || norm.rfind("rtx", 0) == 0)
+    norm.erase(0, 3);
+  if (norm == "1080ti") return gtx1080ti();
+  if (norm == "2080ti") return rtx2080ti();
+  if (norm == "3090") return rtx3090();
+  std::string known;
+  for (const std::string& k : known_device_names()) {
+    if (!known.empty()) known += ", ";
+    known += "\"" + k + "\"";
+  }
+  throw std::invalid_argument("device_spec_by_name: unknown device \"" +
+                              std::string(name) + "\" (known: " + known +
+                              ")");
 }
 
 }  // namespace ts

@@ -1,8 +1,10 @@
 #include "serve/device_group.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace ts::serve {
 
@@ -11,29 +13,81 @@ const char* to_string(RoutePolicy p) {
     case RoutePolicy::kRoundRobin: return "round_robin";
     case RoutePolicy::kLeastLoaded: return "least_loaded";
     case RoutePolicy::kCacheAffinity: return "cache_affinity";
+    case RoutePolicy::kEstimateAware: return "estimate_aware";
   }
   return "?";
 }
 
-DeviceGroup::DeviceGroup(const DeviceSpec& base, int devices,
+std::vector<DeviceSpec> expand_fleet(const std::vector<FleetTier>& tiers) {
+  if (tiers.empty())
+    throw std::invalid_argument(
+        "expand_fleet: fleet must name at least one device tier");
+  std::vector<DeviceSpec> fleet;
+  long long total = 0;
+  for (std::size_t t = 0; t < tiers.size(); ++t) {
+    if (tiers[t].count < 1)
+      throw std::invalid_argument(
+          "expand_fleet: tier " + std::to_string(t) + " (\"" +
+          tiers[t].spec.name + "\") has non-positive count " +
+          std::to_string(tiers[t].count));
+    total += tiers[t].count;
+    if (total > kMaxModeledDevices)
+      throw std::invalid_argument(
+          "expand_fleet: fleet totals " + std::to_string(total) +
+          " devices at tier " + std::to_string(t) +
+          ", exceeding kMaxModeledDevices (" +
+          std::to_string(kMaxModeledDevices) + ")");
+    fleet.insert(fleet.end(), static_cast<std::size_t>(tiers[t].count),
+                 tiers[t].spec);
+  }
+  return fleet;
+}
+
+DeviceGroup::DeviceGroup(std::vector<DeviceSpec> fleet,
                          std::size_t map_cache_bytes)
     : map_cache_bytes_(map_cache_bytes) {
+  if (fleet.empty())
+    throw std::invalid_argument(
+        "DeviceGroup: fleet must contain at least one DeviceSpec");
+  if (fleet.size() > static_cast<std::size_t>(kMaxModeledDevices))
+    throw std::invalid_argument(
+        "DeviceGroup: fleet of " + std::to_string(fleet.size()) +
+        " devices exceeds kMaxModeledDevices (" +
+        std::to_string(kMaxModeledDevices) + ")");
+  shards_.reserve(fleet.size());
+  for (std::size_t d = 0; d < fleet.size(); ++d) {
+    Shard s;
+    s.spec = std::move(fleet[d]);
+    s.spec.device_index = static_cast<int>(d);
+    s.cache = std::make_unique<KernelMapCache>(map_cache_bytes);
+    s.stats.device = static_cast<int>(d);
+    s.stats.name = s.spec.name;
+    shards_.push_back(std::move(s));
+    load_.emplace(0.0, static_cast<int>(d));
+  }
+}
+
+namespace {
+
+/// The legacy homogeneous-constructor contract: counts past
+/// kMaxModeledDevices fail loudly, everything below 1 clamps to 1.
+int homogeneous_count(int devices) {
   if (devices > kMaxModeledDevices)
     throw std::invalid_argument(
         "DeviceGroup: " + std::to_string(devices) +
         " devices exceeds kMaxModeledDevices (" +
         std::to_string(kMaxModeledDevices) + ")");
-  const int n = std::max(devices, 1);
-  shards_.reserve(static_cast<std::size_t>(n));
-  for (int d = 0; d < n; ++d) {
-    Shard s;
-    s.spec = base;
-    s.spec.device_index = d;
-    s.cache = std::make_unique<KernelMapCache>(map_cache_bytes);
-    s.stats.device = d;
-    shards_.push_back(std::move(s));
-  }
+  return std::max(devices, 1);
 }
+
+}  // namespace
+
+DeviceGroup::DeviceGroup(const DeviceSpec& base, int devices,
+                         std::size_t map_cache_bytes)
+    : DeviceGroup(std::vector<DeviceSpec>(
+                      static_cast<std::size_t>(homogeneous_count(devices)),
+                      base),
+                  map_cache_bytes) {}
 
 DeviceGroup::Shard& DeviceGroup::shard_at(int device) {
   if (device < 0 || device >= size())
@@ -59,32 +113,57 @@ const KernelMapCache& DeviceGroup::cache(int device) const {
   return *shard_at(device).cache;
 }
 
+KernelMapCache::RecordOutcome DeviceGroup::record_lookup(
+    int device, const MapCacheKey& key, std::size_t bytes) {
+  Shard& s = shard_at(device);
+  KernelMapCache::RecordOutcome out = s.cache->record_lookup(key, bytes);
+  // Mirror the population deltas into the digest->owners index. A device
+  // holds each key at most once, so erase/insert of `device` in the
+  // (short) sorted owner list is exact.
+  for (const MapCacheKey& victim : out.evicted) {
+    const auto it = owners_.find(victim);
+    if (it == owners_.end()) continue;
+    std::vector<int>& owners = it->second;
+    const auto pos = std::find(owners.begin(), owners.end(), device);
+    if (pos != owners.end()) owners.erase(pos);
+    if (owners.empty()) owners_.erase(it);
+  }
+  if (out.inserted) {
+    std::vector<int>& owners = owners_[key];
+    const auto pos = std::lower_bound(owners.begin(), owners.end(), device);
+    if (pos == owners.end() || *pos != device) owners.insert(pos, device);
+  }
+  return out;
+}
+
 void DeviceGroup::begin_schedule(int workers_per_device) {
   const int workers = std::max(workers_per_device, 1);
+  load_.clear();
+  owners_.clear();
   for (Shard& s : shards_) {
-    s.lane_free.assign(static_cast<std::size_t>(workers), 0.0);
+    s.lane_events.clear();
+    s.lane_events.reserve(static_cast<std::size_t>(workers));
+    for (int l = 0; l < workers; ++l) s.lane_events.emplace_back(0.0, l);
+    std::make_heap(s.lane_events.begin(), s.lane_events.end(),
+                   std::greater<>{});
+    s.lane_high_water = 0.0;
     const int id = s.stats.device;
     s.stats = DeviceShardStats{};
     s.stats.device = id;
+    s.stats.name = s.spec.name;
     s.cache = std::make_unique<KernelMapCache>(map_cache_bytes_);
+    load_.emplace(0.0, id);
   }
 }
 
 int DeviceGroup::least_loaded() const {
-  int best = 0;
-  for (int d = 1; d < size(); ++d) {
-    if (shards_[static_cast<std::size_t>(d)].stats.busy_seconds <
-        shards_[static_cast<std::size_t>(best)].stats.busy_seconds)
-      best = d;
-  }
-  return best;
+  return load_.empty() ? 0 : load_.begin()->second;
 }
 
 int DeviceGroup::owner_of(const MapCacheKey& key) const {
-  for (int d = 0; d < size(); ++d) {
-    if (shards_[static_cast<std::size_t>(d)].cache->contains(key)) return d;
-  }
-  return -1;
+  const auto it = owners_.find(key);
+  if (it == owners_.end() || it->second.empty()) return -1;
+  return it->second.front();
 }
 
 int DeviceGroup::place_batch(int device, double dispatch_seconds,
@@ -92,20 +171,32 @@ int DeviceGroup::place_batch(int device, double dispatch_seconds,
                              const std::vector<double>& member_service_seconds,
                              double* start_seconds, double* finish_seconds) {
   Shard& s = shard_at(device);
-  if (s.lane_free.empty())
+  if (s.lane_events.empty())
     throw std::logic_error(
         "DeviceGroup::place_batch before begin_schedule: no lanes");
-  auto it = std::min_element(s.lane_free.begin(), s.lane_free.end());
-  const double start = std::max(dispatch_seconds, *it);
+  // Pop the earliest-free lane event. (free_time, lane) is a total order
+  // — lane ids are unique — so the heap minimum is exactly the
+  // lowest-index earliest lane the legacy linear scan picked.
+  std::pop_heap(s.lane_events.begin(), s.lane_events.end(),
+                std::greater<>{});
+  std::pair<double, int>& ev = s.lane_events.back();
+  const double start = std::max(dispatch_seconds, ev.first);
   double cursor = start + overhead_seconds;
   for (double service : member_service_seconds) cursor += service;
-  *it = cursor;
+  const int lane = ev.second;
+  ev.first = cursor;
+  std::push_heap(s.lane_events.begin(), s.lane_events.end(),
+                 std::greater<>{});
+  s.lane_high_water = std::max(s.lane_high_water, cursor);
+  const double busy_before = s.stats.busy_seconds;
   s.stats.busy_seconds += cursor - start;
   s.stats.batches += 1;
   s.stats.requests += member_service_seconds.size();
+  load_.erase({busy_before, device});
+  load_.emplace(s.stats.busy_seconds, device);
   if (start_seconds) *start_seconds = start;
   if (finish_seconds) *finish_seconds = cursor;
-  return static_cast<int>(it - s.lane_free.begin());
+  return lane;
 }
 
 DeviceShardStats& DeviceGroup::stats(int device) {
@@ -117,9 +208,7 @@ const DeviceShardStats& DeviceGroup::stats(int device) const {
 }
 
 double DeviceGroup::lane_high_water(int device) const {
-  const Shard& s = shard_at(device);
-  if (s.lane_free.empty()) return 0.0;
-  return *std::max_element(s.lane_free.begin(), s.lane_free.end());
+  return shard_at(device).lane_high_water;
 }
 
 }  // namespace ts::serve

@@ -12,6 +12,24 @@
 // that signal exact, so the dispatcher can ask "which device owns this
 // batch's dominant digest?" and route accordingly.
 //
+// Fleets are heterogeneous: a group is a vector of DeviceSpecs, one per
+// shard, so a deployment can mix GPU generations (the paper's 1080Ti /
+// 2080Ti / 3090 evaluation matrix) in one group. Heterogeneity enters
+// the modeled schedule only through the RoutingPolicy's
+// device_service_estimate hook — the group itself never consults the
+// specs, which is what keeps homogeneous groups bit-identical to the
+// pre-fleet scheduler.
+//
+// Scale: the scheduling core is discrete-event. Each shard keeps its
+// worker lanes as a min-heap of (modeled-free-time, lane) events and the
+// group keeps an ordered (busy_seconds, device) load index plus a
+// digest->owners map mirroring the modeled caches, so placing a batch is
+// O(log lanes), least_loaded() is O(1), and owner_of() is O(1) expected —
+// independent of fleet size, per the ROADMAP's "hundreds of modeled
+// devices" north star. The heap pops the true minimum of a total order
+// ((free, lane), ties impossible), so it reproduces the old
+// lowest-index-lane linear scan exactly (pinned by test).
+//
 // Determinism contract. Routing runs inside the deterministic accounting
 // pass (schedule_stream_sharded), over the submission-ordered request
 // stream — never over racy wall-clock cache state. Two consequences:
@@ -26,6 +44,10 @@
 
 #include <cstddef>
 #include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/kernel_map_cache.hpp"
@@ -35,9 +57,7 @@ namespace ts::serve {
 
 /// Built-in batch-routing policies of the sharded dispatcher. Each is
 /// also available as a RoutingPolicy object via make_routing_policy
-/// (serve_policies.hpp), which is where custom policies — e.g.
-/// heterogeneous groups routed on per-device service estimates — plug
-/// in.
+/// (serve_policies.hpp), which is where custom policies plug in.
 enum class RoutePolicy {
   /// Batch k to device k mod N. The baseline: perfectly fair, blind to
   /// both load imbalance and cache state.
@@ -53,6 +73,15 @@ enum class RoutePolicy {
   /// mapping charge across the batch's cache events); falls back to
   /// least-loaded when no device owns it (cold digest, or caching off).
   kCacheAffinity,
+  /// Heterogeneous-fleet routing: device with the earliest estimated
+  /// completion (accumulated modeled work + the batch's service time
+  /// scaled to the device's tier relative to spec(0), the measurement
+  /// reference). Grouped-GEMM-heavy batches gravitate to tensor-core
+  /// tiers, map/data-movement-heavy ones to the bandwidth-competitive
+  /// 1080Ti tier. On a homogeneous group every scale factor is exactly
+  /// 1 and the rule degenerates to least_loaded (bit-identical, pinned
+  /// by test).
+  kEstimateAware,
 };
 
 const char* to_string(RoutePolicy p);
@@ -68,10 +97,24 @@ struct ShardOptions {
   /// Modeled device instances in the group; clamped to >= 1, rejected
   /// past kMaxModeledDevices. Each gets its own worker lanes
   /// (BatchOptions::workers *per device*), its own modeled kernel-map
-  /// cache, and its own clock/utilization counters.
+  /// cache, and its own clock/utilization counters. Ignored when
+  /// ServerConfig::fleet names per-shard specs explicitly.
   int devices = 1;
   RoutePolicy route = RoutePolicy::kLeastLoaded;
 };
+
+/// One tier of a heterogeneous fleet description: `count` instances of
+/// `spec` (see ServerConfig::with_fleet and expand_fleet).
+struct FleetTier {
+  DeviceSpec spec;
+  int count = 1;
+};
+
+/// Expands a tier list into the per-shard spec vector a DeviceGroup
+/// consumes, in tier order. Validation (std::invalid_argument, with the
+/// offending tier named): the list must be non-empty, every count >= 1,
+/// and the total must not exceed kMaxModeledDevices.
+std::vector<DeviceSpec> expand_fleet(const std::vector<FleetTier>& tiers);
 
 /// One device's modeled serve outcome. Deterministic throughout; the
 /// routing/accounting fields (batches, requests, busy_seconds,
@@ -81,6 +124,7 @@ struct ShardOptions {
 /// earlier (see the header comment).
 struct DeviceShardStats {
   int device = 0;
+  std::string name;                 // the shard's DeviceSpec::name
   std::size_t batches = 0;          // dispatched batches routed here
   std::size_t requests = 0;         // requests inside those batches
   double busy_seconds = 0;          // assigned modeled service + overhead
@@ -91,44 +135,68 @@ struct DeviceShardStats {
   MapCacheReplayStats map_cache;
 };
 
-/// N modeled instances of one device spec. Owns each shard's modeled
-/// kernel-map cache (driven in record mode by the deterministic
-/// accounting pass), worker-lane clock, and utilization counters.
-/// Single-threaded by design: it lives inside the scheduling pass, not
-/// on the measurement pool's hot path.
+/// A fleet of modeled device instances — one DeviceSpec per shard,
+/// possibly heterogeneous. Owns each shard's modeled kernel-map cache
+/// (driven in record mode by the deterministic accounting pass),
+/// worker-lane event heap, and utilization counters. Single-threaded by
+/// design: it lives inside the scheduling pass, not on the measurement
+/// pool's hot path.
 class DeviceGroup {
  public:
-  /// `devices` is clamped to >= 1 and must not exceed
-  /// kMaxModeledDevices (std::invalid_argument). Each shard's spec is
-  /// `base` with device_index stamped to its shard id; each shard's
-  /// modeled cache gets its own `map_cache_bytes` byte budget (0 =
-  /// caching disabled, every record-mode lookup misses).
+  /// Heterogeneous fleet: one shard per spec, in order, with
+  /// device_index stamped to the shard id. Each shard's modeled cache
+  /// gets its own `map_cache_bytes` byte budget (0 = caching disabled,
+  /// every record-mode lookup misses). Throws std::invalid_argument on
+  /// an empty fleet or one past kMaxModeledDevices.
+  DeviceGroup(std::vector<DeviceSpec> fleet, std::size_t map_cache_bytes);
+
+  /// Homogeneous fleet: `devices` copies of `base`. Delegates to the
+  /// fleet constructor (bit-identical shards); keeps the legacy
+  /// semantics of clamping `devices` to >= 1 and rejecting counts past
+  /// kMaxModeledDevices (std::invalid_argument).
   DeviceGroup(const DeviceSpec& base, int devices,
               std::size_t map_cache_bytes);
 
   int size() const { return static_cast<int>(shards_.size()); }
   const DeviceSpec& spec(int device) const;
+
+  /// Direct cache access for observability and tests. Record-mode
+  /// *writes* must go through DeviceGroup::record_lookup instead, so the
+  /// digest->owner index stays in sync with the cache population.
   KernelMapCache& cache(int device);
   const KernelMapCache& cache(int device) const;
 
+  /// Record-mode lookup on `device`'s modeled cache, keeping the
+  /// group's digest->owner index in sync with the admission/eviction
+  /// deltas. Same decisions as KernelMapCache::record_lookup (and
+  /// therefore bit-compatible with MapCacheReplay).
+  KernelMapCache::RecordOutcome record_lookup(int device,
+                                              const MapCacheKey& key,
+                                              std::size_t bytes);
+
   /// Prepares a fresh schedule pass: `workers` lanes per device at t=0,
-  /// zeroed busy clocks and stats, cold modeled caches. Called by
-  /// schedule_stream_sharded; a reused group therefore accounts every
-  /// serve call from a cold modeled state, exactly like the single-device
-  /// MapCacheReplay it generalizes.
+  /// zeroed busy clocks and stats, cold modeled caches (and an empty
+  /// owner index). Called by schedule_stream_sharded; a reused group
+  /// therefore accounts every serve call from a cold modeled state,
+  /// exactly like the single-device MapCacheReplay it generalizes.
   void begin_schedule(int workers_per_device);
 
   /// Routing query: device with the least accumulated modeled work
-  /// (ties -> lowest id).
+  /// (ties -> lowest id). O(1): reads the front of the ordered
+  /// (busy_seconds, device) load index place_batch maintains.
   int least_loaded() const;
 
   /// Ownership query: lowest device id whose modeled cache currently
-  /// holds `key`, or -1 when none does.
+  /// holds `key`, or -1 when none does. O(1) expected via the
+  /// digest->owners index (kept in sync by record_lookup /
+  /// begin_schedule) — never a scan over the fleet.
   int owner_of(const MapCacheKey& key) const;
 
   /// Places one batch (modeled dispatch stamp, per-batch overhead,
   /// member service times appended back-to-back) on `device`'s earliest
-  /// available lane. Returns the lane index; writes the batch's start
+  /// available lane — O(log lanes) against the shard's event heap, with
+  /// ties broken toward the lowest lane index exactly like the legacy
+  /// lane-vector scan. Returns the lane index; writes the batch's start
   /// and finish stamps, and advances the device's clock, busy counter,
   /// and batch/request tallies.
   int place_batch(int device, double dispatch_seconds,
@@ -148,7 +216,11 @@ class DeviceGroup {
   struct Shard {
     DeviceSpec spec;
     std::unique_ptr<KernelMapCache> cache;
-    std::vector<double> lane_free;  // per-worker modeled free time
+    /// Discrete-event lane state: min-heap (std::greater over
+    /// (free_time, lane)) of per-worker modeled free-time events.
+    /// Empty until begin_schedule.
+    std::vector<std::pair<double, int>> lane_events;
+    double lane_high_water = 0;  // max finish placed so far
     DeviceShardStats stats;
   };
 
@@ -157,6 +229,11 @@ class DeviceGroup {
 
   std::size_t map_cache_bytes_;
   std::vector<Shard> shards_;
+  /// Ordered (busy_seconds, device) pairs, one per shard; begin() is the
+  /// least-loaded device with the lowest-id tie-break for free.
+  std::set<std::pair<double, int>> load_;
+  /// digest -> sorted device ids whose modeled cache holds it.
+  std::unordered_map<MapCacheKey, std::vector<int>, MapCacheKeyHash> owners_;
 };
 
 }  // namespace ts::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <tuple>
@@ -234,6 +235,98 @@ class CacheAffinityRouting final : public RoutingPolicy {
   const char* name() const override { return "cache_affinity"; }
 };
 
+/// Heterogeneous-fleet routing on per-tier service estimates.
+///
+/// The batch's measured timeline lives on the reference device —
+/// spec(0), the fleet's first tier, which is also the spec every request
+/// is measured on (ServerConfig::device). route() splits the batch's
+/// modeled seconds into its MatMul stage and everything else, then
+/// scales each slice to every tier: MatMul with the tiers' peak GEMM
+/// throughput ratio (max of FP32/FP16 peaks — a 1080Ti has no tensor
+/// cores, so its deficit is large and grouped-GEMM-heavy batches
+/// gravitate to tensor-core tiers) and the rest — mapping, gather/
+/// scatter, dense heads — with the DRAM bandwidth ratio (the 1080Ti's
+/// bandwidth deficit is much smaller, so map-heavy batches overflow to
+/// it first under load). The batch goes to the device with the earliest
+/// estimated completion: accumulated busy_seconds + the scaled estimate,
+/// ties -> lowest id.
+///
+/// route() also retains the per-device scale factors of the batch it
+/// just routed; the scheduler then applies them to lane placement
+/// through device_service_estimate, so routing, busy accounting, and
+/// lane occupancy all see the same device-local seconds.
+///
+/// Degenerate cases, all deterministic: on a homogeneous group every
+/// factor is exactly 1.0 and the rule reduces to least_loaded
+/// (bit-identical, pinned by test); with no timelines or service times
+/// to read (or zero-total batches) the estimate is 0 for every device
+/// and the rule again reduces to least_loaded.
+class EstimateAwareRouting final : public RoutingPolicy {
+ public:
+  int route(const RouteQuery& query, const DeviceGroup& group) override {
+    const int n = group.size();
+    // Batch stage totals on the reference device's modeled clock.
+    double matmul = 0.0, total = 0.0;
+    for (const std::size_t m : query.members) {
+      if (query.timeline_of) {
+        if (const Timeline* t = query.timeline_of(m)) {
+          matmul += t->stage_seconds(Stage::kMatMul);
+          total += t->total_seconds();
+          continue;
+        }
+      }
+      if (query.service_of) total += query.service_of(m);
+    }
+    const double other = total - matmul;
+    const DeviceSpec& ref = group.spec(0);
+    batch_factor_.assign(static_cast<std::size_t>(n), 1.0);
+    int best = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int d = 0; d < n; ++d) {
+      const DeviceSpec& dev = group.spec(d);
+      const double estimate =
+          matmul * ratio(peak_gemm(ref), peak_gemm(dev)) +
+          other * ratio(ref.dram_bandwidth_gbps, dev.dram_bandwidth_gbps);
+      batch_factor_[static_cast<std::size_t>(d)] =
+          total > 0 ? estimate / total : 1.0;
+      const double cost = group.stats(d).busy_seconds + estimate;
+      if (cost < best_cost) {  // strict: ties keep the lowest device id
+        best_cost = cost;
+        best = d;
+      }
+    }
+    return best;
+  }
+
+  double device_service_estimate(int device,
+                                 double service_seconds) const override {
+    if (device >= 0 &&
+        static_cast<std::size_t>(device) < batch_factor_.size())
+      return service_seconds *
+             batch_factor_[static_cast<std::size_t>(device)];
+    return service_seconds;
+  }
+
+  const char* name() const override { return "estimate_aware"; }
+
+ private:
+  /// Effective GEMM peak: the paper's engine picks the faster of the
+  /// FP32 and (tensor-core) FP16 paths per device.
+  static double peak_gemm(const DeviceSpec& d) {
+    return std::max(d.peak_fp32_tflops, d.peak_fp16_tflops);
+  }
+  /// ref/dev seconds ratio; identity when either side is unmodeled
+  /// (zero), so a default-constructed spec never divides by zero.
+  static double ratio(double ref, double dev) {
+    return ref > 0 && dev > 0 ? ref / dev : 1.0;
+  }
+
+  /// Per-device scale factors of the batch route() last saw — scratch
+  /// consumed by the scheduler's device_service_estimate calls for that
+  /// same batch.
+  std::vector<double> batch_factor_;
+};
+
 }  // namespace
 
 std::unique_ptr<RoutingPolicy> make_routing_policy(RoutePolicy policy) {
@@ -244,6 +337,8 @@ std::unique_ptr<RoutingPolicy> make_routing_policy(RoutePolicy policy) {
       return std::make_unique<LeastLoadedRouting>();
     case RoutePolicy::kCacheAffinity:
       return std::make_unique<CacheAffinityRouting>();
+    case RoutePolicy::kEstimateAware:
+      return std::make_unique<EstimateAwareRouting>();
   }
   throw std::invalid_argument("make_routing_policy: unknown RoutePolicy");
 }

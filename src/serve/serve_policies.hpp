@@ -12,11 +12,13 @@
 //    plus-aging member selection (priority.hpp); on a single-class
 //    stream it reproduces DynamicBatcher's plan batch-for-batch.
 //  * RoutingPolicy — maps each dispatched batch onto one device of a
-//    DeviceGroup. round_robin / least_loaded / cache_affinity are the
-//    three built-in implementations (make_routing_policy), and the
-//    device_service_estimate hook is where heterogeneous device groups
-//    slot in: a custom policy can model per-device speed factors and
-//    the scheduler will place batches with the estimated service times.
+//    DeviceGroup. round_robin / least_loaded / cache_affinity /
+//    estimate_aware are the built-in implementations
+//    (make_routing_policy), and the device_service_estimate hook is how
+//    heterogeneous fleets enter the schedule: a policy that models
+//    per-device speed factors (estimate_aware derives them from the
+//    fleet's DeviceSpecs) makes the scheduler place batches with the
+//    estimated device-local service times.
 //
 // Both interfaces are driven single-threaded from inside the
 // deterministic serving pass: decisions may depend only on modeled
@@ -154,12 +156,18 @@ class SloBatchingPolicy final : public BatchingPolicy {
 /// Everything a RoutingPolicy may consult about the batch being routed.
 /// `events_of(id)` returns the member's recorded kernel-map cache
 /// events, or null when the cache is disabled (cache_affinity then
-/// falls back to least-loaded).
+/// falls back to least-loaded). `service_of(id)` / `timeline_of(id)`
+/// expose each member's measured modeled service time and stage
+/// timeline on the reference device — what estimate_aware scales into
+/// per-tier completion estimates; either may be empty when the caller
+/// has nothing measured to offer (policies must fall back gracefully).
 struct RouteQuery {
   std::size_t batch_index = 0;
   const std::vector<std::size_t>& members;
   double dispatch_seconds = 0;
   std::function<const std::vector<MapCacheEvent>*(std::size_t)> events_of;
+  std::function<double(std::size_t)> service_of;
+  std::function<const Timeline*(std::size_t)> timeline_of;
 };
 
 /// Batch-routing interface over a DeviceGroup. route() is called once
@@ -191,10 +199,12 @@ class RoutingPolicy {
   virtual const char* name() const = 0;
 };
 
-/// The three built-in policies (see RoutePolicy in device_group.hpp
-/// for the routing rules they implement): round_robin, least_loaded,
-/// cache_affinity. Each is stateless between batches beyond the group
-/// it reads, so one instance may be reused across serving sessions.
+/// The built-in policies (see RoutePolicy in device_group.hpp for the
+/// routing rules they implement): round_robin, least_loaded,
+/// cache_affinity, estimate_aware. Each is reusable across serving
+/// sessions; estimate_aware keeps only per-batch scratch (the scale
+/// factors of the batch it last routed) between route() and the
+/// scheduler's device_service_estimate calls.
 std::unique_ptr<RoutingPolicy> make_routing_policy(RoutePolicy policy);
 
 }  // namespace ts::serve

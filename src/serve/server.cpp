@@ -64,6 +64,12 @@ ServerConfig& ServerConfig::with_devices(int n) {
   shard.devices = n;
   return *this;
 }
+ServerConfig& ServerConfig::with_fleet(const std::vector<FleetTier>& tiers) {
+  fleet = expand_fleet(tiers);  // validates; throws invalid_argument
+  device = fleet.front();       // the measurement reference spec
+  shard.devices = static_cast<int>(fleet.size());
+  return *this;
+}
 ServerConfig& ServerConfig::with_route(RoutePolicy r) {
   shard.route = r;
   return *this;
@@ -89,12 +95,14 @@ namespace {
 /// cache (record mode), applying the shared warm-hit delta on hits.
 /// record_lookup's decisions and apply_map_cache_hit's arithmetic are
 /// the same ones MapCacheReplay uses, so a 1-device group reproduces
-/// the single-device replay bit-for-bit.
-void replay_event(KernelMapCache& cache, const MapCacheEvent& ev,
+/// the single-device replay bit-for-bit. Goes through the group (not
+/// the raw cache) so the digest->owner index tracks every admission
+/// and eviction.
+void replay_event(DeviceGroup& group, int device, const MapCacheEvent& ev,
                   Timeline& t, MapCacheReplayStats& st) {
   ++st.lookups;
   const KernelMapCache::RecordOutcome out =
-      cache.record_lookup(ev.key, ev.bytes);
+      group.record_lookup(device, ev.key, ev.bytes);
   st.evictions += out.evictions;
   if (!out.hit) {
     ++st.misses;
@@ -145,11 +153,21 @@ class StreamPlacer {
     const std::size_t k = placed_batches_;
 
     // 1. Route. Policy inputs (accumulated modeled work, modeled cache
-    // ownership) are independent of lane count, so routing — and with
-    // it every per-device cache decision — is worker-count invariant.
+    // ownership, members' reference-device measurements) are independent
+    // of lane count, so routing — and with it every per-device cache
+    // decision — is worker-count invariant. The members' timelines are
+    // their cold measurements at this point (this batch's cache replay
+    // runs after routing), so estimate-based policies see the same
+    // deterministic inputs cached or not.
     const int dev = routing_.route(
         RouteQuery{k, b.members, b.dispatch_seconds,
-                   cached_ ? events_at_ : EventsAt{}},
+                   cached_ ? events_at_ : EventsAt{},
+                   [this](std::size_t m) {
+                     return request_at_(m).service_seconds;
+                   },
+                   [this](std::size_t m) -> const Timeline* {
+                     return &request_at_(m).timeline;
+                   }},
         group_);
     if (dev < 0 || dev >= group_.size())
       throw std::invalid_argument(
@@ -164,7 +182,7 @@ class StreamPlacer {
         StreamResult& r = request_at_(m);
         if (const std::vector<MapCacheEvent>* evs = events_at_(m))
           for (const MapCacheEvent& ev : *evs)
-            replay_event(group_.cache(dev), ev, r.timeline,
+            replay_event(group_, dev, ev, r.timeline,
                          group_.stats(dev).map_cache);
         r.service_seconds = r.timeline.total_seconds();
       }
@@ -375,11 +393,15 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
                           BatchingPolicy& batching, RoutingPolicy& routing,
                           std::vector<ExecContext>* context_pool) {
   const int workers = std::max(config.workers, 1);
-  const int devices = std::max(config.shard.devices, 1);
+  // A non-empty fleet names the shards explicitly; otherwise the group
+  // is shard.devices homogeneous copies of the reference device.
+  const int devices = config.fleet.empty()
+                          ? std::max(config.shard.devices, 1)
+                          : static_cast<int>(config.fleet.size());
   if (devices > kMaxModeledDevices)
     throw std::invalid_argument(
-        "serve_stream: shard.devices = " + std::to_string(devices) +
-        " exceeds kMaxModeledDevices (" +
+        "serve_stream: " + std::to_string(devices) +
+        " devices exceeds kMaxModeledDevices (" +
         std::to_string(kMaxModeledDevices) + ")");
   RunOptions run = config.run;
   if (!run.map_cache && config.map_cache_bytes > 0)
@@ -400,8 +422,12 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
   std::vector<DispatchBatch> plan;
   std::size_t next_place = 0;
 
-  DeviceGroup group(config.device, devices,
-                    cached ? run.map_cache->byte_budget() : 0);
+  DeviceGroup group =
+      config.fleet.empty()
+          ? DeviceGroup(config.device, devices,
+                        cached ? run.map_cache->byte_budget() : 0)
+          : DeviceGroup(config.fleet,
+                        cached ? run.map_cache->byte_budget() : 0);
   StreamPlacer placer(
       group, routing, workers, config.batch_overhead_seconds,
       [&results](std::size_t i) -> StreamResult& { return results[i]; },
@@ -694,6 +720,17 @@ Server::Server(ServerConfig config) : cfg_(std::move(config)) {
         " exceeds kMaxModeledDevices (" +
         std::to_string(kMaxModeledDevices) + ")");
   cfg_.shard.devices = std::max(cfg_.shard.devices, 1);
+  if (!cfg_.fleet.empty()) {
+    // A directly-populated fleet (bypassing with_fleet) gets the same
+    // loud bound check, and shard.devices is forced consistent so every
+    // observer of the config sees the fleet's true size.
+    if (cfg_.fleet.size() > static_cast<std::size_t>(kMaxModeledDevices))
+      throw std::invalid_argument(
+          "Server: fleet of " + std::to_string(cfg_.fleet.size()) +
+          " devices exceeds kMaxModeledDevices (" +
+          std::to_string(kMaxModeledDevices) + ")");
+    cfg_.shard.devices = static_cast<int>(cfg_.fleet.size());
+  }
   if (!std::isfinite(cfg_.batch_overhead_seconds) ||
       cfg_.batch_overhead_seconds < 0)
     throw std::invalid_argument(

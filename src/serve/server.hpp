@@ -56,7 +56,18 @@ namespace ts::serve {
 /// pluggable policies. Plain struct with chainable with_* setters —
 /// set fields directly or build fluently, both are fine.
 struct ServerConfig {
-  DeviceSpec device;               // modeled device spec of every shard
+  /// Deprecated single-spec delegate (still honored): the modeled device
+  /// spec of every shard when `fleet` is empty. With a fleet configured
+  /// this is the *reference* device — the spec every request is measured
+  /// on (with_fleet keeps it equal to fleet.front()); heterogeneous
+  /// tiers enter the schedule through the routing policy's
+  /// device_service_estimate scaling, never through measurement.
+  DeviceSpec device;
+  /// Per-shard device specs of a heterogeneous fleet, in shard order;
+  /// empty (the default) means shard.devices homogeneous copies of
+  /// `device`. Populate through with_fleet — it validates the tier list
+  /// and keeps `device` and shard.devices consistent.
+  std::vector<DeviceSpec> fleet;
   EngineConfig engine;
   int workers = 1;                 // worker threads and lanes per device
   RunOptions run;                  // numerics, tuned params, map_cache...
@@ -95,6 +106,17 @@ struct ServerConfig {
   ServerConfig& with_batch_overhead(double seconds);
   ServerConfig& with_reuse_context(bool on);
   ServerConfig& with_devices(int n);
+  /// Describes a heterogeneous fleet as {spec, count} tiers, e.g.
+  ///   cfg.with_fleet({{device_spec_by_name("1080ti"), 2},
+  ///                   {device_spec_by_name("3090"), 2}});
+  /// Expands the tiers into `fleet` (expand_fleet validation:
+  /// std::invalid_argument on an empty list, a non-positive count, or a
+  /// total past kMaxModeledDevices), points the deprecated `device`
+  /// delegate at the first tier's spec (the measurement reference), and
+  /// sets shard.devices to the fleet size. A single-tier call is the
+  /// homogeneous configuration with_device + with_devices builds —
+  /// bit-identical schedules, pinned by test.
+  ServerConfig& with_fleet(const std::vector<FleetTier>& tiers);
   ServerConfig& with_route(RoutePolicy r);
   ServerConfig& with_batching_policy(std::shared_ptr<BatchingPolicy> p);
   ServerConfig& with_routing_policy(std::shared_ptr<RoutingPolicy> p);
@@ -158,8 +180,10 @@ class Server {
  public:
   /// Validates the configuration (std::invalid_argument): workers
   /// clamped to >= 1, shard.devices clamped to >= 1 and bounded by
-  /// kMaxModeledDevices, overhead finite >= 0; builds the shared
-  /// kernel-map cache from map_cache_bytes when run.map_cache is null.
+  /// kMaxModeledDevices, a non-empty fleet bounded by kMaxModeledDevices
+  /// (shard.devices is then forced to the fleet size), overhead finite
+  /// >= 0; builds the shared kernel-map cache from map_cache_bytes when
+  /// run.map_cache is null.
   explicit Server(ServerConfig config);
 
   /// Joins a running session (discarding its report) before destroying.

@@ -4,10 +4,12 @@
 // determinism stress matrix (devices x workers).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 #include <random>
 #include <stdexcept>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "engines/presets.hpp"
@@ -17,6 +19,7 @@
 #include "serve/batch_runner.hpp"
 #include "serve/device_group.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/server.hpp"
 
 namespace ts {
 namespace {
@@ -105,15 +108,114 @@ TEST(DeviceGroup, OwnerOfFindsLowestDeviceHoldingDigest) {
   serve::DeviceGroup g(rtx2080ti(), 3, 1 << 20);
   g.begin_schedule(1);
   EXPECT_EQ(g.owner_of(key_of(42)), -1);
-  g.cache(2).record_lookup(key_of(42), 100);
+  g.record_lookup(2, key_of(42), 100);
   EXPECT_EQ(g.owner_of(key_of(42)), 2);
-  g.cache(1).record_lookup(key_of(42), 100);
+  g.record_lookup(1, key_of(42), 100);
   EXPECT_EQ(g.owner_of(key_of(42)), 1);
   EXPECT_TRUE(g.cache(1).contains(key_of(42)));
   EXPECT_FALSE(g.cache(0).contains(key_of(42)));
   // begin_schedule starts the next pass from cold modeled caches.
   g.begin_schedule(1);
   EXPECT_EQ(g.owner_of(key_of(42)), -1);
+}
+
+TEST(DeviceGroup, OwnerIndexMatchesLinearScanUnderChurn) {
+  // The digest->owner index must track every record-mode admission and
+  // eviction exactly; pin it against the pre-index definition (lowest
+  // device whose cache contains the key) over a churny random stream on
+  // a tiny budget.
+  const std::size_t budget = 250;  // two 100-byte entries per device
+  serve::DeviceGroup g(rtx2080ti(), 3, budget);
+  g.begin_schedule(1);
+  std::mt19937_64 rng(77);
+  std::uniform_int_distribution<int> pick_dev(0, 2);
+  std::uniform_int_distribution<uint64_t> pick_tag(1, 12);
+  for (int step = 0; step < 400; ++step) {
+    // Occasional oversized lookups exercise the never-cached rule.
+    const std::size_t bytes = step % 17 == 0 ? 9999 : 100;
+    g.record_lookup(pick_dev(rng), key_of(pick_tag(rng)), bytes);
+    for (uint64_t tag = 1; tag <= 12; ++tag) {
+      int scan = -1;
+      for (int d = 0; d < g.size(); ++d)
+        if (g.cache(d).contains(key_of(tag))) {
+          scan = d;
+          break;
+        }
+      ASSERT_EQ(g.owner_of(key_of(tag)), scan)
+          << "step " << step << " tag " << tag;
+    }
+  }
+}
+
+// --- Heterogeneous fleets ----------------------------------------------
+
+TEST(DeviceGroup, FleetConstructorStampsPerShardSpecs) {
+  serve::DeviceGroup g({gtx1080ti(), rtx3090(), rtx3090()}, 1 << 20);
+  ASSERT_EQ(g.size(), 3);
+  EXPECT_EQ(g.spec(0).name, gtx1080ti().name);
+  EXPECT_EQ(g.spec(1).name, rtx3090().name);
+  EXPECT_EQ(g.spec(2).name, rtx3090().name);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(g.spec(d).device_index, d);
+    EXPECT_EQ(g.stats(d).device, d);
+    EXPECT_EQ(g.stats(d).name, g.spec(d).name);
+    EXPECT_EQ(g.cache(d).byte_budget(), std::size_t(1) << 20);
+  }
+  // begin_schedule keeps the per-shard identity (id and tier name).
+  g.begin_schedule(2);
+  EXPECT_EQ(g.stats(1).name, rtx3090().name);
+  EXPECT_EQ(g.stats(1).device, 1);
+}
+
+TEST(DeviceGroup, FleetConstructionValidatesLoudly) {
+  EXPECT_THROW(serve::DeviceGroup(std::vector<DeviceSpec>{}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      serve::DeviceGroup(
+          std::vector<DeviceSpec>(
+              static_cast<std::size_t>(serve::kMaxModeledDevices) + 1,
+              rtx2080ti()),
+          0),
+      std::invalid_argument);
+  EXPECT_THROW(serve::expand_fleet({}), std::invalid_argument);
+  EXPECT_THROW(serve::expand_fleet({{rtx3090(), 0}}), std::invalid_argument);
+  EXPECT_THROW(serve::expand_fleet({{rtx3090(), 2}, {gtx1080ti(), -3}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      serve::expand_fleet({{rtx2080ti(), serve::kMaxModeledDevices + 1}}),
+      std::invalid_argument);
+  EXPECT_THROW(serve::expand_fleet({{rtx2080ti(), serve::kMaxModeledDevices},
+                                    {rtx3090(), 1}}),
+               std::invalid_argument);
+  const std::vector<DeviceSpec> mixed =
+      serve::expand_fleet({{gtx1080ti(), 1}, {rtx3090(), 2}});
+  ASSERT_EQ(mixed.size(), 3u);
+  EXPECT_EQ(mixed[0].name, gtx1080ti().name);
+  EXPECT_EQ(mixed[1].name, rtx3090().name);
+  EXPECT_EQ(mixed[2].name, rtx3090().name);
+}
+
+TEST(DeviceGroup, HomogeneousCtorDelegatesToFleetCtor) {
+  serve::DeviceGroup legacy(rtx2080ti(), 3, 1 << 16);
+  serve::DeviceGroup fleet(std::vector<DeviceSpec>(3, rtx2080ti()), 1 << 16);
+  ASSERT_EQ(legacy.size(), fleet.size());
+  for (int d = 0; d < legacy.size(); ++d) {
+    EXPECT_EQ(legacy.spec(d).name, fleet.spec(d).name);
+    EXPECT_EQ(legacy.spec(d).device_index, fleet.spec(d).device_index);
+    EXPECT_EQ(legacy.cache(d).byte_budget(), fleet.cache(d).byte_budget());
+  }
+}
+
+TEST(DeviceSpecRegistry, ResolvesForgivingNamesAndThrowsOnUnknown) {
+  EXPECT_EQ(device_spec_by_name("1080ti").name, gtx1080ti().name);
+  EXPECT_EQ(device_spec_by_name("GTX 1080Ti").name, gtx1080ti().name);
+  EXPECT_EQ(device_spec_by_name("2080ti").name, rtx2080ti().name);
+  EXPECT_EQ(device_spec_by_name("rtx-2080-ti").name, rtx2080ti().name);
+  EXPECT_EQ(device_spec_by_name("3090").name, rtx3090().name);
+  EXPECT_EQ(device_spec_by_name("RTX_3090").name, rtx3090().name);
+  EXPECT_FALSE(device_spec_by_name("1080ti").has_fp16_tensor_cores);
+  EXPECT_THROW(device_spec_by_name("a100"), std::invalid_argument);
+  EXPECT_THROW(device_spec_by_name(""), std::invalid_argument);
 }
 
 TEST(DeviceGroup, PlaceBatchUsesEarliestLaneAndTracksBusy) {
@@ -132,6 +234,72 @@ TEST(DeviceGroup, PlaceBatchUsesEarliestLaneAndTracksBusy) {
   EXPECT_EQ(g.stats(0).batches, 2u);
   EXPECT_EQ(g.stats(0).requests, 2u);
   EXPECT_DOUBLE_EQ(g.lane_high_water(0), 3.5);
+}
+
+TEST(DeviceGroup, HeapSchedulerReproducesLaneVectorSchedule) {
+  // Pin the discrete-event core against the pre-refactor per-device
+  // lane-vector scan (std::min_element: earliest lane, ties -> lowest
+  // index) over a long randomized batch sequence.
+  const int devices = 3, workers = 4;
+  serve::DeviceGroup g(rtx2080ti(), devices, 0);
+  g.begin_schedule(workers);
+  std::vector<std::vector<double>> ref_lanes(
+      devices, std::vector<double>(workers, 0.0));
+  std::vector<double> ref_busy(devices, 0.0);
+  std::mt19937_64 rng(123);
+  std::uniform_int_distribution<int> pick_dev(0, devices - 1);
+  std::uniform_real_distribution<double> dt(0.0, 0.02);
+  std::uniform_int_distribution<int> nsvc(1, 3);
+  double dispatch = 0.0;
+  for (int step = 0; step < 500; ++step) {
+    dispatch += dt(rng);
+    const int dev = pick_dev(rng);
+    const double overhead = step % 3 == 0 ? 0.001 : 0.0;
+    std::vector<double> services;
+    for (int k = nsvc(rng); k > 0; --k) services.push_back(dt(rng));
+
+    std::vector<double>& lanes = ref_lanes[static_cast<std::size_t>(dev)];
+    const auto it = std::min_element(lanes.begin(), lanes.end());
+    const int ref_lane = static_cast<int>(it - lanes.begin());
+    const double ref_start = std::max(dispatch, *it);
+    double ref_finish = ref_start + overhead;
+    for (const double s : services) ref_finish += s;
+    *it = ref_finish;
+    ref_busy[static_cast<std::size_t>(dev)] += ref_finish - ref_start;
+
+    double start = 0, finish = 0;
+    const int lane =
+        g.place_batch(dev, dispatch, overhead, services, &start, &finish);
+    ASSERT_EQ(lane, ref_lane) << "step " << step;
+    ASSERT_DOUBLE_EQ(start, ref_start) << "step " << step;
+    ASSERT_DOUBLE_EQ(finish, ref_finish) << "step " << step;
+  }
+  for (int d = 0; d < devices; ++d) {
+    EXPECT_DOUBLE_EQ(g.stats(d).busy_seconds,
+                     ref_busy[static_cast<std::size_t>(d)]);
+    EXPECT_DOUBLE_EQ(
+        g.lane_high_water(d),
+        *std::max_element(ref_lanes[static_cast<std::size_t>(d)].begin(),
+                          ref_lanes[static_cast<std::size_t>(d)].end()));
+  }
+}
+
+TEST(DeviceGroup, LeastLoadedMatchesLinearScanUnderChurn) {
+  // least_loaded() now reads an ordered load index; pin it against the
+  // pre-index linear scan (min busy_seconds, ties -> lowest id).
+  const int devices = 5;
+  serve::DeviceGroup g(rtx2080ti(), devices, 0);
+  g.begin_schedule(1);
+  std::mt19937_64 rng(321);
+  std::uniform_int_distribution<int> pick_dev(0, devices - 1);
+  std::uniform_real_distribution<double> dt(0.001, 0.02);
+  for (int step = 0; step < 300; ++step) {
+    int scan = 0;
+    for (int d = 1; d < devices; ++d)
+      if (g.stats(d).busy_seconds < g.stats(scan).busy_seconds) scan = d;
+    ASSERT_EQ(g.least_loaded(), scan) << "step " << step;
+    g.place_batch(pick_dev(rng), 0.0, 0.0, {dt(rng)}, nullptr, nullptr);
+  }
 }
 
 // --- Record-mode cache parity with MapCacheReplay ---------------------
@@ -360,6 +528,93 @@ TEST(ScheduleStreamSharded, CacheAffinityRoutesToDigestOwner) {
   EXPECT_GT(s_aff.map_cache.hit_rate(), s_rr.map_cache.hit_rate());
 }
 
+/// Singleton-batch stream whose requests put all their modeled seconds
+/// into one chosen stage each (so estimate_aware's stage split is
+/// controllable per request).
+SyntheticStream stage_stream(
+    const std::vector<std::pair<Stage, double>>& reqs) {
+  SyntheticStream s;
+  s.requests.resize(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    serve::StreamResult& r = s.requests[i];
+    r.id = i;
+    r.arrival_seconds = 0.0;
+    r.timeline.add(reqs[i].first, reqs[i].second);
+    r.service_seconds = r.timeline.total_seconds();
+    s.plan.push_back({i, 1, 0.0});
+  }
+  return s;
+}
+
+TEST(ScheduleStreamSharded, EstimateAwareSplitsBatchesByStageMix) {
+  // Mixed 1080Ti+3090 fleet, 1080Ti first (the measurement reference).
+  // Relative factors: MatMul scales with peak GEMM (11.3/35.6 ~ 0.317 on
+  // the 3090), everything else with DRAM bandwidth (484/936 ~ 0.517).
+  // Two GEMM batches load the 3090 to busy ~0.635; at that point a
+  // mapping-heavy batch prefers the idle 1080Ti (1.0 < 0.635 + 0.517)
+  // while an equally sized GEMM batch still prefers the 3090
+  // (0.635 + 0.317 < 1.0) — the tensor-core tier keeps the grouped-GEMM
+  // work, the Pascal tier absorbs the map-heavy overflow.
+  const std::vector<DeviceSpec> fleet = {gtx1080ti(), rtx3090()};
+
+  SyntheticStream gemm_tail = stage_stream({{Stage::kMatMul, 1.0},
+                                            {Stage::kMatMul, 1.0},
+                                            {Stage::kMatMul, 1.0}});
+  serve::DeviceGroup g1(fleet, 0);
+  serve::schedule_stream_sharded(gemm_tail.requests, gemm_tail.plan, g1,
+                                 serve::RoutePolicy::kEstimateAware, 1, 0.0,
+                                 nullptr);
+  const int want_gemm[] = {1, 1, 1};
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(gemm_tail.requests[i].device, want_gemm[i]) << "request " << i;
+
+  SyntheticStream map_tail = stage_stream({{Stage::kMatMul, 1.0},
+                                           {Stage::kMatMul, 1.0},
+                                           {Stage::kMapping, 1.0}});
+  serve::DeviceGroup g2(fleet, 0);
+  serve::schedule_stream_sharded(map_tail.requests, map_tail.plan, g2,
+                                 serve::RoutePolicy::kEstimateAware, 1, 0.0,
+                                 nullptr);
+  const int want_map[] = {1, 1, 0};
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(map_tail.requests[i].device, want_map[i]) << "request " << i;
+
+  // The placed schedule runs on device-local seconds: the 3090's lanes
+  // hold the scaled GEMM services, the 1080Ti the unscaled reference
+  // service (it IS the reference).
+  const double f_mm = 11.3 / 35.6;
+  EXPECT_DOUBLE_EQ(g2.stats(1).busy_seconds, 2.0 * f_mm);
+  EXPECT_DOUBLE_EQ(g2.stats(0).busy_seconds, 1.0);
+}
+
+TEST(ScheduleStreamSharded, EstimateAwareDegeneratesToLeastLoadedHomogeneous) {
+  // On a homogeneous group every estimate factor is exactly 1.0, so
+  // estimate_aware must reproduce least_loaded bit-for-bit — routing
+  // decisions, schedules, and stats.
+  for (const int devices : {1, 3}) {
+    SyntheticStream ll = make_synthetic();
+    SyntheticStream ea = make_synthetic();
+    serve::DeviceGroup g_ll(rtx2080ti(), devices, 1 << 16);
+    serve::DeviceGroup g_ea(rtx2080ti(), devices, 1 << 16);
+    const serve::StreamStats s_ll = serve::schedule_stream_sharded(
+        ll.requests, ll.plan, g_ll, serve::RoutePolicy::kLeastLoaded, 2,
+        0.002, &ll.events);
+    const serve::StreamStats s_ea = serve::schedule_stream_sharded(
+        ea.requests, ea.plan, g_ea, serve::RoutePolicy::kEstimateAware, 2,
+        0.002, &ea.events);
+    for (std::size_t i = 0; i < ll.requests.size(); ++i) {
+      EXPECT_EQ(ea.requests[i].device, ll.requests[i].device);
+      EXPECT_DOUBLE_EQ(ea.requests[i].start_seconds,
+                       ll.requests[i].start_seconds);
+      EXPECT_DOUBLE_EQ(ea.requests[i].finish_seconds,
+                       ll.requests[i].finish_seconds);
+      expect_same_timeline(ea.requests[i].timeline, ll.requests[i].timeline);
+    }
+    EXPECT_DOUBLE_EQ(s_ea.makespan_seconds, s_ll.makespan_seconds);
+    EXPECT_EQ(s_ea.map_cache.hits, s_ll.map_cache.hits);
+  }
+}
+
 // --- End-to-end determinism stress matrix ------------------------------
 
 serve::StreamReport serve_stream(const ModelFn& model,
@@ -516,6 +771,124 @@ TEST(ShardedServe, AggregateComputeInvariantToDeviceCountWithCacheOff) {
     // untouched, so the aggregate timeline is device-count invariant.
     expect_same_timeline(nd.stats.aggregate, n1.stats.aggregate);
     EXPECT_EQ(nd.stats.map_cache.lookups, 0u);
+  }
+}
+
+// --- Heterogeneous fleets, end to end ----------------------------------
+
+serve::StreamReport fleet_serve(const ModelFn& model,
+                                const std::vector<SparseTensor>& stream,
+                                const std::vector<serve::FleetTier>& tiers,
+                                int workers, serve::RoutePolicy policy,
+                                std::size_t cache_bytes) {
+  serve::ServerConfig cfg;
+  cfg.with_engine(torchsparse_config())
+      .with_workers(workers)
+      .with_fleet(tiers)
+      .with_route(policy)
+      .with_batch_overhead(0.0005)
+      .with_map_cache_bytes(cache_bytes)
+      .with_queue_depth(stream.size() + 1);
+  cfg.batcher.policy = serve::BatchPolicy::kImmediate;
+  serve::Server server(cfg);
+  server.start(model);
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    server.submit(stream[i], 0.002 * static_cast<double>(i));
+  return server.drain();
+}
+
+TEST(FleetServe, WithFleetKeepsConfigConsistent) {
+  serve::ServerConfig cfg;
+  cfg.with_fleet({{device_spec_by_name("1080ti"), 1},
+                  {device_spec_by_name("3090"), 2}});
+  ASSERT_EQ(cfg.fleet.size(), 3u);
+  EXPECT_EQ(cfg.device.name, gtx1080ti().name);  // measurement reference
+  EXPECT_EQ(cfg.shard.devices, 3);
+  EXPECT_EQ(cfg.fleet[2].name, rtx3090().name);
+  EXPECT_THROW(cfg.with_fleet({}), std::invalid_argument);
+  EXPECT_THROW(cfg.with_fleet({{rtx3090(), 0}}), std::invalid_argument);
+  // A directly-populated fleet is bound-checked (and shard.devices
+  // reconciled) at Server construction.
+  serve::ServerConfig big;
+  big.fleet.assign(static_cast<std::size_t>(serve::kMaxModeledDevices) + 1,
+                   rtx3090());
+  EXPECT_THROW(serve::Server{big}, std::invalid_argument);
+  serve::ServerConfig small;
+  small.fleet.assign(2, rtx3090());
+  small.shard.devices = 7;  // stale; the fleet wins
+  serve::Server server(std::move(small));
+  EXPECT_EQ(server.config().shard.devices, 2);
+}
+
+TEST(FleetServe, HomogeneousFleetBitEqualsDevicesConfig) {
+  // A single-tier with_fleet is the same deployment as with_device +
+  // with_devices — and the whole fleet path (fleet ctor, event heap,
+  // owner index) must reproduce the legacy serve bit-for-bit.
+  const ModelFn model = small_unet(41);
+  std::vector<SparseTensor> stream;
+  for (int i = 0; i < 8; ++i)
+    stream.push_back(random_tensor(130, 12, 4,
+                                   5000 + static_cast<uint64_t>(i % 4)));
+  const serve::StreamReport legacy =
+      serve_stream(model, stream, 2, 2, serve::RoutePolicy::kLeastLoaded,
+                   std::size_t(64) << 20);
+  const serve::StreamReport fleet =
+      fleet_serve(model, stream, {{rtx2080ti(), 2}}, 2,
+                  serve::RoutePolicy::kLeastLoaded, std::size_t(64) << 20);
+  expect_same_report(legacy, fleet);
+
+  // estimate_aware on the homogeneous fleet degenerates to least_loaded
+  // end to end.
+  const serve::StreamReport estimate =
+      fleet_serve(model, stream, {{rtx2080ti(), 2}}, 2,
+                  serve::RoutePolicy::kEstimateAware, std::size_t(64) << 20);
+  expect_same_report(legacy, estimate);
+}
+
+TEST(FleetServe, ModeledStatsWorkerInvariantAcrossMixesAndPolicies) {
+  // The determinism stress matrix on heterogeneous fleets: for every
+  // fleet mix x routing policy, modeled stats are bit-identical across
+  // worker counts.
+  const ModelFn model = small_unet(42);
+  std::vector<SparseTensor> stream;
+  for (int i = 0; i < 8; ++i)
+    stream.push_back(random_tensor(120 + 10 * (i % 3), 12, 4,
+                                   6000 + static_cast<uint64_t>(i % 4)));
+  const std::vector<std::vector<serve::FleetTier>> mixes = {
+      {{rtx2080ti(), 2}},
+      {{gtx1080ti(), 1}, {rtx3090(), 1}},
+      {{gtx1080ti(), 1}, {rtx2080ti(), 1}, {rtx3090(), 1}},
+  };
+  for (const auto& mix : mixes) {
+    for (const serve::RoutePolicy policy :
+         {serve::RoutePolicy::kEstimateAware,
+          serve::RoutePolicy::kCacheAffinity}) {
+      const serve::StreamReport base = fleet_serve(
+          model, stream, mix, 1, policy, std::size_t(64) << 20);
+      const serve::StreamReport more = fleet_serve(
+          model, stream, mix, 4, policy, std::size_t(64) << 20);
+      ASSERT_EQ(more.requests.size(), base.requests.size());
+      for (std::size_t i = 0; i < more.requests.size(); ++i) {
+        expect_same_timeline(more.requests[i].timeline,
+                             base.requests[i].timeline);
+        EXPECT_EQ(more.requests[i].device, base.requests[i].device);
+        EXPECT_DOUBLE_EQ(more.requests[i].service_seconds,
+                         base.requests[i].service_seconds);
+      }
+      ASSERT_EQ(base.stats.per_device.size(), mix.size() == 1 ? 2u : mix.size());
+      for (std::size_t d = 0; d < base.stats.per_device.size(); ++d) {
+        EXPECT_EQ(more.stats.per_device[d].batches,
+                  base.stats.per_device[d].batches);
+        EXPECT_DOUBLE_EQ(more.stats.per_device[d].busy_seconds,
+                         base.stats.per_device[d].busy_seconds);
+        EXPECT_EQ(more.stats.per_device[d].map_cache.hits,
+                  base.stats.per_device[d].map_cache.hits);
+        EXPECT_EQ(more.stats.per_device[d].name,
+                  base.stats.per_device[d].name);
+      }
+      expect_same_timeline(more.stats.aggregate, base.stats.aggregate);
+      EXPECT_EQ(more.stats.map_cache.hits, base.stats.map_cache.hits);
+    }
   }
 }
 
