@@ -1,6 +1,7 @@
 #include "core/kernel_map_cache.hpp"
 
 #include <chrono>
+#include <stdexcept>
 
 namespace ts {
 
@@ -49,6 +50,14 @@ MapCacheKey downsample_cache_key(const std::vector<Coord>& in_coords,
            (static_cast<uint64_t>(simplified_control) << 17),
        lo, hi);
   mix_coords(in_coords, lo, hi);
+  return {lo, hi};
+}
+
+MapCacheKey input_content_digest(const std::vector<Coord>& coords,
+                                 int stride) {
+  uint64_t lo = 0x2545f4914f6cdd1dull, hi = 0x9e6c63d0a4e1a3bdull;
+  mix2(static_cast<uint64_t>(stride), lo, hi);
+  mix_coords(coords, lo, hi);
   return {lo, hi};
 }
 
@@ -165,6 +174,76 @@ KernelMapCache::RecordOutcome KernelMapCache::record_lookup(
   return out;
 }
 
+bool KernelMapCache::admit(const MapCacheKey& key, MapCachePayload payload,
+                           double build_wall_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return true;
+  }
+  const std::size_t bytes = map_cache_payload_bytes(payload);
+  if (bytes > budget_) return false;
+  evict_to_fit_locked(bytes);
+  lru_.push_front(key);
+  Entry e;
+  e.payload = std::move(payload);
+  e.bytes = bytes;
+  e.build_wall_seconds = build_wall_seconds;
+  e.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(e));
+  stats_.bytes_in_use += bytes;
+  stats_.entries = entries_.size();
+  ++stats_.insertions;
+  return true;
+}
+
+KernelMapCache::RecordOutcome KernelMapCache::admit_record(
+    const MapCacheKey& key, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordOutcome out;
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return out;
+  }
+  if (bytes > budget_) return out;
+  evict_to_fit_locked(bytes, &out.evicted);
+  out.evictions = out.evicted.size();
+  lru_.push_front(key);
+  Entry e;
+  e.bytes = bytes;
+  e.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(e));
+  stats_.bytes_in_use += bytes;
+  stats_.entries = entries_.size();
+  ++stats_.insertions;
+  out.inserted = true;
+  return out;
+}
+
+MapCacheSnapshot KernelMapCache::export_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MapCacheSnapshot snap;
+  snap.byte_budget = budget_;
+  snap.entries.reserve(entries_.size());
+  // Walk the LRU list back-to-front so the snapshot reads LRU-first and
+  // sequential re-admission leaves the same entry at the MRU position.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const Entry& e = entries_.at(*it);
+    if (!e.payload.kmap && !e.payload.coords)
+      throw std::logic_error(
+          "KernelMapCache::export_snapshot: entry holds no payload "
+          "(record-mode caches track footprints only and cannot be "
+          "snapshotted)");
+    snap.entries.push_back({*it, e.payload, e.bytes, e.build_wall_seconds});
+  }
+  return snap;
+}
+
+void KernelMapCache::import_snapshot(const MapCacheSnapshot& snapshot) {
+  for (const MapCacheSnapshotEntry& e : snapshot.entries)
+    admit(e.key, e.payload, e.build_wall_seconds);
+}
+
 MapCacheStats KernelMapCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
@@ -194,6 +273,26 @@ void KernelMapCache::evict_to_fit_locked(std::size_t incoming_bytes,
 
 MapCacheReplay::MapCacheReplay(std::size_t byte_budget)
     : budget_(byte_budget) {}
+
+void MapCacheReplay::warm_start(const MapCacheSnapshot& snapshot) {
+  for (const MapCacheSnapshotEntry& se : snapshot.entries) {
+    if (auto it = entries_.find(se.key); it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      continue;
+    }
+    if (se.bytes > budget_) continue;
+    while (!lru_.empty() && in_use_ + se.bytes > budget_) {
+      const MapCacheKey victim = lru_.back();
+      lru_.pop_back();
+      auto vit = entries_.find(victim);
+      in_use_ -= vit->second.bytes;
+      entries_.erase(vit);
+    }
+    lru_.push_front(se.key);
+    entries_.emplace(se.key, SimEntry{se.bytes, lru_.begin()});
+    in_use_ += se.bytes;
+  }
+}
 
 void apply_map_cache_hit(const MapCacheEvent& ev, Timeline& t) {
   // Swap the cold charge the request measured for the warm charge.

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -73,6 +74,13 @@ MapCacheKey downsample_cache_key(const std::vector<Coord>& in_coords,
                                  int kernel_size, int stride, bool fused,
                                  bool simplified_control);
 
+/// Digest of one serve request's input (coordinate set + tensor stride).
+/// Two requests with equal digests resolve the same mapping-stage
+/// products through the cache, which is the grouping key duplicate-aware
+/// batch formation (serve::DedupBatchingPolicy) dispatches on.
+MapCacheKey input_content_digest(const std::vector<Coord>& coords,
+                                 int stride);
+
 /// A cached mapping-stage product: exactly one of `kmap` (kernel map) or
 /// `coords` (downsampled output coordinates, with the counters that
 /// reproduce its cold modeled charge) is set.
@@ -102,6 +110,26 @@ struct MapCacheStats {
     return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
                    : 0.0;
   }
+};
+
+/// One snapshotted cache entry: the content digest, its payload, the
+/// payload's byte footprint, and the build wall time re-admission
+/// restores to the saved-seconds accounting.
+struct MapCacheSnapshotEntry {
+  MapCacheKey key;
+  MapCachePayload payload;
+  std::size_t bytes = 0;
+  double build_wall_seconds = 0;
+};
+
+/// In-memory image of a cache's population, ordered LRU-first (the
+/// most recently used entry last), so replaying the admissions in order
+/// reproduces the source cache's exact eviction order. `byte_budget`
+/// records the saving cache's budget; a loader can re-admit into any
+/// budget (smaller budgets keep the MRU suffix, the LRU rule).
+struct MapCacheSnapshot {
+  std::size_t byte_budget = 0;
+  std::vector<MapCacheSnapshotEntry> entries;  // LRU -> MRU
 };
 
 /// Thread-safe content-addressed LRU cache with a byte budget.
@@ -154,6 +182,42 @@ class KernelMapCache {
   /// cached). Do not mix record-mode and get_or_build on one cache: a
   /// record-mode hit has no payload to return.
   RecordOutcome record_lookup(const MapCacheKey& key, std::size_t bytes);
+
+  /// Admits a payload without a lookup: inserts `key` at the MRU
+  /// position through the normal eviction path, counting an insertion
+  /// but no lookup/hit/miss — warm-start seeding must not perturb the
+  /// hit-rate accounting. An already-present key is refreshed to MRU
+  /// (the payload is content-addressed, so it cannot differ); a payload
+  /// larger than the whole budget is skipped. Returns whether the key
+  /// is resident afterwards.
+  bool admit(const MapCacheKey& key, MapCachePayload payload,
+             double build_wall_seconds = 0);
+
+  /// Record-mode admit: the admission half of record_lookup without the
+  /// lookup accounting, reporting the same population deltas so an
+  /// external ownership index can mirror warm-start seeding exactly
+  /// like live traffic (serve::DeviceGroup::begin_schedule).
+  RecordOutcome admit_record(const MapCacheKey& key, std::size_t bytes);
+
+  /// Captures the full population — every entry's key, payload, bytes,
+  /// and build wall time, LRU-first. Throws std::logic_error when an
+  /// entry has no payload (a record-mode cache holds footprints only
+  /// and cannot be exported as a payload snapshot).
+  MapCacheSnapshot export_snapshot() const;
+
+  /// Re-admits a snapshot's entries in order (LRU-first) through
+  /// admit(), so the restored LRU/eviction state is exactly what the
+  /// saving cache would have reached — modulo this cache's own byte
+  /// budget, which evicts from the snapshot's LRU end first.
+  void import_snapshot(const MapCacheSnapshot& snapshot);
+
+  /// Binary snapshot serialization (implemented in io/serialize.cpp;
+  /// versioned header, validated payloads). load_snapshot parses and
+  /// validates the whole stream before admitting anything, throwing
+  /// std::runtime_error on corrupt, truncated, or version-mismatched
+  /// input with the cache left unchanged.
+  void save_snapshot(std::ostream& os) const;
+  void load_snapshot(std::istream& is);
 
   MapCacheStats stats() const;
   std::size_t byte_budget() const { return budget_; }
@@ -227,6 +291,15 @@ struct MapCacheReplayStats {
 class MapCacheReplay {
  public:
   explicit MapCacheReplay(std::size_t byte_budget);
+
+  /// Seeds the simulated population from a snapshot manifest (keys and
+  /// footprints, LRU-first) before any events replay, so snapshot-
+  /// warmed digests are warm hits from the first lookup. Seeding is not
+  /// replay traffic: it touches no stats counter, and entries past the
+  /// budget follow the normal LRU rule (the snapshot's LRU end evicts
+  /// first). Deterministic and worker-invariant like the rest of the
+  /// replay — the manifest is part of the configuration.
+  void warm_start(const MapCacheSnapshot& snapshot);
 
   /// Replays one request's events (in order) and applies the hit/cold
   /// charge deltas to `t`.

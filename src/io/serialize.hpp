@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/kernel_map_cache.hpp"
 #include "core/sparse_tensor.hpp"
 #include "data/lidar.hpp"
 #include "gpusim/timeline.hpp"
@@ -36,6 +37,24 @@ void save_tensor(std::ostream& os, const SparseTensor& t);
 SparseTensor load_tensor(std::istream& is);
 void save_tensor_file(const std::string& path, const SparseTensor& t);
 SparseTensor load_tensor_file(const std::string& path);
+
+// --- Kernel-map cache snapshots (.tsmc): the warm-start serving tier —
+// entries LRU-first with full payloads, so a restarted server (or a
+// newly added shard's modeled cache) re-admits into the exact LRU/
+// eviction state the saving cache had. Loading validates every
+// structural claim — magic/version, truncation, per-entry payload
+// plausibility, an entry larger than the snapshot's own recorded byte
+// budget (impossible for a legitimately saved cache), and a payload
+// whose recomputed footprint contradicts its declared one — and throws
+// std::runtime_error before anything is admitted. The usual entry
+// points are KernelMapCache::save_snapshot / load_snapshot; these
+// expose the raw snapshot image for warm-start manifests
+// (ServerConfig::warm_start, serve::DeviceGroup).
+void save_map_cache(std::ostream& os, const MapCacheSnapshot& snap);
+MapCacheSnapshot load_map_cache(std::istream& is);
+void save_map_cache_file(const std::string& path,
+                         const MapCacheSnapshot& snap);
+MapCacheSnapshot load_map_cache_file(const std::string& path);
 
 // --- Timelines -> CSV (stage, seconds) for offline analysis ---
 std::string timeline_csv(const Timeline& t);

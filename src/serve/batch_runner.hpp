@@ -60,7 +60,9 @@ struct BatchOptions {
   /// hits, and the modeled mapping charge is replaced by a small re-key
   /// cost via a deterministic submission-order replay (worker-count
   /// independent). Ignored when run.map_cache is already set (pools can
-  /// share one cache that way).
+  /// share one cache that way — and a deployment can persist one across
+  /// restarts through KernelMapCache::save_snapshot / ServerConfig::
+  /// warm_start; the one-shot paths here always start cold).
   std::size_t map_cache_bytes = 0;
 };
 

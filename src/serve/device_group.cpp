@@ -113,10 +113,8 @@ const KernelMapCache& DeviceGroup::cache(int device) const {
   return *shard_at(device).cache;
 }
 
-KernelMapCache::RecordOutcome DeviceGroup::record_lookup(
-    int device, const MapCacheKey& key, std::size_t bytes) {
-  Shard& s = shard_at(device);
-  KernelMapCache::RecordOutcome out = s.cache->record_lookup(key, bytes);
+void DeviceGroup::mirror_outcome(int device, const MapCacheKey& key,
+                                 const KernelMapCache::RecordOutcome& out) {
   // Mirror the population deltas into the digest->owners index. A device
   // holds each key at most once, so erase/insert of `device` in the
   // (short) sorted owner list is exact.
@@ -133,7 +131,19 @@ KernelMapCache::RecordOutcome DeviceGroup::record_lookup(
     const auto pos = std::lower_bound(owners.begin(), owners.end(), device);
     if (pos == owners.end() || *pos != device) owners.insert(pos, device);
   }
+}
+
+KernelMapCache::RecordOutcome DeviceGroup::record_lookup(
+    int device, const MapCacheKey& key, std::size_t bytes) {
+  Shard& s = shard_at(device);
+  KernelMapCache::RecordOutcome out = s.cache->record_lookup(key, bytes);
+  mirror_outcome(device, key, out);
   return out;
+}
+
+void DeviceGroup::warm_start(
+    std::shared_ptr<const MapCacheSnapshot> snapshot) {
+  warm_snapshot_ = std::move(snapshot);
 }
 
 void DeviceGroup::begin_schedule(int workers_per_device) {
@@ -152,6 +162,13 @@ void DeviceGroup::begin_schedule(int workers_per_device) {
     s.stats.device = id;
     s.stats.name = s.spec.name;
     s.cache = std::make_unique<KernelMapCache>(map_cache_bytes_);
+    // Warm start: seed the recreated cache from the manifest, LRU-first,
+    // so residency and eviction order reproduce the saving cache's, and
+    // keep the owner index in step. Runs before any batch is routed and
+    // identically on every shard — deterministic, worker-invariant.
+    if (warm_snapshot_)
+      for (const MapCacheSnapshotEntry& e : warm_snapshot_->entries)
+        mirror_outcome(id, e.key, s.cache->admit_record(e.key, e.bytes));
     load_.emplace(0.0, id);
   }
 }

@@ -174,10 +174,22 @@ class DeviceGroup {
                                               const MapCacheKey& key,
                                               std::size_t bytes);
 
+  /// Installs a warm-start manifest: at every subsequent begin_schedule,
+  /// each shard's freshly recreated modeled cache is pre-populated with
+  /// the snapshot's entries (LRU-first admission order, so the seeded
+  /// cache reproduces the saving cache's residency and eviction order —
+  /// the MRU suffix survives when this group's byte budget is smaller),
+  /// and the digest->owner index is seeded to match. Every shard seeds
+  /// identically from the same manifest, before any request is routed,
+  /// which keeps warm-started accounting deterministic and
+  /// worker-count invariant. Pass nullptr to go back to cold starts.
+  void warm_start(std::shared_ptr<const MapCacheSnapshot> snapshot);
+
   /// Prepares a fresh schedule pass: `workers` lanes per device at t=0,
   /// zeroed busy clocks and stats, cold modeled caches (and an empty
-  /// owner index). Called by schedule_stream_sharded; a reused group
-  /// therefore accounts every serve call from a cold modeled state,
+  /// owner index) — or snapshot-seeded ones when a warm-start manifest
+  /// is installed. Called by schedule_stream_sharded; a reused group
+  /// therefore accounts every serve call from the same starting state,
   /// exactly like the single-device MapCacheReplay it generalizes.
   void begin_schedule(int workers_per_device);
 
@@ -227,7 +239,13 @@ class DeviceGroup {
   Shard& shard_at(int device);
   const Shard& shard_at(int device) const;
 
+  /// Applies one cache admission/eviction outcome on `device` to the
+  /// digest->owners index (shared by record_lookup and warm seeding).
+  void mirror_outcome(int device, const MapCacheKey& key,
+                      const KernelMapCache::RecordOutcome& out);
+
   std::size_t map_cache_bytes_;
+  std::shared_ptr<const MapCacheSnapshot> warm_snapshot_;
   std::vector<Shard> shards_;
   /// Ordered (busy_seconds, device) pairs, one per shard; begin() is the
   /// least-loaded device with the lowest-id tie-break for free.

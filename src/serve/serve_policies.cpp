@@ -67,6 +67,17 @@ bool SloBatchingPolicy::class_full(double now) const {
   return count >= static_cast<std::size_t>(batch_cap());
 }
 
+std::vector<std::size_t> SloBatchingPolicy::select_members(
+    const std::vector<std::size_t>& eligible, double stamp) {
+  (void)stamp;
+  const std::size_t n =
+      std::min<std::size_t>(static_cast<std::size_t>(batch_cap()),
+                            eligible.size());
+  return std::vector<std::size_t>(eligible.begin(),
+                                  eligible.begin() +
+                                      static_cast<std::ptrdiff_t>(n));
+}
+
 void SloBatchingPolicy::dispatch_at(double when,
                                     std::vector<DispatchBatch>& out) {
   const double stamp = std::max(when, last_dispatch_);
@@ -86,17 +97,21 @@ void SloBatchingPolicy::dispatch_at(double when,
                      std::make_tuple(effective_class(pb, stamp), pb.arrival,
                                      pb.id);
             });
-  const std::size_t n =
-      std::min<std::size_t>(static_cast<std::size_t>(batch_cap()),
-                            eligible.size());
+  // Membership is the policy-specific part (base: the first batch_cap();
+  // dedup: whole digest groups); the trigger and stamp machinery around
+  // it is shared.
+  std::vector<std::size_t> taken = select_members(eligible, stamp);
+  if (taken.empty() && !eligible.empty())
+    throw std::logic_error(
+        "BatchingPolicy: select_members took no member from a non-empty "
+        "eligible set — the dispatch sweep would never terminate");
   DispatchBatch batch;
   batch.dispatch_seconds = stamp;
-  batch.members.reserve(n);
-  for (std::size_t k = 0; k < n; ++k)
-    batch.members.push_back(pending_[eligible[k]].id);
+  batch.members.reserve(taken.size());
+  for (const std::size_t pos : taken)
+    batch.members.push_back(pending_[pos].id);
   // Remove the selected members (positions, highest first, so earlier
   // indices stay valid).
-  std::vector<std::size_t> taken(eligible.begin(), eligible.begin() + n);
   std::sort(taken.begin(), taken.end());
   for (std::size_t k = taken.size(); k > 0; --k)
     pending_.erase(pending_.begin() +
@@ -133,8 +148,8 @@ std::vector<DispatchBatch> SloBatchingPolicy::on_arrival(
     }
   }
 
-  pending_.push_back(
-      {arrival.id, arrival.arrival_seconds, arrival.priority});
+  pending_.push_back({arrival.id, arrival.arrival_seconds, arrival.priority,
+                      arrival.digest, arrival.has_digest});
   last_arrival_ = arrival.arrival_seconds;
   any_arrival_ = true;
 
@@ -160,11 +175,88 @@ std::vector<DispatchBatch> SloBatchingPolicy::plan(
     const std::vector<ArrivalInfo>& arrivals, const BatcherOptions& opt,
     const PriorityOptions& priority) {
   SloBatchingPolicy policy(opt, priority);
+  return plan_with(policy, arrivals);
+}
+
+std::vector<DispatchBatch> plan_with(
+    BatchingPolicy& policy, const std::vector<ArrivalInfo>& arrivals) {
   std::vector<DispatchBatch> plan;
   for (const ArrivalInfo& a : arrivals)
     for (DispatchBatch& b : policy.on_arrival(a)) plan.push_back(std::move(b));
   for (DispatchBatch& b : policy.flush()) plan.push_back(std::move(b));
   return plan;
+}
+
+// ---------------------------------------------------------------------
+// DedupBatchingPolicy
+// ---------------------------------------------------------------------
+
+DedupBatchingPolicy::DedupBatchingPolicy(BatcherOptions opt,
+                                         PriorityOptions priority)
+    : SloBatchingPolicy(opt, priority) {}
+
+bool DedupBatchingPolicy::class_full(double now) const {
+  const std::vector<Pending>& pending = pending_requests();
+  if (pending.empty()) return false;
+  int top = kNumPriorityClasses;
+  for (const Pending& p : pending)
+    top = std::min(top, effective_class(p, now));
+  // Count distinct digest groups in the top class (an undigested request
+  // is its own group). Pending sets are small — bounded by the cap's
+  // worth of groups plus their duplicates — so a flat scan beats a hash
+  // set here, like dominant_digest below.
+  std::vector<MapCacheKey> seen;
+  std::size_t groups = 0;
+  for (const Pending& p : pending) {
+    if (effective_class(p, now) != top) continue;
+    if (!p.has_digest) {
+      ++groups;
+      continue;
+    }
+    bool dup = false;
+    for (const MapCacheKey& k : seen)
+      if (k == p.digest) {
+        dup = true;
+        break;
+      }
+    if (dup) continue;
+    seen.push_back(p.digest);
+    ++groups;
+  }
+  return groups >= static_cast<std::size_t>(batch_cap());
+}
+
+std::vector<std::size_t> DedupBatchingPolicy::select_members(
+    const std::vector<std::size_t>& eligible, double stamp) {
+  const std::vector<Pending>& pending = pending_requests();
+  const std::size_t cap = static_cast<std::size_t>(batch_cap());
+  std::vector<std::size_t> taken;
+  taken.reserve(eligible.size());
+  std::vector<char> used(eligible.size(), 0);
+  std::size_t groups = 0;
+  for (std::size_t i = 0; i < eligible.size() && groups < cap; ++i) {
+    if (used[i]) continue;
+    const Pending& seed = pending[eligible[i]];
+    used[i] = 1;
+    taken.push_back(eligible[i]);
+    ++groups;
+    if (!seed.has_digest) continue;
+    const int cls = effective_class(seed, stamp);
+    // Pull every eligible same-digest mate of the seed's effective class
+    // in directly behind it: contiguous emission is what lets the one
+    // cold build serve the whole group even when the cache budget is too
+    // tight to survive interleaving. Mates never consume cap, and never
+    // cross a class boundary — that is the strict-priority gate.
+    for (std::size_t j = i + 1; j < eligible.size(); ++j) {
+      if (used[j]) continue;
+      const Pending& mate = pending[eligible[j]];
+      if (!mate.has_digest || !(mate.digest == seed.digest)) continue;
+      if (effective_class(mate, stamp) != cls) continue;
+      used[j] = 1;
+      taken.push_back(eligible[j]);
+    }
+  }
+  return taken;
 }
 
 // ---------------------------------------------------------------------

@@ -40,12 +40,18 @@
 namespace ts::serve {
 
 /// One drained request as the batching policy sees it: its scheduling
-/// id (index into the drained stream), modeled arrival stamp, and
-/// priority class.
+/// id (index into the drained stream), modeled arrival stamp, priority
+/// class, and (when the policy asked for it via wants_digests) the
+/// request's input content digest — the duplicate-grouping key.
 struct ArrivalInfo {
   std::size_t id = 0;
   double arrival_seconds = 0;
   Priority priority = Priority::kNormal;
+  /// input_content_digest of the request's tensor; meaningful only when
+  /// has_digest is set (the serving loop computes digests only for
+  /// policies that want them).
+  MapCacheKey digest;
+  bool has_digest = false;
 };
 
 /// One dispatch decision of a BatchingPolicy: `members` (scheduling
@@ -81,6 +87,11 @@ class BatchingPolicy {
   /// Requests currently held back waiting for a dispatch trigger.
   virtual std::size_t pending() const = 0;
 
+  /// True when the policy groups on input content digests; the serving
+  /// loop then computes ArrivalInfo::digest for every drained request
+  /// (an O(points) hash it skips for digest-blind policies).
+  virtual bool wants_digests() const { return false; }
+
   virtual const char* name() const = 0;
 };
 
@@ -109,7 +120,7 @@ class BatchingPolicy {
 /// priority, all three policies reproduce DynamicBatcher's plan
 /// batch-for-batch and stamp-for-stamp (pinned by test) — which is how
 /// the legacy BatchRunner::serve wrapper stays bit-identical.
-class SloBatchingPolicy final : public BatchingPolicy {
+class SloBatchingPolicy : public BatchingPolicy {
  public:
   /// Preconditions (std::invalid_argument): slo_budget_seconds finite
   /// and >= 0; priority.aging_seconds > 0 (infinity = aging off).
@@ -125,25 +136,43 @@ class SloBatchingPolicy final : public BatchingPolicy {
   const PriorityOptions& priority_options() const { return prio_; }
 
   /// Convenience for offline sweeps: plans a whole arrival trace at
-  /// once — on_arrival over each entry, then flush.
+  /// once — on_arrival over each entry, then flush. `policy`-object
+  /// streams plan the same way through plan_with below.
   static std::vector<DispatchBatch> plan(
       const std::vector<ArrivalInfo>& arrivals, const BatcherOptions& opt,
       const PriorityOptions& priority = {});
 
- private:
+ protected:
   struct Pending {
     std::size_t id = 0;
     double arrival = 0;
     Priority priority = Priority::kNormal;
+    MapCacheKey digest;
+    bool has_digest = false;
   };
 
   int effective_class(const Pending& p, double now) const;
-  /// Dispatches one batch at `when`: strict-priority-plus-aging
-  /// selection among requests arrived by `when`, up to the batch cap.
-  void dispatch_at(double when, std::vector<DispatchBatch>& out);
-  /// True while the class-full trigger holds at `now`.
-  bool class_full(double now) const;
   int batch_cap() const;
+  const std::vector<Pending>& pending_requests() const { return pending_; }
+
+  /// Trigger hook: true while the class-full rule holds at `now`. The
+  /// base rule fires when the highest pending effective class holds
+  /// batch_cap() requests; DedupBatchingPolicy overrides it to count
+  /// distinct digests instead.
+  virtual bool class_full(double now) const;
+
+  /// Selection hook: `eligible` holds positions into the pending list
+  /// (requests arrived by `stamp`), sorted by (effective class,
+  /// arrival, id). Returns the positions to dispatch, in batch-member
+  /// order. The base policy takes the first batch_cap() of them.
+  virtual std::vector<std::size_t> select_members(
+      const std::vector<std::size_t>& eligible, double stamp);
+
+ private:
+  /// Dispatches one batch at `when`: strict-priority-plus-aging
+  /// selection among requests arrived by `when`, through the
+  /// select_members hook.
+  void dispatch_at(double when, std::vector<DispatchBatch>& out);
 
   BatcherOptions opt_;
   PriorityOptions prio_;
@@ -151,6 +180,53 @@ class SloBatchingPolicy final : public BatchingPolicy {
   double last_arrival_ = 0;
   double last_dispatch_ = 0;
   bool any_arrival_ = false;
+};
+
+/// Runs any batching policy over a whole arrival trace: on_arrival per
+/// entry, then flush. The object-parameterized form of
+/// SloBatchingPolicy::plan, for offline sweeps and plan-equality tests.
+std::vector<DispatchBatch> plan_with(BatchingPolicy& policy,
+                                     const std::vector<ArrivalInfo>& arrivals);
+
+/// Duplicate-aware batch formation: SloBatchingPolicy's deadline and
+/// strict-priority rules with the batch cap re-read as *distinct
+/// content digests* instead of requests, so same-digest requests (the
+/// near-duplicate LiDAR scans the kernel-map cache exists for) group
+/// into one dispatch and a single cold map build amortizes across all
+/// of them.
+///
+/// The two digest-aware changes, both no-ops on an all-unique stream:
+///  * Class-full trigger: the top effective class is full when it holds
+///    max_batch distinct digest groups (an undigested request is its
+///    own group). Duplicates therefore never fire the trigger early —
+///    they wait with their group, bounded as ever by the SLO deadline
+///    rule, which is inherited unchanged.
+///  * Selection: walk the eligible requests in the usual (effective
+///    class, arrival, id) order, but take whole digest groups — a seed
+///    plus every eligible same-digest mate of the same effective class
+///    — emitted contiguously, until max_batch groups are taken. Mates
+///    ride along without consuming cap, so a dispatch may carry more
+///    than max_batch requests when digests repeat; strict priority is
+///    preserved because a group never crosses an effective-class
+///    boundary.
+///
+/// At 0% duplicates every group is a singleton, both rules degenerate
+/// to the base policy's, and the emitted plan is bit-equal to
+/// SloBatchingPolicy's (pinned by test). Grouped dispatches feed
+/// cache_affinity routing its natural input: one batch, one dominant
+/// digest, one owner device.
+class DedupBatchingPolicy final : public SloBatchingPolicy {
+ public:
+  explicit DedupBatchingPolicy(BatcherOptions opt,
+                               PriorityOptions priority = {});
+
+  bool wants_digests() const override { return true; }
+  const char* name() const override { return "slo-dedup"; }
+
+ protected:
+  bool class_full(double now) const override;
+  std::vector<std::size_t> select_members(
+      const std::vector<std::size_t>& eligible, double stamp) override;
 };
 
 /// Everything a RoutingPolicy may consult about the batch being routed.

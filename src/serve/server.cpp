@@ -1,5 +1,7 @@
 #include "serve/server.hpp"
 
+#include "io/serialize.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <condition_variable>
@@ -82,6 +84,20 @@ ServerConfig& ServerConfig::with_batching_policy(
 ServerConfig& ServerConfig::with_routing_policy(
     std::shared_ptr<RoutingPolicy> p) {
   routing = std::move(p);
+  return *this;
+}
+ServerConfig& ServerConfig::warm_start(const std::string& path) {
+  warm_snapshot = std::make_shared<const MapCacheSnapshot>(
+      io::load_map_cache_file(path));
+  return *this;
+}
+ServerConfig& ServerConfig::with_warm_snapshot(
+    std::shared_ptr<const MapCacheSnapshot> snap) {
+  warm_snapshot = std::move(snap);
+  return *this;
+}
+ServerConfig& ServerConfig::with_dedup_batching(bool on) {
+  dedup_batching = on;
   return *this;
 }
 
@@ -404,9 +420,15 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
         " devices exceeds kMaxModeledDevices (" +
         std::to_string(kMaxModeledDevices) + ")");
   RunOptions run = config.run;
-  if (!run.map_cache && config.map_cache_bytes > 0)
+  const bool fresh_cache = !run.map_cache && config.map_cache_bytes > 0;
+  if (fresh_cache)
     run.map_cache = std::make_shared<KernelMapCache>(config.map_cache_bytes);
   const bool cached = static_cast<bool>(run.map_cache);
+  // Warm-start the wall-clock cache only when this call created it — a
+  // caller-owned cache (the Server path, which imports at construction)
+  // must not be re-imported every session.
+  if (fresh_cache && config.warm_snapshot)
+    run.map_cache->import_snapshot(*config.warm_snapshot);
 
   StreamReport report;
 
@@ -428,6 +450,11 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
                         cached ? run.map_cache->byte_budget() : 0)
           : DeviceGroup(config.fleet,
                         cached ? run.map_cache->byte_budget() : 0);
+  // Install the warm-start manifest before the placer's begin_schedule
+  // call, so the session's modeled caches seed from it. Modeled warming
+  // is keyed on the configured snapshot alone (not on who owns the wall
+  // cache): stats stay deterministic functions of the config + stream.
+  if (cached && config.warm_snapshot) group.warm_start(config.warm_snapshot);
   StreamPlacer placer(
       group, routing, workers, config.batch_overhead_seconds,
       [&results](std::size_t i) -> StreamResult& { return results[i]; },
@@ -627,8 +654,16 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
       assigned.push_back(0);
       if (cached) events.emplace_back();
       try {
-        std::vector<DispatchBatch> closed =
-            batching.on_arrival({idx, pr.arrival_seconds, pr.priority});
+        ArrivalInfo info{idx, pr.arrival_seconds, pr.priority, {}, false};
+        if (batching.wants_digests()) {
+          // O(points) content hash, computed only for digest-aware
+          // policies, from the drained tensor before any worker can
+          // borrow it.
+          info.digest = input_content_digest(inputs.back().coords(),
+                                             inputs.back().stride());
+          info.has_digest = true;
+        }
+        std::vector<DispatchBatch> closed = batching.on_arrival(info);
         for (DispatchBatch& b : closed) append_batch_locked(std::move(b));
         work.push_back({idx, &inputs.back(), &results.back(),
                         cached ? &events.back() : nullptr});
@@ -739,10 +774,21 @@ Server::Server(ServerConfig config) : cfg_(std::move(config)) {
     throw std::invalid_argument("Server: queue.max_depth must be >= 1");
   // Validate the default policy knobs eagerly (throws invalid_argument)
   // so a bad configuration fails at construction, not at start().
-  if (!cfg_.batching) SloBatchingPolicy probe(cfg_.batcher, cfg_.priority);
+  if (!cfg_.batching) {
+    if (cfg_.dedup_batching)
+      DedupBatchingPolicy probe(cfg_.batcher, cfg_.priority);
+    else
+      SloBatchingPolicy probe(cfg_.batcher, cfg_.priority);
+  }
   if (!cfg_.run.map_cache && cfg_.map_cache_bytes > 0)
     cfg_.run.map_cache =
         std::make_shared<KernelMapCache>(cfg_.map_cache_bytes);
+  // Warm-start the server-owned wall-clock cache once, here: the first
+  // request after a restart hits instead of rebuilding. Per-session
+  // modeled warming is serve_stream's job (it reads cfg_.warm_snapshot
+  // directly), so it applies identically every session.
+  if (cfg_.run.map_cache && cfg_.warm_snapshot)
+    cfg_.run.map_cache->import_snapshot(*cfg_.warm_snapshot);
 }
 
 Server::~Server() { stop(); }
@@ -756,9 +802,14 @@ void Server::start(ModelFn model) {
   report_ = StreamReport{};
   error_ = nullptr;
   std::shared_ptr<BatchingPolicy> batching = cfg_.batching;
-  if (!batching)
-    batching = std::make_shared<SloBatchingPolicy>(cfg_.batcher,
-                                                   cfg_.priority);
+  if (!batching) {
+    if (cfg_.dedup_batching)
+      batching = std::make_shared<DedupBatchingPolicy>(cfg_.batcher,
+                                                       cfg_.priority);
+    else
+      batching = std::make_shared<SloBatchingPolicy>(cfg_.batcher,
+                                                     cfg_.priority);
+  }
   std::shared_ptr<RoutingPolicy> routing = cfg_.routing;
   if (!routing) routing = make_routing_policy(cfg_.shard.route);
   running_ = true;

@@ -43,6 +43,7 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -93,6 +94,23 @@ struct ServerConfig {
   /// Custom routing (e.g. heterogeneous service estimates); when null
   /// the server uses make_routing_policy(shard.route).
   std::shared_ptr<RoutingPolicy> routing;
+  /// Warm-start manifest (null = cold starts, the default): a kernel-map
+  /// cache snapshot — typically a previous deployment's
+  /// KernelMapCache::save_snapshot image — applied twice. The
+  /// server-owned wall-clock cache imports the payloads once at
+  /// construction, so the first request after a restart hits instead of
+  /// rebuilding; and every serving session seeds each device shard's
+  /// modeled cache from the manifest (DeviceGroup::warm_start) before
+  /// any batch is routed, so modeled hit/miss accounting — still
+  /// deterministic and worker-count invariant — starts from the warmed
+  /// population instead of cold. Populate through warm_start(path) /
+  /// with_warm_snapshot.
+  std::shared_ptr<const MapCacheSnapshot> warm_snapshot;
+  /// Replace the default SloBatchingPolicy with DedupBatchingPolicy:
+  /// same deadline/priority rules, but same-content-digest requests
+  /// group into one dispatch (see serve_policies.hpp). Ignored when a
+  /// custom `batching` policy is set.
+  bool dedup_batching = false;
 
   ServerConfig& with_device(DeviceSpec d);
   ServerConfig& with_engine(EngineConfig e);
@@ -120,6 +138,13 @@ struct ServerConfig {
   ServerConfig& with_route(RoutePolicy r);
   ServerConfig& with_batching_policy(std::shared_ptr<BatchingPolicy> p);
   ServerConfig& with_routing_policy(std::shared_ptr<RoutingPolicy> p);
+  /// Loads a .tsmc snapshot file (io::load_map_cache_file — throws
+  /// std::runtime_error on a missing or malformed file, before anything
+  /// is configured) into warm_snapshot.
+  ServerConfig& warm_start(const std::string& path);
+  ServerConfig& with_warm_snapshot(
+      std::shared_ptr<const MapCacheSnapshot> snap);
+  ServerConfig& with_dedup_batching(bool on = true);
 };
 
 /// Generalized one-shot modeled scheduler: places `plan` (explicit,

@@ -1,6 +1,7 @@
 // Serialization round-trip and malformed-input tests.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -172,6 +173,233 @@ TEST(Io, RejectsTruncatedCoordBlock) {
   // Cut inside the second coordinate record, before any feature bytes.
   std::stringstream cut(full.substr(0, kStrideOffset + 4 + 16 + 8));
   EXPECT_THROW(io::load_tensor(cut), std::runtime_error);
+}
+
+// --- Map-cache snapshots (.tsmc) --------------------------------------
+//
+// Byte layout under test (all little-endian):
+//   [magic u32 @0][version u32 @4][byte_budget u64 @8][count u64 @16]
+//   per entry: [key.lo u64][key.hi u64][build_wall_seconds f64]
+//              [declared bytes u64][kind u8][payload...]
+// so entry 0 starts at offset 24 with its kind byte at offset 56.
+constexpr std::size_t kSnapCountOffset = 16;
+constexpr std::size_t kSnapEntry0 = 24;
+constexpr std::size_t kSnapEntryHeader = 8 + 8 + 8 + 8 + 1;
+constexpr std::size_t kSnapBuildTimeOffset = kSnapEntry0 + 16;
+constexpr std::size_t kSnapDeclaredOffset = kSnapEntry0 + 24;
+constexpr std::size_t kSnapKindOffset = kSnapEntry0 + 32;
+
+/// One kernel-map entry followed by one downsample-coords entry — both
+/// payload kinds in one stream, in a deterministic hand-built shape so
+/// corruption offsets are computable.
+MapCacheSnapshot sample_snapshot() {
+  MapCacheSnapshot snap;
+  snap.byte_budget = std::size_t(1) << 20;
+
+  auto km = std::make_shared<KernelMap>();
+  km->kernel_size = 3;
+  km->maps.resize(2);
+  km->maps[0].push_back({0, 1});
+  km->maps[1].push_back({1, 0});
+  km->stats.queries = 4;
+  km->stats.index_accesses = 2;
+  km->stats.build_accesses = 8;
+  km->stats.used_symmetry = false;
+  km->stats.backend = MapBackend::kGrid;
+  MapCacheSnapshotEntry kmap_entry;
+  kmap_entry.key = {0x1111, 0x2222};
+  kmap_entry.payload.kmap = std::move(km);
+  kmap_entry.bytes = map_cache_payload_bytes(kmap_entry.payload);
+  kmap_entry.build_wall_seconds = 0.5;
+  snap.entries.push_back(std::move(kmap_entry));
+
+  auto cs = std::make_shared<std::vector<Coord>>(
+      std::vector<Coord>{{0, 1, 2, 3}, {0, 4, 5, 6}, {1, 7, 8, 9}});
+  MapCacheSnapshotEntry coords_entry;
+  coords_entry.key = {0x3333, 0x4444};
+  coords_entry.payload.coords = std::move(cs);
+  coords_entry.payload.ds_counters.kernel_launches = 3;
+  coords_entry.payload.ds_counters.dram_bytes = 1234.5;
+  coords_entry.payload.ds_counters.instr_ops = 67.0;
+  coords_entry.payload.ds_counters.candidates = 24;
+  coords_entry.payload.ds_counters.kept = 3;
+  coords_entry.bytes = map_cache_payload_bytes(coords_entry.payload);
+  coords_entry.build_wall_seconds = 0.25;
+  snap.entries.push_back(std::move(coords_entry));
+  return snap;
+}
+
+std::string snapshot_bytes(const MapCacheSnapshot& snap) {
+  std::stringstream ss;
+  io::save_map_cache(ss, snap);
+  return ss.str();
+}
+
+/// Offset of entry 1 in the sample image = header + entry 0's extent,
+/// measured by serializing a one-entry snapshot rather than hand-adding
+/// payload field sizes.
+std::size_t sample_entry1_offset() {
+  MapCacheSnapshot head = sample_snapshot();
+  head.entries.pop_back();
+  return snapshot_bytes(head).size();
+}
+
+void expect_load_error(std::string bytes, const std::string& needle) {
+  std::stringstream corrupt(std::move(bytes));
+  try {
+    io::load_map_cache(corrupt);
+    FAIL() << "expected std::runtime_error containing '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(MapCacheIo, FileRoundTrip) {
+  const MapCacheSnapshot snap = sample_snapshot();
+  const std::string path = "/tmp/ts_io_test.tsmc";
+  io::save_map_cache_file(path, snap);
+  const MapCacheSnapshot back = io::load_map_cache_file(path);
+  EXPECT_EQ(back.byte_budget, snap.byte_budget);
+  ASSERT_EQ(back.entries.size(), snap.entries.size());
+  for (std::size_t i = 0; i < snap.entries.size(); ++i) {
+    EXPECT_EQ(back.entries[i].key, snap.entries[i].key);
+    EXPECT_EQ(back.entries[i].bytes, snap.entries[i].bytes);
+    EXPECT_DOUBLE_EQ(back.entries[i].build_wall_seconds,
+                     snap.entries[i].build_wall_seconds);
+  }
+  EXPECT_TRUE(back.entries[0].payload.kmap);
+  EXPECT_TRUE(back.entries[1].payload.coords);
+  EXPECT_EQ(back.entries[1].payload.coords->size(), 3u);
+  EXPECT_DOUBLE_EQ(back.entries[1].payload.ds_counters.dram_bytes, 1234.5);
+
+  EXPECT_THROW(io::load_map_cache_file("/tmp/ts_io_does_not_exist.tsmc"),
+               std::runtime_error);
+}
+
+TEST(MapCacheIo, RejectsTruncatedSnapshot) {
+  const std::string full = snapshot_bytes(sample_snapshot());
+  // Cut inside the header, inside entry 0, and one byte short of the
+  // end: each is a loud error, never a silently shorter cache.
+  for (const std::size_t cut :
+       {std::size_t(6), kSnapEntry0 + 10, full.size() - 1}) {
+    expect_load_error(full.substr(0, cut), "truncated stream");
+  }
+}
+
+TEST(MapCacheIo, RejectsBadMagicAndVersion) {
+  const std::string full = snapshot_bytes(sample_snapshot());
+  std::string bad_magic = full;
+  bad_magic[0] = 'X';
+  expect_load_error(std::move(bad_magic), "bad magic");
+  std::string bad_version = full;
+  bad_version[4] = 9;
+  expect_load_error(std::move(bad_version), "unsupported version");
+}
+
+TEST(MapCacheIo, RejectsImplausibleEntryCount) {
+  std::string bytes = snapshot_bytes(sample_snapshot());
+  // Patch the count's 4th byte: 2 entries become 2 + 2^24, past the
+  // loader's plausibility limit — rejected before any allocation.
+  bytes[kSnapCountOffset + 3] = 1;
+  expect_load_error(std::move(bytes), "implausible element count");
+}
+
+TEST(MapCacheIo, RejectsOverBudgetEntry) {
+  MapCacheSnapshot snap = sample_snapshot();
+  std::string bytes = snapshot_bytes(snap);
+  const uint64_t declared = static_cast<uint64_t>(snap.byte_budget) + 1;
+  std::memcpy(&bytes[kSnapDeclaredOffset], &declared, sizeof(declared));
+  expect_load_error(std::move(bytes),
+                    "past the snapshot's own byte budget");
+}
+
+TEST(MapCacheIo, RejectsDigestPayloadMismatch) {
+  std::string bytes = snapshot_bytes(sample_snapshot());
+  uint64_t declared = 0;
+  std::memcpy(&declared, &bytes[kSnapDeclaredOffset], sizeof(declared));
+  ++declared;  // still under budget, but no longer what the payload is
+  std::memcpy(&bytes[kSnapDeclaredOffset], &declared, sizeof(declared));
+  expect_load_error(std::move(bytes), "snapshot digest/payload mismatch");
+}
+
+TEST(MapCacheIo, RejectsNegativeBuildTime) {
+  std::string bytes = snapshot_bytes(sample_snapshot());
+  bytes[kSnapBuildTimeOffset + 7] |= char(0x80);  // f64 sign bit
+  expect_load_error(std::move(bytes),
+                    "non-finite or negative build time");
+}
+
+TEST(MapCacheIo, RejectsUnknownPayloadKind) {
+  std::string bytes = snapshot_bytes(sample_snapshot());
+  bytes[kSnapKindOffset] = 7;
+  expect_load_error(std::move(bytes), "unknown payload kind in snapshot");
+}
+
+TEST(MapCacheIo, RejectsCorruptKernelMapPayload) {
+  const std::string full = snapshot_bytes(sample_snapshot());
+  // kernel_size (i32) sits right after entry 0's kind byte.
+  std::string zero_kernel = full;
+  for (std::size_t i = 0; i < 4; ++i) zero_kernel[kSnapKindOffset + 1 + i] = 0;
+  expect_load_error(std::move(zero_kernel),
+                    "implausible kernel size in snapshot");
+
+  // First pair's `in` index: kernel_size(4) + volume(8) + map-0 count(8).
+  const std::size_t in_offset = kSnapKindOffset + 1 + 4 + 8 + 8;
+  std::string negative_index = full;
+  negative_index[in_offset + 3] = char(0x80);
+  expect_load_error(std::move(negative_index),
+                    "negative kernel-map index in snapshot");
+
+  // Entry 0's last two bytes are the symmetry flag and the backend tag.
+  const std::size_t entry1 = sample_entry1_offset();
+  std::string bad_backend = full;
+  bad_backend[entry1 - 1] = 2;
+  expect_load_error(std::move(bad_backend), "bad map backend in snapshot");
+  std::string bad_symmetry = full;
+  bad_symmetry[entry1 - 2] = 2;
+  expect_load_error(std::move(bad_symmetry), "bad symmetry flag in snapshot");
+}
+
+TEST(MapCacheIo, RejectsCorruptCoordsPayload) {
+  const std::string full = snapshot_bytes(sample_snapshot());
+  const std::size_t entry1 = sample_entry1_offset();
+  // First coordinate's x field: entry header + coord count + Coord::b.
+  const std::size_t x_offset = entry1 + kSnapEntryHeader + 8 + 4;
+  std::string huge_coord = full;
+  huge_coord[x_offset + 2] = char(0xFF);
+  huge_coord[x_offset + 3] = char(0x7F);
+  expect_load_error(std::move(huge_coord),
+                    "coordinate out of range in snapshot");
+
+  // dram_bytes (f64) is 4th-from-last of the five trailing counters.
+  const std::size_t dram_offset = full.size() - 8 * 4;
+  std::string negative_dram = full;
+  negative_dram[dram_offset + 7] |= char(0x80);
+  expect_load_error(std::move(negative_dram),
+                    "non-finite or negative downsample counter in snapshot");
+}
+
+TEST(MapCacheIo, RejectsDuplicateDigest) {
+  MapCacheSnapshot snap = sample_snapshot();
+  snap.entries[1].key = snap.entries[0].key;
+  // The save path doesn't deduplicate (it trusts the exporting cache,
+  // whose map can't hold duplicates); the loader must.
+  expect_load_error(snapshot_bytes(snap), "duplicate digest in snapshot");
+}
+
+TEST(MapCacheIo, SaveRejectsMalformedEntries) {
+  // Exactly one payload per entry: zero or both is a caller bug the
+  // writer refuses to serialize rather than emit an unloadable stream.
+  MapCacheSnapshot empty_payload = sample_snapshot();
+  empty_payload.entries[0].payload.kmap.reset();
+  std::stringstream ss;
+  EXPECT_THROW(io::save_map_cache(ss, empty_payload), std::runtime_error);
+
+  MapCacheSnapshot both = sample_snapshot();
+  both.entries[0].payload.coords = both.entries[1].payload.coords;
+  std::stringstream ss2;
+  EXPECT_THROW(io::save_map_cache(ss2, both), std::runtime_error);
 }
 
 TEST(Io, TimelineCsvContainsAllStages) {

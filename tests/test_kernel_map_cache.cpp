@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <sstream>
 #include <unordered_set>
 #include <vector>
 
@@ -245,6 +246,254 @@ TEST(KernelMapCache, HitRateAccounting) {
   EXPECT_DOUBLE_EQ(s.hit_rate(), 0.8);
   EXPECT_EQ(s.insertions, 1u);
   EXPECT_GE(s.build_wall_seconds_saved, 0.0);
+}
+
+// --- Snapshots and warm start -----------------------------------------
+
+/// Deterministic coords payload of `n` coordinates — a sizing knob for
+/// budget/eviction tests (map_cache_payload_bytes scales with n).
+MapCachePayload coords_payload(int n, int32_t salt) {
+  auto cs = std::make_shared<std::vector<Coord>>();
+  for (int i = 0; i < n; ++i)
+    cs->push_back({0, salt, static_cast<int32_t>(i), salt + 1});
+  MapCachePayload p;
+  p.coords = std::move(cs);
+  p.ds_counters.kernel_launches = 3;
+  p.ds_counters.dram_bytes = 1234.5;
+  p.ds_counters.instr_ops = 67.0;
+  p.ds_counters.candidates = static_cast<std::size_t>(n) * 8;
+  p.ds_counters.kept = static_cast<std::size_t>(n);
+  return p;
+}
+
+MapCachePayload kmap_payload(const SparseTensor& t) {
+  ConvGeometry geom{3, 1, false, 1};
+  MapSearchOptions opts{MapBackend::kGrid, true};
+  MapCachePayload p;
+  p.kmap = std::make_shared<const KernelMap>(
+      build_kernel_map(t.coords(), t.coords(), geom, opts));
+  return p;
+}
+
+void expect_same_payload(const MapCachePayload& a, const MapCachePayload& b) {
+  ASSERT_EQ(static_cast<bool>(a.kmap), static_cast<bool>(b.kmap));
+  ASSERT_EQ(static_cast<bool>(a.coords), static_cast<bool>(b.coords));
+  if (a.kmap) {
+    EXPECT_EQ(a.kmap->kernel_size, b.kmap->kernel_size);
+    ASSERT_EQ(a.kmap->maps.size(), b.kmap->maps.size());
+    for (std::size_t m = 0; m < a.kmap->maps.size(); ++m) {
+      ASSERT_EQ(a.kmap->maps[m].size(), b.kmap->maps[m].size()) << m;
+      for (std::size_t i = 0; i < a.kmap->maps[m].size(); ++i) {
+        EXPECT_EQ(a.kmap->maps[m][i].in, b.kmap->maps[m][i].in);
+        EXPECT_EQ(a.kmap->maps[m][i].out, b.kmap->maps[m][i].out);
+      }
+    }
+    EXPECT_EQ(a.kmap->stats.queries, b.kmap->stats.queries);
+    EXPECT_EQ(a.kmap->stats.index_accesses, b.kmap->stats.index_accesses);
+    EXPECT_EQ(a.kmap->stats.build_accesses, b.kmap->stats.build_accesses);
+    EXPECT_EQ(a.kmap->stats.used_symmetry, b.kmap->stats.used_symmetry);
+    EXPECT_EQ(a.kmap->stats.backend, b.kmap->stats.backend);
+  }
+  if (a.coords) {
+    ASSERT_EQ(a.coords->size(), b.coords->size());
+    for (std::size_t i = 0; i < a.coords->size(); ++i) {
+      EXPECT_EQ(pack_coord((*a.coords)[i]), pack_coord((*b.coords)[i])) << i;
+    }
+    EXPECT_EQ(a.ds_counters.kernel_launches, b.ds_counters.kernel_launches);
+    EXPECT_DOUBLE_EQ(a.ds_counters.dram_bytes, b.ds_counters.dram_bytes);
+    EXPECT_DOUBLE_EQ(a.ds_counters.instr_ops, b.ds_counters.instr_ops);
+    EXPECT_EQ(a.ds_counters.candidates, b.ds_counters.candidates);
+    EXPECT_EQ(a.ds_counters.kept, b.ds_counters.kept);
+  }
+}
+
+TEST(MapCacheSnapshot, RoundTripIsByteIdentical) {
+  // Both payload kinds, plus build-time/LRU metadata, must survive
+  // save -> load -> save byte-for-byte.
+  KernelMapCache cache(std::size_t(64) << 20);
+  const SparseTensor t = random_tensor(180, 12, 4, 41);
+  EXPECT_TRUE(cache.admit({1, 2}, kmap_payload(t), 0.25));
+  EXPECT_TRUE(cache.admit({3, 4}, coords_payload(100, 5), 0.5));
+  EXPECT_TRUE(cache.admit({5, 6}, coords_payload(40, 9), 0.0));
+
+  std::stringstream image;
+  cache.save_snapshot(image);
+
+  KernelMapCache restored(std::size_t(64) << 20);
+  restored.load_snapshot(image);
+  std::stringstream image2;
+  restored.save_snapshot(image2);
+  EXPECT_EQ(image.str(), image2.str());  // byte-identical re-serialization
+
+  const MapCacheSnapshot a = cache.export_snapshot();
+  const MapCacheSnapshot b = restored.export_snapshot();
+  EXPECT_EQ(a.byte_budget, b.byte_budget);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].key, b.entries[i].key) << i;
+    EXPECT_EQ(a.entries[i].bytes, b.entries[i].bytes) << i;
+    EXPECT_DOUBLE_EQ(a.entries[i].build_wall_seconds,
+                     b.entries[i].build_wall_seconds)
+        << i;
+    expect_same_payload(a.entries[i].payload, b.entries[i].payload);
+  }
+
+  // Restoring counts insertions, never lookups: warm-start seeding must
+  // not perturb hit-rate accounting.
+  const MapCacheStats s = restored.stats();
+  EXPECT_EQ(s.entries, 3u);
+  EXPECT_EQ(s.insertions, 3u);
+  EXPECT_EQ(s.lookups, 0u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.bytes_in_use, cache.stats().bytes_in_use);
+}
+
+TEST(MapCacheSnapshot, EvictionOrderSurvivesRoundTripUnderChurn) {
+  // Snapshot a cache whose LRU order was permuted by hits, restore it,
+  // then drive both caches through an identical admission churn: the
+  // restored cache must evict exactly the same keys in the same order.
+  const MapCachePayload unit = coords_payload(50, 1);
+  const std::size_t unit_bytes = map_cache_payload_bytes(unit);
+  KernelMapCache original(4 * unit_bytes + 64);
+  const MapCacheKey k1{11, 0}, k2{22, 0}, k3{33, 0}, k4{44, 0};
+  EXPECT_TRUE(original.admit(k1, coords_payload(50, 1)));
+  EXPECT_TRUE(original.admit(k2, coords_payload(50, 2)));
+  EXPECT_TRUE(original.admit(k3, coords_payload(50, 3)));
+  EXPECT_TRUE(original.admit(k4, coords_payload(50, 4)));
+  // Touch k1 and k3: LRU order becomes k2, k4, k1, k3 (LRU-first).
+  original.get_or_build(k1, [] { return MapCachePayload{}; });
+  original.get_or_build(k3, [] { return MapCachePayload{}; });
+
+  const MapCacheSnapshot snap = original.export_snapshot();
+  ASSERT_EQ(snap.entries.size(), 4u);
+  EXPECT_EQ(snap.entries.front().key, k2);  // LRU first
+  EXPECT_EQ(snap.entries.back().key, k3);   // MRU last
+
+  KernelMapCache restored(4 * unit_bytes + 64);
+  restored.import_snapshot(snap);
+  // Identical churn on both: two new admissions evict the two LRU
+  // entries (k2 then k4) from each cache.
+  for (KernelMapCache* c : {&original, &restored}) {
+    EXPECT_TRUE(c->admit({55, 0}, coords_payload(50, 5)));
+    EXPECT_TRUE(c->admit({66, 0}, coords_payload(50, 6)));
+  }
+  for (KernelMapCache* c : {&original, &restored}) {
+    EXPECT_FALSE(c->contains(k2));
+    EXPECT_FALSE(c->contains(k4));
+    EXPECT_TRUE(c->contains(k1));
+    EXPECT_TRUE(c->contains(k3));
+    EXPECT_TRUE(c->contains({55, 0}));
+    EXPECT_TRUE(c->contains({66, 0}));
+  }
+  EXPECT_EQ(original.stats().entries, restored.stats().entries);
+  EXPECT_EQ(original.stats().bytes_in_use, restored.stats().bytes_in_use);
+}
+
+TEST(MapCacheSnapshot, SmallerBudgetKeepsMruSuffix) {
+  const MapCachePayload unit = coords_payload(50, 1);
+  const std::size_t unit_bytes = map_cache_payload_bytes(unit);
+  KernelMapCache big(3 * unit_bytes + 64);
+  const MapCacheKey k1{1, 0}, k2{2, 0}, k3{3, 0};
+  big.admit(k1, coords_payload(50, 1));
+  big.admit(k2, coords_payload(50, 2));
+  big.admit(k3, coords_payload(50, 3));
+
+  // Re-admitting LRU-first into a 2-entry budget must keep the MRU
+  // suffix {k2, k3} — the entries the saving cache valued most.
+  KernelMapCache small(2 * unit_bytes + 64);
+  small.import_snapshot(big.export_snapshot());
+  EXPECT_FALSE(small.contains(k1));
+  EXPECT_TRUE(small.contains(k2));
+  EXPECT_TRUE(small.contains(k3));
+  EXPECT_EQ(small.stats().entries, 2u);
+}
+
+TEST(MapCacheSnapshot, RecordModeCacheRefusesPayloadExport) {
+  KernelMapCache record(std::size_t(1) << 20);
+  record.record_lookup({7, 7}, 512);
+  EXPECT_THROW(record.export_snapshot(), std::logic_error);
+  std::stringstream os;
+  EXPECT_THROW(record.save_snapshot(os), std::logic_error);
+}
+
+TEST(MapCacheSnapshot, AdmitSkipsOversizedAndRefreshesExisting) {
+  const MapCachePayload unit = coords_payload(50, 1);
+  const std::size_t unit_bytes = map_cache_payload_bytes(unit);
+  KernelMapCache cache(2 * unit_bytes + 64);
+  const MapCacheKey k1{1, 0}, k2{2, 0}, k3{3, 0};
+  EXPECT_TRUE(cache.admit(k1, coords_payload(50, 1)));
+  EXPECT_TRUE(cache.admit(k2, coords_payload(50, 2)));
+  // A payload past the whole budget is skipped, population untouched.
+  EXPECT_FALSE(cache.admit({9, 9}, coords_payload(500, 9)));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  // Re-admitting k1 refreshes it to MRU: the next eviction takes k2.
+  EXPECT_TRUE(cache.admit(k1, coords_payload(50, 1)));
+  EXPECT_TRUE(cache.admit(k3, coords_payload(50, 3)));
+  EXPECT_TRUE(cache.contains(k1));
+  EXPECT_FALSE(cache.contains(k2));
+  EXPECT_TRUE(cache.contains(k3));
+}
+
+TEST(MapCacheSnapshot, ReplayWarmStartMatchesNeverSerializedReplay) {
+  // A replay warm-started from a snapshot must produce the same modeled
+  // stats over the test traffic as a replay that reached the same
+  // population by replaying the warming traffic itself.
+  const MapCacheKey ka{1, 1}, kb{2, 2}, kc{3, 3};
+  auto event = [](const MapCacheKey& k, std::size_t bytes) {
+    MapCacheEvent ev;
+    ev.key = k;
+    ev.bytes = bytes;
+    ev.cold_seconds = 1.0;
+    ev.hit_seconds = 0.125;
+    return ev;
+  };
+  const std::vector<MapCacheEvent> warm_traffic = {
+      event(ka, 1000), event(kb, 1000), event(kc, 1000)};
+  const std::vector<MapCacheEvent> test_traffic = {
+      event(kb, 1000), event(ka, 1000), event(kc, 1000), event(ka, 1000)};
+
+  // Path 1: replay the warming traffic, then the test traffic.
+  MapCacheReplay lived(std::size_t(1) << 20);
+  Timeline scratch;
+  lived.apply(warm_traffic, scratch);
+  const MapCacheReplayStats before = lived.stats();
+  lived.apply(test_traffic, scratch);
+
+  // Path 2: the same population via a snapshot manifest. (The payload
+  // cache admits the same keys in the same order; its exported manifest
+  // carries their keys and byte footprints.)
+  KernelMapCache source(std::size_t(1) << 20);
+  MapCachePayload p = coords_payload(50, 1);
+  const std::size_t bytes = map_cache_payload_bytes(p);
+  source.admit(ka, coords_payload(50, 1));
+  source.admit(kb, coords_payload(50, 2));
+  source.admit(kc, coords_payload(50, 3));
+  MapCacheSnapshot snap = source.export_snapshot();
+  for (MapCacheSnapshotEntry& e : snap.entries) e.bytes = 1000;  // as lived
+  (void)bytes;
+
+  MapCacheReplay warmed(std::size_t(1) << 20);
+  warmed.warm_start(snap);
+  // Seeding is not traffic: every counter still zero.
+  EXPECT_EQ(warmed.stats().lookups, 0u);
+  EXPECT_EQ(warmed.stats().hits, 0u);
+  EXPECT_EQ(warmed.stats().misses, 0u);
+  EXPECT_EQ(warmed.stats().evictions, 0u);
+  Timeline scratch2;
+  warmed.apply(test_traffic, scratch2);
+
+  // Identical test-phase deltas: every lookup in the warmed replay hits,
+  // exactly like the replay that lived through the warming traffic.
+  EXPECT_EQ(warmed.stats().lookups, lived.stats().lookups - before.lookups);
+  EXPECT_EQ(warmed.stats().hits, lived.stats().hits - before.hits);
+  EXPECT_EQ(warmed.stats().misses, lived.stats().misses - before.misses);
+  EXPECT_EQ(warmed.stats().evictions,
+            lived.stats().evictions - before.evictions);
+  EXPECT_DOUBLE_EQ(
+      warmed.stats().modeled_seconds_saved,
+      lived.stats().modeled_seconds_saved - before.modeled_seconds_saved);
+  EXPECT_EQ(warmed.stats().hits, 4u);  // every test lookup warm
 }
 
 // --- Serving integration ----------------------------------------------

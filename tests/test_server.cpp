@@ -4,16 +4,16 @@
 // service-estimate hook), and warm-context hand-off across sessions.
 #include <gtest/gtest.h>
 
-#include <chrono>
 #include <random>
+#include <sstream>
 #include <stdexcept>
-#include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "engines/presets.hpp"
 #include "engines/runner.hpp"
 #include "gpusim/device.hpp"
+#include "io/serialize.hpp"
 #include "nn/layers.hpp"
 #include "serve/batch_runner.hpp"
 #include "serve/request_queue.hpp"
@@ -325,17 +325,15 @@ TEST(IncrementalFulfillment, EarlyHandleReadyWhileLaterBatchesPending) {
   server.start(model);
 
   // Submit only the first request; its singleton batch is placeable the
-  // moment it is measured, long before the stream ends.
+  // moment it is measured, long before the stream ends. get() blocks on
+  // the handle's own fulfillment latch — no wall-clock polling, so the
+  // wait is exact on any scheduler. The queue is still open and five
+  // later requests have not even been submitted, yet the early handle
+  // resolves.
   serve::StreamHandle first = server.submit(stream[0], 0.0);
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(30);
-  while (!first.ready() && std::chrono::steady_clock::now() < deadline)
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  // The queue is still open and five later requests have not even been
-  // submitted — yet the early handle has resolved.
-  ASSERT_TRUE(first.ready());
-  EXPECT_TRUE(server.running());
   const serve::StreamResult early = first.get();
+  EXPECT_TRUE(first.ready());
+  EXPECT_TRUE(server.running());
   EXPECT_EQ(early.id, 0u);
   EXPECT_EQ(early.batch_id, 0u);
 
@@ -540,6 +538,250 @@ TEST(Server, CustomBatchingPolicyIsResetAfterFailedSession) {
   server.submit(random_tensor(50, 8, 4, 4801), 0.0);
   const serve::StreamReport ok = server.drain();
   EXPECT_EQ(ok.stats.completed, 1u);
+}
+
+// --- Duplicate-aware batch formation ----------------------------------
+
+serve::ArrivalInfo arrival_at(std::size_t id, double t, uint64_t digest,
+                              serve::Priority prio = serve::Priority::kNormal) {
+  serve::ArrivalInfo a;
+  a.id = id;
+  a.arrival_seconds = t;
+  a.priority = prio;
+  if (digest != 0) {
+    a.digest = {digest, ~digest};
+    a.has_digest = true;
+  }
+  return a;
+}
+
+void expect_same_plan(const std::vector<serve::DispatchBatch>& a,
+                      const std::vector<serve::DispatchBatch>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].members, b[k].members) << "batch " << k;
+    EXPECT_DOUBLE_EQ(a[k].dispatch_seconds, b[k].dispatch_seconds)
+        << "batch " << k;
+  }
+}
+
+TEST(DedupBatching, PlanBitEqualsSloWithoutDuplicates) {
+  serve::BatcherOptions opt;
+  opt.policy = serve::BatchPolicy::kSloAware;
+  opt.max_batch = 3;
+  opt.slo_budget_seconds = 0.010;
+  // Digest-blind trace (every request its own group) and an all-unique
+  // digest trace: both must reproduce the base policy stamp-for-stamp.
+  std::vector<serve::ArrivalInfo> blind, unique;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double t = 0.003 * static_cast<double>(i);
+    blind.push_back(arrival_at(i, t, 0));
+    unique.push_back(arrival_at(i, t, 100 + i));
+  }
+  for (const auto* trace : {&blind, &unique}) {
+    serve::SloBatchingPolicy slo(opt);
+    serve::DedupBatchingPolicy dedup(opt);
+    expect_same_plan(serve::plan_with(dedup, *trace),
+                     serve::plan_with(slo, *trace));
+  }
+}
+
+TEST(DedupBatching, GroupsStraddlingDuplicatesIntoOneDispatch) {
+  serve::BatcherOptions opt;
+  opt.policy = serve::BatchPolicy::kSloAware;
+  opt.max_batch = 2;
+  opt.slo_budget_seconds = 10.0;  // deadline rule out of the way
+  // Digest pattern a a b: the base policy's class-full trigger fires at
+  // the second request and splits the duplicate pair from nothing.
+  const std::vector<serve::ArrivalInfo> trace = {
+      arrival_at(0, 0.000, 7), arrival_at(1, 0.001, 7),
+      arrival_at(2, 0.002, 8)};
+  serve::SloBatchingPolicy slo(opt);
+  const auto slo_plan = serve::plan_with(slo, trace);
+  ASSERT_EQ(slo_plan.size(), 2u);
+  EXPECT_EQ(slo_plan[0].members, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(slo_plan[1].members, (std::vector<std::size_t>{2}));
+
+  // Dedup counts digest *groups* toward the cap, so the two a's wait as
+  // one group until b arrives, then all three leave in one dispatch —
+  // the duplicate rides along past max_batch without consuming cap.
+  serve::DedupBatchingPolicy dedup(opt);
+  const auto dedup_plan = serve::plan_with(dedup, trace);
+  ASSERT_EQ(dedup_plan.size(), 1u);
+  EXPECT_EQ(dedup_plan[0].members, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(dedup_plan[0].dispatch_seconds, 0.002);
+}
+
+TEST(DedupBatching, DeadlineRuleStillBoundsDuplicateWait) {
+  serve::BatcherOptions opt;
+  opt.policy = serve::BatchPolicy::kSloAware;
+  opt.max_batch = 4;
+  opt.slo_budget_seconds = 0.010;
+  // A late second copy of digest a must not hold the first copy past
+  // its wait budget: the inherited deadline rule dispatches at
+  // arrival + budget exactly.
+  const std::vector<serve::ArrivalInfo> trace = {
+      arrival_at(0, 0.000, 7), arrival_at(1, 0.001, 8),
+      arrival_at(2, 0.020, 7)};
+  serve::DedupBatchingPolicy dedup(opt);
+  const auto plan = serve::plan_with(dedup, trace);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].members, (std::vector<std::size_t>{0, 1}));
+  EXPECT_DOUBLE_EQ(plan[0].dispatch_seconds, 0.010);
+  EXPECT_EQ(plan[1].members, (std::vector<std::size_t>{2}));
+}
+
+TEST(DedupBatching, GroupsNeverCrossPriorityClasses) {
+  serve::BatcherOptions opt;
+  opt.policy = serve::BatchPolicy::kSloAware;
+  opt.max_batch = 2;
+  opt.slo_budget_seconds = 10.0;
+  // digest a arrives in both kHigh and kNormal; a same-digest mate in a
+  // lower class must NOT ride along with the high-class seed — strict
+  // priority outranks dedup.
+  const std::vector<serve::ArrivalInfo> trace = {
+      arrival_at(0, 0.000, 7, serve::Priority::kHigh),
+      arrival_at(1, 0.001, 7, serve::Priority::kNormal),
+      arrival_at(2, 0.002, 8, serve::Priority::kHigh)};
+  serve::DedupBatchingPolicy dedup(opt);
+  const auto plan = serve::plan_with(dedup, trace);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].members, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(plan[1].members, (std::vector<std::size_t>{1}));
+}
+
+// --- Warm-started servers ---------------------------------------------
+
+serve::StreamReport serve_all(serve::Server& server, const ModelFn& model,
+                              const std::vector<SparseTensor>& stream) {
+  server.start(model);
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    server.submit(stream[i], 0.002 * static_cast<double>(i));
+  return server.drain();
+}
+
+TEST(ServerWarmStart, RestartServesEntirelyFromSnapshot) {
+  const ModelFn model = small_unet(49);
+  const auto stream = duplicate_stream(8, 4900);
+  auto make_cfg = [&] {
+    serve::ServerConfig cfg;
+    cfg.with_device(rtx2080ti())
+        .with_engine(torchsparse_config())
+        .with_workers(2)
+        .with_map_cache_bytes(std::size_t(64) << 20)
+        .with_queue_depth(stream.size() + 1)
+        .with_devices(2)
+        .with_route(serve::RoutePolicy::kCacheAffinity);
+    return cfg;
+  };
+
+  // First life: every distinct scan pays its cold map builds.
+  serve::Server first(make_cfg());
+  const serve::StreamReport life1 = serve_all(first, model, stream);
+  ASSERT_GT(life1.stats.map_cache.misses, 0u);
+
+  // Restart hand-off through the serialized form: snapshot the wall
+  // cache, round-trip the .tsmc image, warm-start a new server with it.
+  std::stringstream image;
+  first.map_cache()->save_snapshot(image);
+  const auto snapshot =
+      std::make_shared<const MapCacheSnapshot>(io::load_map_cache(image));
+  serve::Server warmed(make_cfg().with_warm_snapshot(snapshot));
+  const serve::StreamReport life2 = serve_all(warmed, model, stream);
+  EXPECT_EQ(life2.stats.map_cache.misses, 0u);
+  EXPECT_EQ(life2.stats.map_cache.hits, life2.stats.map_cache.lookups);
+  EXPECT_EQ(life2.stats.map_cache.lookups, life1.stats.map_cache.lookups);
+
+  // A cold restart (no snapshot) replays the full first-life ramp.
+  serve::Server cold(make_cfg());
+  const serve::StreamReport life3 = serve_all(cold, model, stream);
+  EXPECT_EQ(life3.stats.map_cache.misses, life1.stats.map_cache.misses);
+}
+
+TEST(ServerWarmStart, ConfigWarmStartLoadsFromFileOrThrows) {
+  const ModelFn model = small_unet(50);
+  const auto stream = duplicate_stream(6, 5000);
+  auto make_cfg = [&] {
+    serve::ServerConfig cfg;
+    cfg.with_device(rtx2080ti())
+        .with_engine(torchsparse_config())
+        .with_workers(2)
+        .with_map_cache_bytes(std::size_t(64) << 20)
+        .with_queue_depth(stream.size() + 1);
+    return cfg;
+  };
+  serve::Server first(make_cfg());
+  serve_all(first, model, stream);
+  const std::string path = "/tmp/ts_server_warm_test.tsmc";
+  io::save_map_cache_file(path, first.map_cache()->export_snapshot());
+
+  // The path form and the in-memory form configure the same warm start.
+  serve::ServerConfig from_file = make_cfg();
+  from_file.warm_start(path);
+  ASSERT_TRUE(from_file.warm_snapshot);
+  serve::Server warmed_file(from_file);
+  const serve::StreamReport via_file = serve_all(warmed_file, model, stream);
+
+  std::stringstream image;
+  first.map_cache()->save_snapshot(image);
+  serve::Server warmed_mem(make_cfg().with_warm_snapshot(
+      std::make_shared<const MapCacheSnapshot>(io::load_map_cache(image))));
+  const serve::StreamReport via_mem = serve_all(warmed_mem, model, stream);
+  expect_same_report(via_file, via_mem);
+  EXPECT_EQ(via_file.stats.map_cache.misses, 0u);
+
+  serve::ServerConfig missing = make_cfg();
+  EXPECT_THROW(missing.warm_start("/tmp/ts_no_such_snapshot.tsmc"),
+               std::runtime_error);
+}
+
+TEST(ServerWarmStart, DedupWarmStatsInvariantAcrossWorkersAndDevices) {
+  // The full warm-start + dedup stack keeps the legacy invariance:
+  // modeled stats are a function of the (snapshot, stream) alone, not
+  // of worker or lane parallelism, at every device count.
+  const ModelFn model = small_unet(51);
+  const auto stream = duplicate_stream(8, 5100);
+  auto make_cfg = [&](int workers, int devices) {
+    serve::ServerConfig cfg;
+    cfg.with_device(rtx2080ti())
+        .with_engine(torchsparse_config())
+        .with_workers(workers)
+        .with_map_cache_bytes(std::size_t(64) << 20)
+        .with_queue_depth(stream.size() + 1)
+        .with_devices(devices)
+        .with_route(serve::RoutePolicy::kRoundRobin)
+        .with_dedup_batching();
+    serve::BatcherOptions b;
+    b.policy = serve::BatchPolicy::kSloAware;
+    b.max_batch = 3;
+    b.slo_budget_seconds = 0.015;
+    cfg.with_batcher(b);
+    return cfg;
+  };
+  serve::Server seed_server(make_cfg(2, 2));
+  serve_all(seed_server, model, stream);
+  std::stringstream image;
+  seed_server.map_cache()->save_snapshot(image);
+  const auto snapshot =
+      std::make_shared<const MapCacheSnapshot>(io::load_map_cache(image));
+
+  for (const int devices : {1, 2}) {
+    serve::Server w1(make_cfg(1, devices).with_warm_snapshot(snapshot));
+    serve::Server w4(make_cfg(4, devices).with_warm_snapshot(snapshot));
+    const serve::StreamReport r1 = serve_all(w1, model, stream);
+    const serve::StreamReport r4 = serve_all(w4, model, stream);
+    expect_same_timeline(r1.stats.aggregate, r4.stats.aggregate);
+    EXPECT_EQ(r1.stats.map_cache.hits, r4.stats.map_cache.hits);
+    EXPECT_EQ(r1.stats.map_cache.misses, r4.stats.map_cache.misses);
+    EXPECT_EQ(r1.stats.batches, r4.stats.batches);
+    ASSERT_EQ(r1.requests.size(), r4.requests.size());
+    for (std::size_t i = 0; i < r1.requests.size(); ++i) {
+      EXPECT_DOUBLE_EQ(r1.requests[i].service_seconds,
+                       r4.requests[i].service_seconds);
+      EXPECT_EQ(r1.requests[i].device, r4.requests[i].device);
+      EXPECT_EQ(r1.requests[i].batch_id, r4.requests[i].batch_id);
+    }
+  }
 }
 
 TEST(Server, RunBatchMatchesBatchRunnerRun) {
