@@ -220,6 +220,16 @@ KernelMapCache::RecordOutcome KernelMapCache::admit_record(
   return out;
 }
 
+std::vector<KernelMapCache::RecordOutcome> KernelMapCache::reseed_record(
+    const MapCacheSnapshot& snapshot) {
+  clear();
+  std::vector<RecordOutcome> outcomes;
+  outcomes.reserve(snapshot.entries.size());
+  for (const MapCacheSnapshotEntry& e : snapshot.entries)
+    outcomes.push_back(admit_record(e.key, e.bytes));
+  return outcomes;
+}
+
 MapCacheSnapshot KernelMapCache::export_snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MapCacheSnapshot snap;

@@ -199,6 +199,14 @@ class KernelMapCache {
   /// like live traffic (serve::DeviceGroup::begin_schedule).
   RecordOutcome admit_record(const MapCacheKey& key, std::size_t bytes);
 
+  /// Warm re-seed hook for shard replacement (serve::DeviceGroup::
+  /// revive_shard): drops the entire population, then re-admits the
+  /// snapshot manifest's footprints in record mode (LRU-first, so the
+  /// restored residency and eviction order match import_snapshot's).
+  /// Returns one RecordOutcome per manifest entry, in order, so an
+  /// external ownership index can mirror the rebuilt population.
+  std::vector<RecordOutcome> reseed_record(const MapCacheSnapshot& snapshot);
+
   /// Captures the full population — every entry's key, payload, bytes,
   /// and build wall time, LRU-first. Throws std::logic_error when an
   /// entry has no payload (a record-mode cache holds footprints only

@@ -144,11 +144,30 @@ struct StreamBatchRecord {
   double finish_seconds = 0;      // last member's completion
   int lane = 0;                   // worker lane it ran on (within device)
   int device = 0;                 // device shard it was routed to
+  /// Placement attempts this batch took (1 = no shard failure ever
+  /// touched it; > 1 = redispatched after fault losses). The record
+  /// describes the attempt that finally served the batch.
+  int attempts = 1;
 };
 
 struct StreamStats {
   std::size_t completed = 0;
   std::size_t rejected = 0;        // admission-control rejections
+  /// Requests admitted but not served: resolved with a ServeErrorCode
+  /// (retries exhausted, no healthy device, deadline-hopeless shed).
+  /// Always 0 without a FaultPlan.
+  std::size_t failed = 0;
+  /// Sum of per-request (attempts - 1) over served requests — every
+  /// extra placement attempt a fault forced.
+  std::size_t retries = 0;
+  /// Batches that were re-placed at least once after a shard failure.
+  std::size_t redispatched_batches = 0;
+  /// Fault activations the injector applied during the stream.
+  std::size_t faults_injected = 0;
+  /// p99 of the modeled redispatch penalty (final placement start minus
+  /// first-attempt placement start, on the worker-invariant shadow
+  /// clock) over requests that retried; 0 when none did.
+  double retry_wait_p99_seconds = 0;
   std::size_t batches = 0;
   double mean_batch_size = 0;
   int workers = 1;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <iterator>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -174,13 +175,85 @@ void DeviceGroup::begin_schedule(int workers_per_device) {
 }
 
 int DeviceGroup::least_loaded() const {
-  return load_.empty() ? 0 : load_.begin()->second;
+  if (load_.empty()) return 0;
+  if (!injector_) return load_.begin()->second;
+  // Health-aware selection: skip DOWN shards and weight each survivor's
+  // accumulated work by its service factor, so a DEGRADED shard looks
+  // proportionally more loaded. Strict `<` over the busy-ascending walk
+  // preserves the legacy lowest-id tie-break; healthy shards multiply
+  // by exactly 1.0, so a fault-free injector reproduces the legacy
+  // answer bit-for-bit.
+  int best = -1;
+  double best_cost = 0;
+  for (const auto& [busy, device] : load_) {
+    if (injector_->health(device) == ShardHealth::kDown) continue;
+    const double cost = busy * injector_->service_factor(device);
+    if (best < 0 || cost < best_cost) {
+      best = device;
+      best_cost = cost;
+    }
+  }
+  return best >= 0 ? best : load_.begin()->second;
 }
 
 int DeviceGroup::owner_of(const MapCacheKey& key) const {
   const auto it = owners_.find(key);
   if (it == owners_.end() || it->second.empty()) return -1;
-  return it->second.front();
+  if (!injector_) return it->second.front();
+  for (int device : it->second)
+    if (injector_->health(device) != ShardHealth::kDown) return device;
+  return -1;
+}
+
+void DeviceGroup::attach_fault_injector(const FaultInjector* injector) {
+  injector_ = injector;
+}
+
+ShardHealth DeviceGroup::health(int device) const {
+  shard_at(device);  // range check even without an injector
+  return injector_ ? injector_->health(device) : ShardHealth::kUp;
+}
+
+double DeviceGroup::service_factor(int device) const {
+  shard_at(device);
+  return injector_ ? injector_->service_factor(device) : 1.0;
+}
+
+void DeviceGroup::invalidate_shard_cache(int device) {
+  Shard& s = shard_at(device);
+  s.cache = std::make_unique<KernelMapCache>(map_cache_bytes_);
+  // Purge the crashed shard from the owner index. Full scan — crashes
+  // are rare events, not the routing hot path.
+  for (auto it = owners_.begin(); it != owners_.end();) {
+    std::vector<int>& owners = it->second;
+    const auto pos = std::find(owners.begin(), owners.end(), device);
+    if (pos != owners.end()) owners.erase(pos);
+    it = owners.empty() ? owners_.erase(it) : std::next(it);
+  }
+}
+
+void DeviceGroup::revive_shard(int device, double at_seconds,
+                               bool replacement) {
+  Shard& s = shard_at(device);
+  if (s.lane_events.empty())
+    throw std::logic_error(
+        "DeviceGroup::revive_shard before begin_schedule: no lanes");
+  // The outage left no lane mid-batch (in-flight work was re-enqueued
+  // at activation), so every lane frees at the recovery stamp.
+  for (std::pair<double, int>& ev : s.lane_events) ev.first = at_seconds;
+  std::make_heap(s.lane_events.begin(), s.lane_events.end(),
+                 std::greater<>{});
+  s.lane_high_water = std::max(s.lane_high_water, at_seconds);
+  if (replacement && warm_snapshot_) {
+    // Warm the replacement from the snapshot manifest instead of coming
+    // up cold — reseed_record clears the (already invalidated) cache and
+    // re-admits LRU-first; mirror each outcome so the owner index tracks
+    // the rebuilt population.
+    const std::vector<KernelMapCache::RecordOutcome> outs =
+        s.cache->reseed_record(*warm_snapshot_);
+    for (std::size_t i = 0; i < outs.size(); ++i)
+      mirror_outcome(device, warm_snapshot_->entries[i].key, outs[i]);
+  }
 }
 
 int DeviceGroup::place_batch(int device, double dispatch_seconds,

@@ -52,6 +52,7 @@
 
 #include "core/kernel_map_cache.hpp"
 #include "gpusim/device.hpp"
+#include "serve/fault.hpp"
 
 namespace ts::serve {
 
@@ -125,6 +126,11 @@ std::vector<DeviceSpec> expand_fleet(const std::vector<FleetTier>& tiers);
 struct DeviceShardStats {
   int device = 0;
   std::string name;                 // the shard's DeviceSpec::name
+  /// Dispatched batches / member requests placed here. Under a
+  /// FaultPlan these count every placement *attempt*, including ones a
+  /// fault later killed — the shard really spent that modeled time
+  /// before it went down, and the lost work is what the availability
+  /// figures (bench/fig21) measure.
   std::size_t batches = 0;          // dispatched batches routed here
   std::size_t requests = 0;         // requests inside those batches
   double busy_seconds = 0;          // assigned modeled service + overhead
@@ -195,14 +201,51 @@ class DeviceGroup {
 
   /// Routing query: device with the least accumulated modeled work
   /// (ties -> lowest id). O(1): reads the front of the ordered
-  /// (busy_seconds, device) load index place_batch maintains.
+  /// (busy_seconds, device) load index place_batch maintains. With a
+  /// fault injector attached the query is health-aware: DOWN shards are
+  /// skipped and each candidate's work is discounted by its current
+  /// service factor (DEGRADED/PROBATION shards look proportionally more
+  /// loaded); when every shard is DOWN it falls back to the raw front.
+  /// Without an injector the legacy O(1) read is untouched.
   int least_loaded() const;
 
   /// Ownership query: lowest device id whose modeled cache currently
   /// holds `key`, or -1 when none does. O(1) expected via the
   /// digest->owners index (kept in sync by record_lookup /
-  /// begin_schedule) — never a scan over the fleet.
+  /// begin_schedule) — never a scan over the fleet. Health-aware with
+  /// an injector attached: DOWN owners are skipped (first routable
+  /// owner wins; -1 when every owner is DOWN).
   int owner_of(const MapCacheKey& key) const;
+
+  // -- Fault-tolerance hooks (see serve/fault.hpp) --------------------
+
+  /// Attaches the scheduler's fault injector so routing queries become
+  /// health-aware. The group does not own the injector; pass nullptr to
+  /// detach (mandatory before the injector dies when the group outlives
+  /// the schedule pass). No injector = every shard permanently kUp.
+  void attach_fault_injector(const FaultInjector* injector);
+  const FaultInjector* fault_injector() const { return injector_; }
+
+  /// Shard health at the injector's frontier; kUp without an injector.
+  ShardHealth health(int device) const;
+
+  /// Modeled service multiplier for `device` at the injector's
+  /// frontier; 1.0 without an injector.
+  double service_factor(int device) const;
+
+  /// Crash semantics: drops `device`'s modeled cache (fresh cold cache)
+  /// and purges the device from the digest->owners index — the crashed
+  /// shard's warm state is gone.
+  void invalidate_shard_cache(int device);
+
+  /// Outage-end semantics: rebases every lane of `device` to modeled
+  /// time `at_seconds` (an outage leaves no lane mid-batch — in-flight
+  /// work was re-enqueued at activation) and, when `replacement` is
+  /// true and a warm-start manifest is installed, re-seeds the fresh
+  /// cache from the snapshot (LRU-first record-mode re-admission,
+  /// mirrored into the owner index) — the Tangram move: a replacement
+  /// shard comes up warm instead of cold.
+  void revive_shard(int device, double at_seconds, bool replacement);
 
   /// Places one batch (modeled dispatch stamp, per-batch overhead,
   /// member service times appended back-to-back) on `device`'s earliest
@@ -246,6 +289,8 @@ class DeviceGroup {
 
   std::size_t map_cache_bytes_;
   std::shared_ptr<const MapCacheSnapshot> warm_snapshot_;
+  /// Non-owning health view; nullptr = fault-free (every query kUp).
+  const FaultInjector* injector_ = nullptr;
   std::vector<Shard> shards_;
   /// Ordered (busy_seconds, device) pairs, one per shard; begin() is the
   /// least-loaded device with the lowest-id tie-break for free.

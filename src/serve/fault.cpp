@@ -1,0 +1,252 @@
+#include "serve/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace ts::serve {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kSlowdown: return "slowdown";
+  }
+  return "?";
+}
+
+const char* to_string(ShardHealth h) {
+  switch (h) {
+    case ShardHealth::kUp: return "up";
+    case ShardHealth::kDegraded: return "degraded";
+    case ShardHealth::kDown: return "down";
+    case ShardHealth::kProbation: return "probation";
+  }
+  return "?";
+}
+
+void validate_fault_plan(const FaultPlan& plan, int devices) {
+  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+    const DeviceFault& f = plan.faults[i];
+    const std::string who = "FaultPlan: fault " + std::to_string(i);
+    if (f.device < 0 || f.device >= devices)
+      throw std::invalid_argument(
+          who + " targets device " + std::to_string(f.device) +
+          " outside [0, " + std::to_string(devices) + ")");
+    if (f.at_dispatch < 0 &&
+        (!std::isfinite(f.at_seconds) || f.at_seconds < 0))
+      throw std::invalid_argument(
+          who + ": at_seconds must be finite and >= 0");
+    if (!(f.duration_seconds > 0))  // NaN and <= 0 both fail here
+      throw std::invalid_argument(who + ": duration_seconds must be > 0");
+    if (f.kind == FaultKind::kStall && !std::isfinite(f.duration_seconds))
+      throw std::invalid_argument(
+          who + ": a stall must have a finite duration (a permanent "
+          "outage is a crash)");
+    if (f.kind == FaultKind::kSlowdown &&
+        (!std::isfinite(f.slowdown_factor) || f.slowdown_factor < 1))
+      throw std::invalid_argument(
+          who + ": slowdown_factor must be finite and >= 1");
+  }
+}
+
+void validate_fault_tolerance(const FaultToleranceOptions& opt) {
+  if (opt.max_attempts < 1)
+    throw std::invalid_argument(
+        "FaultToleranceOptions: max_attempts must be >= 1");
+  if (!std::isfinite(opt.retry_backoff_seconds) ||
+      opt.retry_backoff_seconds < 0)
+    throw std::invalid_argument(
+        "FaultToleranceOptions: retry_backoff_seconds must be finite and "
+        ">= 0");
+  if (!std::isfinite(opt.probation_seconds) || opt.probation_seconds < 0)
+    throw std::invalid_argument(
+        "FaultToleranceOptions: probation_seconds must be finite and >= 0");
+  if (!std::isfinite(opt.probation_factor) || opt.probation_factor < 1)
+    throw std::invalid_argument(
+        "FaultToleranceOptions: probation_factor must be finite and >= 1");
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    const double d =
+        opt.degrade_deadline_seconds[static_cast<std::size_t>(c)];
+    if (std::isnan(d) || d < 0)
+      throw std::invalid_argument(
+          "FaultToleranceOptions: degrade_deadline_seconds[" +
+          std::to_string(c) + "] must be >= 0 (infinity = never shed)");
+  }
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan,
+                             const FaultToleranceOptions& opt, int devices)
+    : opt_(opt) {
+  if (devices < 1)
+    throw std::invalid_argument("FaultInjector: devices must be >= 1");
+  validate_fault_plan(plan, devices);
+  validate_fault_tolerance(opt_);
+  entries_.reserve(plan.faults.size());
+  for (const DeviceFault& f : plan.faults) entries_.push_back({f, false});
+  shards_.assign(static_cast<std::size_t>(devices), ShardState{});
+}
+
+void FaultInjector::reset() {
+  for (Entry& e : entries_) e.spent = false;
+  shards_.assign(shards_.size(), ShardState{});
+  frontier_ = 0;
+  activations_ = 0;
+}
+
+const FaultInjector::ShardState& FaultInjector::shard_at(int device) const {
+  if (device < 0 || device >= devices())
+    throw std::out_of_range("FaultInjector: device " +
+                            std::to_string(device) + " out of range [0, " +
+                            std::to_string(devices()) + ")");
+  return shards_[static_cast<std::size_t>(device)];
+}
+
+bool FaultInjector::pop_event(double limit_seconds, long long dispatch_index,
+                              double index_stamp, FaultEvent* out) {
+  // Earliest due candidate under a (stamp, recovery < activation, plan
+  // position) total order — pure state, so the event sequence replays
+  // identically for identical inputs.
+  bool found = false;
+  double best_stamp = 0;
+  int best_rank = 0;        // 0 = recovery, 1 = activation
+  std::size_t best_ord = 0; // device (recovery) / plan index (activation)
+  auto consider = [&](double stamp, int rank, std::size_t ord) {
+    if (!found || stamp < best_stamp ||
+        (stamp == best_stamp &&
+         (rank < best_rank || (rank == best_rank && ord < best_ord)))) {
+      found = true;
+      best_stamp = stamp;
+      best_rank = rank;
+      best_ord = ord;
+    }
+  };
+  for (int d = 0; d < devices(); ++d) {
+    const ShardState& st = shards_[static_cast<std::size_t>(d)];
+    if (st.recovery_pending && st.down_until <= limit_seconds)
+      consider(st.down_until, 0, static_cast<std::size_t>(d));
+  }
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.spent) continue;
+    double stamp;
+    if (e.fault.at_dispatch >= 0) {
+      if (dispatch_index < e.fault.at_dispatch) continue;
+      stamp = std::max(index_stamp, frontier_);
+    } else {
+      stamp = std::max(e.fault.at_seconds, frontier_);
+    }
+    if (stamp <= limit_seconds) consider(stamp, 1, i);
+  }
+  if (!found) return false;
+
+  frontier_ = std::max(frontier_, best_stamp);
+  if (best_rank == 0) {
+    ShardState& st = shards_[best_ord];
+    const bool replacement = st.crashed;
+    st.recovery_pending = false;
+    st.crashed = false;
+    st.probation_until = best_stamp + opt_.probation_seconds;
+    if (out)
+      *out = FaultEvent{FaultEvent::Type::kRecovery, best_stamp,
+                        static_cast<int>(best_ord),
+                        replacement ? FaultKind::kCrash : FaultKind::kStall,
+                        replacement};
+    return true;
+  }
+
+  Entry& e = entries_[best_ord];
+  e.spent = true;
+  ++activations_;
+  ShardState& st = shards_[static_cast<std::size_t>(e.fault.device)];
+  if (e.fault.kind == FaultKind::kSlowdown) {
+    st.degraded_until =
+        std::max(st.degraded_until, best_stamp + e.fault.duration_seconds);
+    st.slowdown = e.fault.slowdown_factor;
+  } else {
+    // A fault landing mid-outage extends the outage; a crash taints it
+    // (the recovery then brings up a replacement, not the original).
+    const bool was_down = best_stamp < st.down_until;
+    const double until = best_stamp + e.fault.duration_seconds;
+    st.down_until = was_down ? std::max(st.down_until, until) : until;
+    if (e.fault.kind == FaultKind::kCrash)
+      st.crashed = true;
+    else if (!was_down)
+      st.crashed = false;
+    st.recovery_pending = std::isfinite(st.down_until);
+  }
+  if (out)
+    *out = FaultEvent{FaultEvent::Type::kActivation, best_stamp,
+                      e.fault.device, e.fault.kind, false};
+  return true;
+}
+
+void FaultInjector::advance(double now_seconds) {
+  frontier_ = std::max(frontier_, now_seconds);
+}
+
+void FaultInjector::end_of_plan() {
+  for (Entry& e : entries_)
+    if (!e.spent && e.fault.at_dispatch >= 0) e.spent = true;
+}
+
+double FaultInjector::next_event_stamp() const {
+  double next = std::numeric_limits<double>::infinity();
+  for (const ShardState& st : shards_)
+    if (st.recovery_pending) next = std::min(next, st.down_until);
+  for (const Entry& e : entries_)
+    if (!e.spent && e.fault.at_dispatch < 0)
+      next = std::min(next, std::max(e.fault.at_seconds, frontier_));
+  return next;
+}
+
+ShardHealth FaultInjector::health(int device) const {
+  const ShardState& st = shard_at(device);
+  if (frontier_ < st.down_until) return ShardHealth::kDown;
+  if (frontier_ < st.degraded_until) return ShardHealth::kDegraded;
+  if (frontier_ < st.probation_until) return ShardHealth::kProbation;
+  return ShardHealth::kUp;
+}
+
+double FaultInjector::service_factor(int device) const {
+  switch (health(device)) {
+    case ShardHealth::kDegraded:
+      return shard_at(device).slowdown;
+    case ShardHealth::kProbation:
+      return opt_.probation_factor;
+    default:
+      return 1.0;
+  }
+}
+
+double FaultInjector::earliest_recovery() const {
+  double next = std::numeric_limits<double>::infinity();
+  for (const ShardState& st : shards_)
+    if (frontier_ < st.down_until && st.recovery_pending)
+      next = std::min(next, st.down_until);
+  return next;
+}
+
+bool FaultInjector::any_routable() const {
+  for (int d = 0; d < devices(); ++d)
+    if (health(d) != ShardHealth::kDown) return true;
+  return false;
+}
+
+bool FaultInjector::vulnerable(int device, double finish_seconds) const {
+  for (const Entry& e : entries_) {
+    if (e.spent || e.fault.device != device) continue;
+    if (e.fault.kind == FaultKind::kSlowdown) continue;  // never kills work
+    if (e.fault.at_dispatch >= 0) {
+      // Future dispatch stamps are >= the frontier; only once the
+      // frontier reaches the finish is the batch out of reach.
+      if (frontier_ < finish_seconds) return true;
+    } else if (e.fault.at_seconds < finish_seconds) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ts::serve

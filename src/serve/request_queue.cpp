@@ -5,6 +5,26 @@
 
 namespace ts::serve {
 
+const char* to_string(ServeErrorCode code) {
+  switch (code) {
+    case ServeErrorCode::kNone: return "none";
+    case ServeErrorCode::kRetriesExhausted: return "retries_exhausted";
+    case ServeErrorCode::kNoHealthyDevice: return "no_healthy_device";
+    case ServeErrorCode::kDeadlineHopeless: return "deadline_hopeless";
+  }
+  return "?";
+}
+
+const StreamResult& StreamHandle::value() const {
+  const StreamResult& r = fut_.get();
+  if (!r.ok())
+    throw ServeError(
+        r.error, "request " + std::to_string(r.id) + " failed (" +
+                     std::string(to_string(r.error)) +
+                     (r.error_detail.empty() ? "" : "): " + r.error_detail));
+  return r;
+}
+
 RequestQueue::RequestQueue(QueueOptions opt) : opt_(opt) {
   if (opt_.max_depth == 0)
     throw std::invalid_argument("RequestQueue: max_depth must be >= 1");
@@ -21,8 +41,17 @@ StreamHandle RequestQueue::admit_locked(SparseTensor&& input,
   StreamHandle handle(req.id, req.promise.get_future().share());
   last_arrival_ = arrival_seconds;
   queue_.push_back(std::move(req));
+  ++class_depth_[static_cast<std::size_t>(priority)];
   cv_.notify_one();
   return handle;
+}
+
+bool RequestQueue::full_locked(Priority priority) const {
+  const std::size_t cap =
+      opt_.class_max_depth[static_cast<std::size_t>(priority)];
+  if (cap > 0 && class_depth_[static_cast<std::size_t>(priority)] >= cap)
+    return true;
+  return queue_.size() >= opt_.max_depth;
 }
 
 bool RequestQueue::preempt_locked(Priority incoming) {
@@ -42,8 +71,10 @@ bool RequestQueue::preempt_locked(Priority incoming) {
   v.promise.set_exception(std::make_exception_ptr(AdmissionError(
       "RequestQueue: request " + std::to_string(v.id) +
       " preempted by a higher-priority submission under full queue")));
+  --class_depth_[static_cast<std::size_t>(v.priority)];
   queue_.erase(queue_.begin() + victim);
   ++rejected_;
+  space_cv_.notify_all();  // the victim's class slot freed
   return true;
 }
 
@@ -79,6 +110,15 @@ StreamHandle RequestQueue::submit(SparseTensor input, double arrival_seconds,
     ++rejected_;
     throw AdmissionError("RequestQueue::submit: queue is closed");
   }
+  const std::size_t cls = static_cast<std::size_t>(priority);
+  if (opt_.class_max_depth[cls] > 0 &&
+      class_depth_[cls] >= opt_.class_max_depth[cls]) {
+    ++rejected_;
+    throw AdmissionError(
+        "RequestQueue::submit: class " +
+        std::string(to_string(priority)) + " depth limit reached (" +
+        std::to_string(opt_.class_max_depth[cls]) + " pending)");
+  }
   if (queue_.size() >= opt_.max_depth && !preempt_locked(priority)) {
     ++rejected_;
     throw AdmissionError(
@@ -98,7 +138,10 @@ std::optional<StreamHandle> RequestQueue::try_submit(
   if (next_id_ > 0 && arrival_seconds < last_arrival_)
     throw std::invalid_argument(
         "RequestQueue::try_submit: arrival times must be non-decreasing");
+  const std::size_t cls = static_cast<std::size_t>(priority);
   if (closed_ ||
+      (opt_.class_max_depth[cls] > 0 &&
+       class_depth_[cls] >= opt_.class_max_depth[cls]) ||
       (queue_.size() >= opt_.max_depth && !preempt_locked(priority))) {
     ++rejected_;
     return std::nullopt;
@@ -106,10 +149,40 @@ std::optional<StreamHandle> RequestQueue::try_submit(
   return admit_locked(std::move(input), arrival_seconds, priority);
 }
 
+StreamHandle RequestQueue::submit_wait(SparseTensor input,
+                                       double arrival_seconds,
+                                       Priority priority) {
+  std::unique_lock<std::mutex> lock(mu_);
+  validate_priority("RequestQueue::submit_wait", priority);
+  if (!std::isfinite(arrival_seconds) || arrival_seconds < 0)
+    throw std::invalid_argument(
+        "RequestQueue::submit_wait: arrival time must be finite and >= 0");
+  // Backpressure wait: sleeps while the queue (or the class) is full,
+  // woken by wait_pop drains, preemption evictions, and close(). close()
+  // turns the wait into a typed rejection — a blocked producer can never
+  // deadlock a shutdown.
+  space_cv_.wait(lock, [&] { return closed_ || !full_locked(priority); });
+  if (closed_) {
+    ++rejected_;
+    throw AdmissionError(
+        "RequestQueue::submit_wait: queue closed while waiting for a "
+        "slot");
+  }
+  // Re-validate monotonicity at admission: another producer may have
+  // admitted a later stamp while this one was blocked.
+  if (next_id_ > 0 && arrival_seconds < last_arrival_)
+    throw std::invalid_argument(
+        "RequestQueue::submit_wait: arrival times must be non-decreasing "
+        "(got " + std::to_string(arrival_seconds) + " after " +
+        std::to_string(last_arrival_) + ")");
+  return admit_locked(std::move(input), arrival_seconds, priority);
+}
+
 void RequestQueue::close() {
   std::lock_guard<std::mutex> lock(mu_);
   closed_ = true;
   cv_.notify_all();
+  space_cv_.notify_all();
 }
 
 bool RequestQueue::closed() const {
@@ -138,6 +211,8 @@ bool RequestQueue::wait_pop(PendingRequest& out) {
   if (queue_.empty()) return false;  // closed and drained
   out = std::move(queue_.front());
   queue_.pop_front();
+  --class_depth_[static_cast<std::size_t>(out.priority)];
+  space_cv_.notify_all();  // a slot freed for blocked submit_wait callers
   return true;
 }
 

@@ -21,6 +21,7 @@
 // the cost-model engine.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -48,6 +49,40 @@ class AdmissionError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Why an *admitted* request failed to be served. Unlike admission
+/// rejections (AdmissionError at submit time), these outcomes travel
+/// through the normal StreamResult channel: the result resolves with
+/// `error` set instead of tunneling an exception through the promise,
+/// so a handle always yields a readable result and per-class failure
+/// accounting stays on the modeled stats path.
+enum class ServeErrorCode {
+  kNone = 0,
+  /// The request's batch was lost to device faults on every one of its
+  /// FaultToleranceOptions::max_attempts placements.
+  kRetriesExhausted,
+  /// Every device shard was DOWN with no recovery scheduled.
+  kNoHealthyDevice,
+  /// Graceful degradation shed the request: its batch would have
+  /// started past the class's degrade_deadline_seconds budget.
+  kDeadlineHopeless,
+};
+
+const char* to_string(ServeErrorCode code);
+
+/// Typed serving failure thrown by StreamHandle::value() when the
+/// resolved result carries a ServeErrorCode. Catch this to distinguish
+/// fault-tolerance outcomes from admission rejections (AdmissionError).
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(ServeErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  ServeErrorCode code() const { return code_; }
+
+ private:
+  ServeErrorCode code_;
+};
+
 /// One streamed request's complete outcome: the modeled per-stage
 /// timeline (bit-identical to a serial run_model on the same input) plus
 /// its position in the modeled serving schedule.
@@ -68,6 +103,19 @@ struct StreamResult {
   std::size_t batch_id = 0;        // dispatched batch that served it
   std::size_t batch_size = 0;      // size of that batch
   int device = 0;                  // device shard the batch was routed to
+  /// Lane placements this request's batch consumed (1 = no faults; 0 =
+  /// the request failed before any placement).
+  int attempts = 1;
+  /// Redispatch penalty on the worker-invariant shadow clock: how much
+  /// later the surviving attempt started than the first one would have
+  /// (0 when attempts <= 1). The fault-recovery latency cost.
+  double retry_wait_seconds = 0;
+  /// kNone for a served request; otherwise why fault tolerance gave up
+  /// (see ServeErrorCode). Schedule fields are meaningless when set.
+  ServeErrorCode error = ServeErrorCode::kNone;
+  std::string error_detail;
+
+  bool ok() const { return error == ServeErrorCode::kNone; }
 };
 
 /// Future-like handle returned by RequestQueue::submit.
@@ -116,8 +164,16 @@ class StreamHandle {
   }
 
   /// Blocks until the request has been served; returns its result or
-  /// rethrows the serving loop's failure.
+  /// rethrows the serving loop's failure. The result may carry a
+  /// ServeErrorCode (fault-tolerance outcome) — check ok(), or use
+  /// value() for throw-on-failure semantics.
   const StreamResult& get() const { return fut_.get(); }
+
+  /// Like get(), but a result carrying a ServeErrorCode throws a typed
+  /// ServeError instead of returning. The failure-aware accessor:
+  /// callers that only want served results use value(), callers that
+  /// triage failures use get() + StreamResult::ok().
+  const StreamResult& value() const;
 
  private:
   std::size_t id_ = 0;
@@ -136,6 +192,13 @@ struct QueueOptions {
   /// rejected) and the incoming request is admitted. Off by default —
   /// legacy first-come-first-admitted shedding.
   bool priority_preemption = false;
+  /// Per-class admission caps (0 = the class shares max_depth only): a
+  /// submission whose class already has class_max_depth[class] requests
+  /// pending is shed with AdmissionError even when the queue has room.
+  /// The degradation knob that keeps a flood of best-effort traffic
+  /// from crowding out high-priority admission while capacity is
+  /// reduced by faults.
+  std::array<std::size_t, kNumPriorityClasses> class_max_depth{};
 };
 
 /// Internal unit drained by the serving loop: the input, its arrival
@@ -178,6 +241,17 @@ class RequestQueue {
       SparseTensor input, double arrival_seconds,
       Priority priority = Priority::kNormal);
 
+  /// Blocking admission: instead of shedding when the queue (or the
+  /// request's class) is full, waits until the consumer drains a slot —
+  /// backpressure for producers that must not lose requests. A close()
+  /// during the wait wakes the waiter with AdmissionError (counted
+  /// rejected) — shutdown never deadlocks a blocked producer. Arrival
+  /// stamps must still be non-decreasing *at admission*: with several
+  /// producers blocked at once, coordinate stamps externally or expect
+  /// std::invalid_argument on wake.
+  StreamHandle submit_wait(SparseTensor input, double arrival_seconds,
+                           Priority priority = Priority::kNormal);
+
   /// Marks the end of the stream: subsequent submissions are rejected and
   /// wait_pop returns false once the backlog drains. Idempotent.
   void close();
@@ -206,15 +280,23 @@ class RequestQueue {
   /// class if that class is strictly below `incoming`. Returns true on
   /// eviction (a slot is now free).
   bool preempt_locked(Priority incoming);
+  /// True while admitting `priority` would exceed max_depth or the
+  /// class's class_max_depth cap.
+  bool full_locked(Priority priority) const;
 
   QueueOptions opt_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  /// Wakes producers blocked in submit_wait when a slot frees (wait_pop
+  /// drain, preemption eviction) or the queue closes.
+  std::condition_variable space_cv_;
   std::deque<PendingRequest> queue_;
   bool closed_ = false;
   double last_arrival_ = 0;
   std::size_t next_id_ = 0;
   std::size_t rejected_ = 0;
+  /// Pending requests per priority class (class_max_depth accounting).
+  std::array<std::size_t, kNumPriorityClasses> class_depth_{};
 };
 
 }  // namespace ts::serve

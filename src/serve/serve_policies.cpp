@@ -372,7 +372,7 @@ class EstimateAwareRouting final : public RoutingPolicy {
     const double other = total - matmul;
     const DeviceSpec& ref = group.spec(0);
     batch_factor_.assign(static_cast<std::size_t>(n), 1.0);
-    int best = 0;
+    int best = -1;
     double best_cost = std::numeric_limits<double>::infinity();
     for (int d = 0; d < n; ++d) {
       const DeviceSpec& dev = group.spec(d);
@@ -381,13 +381,21 @@ class EstimateAwareRouting final : public RoutingPolicy {
           other * ratio(ref.dram_bandwidth_gbps, dev.dram_bandwidth_gbps);
       batch_factor_[static_cast<std::size_t>(d)] =
           total > 0 ? estimate / total : 1.0;
-      const double cost = group.stats(d).busy_seconds + estimate;
+      // Health-aware (no-ops without a fault injector): DOWN shards are
+      // not candidates, and a DEGRADED/PROBATION shard's estimate is
+      // inflated by its service factor — exactly 1.0 on healthy shards,
+      // so fault-free routing is bit-identical to the pre-fault rule.
+      if (group.health(d) == ShardHealth::kDown) continue;
+      const double cost = group.stats(d).busy_seconds +
+                          estimate * group.service_factor(d);
       if (cost < best_cost) {  // strict: ties keep the lowest device id
         best_cost = cost;
         best = d;
       }
     }
-    return best;
+    // Every shard DOWN: defer to the group's fallback answer (the
+    // scheduler only routes when capacity exists).
+    return best >= 0 ? best : group.least_loaded();
   }
 
   double device_service_estimate(int device,

@@ -21,6 +21,12 @@ namespace ts::serve {
 struct PriorityClassStats {
   Priority priority = Priority::kNormal;
   std::size_t completed = 0;
+  /// Admitted-but-failed requests in this class (typed ServeErrorCode
+  /// results: retries exhausted, no healthy device, deadline shed).
+  std::size_t failed = 0;
+  /// Extra placement attempts fault losses forced on this class's
+  /// served requests (sum of attempts - 1).
+  std::size_t retries = 0;
   double queue_wait_p50_seconds = 0;
   double queue_wait_p90_seconds = 0;
   double queue_wait_p99_seconds = 0;

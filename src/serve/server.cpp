@@ -3,11 +3,16 @@
 #include "io/serialize.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <functional>
+#include <limits>
+#include <map>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -100,6 +105,30 @@ ServerConfig& ServerConfig::with_dedup_batching(bool on) {
   dedup_batching = on;
   return *this;
 }
+ServerConfig& ServerConfig::with_fault_plan(FaultPlan plan) {
+  fault_plan = std::make_shared<const FaultPlan>(std::move(plan));
+  return *this;
+}
+ServerConfig& ServerConfig::with_fault_plan(
+    std::shared_ptr<const FaultPlan> plan) {
+  fault_plan = std::move(plan);
+  return *this;
+}
+ServerConfig& ServerConfig::with_fault_tolerance(FaultToleranceOptions opt) {
+  fault_tolerance = opt;
+  return *this;
+}
+ServerConfig& ServerConfig::with_class_queue_depth(Priority cls,
+                                                   std::size_t depth) {
+  const int c = static_cast<int>(cls);
+  if (c < 0 || c >= kNumPriorityClasses)
+    throw std::invalid_argument(
+        "ServerConfig::with_class_queue_depth: priority class " +
+        std::to_string(c) + " outside [0, " +
+        std::to_string(kNumPriorityClasses) + ")");
+  queue.class_max_depth[static_cast<std::size_t>(c)] = depth;
+  return *this;
+}
 
 // ---------------------------------------------------------------------
 // Incremental placement
@@ -139,11 +168,37 @@ using EventsAt = std::function<const std::vector<MapCacheEvent>*(std::size_t)>;
 /// the legacy schedule_stream/_sharded wrappers) and the incremental
 /// serve_stream core — which is what keeps the legacy and session
 /// paths bit-identical by construction.
+///
+/// Fault mode (a non-null FaultInjector) layers the fault-tolerant
+/// scheduler on top without touching the fault-free code path:
+///
+///  * Every fault decision — which batches a fault kills, retry
+///    stamps, shed projections, retry_wait penalties — runs on a
+///    per-device *shadow clock* (`shadow_free_`): the single-lane
+///    modeled schedule a one-worker device would follow. Real lane
+///    state varies with the worker count; the shadow clock depends
+///    only on the routed batch sequence, so every fault-relevant
+///    statistic stays worker-count invariant (tests/test_fault.cpp).
+///  * Finalization is deferred: a placed batch's results ship (and its
+///    members' promises fulfill, via `on_final`) only once no pending
+///    crash/stall on its device can still activate before its shadow
+///    finish (FaultInjector::vulnerable). Without an injector every
+///    batch is final at placement — the legacy behavior, bit-exact.
+///  * Cache events replay on the *first* attempt only: a retried batch
+///    keeps its attempt-1 modeled service times. Replaying again would
+///    double-apply the warm-hit deltas to member timelines; modeling
+///    the retry's mapping work as already-done is the documented
+///    choice (docs/SERVING.md).
 class StreamPlacer {
  public:
+  /// `on_final` (optional) fires per member, in batch-member order, the
+  /// moment that member's result is final — placement time without an
+  /// injector, deferred finalization (or typed failure) with one.
   StreamPlacer(DeviceGroup& group, RoutingPolicy& routing,
                int workers_per_device, double batch_overhead_seconds,
-               RequestAt request_at, EventsAt events_at, bool cached)
+               RequestAt request_at, EventsAt events_at, bool cached,
+               FaultInjector* injector = nullptr,
+               std::function<void(std::size_t)> on_final = {})
       : group_(group),
         routing_(routing),
         workers_(std::max(workers_per_device, 1)),
@@ -151,108 +206,90 @@ class StreamPlacer {
         request_at_(std::move(request_at)),
         events_at_(std::move(events_at)),
         cached_(cached),
+        injector_(injector),
+        on_final_(std::move(on_final)),
         class_waits_(kNumPriorityClasses),
         class_e2es_(kNumPriorityClasses) {
     if (!std::isfinite(overhead_) || overhead_ < 0)
       throw std::invalid_argument(
           "schedule_stream: batch_overhead_seconds must be finite and >= 0");
     group_.begin_schedule(workers_);
+    if (injector_) {
+      injector_->reset();
+      shadow_free_.assign(static_cast<std::size_t>(group_.size()), 0.0);
+      group_.attach_fault_injector(injector_);
+    }
   }
 
-  /// Places the next batch (caller guarantees every member is measured
-  /// and every earlier batch is placed) and fills its members'
-  /// schedule fields — final the moment this returns.
-  StreamBatchRecord place(const DispatchBatch& b) {
+  ~StreamPlacer() {
+    if (injector_) group_.attach_fault_injector(nullptr);
+  }
+
+  /// Consumes the next batch in dispatch order (caller guarantees every
+  /// member is measured and every earlier batch was fed). Fault-free:
+  /// places immediately and the members are final on return. Fault
+  /// mode: first processes every fault event and due retry up to the
+  /// batch's dispatch stamp, then places (or sheds/defers) it.
+  void feed(const DispatchBatch& b) {
     if (b.members.empty())
       throw std::invalid_argument(
           "serve: batching policy emitted an empty batch");
-    const std::size_t k = placed_batches_;
+    const std::size_t id = next_batch_id_++;
+    if (!injector_) {
+      place_legacy(id, b);
+      return;
+    }
+    process_until(b.dispatch_seconds, static_cast<long long>(id));
+    attempt_place(id, b.members, b.dispatch_seconds, b.dispatch_seconds, 1,
+                  0.0);
+    finalize_sweep();
+  }
 
-    // 1. Route. Policy inputs (accumulated modeled work, modeled cache
-    // ownership, members' reference-device measurements) are independent
-    // of lane count, so routing — and with it every per-device cache
-    // decision — is worker-count invariant. The members' timelines are
-    // their cold measurements at this point (this batch's cache replay
-    // runs after routing), so estimate-based policies see the same
-    // deterministic inputs cached or not.
-    const int dev = routing_.route(
-        RouteQuery{k, b.members, b.dispatch_seconds,
-                   cached_ ? events_at_ : EventsAt{},
-                   [this](std::size_t m) {
-                     return request_at_(m).service_seconds;
-                   },
-                   [this](std::size_t m) -> const Timeline* {
-                     return &request_at_(m).timeline;
-                   }},
-        group_);
-    if (dev < 0 || dev >= group_.size())
-      throw std::invalid_argument(
-          "serve: routing policy returned device " + std::to_string(dev) +
-          " outside [0, " + std::to_string(group_.size()) + ")");
-
-    // 2. Per-device deterministic cache accounting: replay the members'
-    // recorded resolutions (in batch-member order) through the routed
-    // device's modeled cache.
-    if (cached_) {
-      for (const std::size_t m : b.members) {
-        StreamResult& r = request_at_(m);
-        if (const std::vector<MapCacheEvent>* evs = events_at_(m))
-          for (const MapCacheEvent& ev : *evs)
-            replay_event(group_, dev, ev, r.timeline,
-                         group_.stats(dev).map_cache);
-        r.service_seconds = r.timeline.total_seconds();
+  /// Fault mode end-of-stream drain: after the last batch is fed, runs
+  /// the remaining fault events and retries to quiescence so every
+  /// admitted request is either served or carries a typed failure.
+  /// No-op without an injector.
+  void finish_stream() {
+    if (!injector_) return;
+    injector_->end_of_plan();
+    for (;;) {
+      const double es = injector_->next_event_stamp();
+      const double rs = retries_.empty()
+                            ? std::numeric_limits<double>::infinity()
+                            : retries_.begin()->first.first;
+      if (!std::isfinite(es) && !std::isfinite(rs)) break;
+      if (es <= rs) {
+        FaultEvent e;
+        if (injector_->pop_event(es, -1, 0.0, &e)) handle_event(e);
+      } else {
+        pop_retry();
       }
+      finalize_sweep();
     }
-
-    // 3. Place on the device's earliest-available lane. Member service
-    // times go through the routing policy's per-device estimate hook —
-    // the identity for homogeneous groups, a speed factor for
-    // heterogeneous ones — so lane occupancy, busy accounting, and
-    // least-loaded inputs all see the same device-local seconds.
-    services_.clear();
-    for (const std::size_t m : b.members)
-      services_.push_back(routing_.device_service_estimate(
-          dev, request_at_(m).service_seconds));
-    double start = 0, finish = 0;
-    const int lane = group_.place_batch(dev, b.dispatch_seconds, overhead_,
-                                        services_, &start, &finish);
-    double cursor = start + overhead_;
-    std::size_t si = 0;
-    for (const std::size_t m : b.members) {
-      StreamResult& r = request_at_(m);
-      r.start_seconds = cursor;
-      r.finish_seconds = cursor + services_[si];
-      cursor = r.finish_seconds;
-      ++si;
-      // Queue wait ends when the *batch* starts executing; the once-per-
-      // batch overhead and batch-mates ahead of this request are part of
-      // the (batched) run phase, not the queue. This is what the SLO
-      // budget bounds: with free lanes, wait <= slo_budget_seconds by
-      // construction of the batcher's deadline rule.
-      r.queue_wait_seconds = start - r.arrival_seconds;
-      r.e2e_seconds = r.finish_seconds - r.arrival_seconds;
-      r.batch_id = k;
-      r.batch_size = b.members.size();
-      r.device = dev;
-      waits_.push_back(r.queue_wait_seconds);
-      e2es_.push_back(r.e2e_seconds);
-      const int cls = static_cast<int>(r.priority);
-      class_waits_[static_cast<std::size_t>(cls)].push_back(
-          r.queue_wait_seconds);
-      class_e2es_[static_cast<std::size_t>(cls)].push_back(r.e2e_seconds);
-      sum_service_ += r.service_seconds;
-      aggregate_ += r.timeline;
-      ++placed_requests_;
-    }
-    last_finish_ = std::max(last_finish_, cursor);
-    ++placed_batches_;
-    return StreamBatchRecord{k,     b.members.front(), b.members.size(),
-                             b.dispatch_seconds, start, cursor,
-                             lane,  dev};
+    finalize_sweep();
   }
 
   std::size_t placed_batches() const { return placed_batches_; }
   std::size_t placed_requests() const { return placed_requests_; }
+
+  /// Requests with a final outcome: served + typed failures. The
+  /// end-of-stream coverage check compares this against the drained
+  /// count (placed_requests alone would miss shed/failed ones).
+  std::size_t accounted_requests() const {
+    return placed_requests_ + failed_;
+  }
+
+  /// Final batch records, sorted by batch id (deferred finalization can
+  /// finalize out of dispatch order). Fully-failed batches produce no
+  /// record.
+  std::vector<StreamBatchRecord> batch_records() const {
+    std::vector<StreamBatchRecord> recs = records_;
+    std::sort(recs.begin(), recs.end(),
+              [](const StreamBatchRecord& a, const StreamBatchRecord& b) {
+                return a.batch_id < b.batch_id;
+              });
+    return recs;
+  }
 
   /// Stream statistics over everything placed so far. `first_arrival`
   /// is the first drained request's stamp (the makespan origin).
@@ -262,11 +299,22 @@ class StreamPlacer {
     s.devices = group_.size();
     s.completed = placed_requests_;
     s.batches = placed_batches_;
+    s.failed = failed_;
+    s.retries = retries_total_;
+    s.redispatched_batches = redispatched_batches_;
+    s.faults_injected = injector_ ? injector_->activations() : 0;
+    if (!retry_waits_.empty()) {
+      std::sort(retry_waits_.begin(), retry_waits_.end());
+      s.retry_wait_p99_seconds = percentile(retry_waits_, 0.99);
+    }
     s.per_device.resize(static_cast<std::size_t>(group_.size()));
     s.per_class.resize(kNumPriorityClasses);
-    for (int c = 0; c < kNumPriorityClasses; ++c)
-      s.per_class[static_cast<std::size_t>(c)].priority =
-          static_cast<Priority>(c);
+    for (int c = 0; c < kNumPriorityClasses; ++c) {
+      PriorityClassStats& pc = s.per_class[static_cast<std::size_t>(c)];
+      pc.priority = static_cast<Priority>(c);
+      pc.failed = class_failed_[static_cast<std::size_t>(c)];
+      pc.retries = class_retries_[static_cast<std::size_t>(c)];
+    }
     if (placed_requests_ == 0) {
       for (int d = 0; d < group_.size(); ++d)
         s.per_device[static_cast<std::size_t>(d)] = group_.stats(d);
@@ -328,6 +376,361 @@ class StreamPlacer {
   }
 
  private:
+  /// A batch placed on real lanes whose outcome is not yet final: a
+  /// pending crash/stall on its device could still kill it. Keyed by
+  /// batch id in `live_`.
+  struct Live {
+    std::vector<std::size_t> members;
+    std::vector<double> services;  // device-local, fault-factor scaled
+    double dispatch = 0;           // first dispatch stamp (d0)
+    double first_vstart = 0;       // shadow start of attempt 1
+    double vstart = 0;             // shadow start of this attempt
+    double vfinish = 0;            // shadow finish of this attempt
+    double start = 0;              // real lane start
+    int lane = 0;
+    int device = 0;
+    int attempts = 1;
+  };
+  /// A lost (or capacity-deferred) batch waiting for its redispatch
+  /// stamp. Keyed by (due stamp, batch id) — modeled-time order with
+  /// the dispatch-order tie-break.
+  struct Retry {
+    std::vector<std::size_t> members;
+    double dispatch = 0;
+    int attempts_done = 0;
+    double first_vstart = 0;
+  };
+
+  /// Routes one batch, enforcing the policy's device-range contract.
+  int route_batch(std::size_t id, const std::vector<std::size_t>& members,
+                  double dispatch_seconds) {
+    const int dev = routing_.route(
+        RouteQuery{id, members, dispatch_seconds,
+                   cached_ ? events_at_ : EventsAt{},
+                   [this](std::size_t m) {
+                     return request_at_(m).service_seconds;
+                   },
+                   [this](std::size_t m) -> const Timeline* {
+                     return &request_at_(m).timeline;
+                   }},
+        group_);
+    if (dev < 0 || dev >= group_.size())
+      throw std::invalid_argument(
+          "serve: routing policy returned device " + std::to_string(dev) +
+          " outside [0, " + std::to_string(group_.size()) + ")");
+    return dev;
+  }
+
+  /// Per-device deterministic cache accounting: replay the members'
+  /// recorded resolutions (in batch-member order) through the routed
+  /// device's modeled cache.
+  void replay_members(int dev, const std::vector<std::size_t>& members) {
+    for (const std::size_t m : members) {
+      StreamResult& r = request_at_(m);
+      if (const std::vector<MapCacheEvent>* evs = events_at_(m))
+        for (const MapCacheEvent& ev : *evs)
+          replay_event(group_, dev, ev, r.timeline,
+                       group_.stats(dev).map_cache);
+      r.service_seconds = r.timeline.total_seconds();
+    }
+  }
+
+  /// Ships one placed batch's final results: fills every member's
+  /// schedule fields, pushes the percentile samples and the batch
+  /// record, and fires on_final per member.
+  void finalize_placed(std::size_t id,
+                       const std::vector<std::size_t>& members,
+                       const std::vector<double>& services, double d0,
+                       double start, int lane, int dev, int attempts,
+                       double retry_wait) {
+    double cursor = start + overhead_;
+    std::size_t si = 0;
+    for (const std::size_t m : members) {
+      StreamResult& r = request_at_(m);
+      r.start_seconds = cursor;
+      r.finish_seconds = cursor + services[si];
+      cursor = r.finish_seconds;
+      ++si;
+      // Queue wait ends when the *batch* starts executing; the once-per-
+      // batch overhead and batch-mates ahead of this request are part of
+      // the (batched) run phase, not the queue. This is what the SLO
+      // budget bounds: with free lanes, wait <= slo_budget_seconds by
+      // construction of the batcher's deadline rule.
+      r.queue_wait_seconds = start - r.arrival_seconds;
+      r.e2e_seconds = r.finish_seconds - r.arrival_seconds;
+      r.batch_id = id;
+      r.batch_size = members.size();
+      r.device = dev;
+      r.attempts = attempts;
+      r.retry_wait_seconds = retry_wait;
+      waits_.push_back(r.queue_wait_seconds);
+      e2es_.push_back(r.e2e_seconds);
+      const int cls = static_cast<int>(r.priority);
+      class_waits_[static_cast<std::size_t>(cls)].push_back(
+          r.queue_wait_seconds);
+      class_e2es_[static_cast<std::size_t>(cls)].push_back(r.e2e_seconds);
+      sum_service_ += r.service_seconds;
+      aggregate_ += r.timeline;
+      ++placed_requests_;
+      if (attempts > 1) {
+        retries_total_ += static_cast<std::size_t>(attempts - 1);
+        class_retries_[static_cast<std::size_t>(cls)] +=
+            static_cast<std::size_t>(attempts - 1);
+        retry_waits_.push_back(retry_wait);
+      }
+      if (on_final_) on_final_(m);
+    }
+    last_finish_ = std::max(last_finish_, cursor);
+    records_.push_back(StreamBatchRecord{id, members.front(),
+                                         members.size(), d0, start, cursor,
+                                         lane, dev, attempts});
+    ++placed_batches_;
+  }
+
+  /// The fault-free scheduler body: route -> cache replay -> lane
+  /// placement -> immediate finalization. Bit-identical to every
+  /// pre-fault release (and exercised by every run without a plan).
+  void place_legacy(std::size_t id, const DispatchBatch& b) {
+    // Route. Policy inputs (accumulated modeled work, modeled cache
+    // ownership, members' reference-device measurements) are independent
+    // of lane count, so routing — and with it every per-device cache
+    // decision — is worker-count invariant. The members' timelines are
+    // their cold measurements at this point (this batch's cache replay
+    // runs after routing), so estimate-based policies see the same
+    // deterministic inputs cached or not.
+    const int dev = route_batch(id, b.members, b.dispatch_seconds);
+    if (cached_) replay_members(dev, b.members);
+    // Place on the device's earliest-available lane. Member service
+    // times go through the routing policy's per-device estimate hook —
+    // the identity for homogeneous groups, a speed factor for
+    // heterogeneous ones — so lane occupancy, busy accounting, and
+    // least-loaded inputs all see the same device-local seconds.
+    services_.clear();
+    for (const std::size_t m : b.members)
+      services_.push_back(routing_.device_service_estimate(
+          dev, request_at_(m).service_seconds));
+    double start = 0, finish = 0;
+    const int lane = group_.place_batch(dev, b.dispatch_seconds, overhead_,
+                                        services_, &start, &finish);
+    finalize_placed(id, b.members, services_, b.dispatch_seconds, start,
+                    lane, dev, 1, 0.0);
+  }
+
+  // -- Fault-mode event loop ------------------------------------------
+
+  /// Processes every fault event and due retry with a stamp <= `now`
+  /// (the next batch's dispatch stamp), in modeled-time order with
+  /// recoveries before activations before retries on ties. `k` is the
+  /// dispatch index about to happen, so a dispatch-indexed fault on
+  /// batch #k activates here, before that batch routes.
+  void process_until(double now, long long k) {
+    for (;;) {
+      const double rs = retries_.empty()
+                            ? std::numeric_limits<double>::infinity()
+                            : retries_.begin()->first.first;
+      FaultEvent e;
+      if (injector_->pop_event(std::min(now, rs), k, now, &e)) {
+        handle_event(e);
+        finalize_sweep();
+        continue;
+      }
+      if (rs <= now) {
+        pop_retry();
+        finalize_sweep();
+        continue;
+      }
+      break;
+    }
+    injector_->advance(now);
+    finalize_sweep();
+  }
+
+  void handle_event(const FaultEvent& e) {
+    if (e.type == FaultEvent::Type::kRecovery) {
+      // Outage over: real lanes rebase to the recovery stamp (a crash's
+      // replacement shard additionally warm-seeds from the snapshot
+      // manifest), and the shadow clock restarts there too — everything
+      // the outage had in flight was already re-enqueued.
+      group_.revive_shard(e.device, e.stamp, e.replacement);
+      shadow_free_[static_cast<std::size_t>(e.device)] = e.stamp;
+      return;
+    }
+    if (e.kind == FaultKind::kSlowdown) return;  // degrades, kills nothing
+    if (e.kind == FaultKind::kCrash) group_.invalidate_shard_cache(e.device);
+    collect_losses(e.device, e.stamp);
+  }
+
+  /// Re-enqueues (or fails) every live batch on `device` whose shadow
+  /// finish the outage at `stamp` overruns.
+  void collect_losses(int device, double stamp) {
+    const FaultToleranceOptions& opt = injector_->options();
+    for (auto it = live_.begin(); it != live_.end();) {
+      Live& lv = it->second;
+      if (lv.device != device || lv.vfinish <= stamp) {
+        ++it;
+        continue;
+      }
+      const std::size_t id = it->first;
+      const int next = lv.attempts + 1;
+      if (next > opt.max_attempts) {
+        fail_members(lv.members, ServeErrorCode::kRetriesExhausted,
+                     "batch " + std::to_string(id) +
+                         " lost to a device fault on attempt " +
+                         std::to_string(lv.attempts) + " of " +
+                         std::to_string(opt.max_attempts),
+                     lv.attempts, id, device);
+      } else {
+        // Modeled exponential backoff: retry n waits backoff * 2^(n-2)
+        // after the loss (ldexp keeps the doubling exact in binary).
+        const double wait =
+            opt.retry_backoff_seconds > 0
+                ? std::ldexp(opt.retry_backoff_seconds, next - 2)
+                : 0.0;
+        retries_.emplace(
+            std::make_pair(stamp + wait, id),
+            Retry{std::move(lv.members), lv.dispatch, lv.attempts,
+                  lv.first_vstart});
+      }
+      it = live_.erase(it);
+    }
+  }
+
+  /// Pops the earliest due retry and re-places it.
+  void pop_retry() {
+    const auto it = retries_.begin();
+    const double rs = it->first.first;
+    const std::size_t id = it->first.second;
+    Retry r = std::move(it->second);
+    retries_.erase(it);
+    injector_->advance(rs);
+    attempt_place(id, std::move(r.members), r.dispatch, rs,
+                  r.attempts_done + 1, r.first_vstart);
+  }
+
+  /// Attempt `n` to place batch `id` at modeled time `t` (`d0` is its
+  /// original dispatch stamp). Routes health-aware, sheds deadline-
+  /// hopeless members, scales services by the routed shard's fault
+  /// factor, places on real lanes, and registers the batch as live.
+  void attempt_place(std::size_t id, std::vector<std::size_t> members,
+                     double d0, double t, int n, double first_vstart) {
+    if (!injector_->any_routable()) {
+      // Whole-fleet outage: park the batch until the earliest recovery
+      // without consuming an attempt (nothing was tried), or fail it
+      // when every outage is permanent.
+      const double er = injector_->earliest_recovery();
+      if (!std::isfinite(er)) {
+        fail_members(members, ServeErrorCode::kNoHealthyDevice,
+                     "every device shard is down with no pending recovery",
+                     n - 1, id, -1);
+        return;
+      }
+      retries_.emplace(std::make_pair(er, id),
+                       Retry{std::move(members), d0, n - 1, first_vstart});
+      return;
+    }
+    int dev = route_batch(id, members, t);
+    // The routing contract never required health awareness; a DOWN
+    // answer (round-robin, custom policies) falls back to the
+    // health-aware least-loaded survivor.
+    if (group_.health(dev) == ShardHealth::kDown) dev = group_.least_loaded();
+
+    // Graceful degradation: project the batch's start on the routed
+    // shard's shadow clock; members whose class deadline is already
+    // blown resolve now with a typed shed instead of consuming the
+    // surviving capacity the unexpired classes need.
+    const double vstart =
+        std::max(t, shadow_free_[static_cast<std::size_t>(dev)]);
+    const std::array<double, kNumPriorityClasses>& deadlines =
+        injector_->options().degrade_deadline_seconds;
+    std::vector<std::size_t> kept, shed;
+    for (const std::size_t m : members) {
+      const StreamResult& r = request_at_(m);
+      const double dl = deadlines[static_cast<std::size_t>(r.priority)];
+      if (std::isfinite(dl) && vstart - r.arrival_seconds > dl)
+        shed.push_back(m);
+      else
+        kept.push_back(m);
+    }
+    if (!shed.empty())
+      fail_members(shed, ServeErrorCode::kDeadlineHopeless,
+                   "projected batch start exceeds the class degrade "
+                   "deadline",
+                   n - 1, id, dev);
+    if (kept.empty()) return;
+
+    // Cache events replay on the first attempt only (see class doc).
+    if (cached_ && n == 1) replay_members(dev, kept);
+
+    std::vector<double> services;
+    services.reserve(kept.size());
+    const double factor = injector_->service_factor(dev);
+    for (const std::size_t m : kept)
+      services.push_back(routing_.device_service_estimate(
+                             dev, request_at_(m).service_seconds) *
+                         factor);
+    double start = 0, finish = 0;
+    const int lane =
+        group_.place_batch(dev, t, overhead_, services, &start, &finish);
+    double vfinish = vstart + overhead_;
+    for (const double s : services) vfinish += s;
+    shadow_free_[static_cast<std::size_t>(dev)] = vfinish;
+
+    Live lv;
+    lv.members = std::move(kept);
+    lv.services = std::move(services);
+    lv.dispatch = d0;
+    lv.first_vstart = n == 1 ? vstart : first_vstart;
+    lv.vstart = vstart;
+    lv.vfinish = vfinish;
+    lv.start = start;
+    lv.lane = lane;
+    lv.device = dev;
+    lv.attempts = n;
+    live_.emplace(id, std::move(lv));
+    if (n == 2) ++redispatched_batches_;
+  }
+
+  /// Finalizes every live batch no pending fault can still kill, in
+  /// batch-id order. The worker-invariant retry_wait penalty is the
+  /// shadow-clock start delta between the final and first attempts.
+  void finalize_sweep() {
+    for (auto it = live_.begin(); it != live_.end();) {
+      const Live& lv = it->second;
+      if (injector_->vulnerable(lv.device, lv.vfinish)) {
+        ++it;
+        continue;
+      }
+      finalize_placed(it->first, lv.members, lv.services, lv.dispatch,
+                      lv.start, lv.lane, lv.device, lv.attempts,
+                      lv.vstart - lv.first_vstart);
+      it = live_.erase(it);
+    }
+  }
+
+  /// Resolves `members` with a typed failure (no exception tunneling:
+  /// the error travels inside the StreamResult, see StreamHandle).
+  void fail_members(const std::vector<std::size_t>& members,
+                    ServeErrorCode code, const std::string& detail,
+                    int attempts_so_far, std::size_t id, int device) {
+    for (const std::size_t m : members) {
+      StreamResult& r = request_at_(m);
+      r.error = code;
+      r.error_detail = detail;
+      r.attempts = attempts_so_far;
+      r.batch_id = id;
+      r.batch_size = members.size();
+      if (device >= 0) r.device = device;
+      const std::size_t cls = static_cast<std::size_t>(r.priority);
+      ++failed_;
+      ++class_failed_[cls];
+      if (attempts_so_far > 1) {
+        retries_total_ += static_cast<std::size_t>(attempts_so_far - 1);
+        class_retries_[cls] += static_cast<std::size_t>(attempts_so_far - 1);
+      }
+      if (on_final_) on_final_(m);
+    }
+  }
+
   DeviceGroup& group_;
   RoutingPolicy& routing_;
   int workers_;
@@ -335,14 +738,30 @@ class StreamPlacer {
   RequestAt request_at_;
   EventsAt events_at_;
   bool cached_;
+  FaultInjector* injector_;
+  std::function<void(std::size_t)> on_final_;
   std::vector<double> services_;  // scratch, reused per batch
+  std::size_t next_batch_id_ = 0;
   std::size_t placed_batches_ = 0;
   std::size_t placed_requests_ = 0;
+  std::vector<StreamBatchRecord> records_;
   std::vector<double> waits_, e2es_;
   std::vector<std::vector<double>> class_waits_, class_e2es_;
   double sum_service_ = 0;
   double last_finish_ = 0;
   Timeline aggregate_;
+  // Fault-mode state. Every quantity here lives on the shadow clock /
+  // dispatch order, never on real lane state — the worker-invariance
+  // pillar.
+  std::vector<double> shadow_free_;  // per-device single-lane cursor
+  std::map<std::size_t, Live> live_;
+  std::map<std::pair<double, std::size_t>, Retry> retries_;
+  std::size_t failed_ = 0;
+  std::size_t retries_total_ = 0;
+  std::size_t redispatched_batches_ = 0;
+  std::array<std::size_t, kNumPriorityClasses> class_failed_{};
+  std::array<std::size_t, kNumPriorityClasses> class_retries_{};
+  std::vector<double> retry_waits_;
 };
 
 }  // namespace
@@ -353,7 +772,8 @@ StreamStats schedule_stream_dispatch(
     RoutingPolicy& routing, int workers_per_device,
     double batch_overhead_seconds,
     const std::vector<std::vector<MapCacheEvent>>* events,
-    std::vector<StreamBatchRecord>* batches) {
+    std::vector<StreamBatchRecord>* batches, const FaultPlan* fault_plan,
+    const FaultToleranceOptions* fault_tolerance) {
   if (events && events->size() != requests.size())
     throw std::invalid_argument(
         "schedule_stream_dispatch: events must be parallel to requests");
@@ -384,18 +804,25 @@ StreamStats schedule_stream_dispatch(
         "schedule_stream_dispatch: plan covers " + std::to_string(covered) +
         " requests, have " + std::to_string(requests.size()));
 
+  // The injector outlives the placer (whose destructor detaches it
+  // from the caller-owned group).
+  const bool faulty = fault_plan && !fault_plan->faults.empty();
+  std::optional<FaultInjector> injector;
+  if (faulty)
+    injector.emplace(*fault_plan,
+                     fault_tolerance ? *fault_tolerance
+                                     : FaultToleranceOptions{},
+                     group.size());
   StreamPlacer placer(
       group, routing, workers_per_device, batch_overhead_seconds,
       [&requests](std::size_t i) -> StreamResult& { return requests[i]; },
       [events](std::size_t i) {
         return events ? &(*events)[i] : nullptr;
       },
-      events != nullptr);
-  if (batches) batches->clear();
-  for (const DispatchBatch& b : plan) {
-    const StreamBatchRecord rec = placer.place(b);
-    if (batches) batches->push_back(rec);
-  }
+      events != nullptr, injector ? &*injector : nullptr);
+  for (const DispatchBatch& b : plan) placer.feed(b);
+  placer.finish_stream();
+  if (batches) *batches = placer.batch_records();
   return placer.finalize(
       requests.empty() ? 0.0 : requests.front().arrival_seconds);
 }
@@ -455,13 +882,25 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
   // is keyed on the configured snapshot alone (not on who owns the wall
   // cache): stats stay deterministic functions of the config + stream.
   if (cached && config.warm_snapshot) group.warm_start(config.warm_snapshot);
+  // A non-empty fault plan switches the placer into the fault-tolerant
+  // scheduler; fulfillment then runs through its on_final hook (under
+  // `mu` — feed/finish_stream are only ever called with it held), which
+  // may fire at deferred-finalization time or with a typed failure.
+  const bool faulty = config.fault_plan && !config.fault_plan->faults.empty();
+  std::optional<FaultInjector> injector;
+  if (faulty)
+    injector.emplace(*config.fault_plan, config.fault_tolerance, devices);
   StreamPlacer placer(
       group, routing, workers, config.batch_overhead_seconds,
       [&results](std::size_t i) -> StreamResult& { return results[i]; },
       [&events, cached](std::size_t i) {
         return cached ? &events[i] : nullptr;
       },
-      cached);
+      cached, injector ? &*injector : nullptr,
+      [&results, &promises, &fulfilled](std::size_t m) {
+        promises[m].set_value(results[m]);
+        fulfilled[m] = 1;
+      });
 
   // Measurement work queue. Batch membership only shapes the modeled
   // schedule, so measurement starts the moment a request is drained — no
@@ -504,11 +943,10 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
             break;
           }
         if (!ready) break;
-        report.batches.push_back(placer.place(b));
-        for (const std::size_t m : b.members) {
-          promises[m].set_value(results[m]);
-          fulfilled[m] = 1;
-        }
+        // Record + fulfillment are the placer's job now: fault-free
+        // members fulfill here (inside feed), fault-mode members when
+        // their batch finalizes or fails.
+        placer.feed(b);
         ++next_place;
       }
     } catch (...) {
@@ -711,12 +1149,21 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
   {
     std::lock_guard<std::mutex> lock(mu);
     try_place_locked();
+    if (!first_error) {
+      // Fault mode: drain the remaining fault events and retries so
+      // every admitted request is served or carries a typed failure.
+      try {
+        placer.finish_stream();
+      } catch (...) {
+        fail_locked(std::current_exception());
+      }
+    }
     if (!first_error &&
         (next_place != plan.size() ||
-         placer.placed_requests() != results.size()))
+         placer.accounted_requests() != results.size()))
       fail_locked(std::make_exception_ptr(std::invalid_argument(
           "serve_stream: batching policy left " +
-          std::to_string(results.size() - placer.placed_requests()) +
+          std::to_string(results.size() - placer.accounted_requests()) +
           " request(s) undispatched at end of stream")));
   }
 
@@ -734,6 +1181,7 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
     std::rethrow_exception(first_error);
   }
 
+  report.batches = placer.batch_records();
   report.requests.assign(std::make_move_iterator(results.begin()),
                          std::make_move_iterator(results.end()));
   report.stats = placer.finalize(
@@ -772,6 +1220,13 @@ Server::Server(ServerConfig config) : cfg_(std::move(config)) {
         "Server: batch_overhead_seconds must be finite and >= 0");
   if (cfg_.queue.max_depth == 0)
     throw std::invalid_argument("Server: queue.max_depth must be >= 1");
+  // Fault configuration fails at construction, not mid-session: the
+  // plan must target devices this deployment actually has, and the
+  // tolerance knobs are validated even without a plan (a later
+  // with_fault_plan on a copied config should not resurrect bad knobs).
+  if (cfg_.fault_plan)
+    validate_fault_plan(*cfg_.fault_plan, cfg_.shard.devices);
+  validate_fault_tolerance(cfg_.fault_tolerance);
   // Validate the default policy knobs eagerly (throws invalid_argument)
   // so a bad configuration fails at construction, not at start().
   if (!cfg_.batching) {
@@ -794,8 +1249,11 @@ Server::Server(ServerConfig config) : cfg_(std::move(config)) {
 Server::~Server() { stop(); }
 
 void Server::start(ModelFn model) {
+  std::lock_guard<std::mutex> lock(life_mu_);
   if (running_)
-    throw std::logic_error("Server::start: a session is already running");
+    throw std::logic_error(
+        "Server::start: a session is already running (drain() or stop() "
+        "it before starting another)");
   if (!model) throw std::invalid_argument("Server::start: null model");
   if (loop_.joinable()) loop_.join();
   queue_ = std::make_unique<RequestQueue>(cfg_.queue);
@@ -826,7 +1284,9 @@ void Server::start(ModelFn model) {
 StreamHandle Server::submit(SparseTensor input, double arrival_seconds,
                             Priority priority) {
   if (!running_ || !queue_)
-    throw std::logic_error("Server::submit: no session is running");
+    throw std::logic_error(
+        "Server::submit: no session is running (call start() before "
+        "submitting; a drained or stopped session does not admit)");
   return queue_->submit(std::move(input), arrival_seconds, priority);
 }
 
@@ -834,13 +1294,21 @@ std::optional<StreamHandle> Server::try_submit(SparseTensor input,
                                                double arrival_seconds,
                                                Priority priority) {
   if (!running_ || !queue_)
-    throw std::logic_error("Server::try_submit: no session is running");
+    throw std::logic_error(
+        "Server::try_submit: no session is running (call start() before "
+        "submitting; a drained or stopped session does not admit)");
   return queue_->try_submit(std::move(input), arrival_seconds, priority);
 }
 
 StreamReport Server::drain() {
+  // life_mu_ serializes against stop()/start(): whichever of a racing
+  // drain/stop pair runs second sees running_ already cleared and gets
+  // the typed error / no-op instead of a second join (UB).
+  std::lock_guard<std::mutex> lock(life_mu_);
   if (!running_)
-    throw std::logic_error("Server::drain: no session is running");
+    throw std::logic_error(
+        "Server::drain: no session is running (already drained or "
+        "stopped, or start() was never called)");
   queue_->close();
   loop_.join();
   running_ = false;
@@ -849,6 +1317,7 @@ StreamReport Server::drain() {
 }
 
 void Server::stop() {
+  std::lock_guard<std::mutex> lock(life_mu_);
   if (!running_) {
     if (loop_.joinable()) loop_.join();
     return;

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "serve/batch_runner.hpp"
+#include "serve/fault.hpp"
 #include "serve/serve_policies.hpp"
 
 namespace ts::serve {
@@ -111,6 +112,19 @@ struct ServerConfig {
   /// group into one dispatch (see serve_policies.hpp). Ignored when a
   /// custom `batching` policy is set.
   bool dedup_batching = false;
+  /// Deterministic fault schedule (see serve/fault.hpp); null or empty
+  /// (the default) = the fault-free scheduler, bit-identical to every
+  /// pre-fault release. With a non-empty plan the session runs the
+  /// fault-tolerant scheduler: shards go DOWN/DEGRADED on the modeled
+  /// clock, lost batches are redispatched through the routing policy
+  /// under `fault_tolerance`'s retry budget, and unservable requests
+  /// resolve with typed ServeError results. Populate through
+  /// with_fault_plan.
+  std::shared_ptr<const FaultPlan> fault_plan;
+  /// Retry / backoff / probation / degradation knobs consulted only
+  /// when `fault_plan` is active (validated at Server construction
+  /// either way).
+  FaultToleranceOptions fault_tolerance;
 
   ServerConfig& with_device(DeviceSpec d);
   ServerConfig& with_engine(EngineConfig e);
@@ -145,6 +159,15 @@ struct ServerConfig {
   ServerConfig& with_warm_snapshot(
       std::shared_ptr<const MapCacheSnapshot> snap);
   ServerConfig& with_dedup_batching(bool on = true);
+  ServerConfig& with_fault_plan(FaultPlan plan);
+  ServerConfig& with_fault_plan(std::shared_ptr<const FaultPlan> plan);
+  ServerConfig& with_fault_tolerance(FaultToleranceOptions opt);
+  /// Per-class admission cap (QueueOptions::class_max_depth): at most
+  /// `depth` pending requests of `cls`; 0 = unlimited (the default).
+  /// Degradation lever: cap the low classes so a fault-shrunken fleet
+  /// sheds them at admission instead of queueing them into hopeless
+  /// deadlines.
+  ServerConfig& with_class_queue_depth(Priority cls, std::size_t depth);
 };
 
 /// Generalized one-shot modeled scheduler: places `plan` (explicit,
@@ -157,14 +180,19 @@ struct ServerConfig {
 /// Preconditions (std::invalid_argument): plan members partition
 /// [0, requests.size()), every member arrived by its batch's dispatch
 /// stamp, overhead finite >= 0, `events` (when non-null) parallel to
-/// requests.
+/// requests. A non-empty `fault_plan` (validated against the group
+/// size) runs the fault-tolerant scheduler under `fault_tolerance`
+/// (defaults when null); failed requests carry ServeErrorCode results
+/// and produce no batch record.
 StreamStats schedule_stream_dispatch(
     std::vector<StreamResult>& requests,
     const std::vector<DispatchBatch>& plan, DeviceGroup& group,
     RoutingPolicy& routing, int workers_per_device,
     double batch_overhead_seconds,
     const std::vector<std::vector<MapCacheEvent>>* events = nullptr,
-    std::vector<StreamBatchRecord>* batches = nullptr);
+    std::vector<StreamBatchRecord>* batches = nullptr,
+    const FaultPlan* fault_plan = nullptr,
+    const FaultToleranceOptions* fault_tolerance = nullptr);
 
 /// One serving session over an externally owned queue with explicit
 /// policies — the engine room shared by Server (which runs it on a
@@ -199,8 +227,11 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
 /// warm across sessions.
 ///
 /// Thread-safety: submit/try_submit are safe from any number of
-/// producer threads while the session runs; start/drain/stop must be
-/// called from one controlling thread.
+/// producer threads while the session runs. start/drain/stop are
+/// serialized against each other internally, so misuse from multiple
+/// controlling threads (drain racing stop, concurrent start) surfaces
+/// as a typed std::logic_error on the loser — never a hang, a
+/// double-join, or UB.
 class Server {
  public:
   /// Validates the configuration (std::invalid_argument): workers
@@ -273,6 +304,10 @@ class Server {
   ServerConfig cfg_;
   std::unique_ptr<RequestQueue> queue_;
   std::thread loop_;
+  /// Serializes start/drain/stop so lifecycle misuse (drain racing
+  /// stop, concurrent start) is a typed error, never a double-join.
+  /// submit/try_submit stay lock-free on the running_ atomic.
+  mutable std::mutex life_mu_;
   std::atomic<bool> running_{false};
   StreamReport report_;
   std::exception_ptr error_;

@@ -4,9 +4,11 @@
 // service-estimate hook), and warm-context hand-off across sessions.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <random>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -210,6 +212,54 @@ TEST(Server, LifecycleMisuseThrowsLogicError) {
   EXPECT_EQ(report.stats.completed, 1u);
   // stop() when idle is a no-op.
   server.stop();
+}
+
+TEST(Server, SubmitAfterStopAndRestartAfterDrainAreHandled) {
+  serve::ServerConfig cfg;
+  cfg.with_device(rtx2080ti()).with_engine(torchsparse_config());
+  serve::Server server(cfg);
+  const SparseTensor x = random_tensor(40, 8, 4, 13);
+  server.start(small_unet(14));
+  server.submit(x, 0.0);
+  server.stop();
+  // A stopped session admits nothing, on either admission path.
+  EXPECT_THROW(server.submit(x, 0.0), std::logic_error);
+  EXPECT_THROW(server.try_submit(x, 0.0), std::logic_error);
+  EXPECT_THROW(server.drain(), std::logic_error);
+  // The server object itself survives: a fresh session starts cleanly.
+  server.start(small_unet(14));
+  server.submit(x, 0.0);
+  EXPECT_EQ(server.drain().stats.completed, 1u);
+}
+
+TEST(Server, DrainRacingStopIsATypedErrorNeverAHang) {
+  // Two controlling threads fight over shutdown. Exactly one wins the
+  // join; the loser either sees a typed std::logic_error (session gone)
+  // or a no-op (stop when idle) — never a double-join or a hang.
+  serve::ServerConfig cfg;
+  cfg.with_device(rtx2080ti()).with_engine(torchsparse_config());
+  for (int round = 0; round < 8; ++round) {
+    serve::Server server(cfg);
+    server.start(small_unet(15));
+    server.submit(random_tensor(40, 8, 4, 15), 0.0);
+    std::atomic<int> drained{0}, refused{0};
+    std::thread t1([&] {
+      try {
+        server.drain();
+        ++drained;
+      } catch (const std::logic_error&) {
+        ++refused;
+      }
+    });
+    std::thread t2([&] { server.stop(); });
+    t1.join();
+    t2.join();
+    EXPECT_EQ(drained + refused, 1);
+    EXPECT_FALSE(server.running());
+    // Concurrent start() against the settled server still works.
+    server.start(small_unet(15));
+    server.stop();
+  }
 }
 
 // --- Legacy wrapper <-> Server session bit-equivalence ----------------
