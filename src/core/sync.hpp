@@ -1,0 +1,84 @@
+// Annotated synchronization primitives for the serving runtime.
+//
+// Thin wrappers over std::mutex / std::condition_variable_any that
+// carry Clang thread-safety capability attributes
+// (core/thread_annotations.hpp). libstdc++ ships std::mutex without a
+// capability annotation, so `GUARDED_BY(std_mutex_member)` is invisible
+// to the analysis; routing every lock through these types is what makes
+// the -Wthread-safety CI gate actually enforce the guard contracts.
+//
+// The wrappers add no state and no behavior beyond the standard types:
+//  * Mutex      — std::mutex with TS_CAPABILITY and annotated
+//                 lock/unlock/try_lock. Satisfies BasicLockable, so
+//                 CondVar (condition_variable_any) waits on it directly.
+//  * MutexLock  — scoped lock_guard equivalent (TS_SCOPED_CAPABILITY).
+//                 Non-movable by design: a lock's scope is its block.
+//  * CondVar    — condition variable over Mutex. wait() requires the
+//                 lock (TS_REQUIRES) exactly like the standard's
+//                 precondition; use an explicit `while (!pred) cv.wait`
+//                 loop rather than the predicate overload, so the
+//                 predicate's guarded reads happen in a scope the
+//                 analysis can see the lock in.
+//
+// Determinism note: none of this affects modeled statistics — locks
+// order wall-clock execution only; every modeled stat is produced by
+// the deterministic submission-order accounting passes.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "core/thread_annotations.hpp"
+
+namespace ts {
+
+/// std::mutex with a Clang thread-safety capability attribute.
+class TS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TS_ACQUIRE() { mu_.lock(); }
+  void unlock() TS_RELEASE() { mu_.unlock(); }
+  bool try_lock() TS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over Mutex (lock_guard semantics: acquires at
+/// construction, releases at scope exit, neither movable nor copyable).
+class TS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() TS_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over Mutex. condition_variable_any accepts any
+/// BasicLockable, which keeps the capability type in the wait call so
+/// annotated code never has to surface a raw std::mutex.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires before
+  /// returning. Spurious wakeups possible — always wrap in a
+  /// `while (!predicate)` loop. The caller must hold `mu`.
+  void wait(Mutex& mu) TS_REQUIRES(mu) { cv_.wait(mu); }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace ts

@@ -1,0 +1,86 @@
+// Clang thread-safety annotation macros (no-ops everywhere else).
+//
+// The serving runtime's concurrency invariants — which mutex guards
+// which field, which private helpers assume the lock is already held —
+// were previously prose in header comments, enforced only at runtime by
+// the ThreadSanitizer CI job. These macros turn that prose into
+// compiler-checked contracts: under Clang's -Wthread-safety analysis an
+// unguarded access to a TS_GUARDED_BY field, or a call to a
+// TS_REQUIRES helper without the lock, is a compile error (the CI
+// thread-safety job builds with -Werror on the analysis; the
+// tests/negative_compile suite proves the rejection actually fires).
+// Under GCC and MSVC every macro expands to nothing, so the annotations
+// cost nothing off-Clang.
+//
+// Conventions in this codebase:
+//  * Lockable members are ts::Mutex (core/sync.hpp), never bare
+//    std::mutex — libstdc++'s std::mutex carries no capability
+//    attribute, so the analysis cannot track it.
+//  * Private helpers that assume the lock is held are named *_locked()
+//    and annotated TS_REQUIRES(mu_); public entry points take the lock
+//    with a scoped MutexLock and never call each other.
+//  * Blanket suppressions (TS_NO_THREAD_SAFETY_ANALYSIS) are banned on
+//    the serving surface; docs/ANALYSIS.md states the policy.
+//
+// Macro set and semantics follow the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); the TS_
+// prefix avoids colliding with Abseil/Chromium headers a downstream
+// embedder might also include.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define TS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define TS_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Declares a type to be a capability ("mutex"-like). Applied to
+/// ts::Mutex; the analysis then tracks which capabilities are held at
+/// every program point.
+#define TS_CAPABILITY(x) TS_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability
+/// (ts::MutexLock).
+#define TS_SCOPED_CAPABILITY TS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+///   std::deque<PendingRequest> queue_ TS_GUARDED_BY(mu_);
+#define TS_GUARDED_BY(x) TS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer-field annotation: the *pointee* is guarded by `x` (the
+/// pointer itself may be read freely).
+#define TS_PT_GUARDED_BY(x) TS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function annotation: the caller must hold every listed capability
+/// (the *_locked() helper contract).
+#define TS_REQUIRES(...) \
+  TS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold the listed
+/// capabilities (deadlock prevention on re-entrant surfaces).
+#define TS_EXCLUDES(...) \
+  TS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and holds them on return.
+#define TS_ACQUIRE(...) \
+  TS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define TS_RELEASE(...) \
+  TS_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning `ret`.
+#define TS_TRY_ACQUIRE(ret, ...) \
+  TS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function returns a reference to the named capability (accessor
+/// pattern: lets callers lock a mutex owned by another object).
+#define TS_RETURN_CAPABILITY(x) \
+  TS_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Policy: never
+/// used on the serving surface (see docs/ANALYSIS.md); exists for
+/// init/teardown code the analysis cannot model. Every use must carry
+/// an inline comment explaining why the invariant holds anyway.
+#define TS_NO_THREAD_SAFETY_ANALYSIS \
+  TS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

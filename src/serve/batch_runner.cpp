@@ -4,18 +4,25 @@
 #include <atomic>
 #include <cmath>
 #include <exception>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "core/sync.hpp"
 #include "serve/serve_stats.hpp"
 #include "serve/server.hpp"
 
 namespace ts::serve {
 
 namespace {
+
+/// First worker failure, latched under its own lock; later failures in
+/// the pool lose the race and are dropped (the batch already aborted).
+struct ErrorSlot {
+  Mutex mu;
+  std::exception_ptr first TS_GUARDED_BY(mu);
+};
 
 /// Shared precondition of the legacy stream schedulers: the plan must
 /// partition [0, requests) contiguously and the overhead must be sane.
@@ -153,8 +160,7 @@ BatchReport BatchRunner::run(const ModelFn& model,
   const bool cached = static_cast<bool>(opt_.run.map_cache);
   std::vector<std::vector<MapCacheEvent>> events(cached ? inputs.size() : 0);
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  ErrorSlot error;
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
@@ -167,8 +173,8 @@ BatchReport BatchRunner::run(const ModelFn& model,
         r.timeline = run_in_context(model, inputs[i], ctx);
         r.service_seconds = r.timeline.total_seconds();
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
+        MutexLock lock(error.mu);
+        if (!error.first) error.first = std::current_exception();
         next.store(inputs.size());  // drain remaining tickets
         return;
       }
@@ -182,7 +188,14 @@ BatchReport BatchRunner::run(const ModelFn& model,
   threads.reserve(static_cast<std::size_t>(pool));
   for (int t = 0; t < pool; ++t) threads.emplace_back(worker);
   for (std::thread& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  std::exception_ptr failure;
+  {
+    // The joins above made any worker write visible, but the field is
+    // still guarded: take the (now uncontended) lock to read it.
+    MutexLock lock(error.mu);
+    failure = error.first;
+  }
+  if (failure) std::rethrow_exception(failure);
 
   // Deterministic kernel-map cache accounting: replay the recorded cache
   // resolutions in input order, swapping cold charges for warm ones

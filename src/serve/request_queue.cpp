@@ -96,7 +96,7 @@ void validate_priority(const char* who, Priority priority) {
 
 StreamHandle RequestQueue::submit(SparseTensor input, double arrival_seconds,
                                   Priority priority) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   validate_priority("RequestQueue::submit", priority);
   if (!std::isfinite(arrival_seconds) || arrival_seconds < 0)
     throw std::invalid_argument(
@@ -130,7 +130,7 @@ StreamHandle RequestQueue::submit(SparseTensor input, double arrival_seconds,
 
 std::optional<StreamHandle> RequestQueue::try_submit(
     SparseTensor input, double arrival_seconds, Priority priority) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   validate_priority("RequestQueue::try_submit", priority);
   if (!std::isfinite(arrival_seconds) || arrival_seconds < 0)
     throw std::invalid_argument(
@@ -152,7 +152,7 @@ std::optional<StreamHandle> RequestQueue::try_submit(
 StreamHandle RequestQueue::submit_wait(SparseTensor input,
                                        double arrival_seconds,
                                        Priority priority) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   validate_priority("RequestQueue::submit_wait", priority);
   if (!std::isfinite(arrival_seconds) || arrival_seconds < 0)
     throw std::invalid_argument(
@@ -161,7 +161,7 @@ StreamHandle RequestQueue::submit_wait(SparseTensor input,
   // woken by wait_pop drains, preemption evictions, and close(). close()
   // turns the wait into a typed rejection — a blocked producer can never
   // deadlock a shutdown.
-  space_cv_.wait(lock, [&] { return closed_ || !full_locked(priority); });
+  while (!closed_ && full_locked(priority)) space_cv_.wait(mu_);
   if (closed_) {
     ++rejected_;
     throw AdmissionError(
@@ -179,35 +179,35 @@ StreamHandle RequestQueue::submit_wait(SparseTensor input,
 }
 
 void RequestQueue::close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
   cv_.notify_all();
   space_cv_.notify_all();
 }
 
 bool RequestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return closed_;
 }
 
 std::size_t RequestQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 std::size_t RequestQueue::submitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_id_;
 }
 
 std::size_t RequestQueue::rejected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rejected_;
 }
 
 bool RequestQueue::wait_pop(PendingRequest& out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  MutexLock lock(mu_);
+  while (!closed_ && queue_.empty()) cv_.wait(mu_);
   if (queue_.empty()) return false;  // closed and drained
   out = std::move(queue_.front());
   queue_.pop_front();

@@ -23,16 +23,15 @@
 
 #include <array>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "core/sparse_tensor.hpp"
+#include "core/sync.hpp"
 #include "gpusim/timeline.hpp"
 #include "serve/priority.hpp"
 
@@ -275,28 +274,30 @@ class RequestQueue {
 
  private:
   StreamHandle admit_locked(SparseTensor&& input, double arrival_seconds,
-                            Priority priority);
+                            Priority priority) TS_REQUIRES(mu_);
   /// Preemption shed: evicts the newest pending request of the lowest
   /// class if that class is strictly below `incoming`. Returns true on
   /// eviction (a slot is now free).
-  bool preempt_locked(Priority incoming);
+  bool preempt_locked(Priority incoming) TS_REQUIRES(mu_);
   /// True while admitting `priority` would exceed max_depth or the
   /// class's class_max_depth cap.
-  bool full_locked(Priority priority) const;
+  bool full_locked(Priority priority) const TS_REQUIRES(mu_);
 
+  /// Immutable after construction (safe to read without mu_).
   QueueOptions opt_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
   /// Wakes producers blocked in submit_wait when a slot frees (wait_pop
   /// drain, preemption eviction) or the queue closes.
-  std::condition_variable space_cv_;
-  std::deque<PendingRequest> queue_;
-  bool closed_ = false;
-  double last_arrival_ = 0;
-  std::size_t next_id_ = 0;
-  std::size_t rejected_ = 0;
+  CondVar space_cv_;
+  std::deque<PendingRequest> queue_ TS_GUARDED_BY(mu_);
+  bool closed_ TS_GUARDED_BY(mu_) = false;
+  double last_arrival_ TS_GUARDED_BY(mu_) = 0;
+  std::size_t next_id_ TS_GUARDED_BY(mu_) = 0;
+  std::size_t rejected_ TS_GUARDED_BY(mu_) = 0;
   /// Pending requests per priority class (class_max_depth accounting).
-  std::array<std::size_t, kNumPriorityClasses> class_depth_{};
+  std::array<std::size_t, kNumPriorityClasses> class_depth_
+      TS_GUARDED_BY(mu_){};
 };
 
 }  // namespace ts::serve

@@ -18,7 +18,7 @@ TunedParams TunedParamStore::get_or_tune(
   std::promise<TunedParams> promise;
   bool owner = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) {
       future = promise.get_future().share();
@@ -37,7 +37,7 @@ TunedParams TunedParamStore::get_or_tune(
       computes_.fetch_add(1);
     } catch (...) {
       promise.set_exception(std::current_exception());
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       entries_.erase(key);  // allow a later retry
     }
   }
@@ -47,7 +47,7 @@ TunedParams TunedParamStore::get_or_tune(
 TunedParams TunedParamStore::get(const std::string& key) const {
   std::shared_future<TunedParams> future;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) return {};
     future = it->second;
@@ -63,12 +63,12 @@ TunedParams TunedParamStore::get(const std::string& key) const {
 }
 
 bool TunedParamStore::contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.count(key) > 0;
 }
 
 std::size_t TunedParamStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

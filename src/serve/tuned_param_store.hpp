@@ -14,11 +14,11 @@
 #include <atomic>
 #include <cstddef>
 #include <future>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "engines/runner.hpp"
 
 namespace ts::serve {
@@ -53,8 +53,9 @@ class TunedParamStore {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_future<TunedParams>> entries_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::shared_future<TunedParams>> entries_
+      TS_GUARDED_BY(mu_);
   std::atomic<std::size_t> computes_{0};
 };
 

@@ -1,0 +1,44 @@
+// Positive control for the negative-compile suite: correctly locked
+// code exercising every primitive the serving surface uses — scoped
+// MutexLock over guarded state, a *_locked() helper called with the
+// lock held, and a CondVar wait loop. This file MUST compile cleanly
+// under -Werror=thread-safety; if it fails, the suite's two negative
+// cases are failing for the wrong reason (broken harness, not working
+// enforcement).
+#include "core/sync.hpp"
+
+namespace {
+
+class BoundedFlag {
+ public:
+  void set() {
+    ts::MutexLock lock(mu_);
+    set_locked();
+    cv_.notify_all();
+  }
+
+  void wait_set() {
+    ts::MutexLock lock(mu_);
+    while (!value_) cv_.wait(mu_);
+  }
+
+  bool get() {
+    ts::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void set_locked() TS_REQUIRES(mu_) { value_ = true; }
+
+  ts::Mutex mu_;
+  ts::CondVar cv_;
+  bool value_ TS_GUARDED_BY(mu_) = false;
+};
+
+bool force_odr_use(BoundedFlag& f) {
+  f.set();
+  f.wait_set();
+  return f.get();
+}
+
+}  // namespace

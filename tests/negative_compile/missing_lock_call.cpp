@@ -1,0 +1,24 @@
+// Negative-compile case: calling a TS_REQUIRES(mu_) helper without the
+// lock — the *_locked() naming contract of the serving surface. Under
+// Clang with -Werror=thread-safety this file MUST fail to compile;
+// tests/negative_compile/CMakeLists.txt asserts that.
+#include "core/sync.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    add_locked(amount);  // REQUIRES(mu_) helper, lock not held: rejected
+  }
+
+ private:
+  void add_locked(int amount) TS_REQUIRES(mu_) { balance_ += amount; }
+
+  ts::Mutex mu_;
+  int balance_ TS_GUARDED_BY(mu_) = 0;
+};
+
+void force_odr_use(Account& a) { a.deposit(1); }
+
+}  // namespace

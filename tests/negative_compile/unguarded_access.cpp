@@ -1,0 +1,22 @@
+// Negative-compile case: reading a TS_GUARDED_BY field without holding
+// its mutex. Under Clang with -Werror=thread-safety this file MUST fail
+// to compile — tests/negative_compile/CMakeLists.txt asserts that. If
+// it ever compiles, the annotation plumbing (core/thread_annotations
+// macros, the ts::Mutex capability) has silently stopped enforcing,
+// which is exactly the regression this suite exists to catch.
+#include "core/sync.hpp"
+
+namespace {
+
+struct Counter {
+  ts::Mutex mu;
+  int value TS_GUARDED_BY(mu) = 0;
+};
+
+int read_without_lock(Counter& c) {
+  return c.value;  // guarded read, no lock: must be rejected
+}
+
+int force_odr_use(Counter& c) { return read_without_lock(c); }
+
+}  // namespace
