@@ -5,13 +5,11 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -831,6 +829,140 @@ StreamStats schedule_stream_dispatch(
 // serve_stream: the incremental serving session core
 // ---------------------------------------------------------------------
 
+namespace {
+
+/// One measurement work item. Carries stable pointers (deque push_back
+/// never moves existing elements), so workers never touch the growing
+/// containers themselves; a worker owns its item's pointees exclusively
+/// until it publishes `measured` under StreamShared::mu.
+struct WorkItem {
+  std::size_t index = 0;  // drained-order scheduling id
+  SparseTensor* input = nullptr;  // mutable: borrow_input moves it out
+  StreamResult* result = nullptr;
+  std::vector<MapCacheEvent>* events = nullptr;
+};
+
+/// Coordinator/worker shared state of one serving session. Every
+/// container mutation happens under `mu` — workers index the same
+/// deques during incremental placement, and a deque push_back may
+/// reallocate the internal chunk map they would be reading. The deques
+/// keep element references stable while the coordinator appends and
+/// workers write measured service times through WorkItem pointers.
+struct StreamShared {
+  Mutex mu;
+  /// Wakes workers on new work, producer completion, and failure.
+  CondVar cv;
+  std::deque<StreamResult> results TS_GUARDED_BY(mu);  // drained order
+  std::deque<SparseTensor> inputs TS_GUARDED_BY(mu);   // parallel: results
+  std::deque<std::vector<MapCacheEvent>> events TS_GUARDED_BY(mu);
+  std::deque<std::promise<StreamResult>> promises TS_GUARDED_BY(mu);
+  std::deque<char> fulfilled TS_GUARDED_BY(mu);  // parallel to promises
+  std::deque<char> measured TS_GUARDED_BY(mu);   // parallel to results
+  std::deque<char> assigned TS_GUARDED_BY(mu);   // batched yet?
+  std::vector<DispatchBatch> plan TS_GUARDED_BY(mu);
+  std::size_t next_place TS_GUARDED_BY(mu) = 0;
+  std::deque<WorkItem> work TS_GUARDED_BY(mu);
+  bool producer_done TS_GUARDED_BY(mu) = false;
+  std::exception_ptr first_error TS_GUARDED_BY(mu);
+};
+
+/// StreamPlacer callbacks over the shared state. The placer stores
+/// these type-erased (std::function), which the thread-safety analysis
+/// cannot see through — the TS_REQUIRES contracts below are what lets
+/// the guarded reads in the bodies analyze clean, and the call-site
+/// obligation is discharged structurally rather than by the compiler:
+/// placer.feed / finish_stream only ever run with st->mu held
+/// (try_place_locked and serve_stream's end-of-stream block).
+struct SharedRequestAt {
+  StreamShared* st;
+  StreamResult& operator()(std::size_t i) const TS_REQUIRES(st->mu) {
+    return st->results[i];
+  }
+};
+
+struct SharedEventsAt {
+  StreamShared* st;
+  bool cached;
+  const std::vector<MapCacheEvent>* operator()(std::size_t i) const
+      TS_REQUIRES(st->mu) {
+    return cached ? &st->events[i] : nullptr;
+  }
+};
+
+/// Fulfills a member's promise the moment its result is final —
+/// placement time fault-free, deferred finalization under faults.
+struct SharedOnFinal {
+  StreamShared* st;
+  void operator()(std::size_t m) const TS_REQUIRES(st->mu) {
+    st->promises[m].set_value(st->results[m]);
+    st->fulfilled[m] = 1;
+  }
+};
+
+/// Latches the first failure and halts measurement: pending work is
+/// dropped and workers observe producer_done on their next wakeup.
+void fail_locked(StreamShared& st, std::exception_ptr error)
+    TS_REQUIRES(st.mu) {
+  if (!st.first_error) st.first_error = error;
+  st.work.clear();
+  st.producer_done = true;
+}
+
+/// Incremental placement: batches are placed strictly in dispatch
+/// order, each as soon as every member is measured, and the members'
+/// promises are fulfilled on the spot — that is what makes an early
+/// StreamHandle readable while later batches are still pending.
+/// Placement order never depends on measurement timing, so the
+/// schedule is bit-identical to a one-shot pass over the same plan.
+void try_place_locked(StreamShared& st, StreamPlacer& placer,
+                      RequestQueue& queue) TS_REQUIRES(st.mu) {
+  if (st.first_error) return;
+  try {
+    while (st.next_place < st.plan.size()) {
+      const DispatchBatch& b = st.plan[st.next_place];
+      bool ready = true;
+      for (const std::size_t m : b.members)
+        if (!st.measured[m]) {
+          ready = false;
+          break;
+        }
+      if (!ready) break;
+      // Record + fulfillment are the placer's job: fault-free members
+      // fulfill here (inside feed), fault-mode members when their
+      // batch finalizes or fails.
+      placer.feed(b);
+      ++st.next_place;
+    }
+  } catch (...) {
+    // A policy contract violation surfaced during placement: fail the
+    // stream like a request failure would.
+    fail_locked(st, std::current_exception());
+    queue.close();
+    st.cv.notify_all();
+  }
+}
+
+/// Validates and appends one policy-emitted batch.
+void append_batch_locked(StreamShared& st, DispatchBatch&& b)
+    TS_REQUIRES(st.mu) {
+  if (b.members.empty())
+    throw std::invalid_argument(
+        "serve_stream: batching policy emitted an empty batch");
+  for (const std::size_t m : b.members) {
+    if (m >= st.results.size() || st.assigned[m])
+      throw std::invalid_argument(
+          "serve_stream: batching policy must dispatch each request "
+          "exactly once");
+    if (st.results[m].arrival_seconds > b.dispatch_seconds)
+      throw std::invalid_argument(
+          "serve_stream: batch dispatched before member arrival");
+    st.assigned[m] = 1;
+  }
+  st.plan.push_back(std::move(b));
+}
+
+}  // namespace
+
 StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
                           const ServerConfig& config,
                           BatchingPolicy& batching, RoutingPolicy& routing,
@@ -859,17 +991,10 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
 
   StreamReport report;
 
-  // Drained stream state. Deques keep element references stable while
-  // the coordinator appends and workers write measured service times.
-  std::deque<StreamResult> results;               // drained order
-  std::deque<SparseTensor> inputs;                // parallel to results
-  std::deque<std::vector<MapCacheEvent>> events;  // parallel to results
-  std::deque<std::promise<StreamResult>> promises;
-  std::deque<char> fulfilled;  // parallel to promises
-  std::deque<char> measured;   // parallel to results
-  std::deque<char> assigned;   // parallel to results (batched yet?)
-  std::vector<DispatchBatch> plan;
-  std::size_t next_place = 0;
+  // Coordinator/worker shared state (StreamShared above): the drained
+  // stream, the dispatch plan, the work queue, and the failure latch,
+  // all guarded by st.mu.
+  StreamShared st;
 
   DeviceGroup group =
       config.fleet.empty()
@@ -884,98 +1009,21 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
   if (cached && config.warm_snapshot) group.warm_start(config.warm_snapshot);
   // A non-empty fault plan switches the placer into the fault-tolerant
   // scheduler; fulfillment then runs through its on_final hook (under
-  // `mu` — feed/finish_stream are only ever called with it held), which
-  // may fire at deferred-finalization time or with a typed failure.
+  // st.mu — feed/finish_stream are only ever called with it held),
+  // which may fire at deferred-finalization time or with a typed
+  // failure.
   const bool faulty = config.fault_plan && !config.fault_plan->faults.empty();
   std::optional<FaultInjector> injector;
   if (faulty)
     injector.emplace(*config.fault_plan, config.fault_tolerance, devices);
-  StreamPlacer placer(
-      group, routing, workers, config.batch_overhead_seconds,
-      [&results](std::size_t i) -> StreamResult& { return results[i]; },
-      [&events, cached](std::size_t i) {
-        return cached ? &events[i] : nullptr;
-      },
-      cached, injector ? &*injector : nullptr,
-      [&results, &promises, &fulfilled](std::size_t m) {
-        promises[m].set_value(results[m]);
-        fulfilled[m] = 1;
-      });
+  StreamPlacer placer(group, routing, workers, config.batch_overhead_seconds,
+                      SharedRequestAt{&st}, SharedEventsAt{&st, cached},
+                      cached, injector ? &*injector : nullptr,
+                      SharedOnFinal{&st});
 
-  // Measurement work queue. Batch membership only shapes the modeled
-  // schedule, so measurement starts the moment a request is drained — no
-  // need to wait for its batch. Work items carry stable pointers (deque
-  // push_back never moves existing elements), so workers never touch the
-  // growing containers themselves.
-  struct WorkItem {
-    std::size_t index = 0;  // drained-order scheduling id
-    SparseTensor* input;    // mutable: borrow_input moves the tensor out
-    StreamResult* result;
-    std::vector<MapCacheEvent>* events;
-  };
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<WorkItem> work;
-  bool producer_done = false;
-  std::exception_ptr first_error;
-
-  auto fail_locked = [&](std::exception_ptr error) {
-    if (!first_error) first_error = error;
-    work.clear();
-    producer_done = true;
-  };
-
-  // Incremental placement: batches are placed strictly in dispatch
-  // order, each as soon as every member is measured, and the members'
-  // promises are fulfilled on the spot — that is what makes an early
-  // StreamHandle readable while later batches are still pending.
-  // Placement order never depends on measurement timing, so the
-  // schedule is bit-identical to a one-shot pass over the same plan.
-  auto try_place_locked = [&] {
-    if (first_error) return;
-    try {
-      while (next_place < plan.size()) {
-        const DispatchBatch& b = plan[next_place];
-        bool ready = true;
-        for (const std::size_t m : b.members)
-          if (!measured[m]) {
-            ready = false;
-            break;
-          }
-        if (!ready) break;
-        // Record + fulfillment are the placer's job now: fault-free
-        // members fulfill here (inside feed), fault-mode members when
-        // their batch finalizes or fails.
-        placer.feed(b);
-        ++next_place;
-      }
-    } catch (...) {
-      // A policy contract violation surfaced during placement: fail the
-      // stream like a request failure would.
-      fail_locked(std::current_exception());
-      queue.close();
-      cv.notify_all();
-    }
-  };
-
-  // Validates and appends one policy-emitted batch (under mu).
-  auto append_batch_locked = [&](DispatchBatch&& b) {
-    if (b.members.empty())
-      throw std::invalid_argument(
-          "serve_stream: batching policy emitted an empty batch");
-    for (const std::size_t m : b.members) {
-      if (m >= results.size() || assigned[m])
-        throw std::invalid_argument(
-            "serve_stream: batching policy must dispatch each request "
-            "exactly once");
-      if (results[m].arrival_seconds > b.dispatch_seconds)
-        throw std::invalid_argument(
-            "serve_stream: batch dispatched before member arrival");
-      assigned[m] = 1;
-    }
-    plan.push_back(std::move(b));
-  };
-
+  // Batch membership only shapes the modeled schedule, so measurement
+  // starts the moment a request is drained — no need to wait for its
+  // batch.
   auto worker = [&](int device_index) {
     // Each device shard contributes its own measurement pool; a worker
     // carries its pool's identity in its (reusable) context as host-side
@@ -988,8 +1036,9 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
     std::optional<ExecContext> ctx;
     if (context_pool && config.reuse_context) {
       // Context hand-off: adopt a warm context from a previous session,
-      // restamped to this worker's device pool.
-      std::lock_guard<std::mutex> lock(mu);
+      // restamped to this worker's device pool. st.mu doubles as the
+      // pool's lock — hand-offs only happen at worker start/exit.
+      MutexLock lock(st.mu);
       if (!context_pool->empty()) {
         ctx.emplace(std::move(context_pool->back()));
         context_pool->pop_back();
@@ -999,11 +1048,11 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
     for (;;) {
       WorkItem item;
       {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return producer_done || !work.empty(); });
-        if (work.empty()) break;
-        item = work.front();
-        work.pop_front();
+        MutexLock lock(st.mu);
+        while (!st.producer_done && st.work.empty()) st.cv.wait(st.mu);
+        if (st.work.empty()) break;
+        item = st.work.front();
+        st.work.pop_front();
       }
       try {
         Timeline t;
@@ -1028,23 +1077,23 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
         item.result->timeline = t;
         item.result->service_seconds = t.total_seconds();
         {
-          std::lock_guard<std::mutex> lock(mu);
-          measured[item.index] = 1;
-          try_place_locked();
+          MutexLock lock(st.mu);
+          st.measured[item.index] = 1;
+          try_place_locked(st, placer, queue);
         }
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(mu);
-          fail_locked(std::current_exception());
+          MutexLock lock(st.mu);
+          fail_locked(st, std::current_exception());
         }
-        cv.notify_all();
+        st.cv.notify_all();
         queue.close();  // unblock the coordinator's wait_pop
         break;
       }
     }
     if (context_pool && ctx) {
       // Hand the warm context back for the next session.
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(st.mu);
       context_pool->push_back(std::move(*ctx));
     }
   };
@@ -1065,49 +1114,47 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
 
   // Coordinator (this thread): drain the queue in arrival order, feed
   // the batching policy, and hand each request to the measurement pool.
-  // Every container mutation happens under `mu` — workers index the
-  // same deques during incremental placement, and a deque push_back
-  // may reallocate the internal chunk map they would be reading.
   // After a failure the queue is already closed; keep draining it so
   // every outstanding promise can receive the error.
   PendingRequest pr;
   while (queue.wait_pop(pr)) {
     bool errored = false;
     {
-      std::lock_guard<std::mutex> lock(mu);
-      if (first_error) {
-        promises.push_back(std::move(pr.promise));
-        fulfilled.push_back(0);
+      MutexLock lock(st.mu);
+      if (st.first_error) {
+        st.promises.push_back(std::move(pr.promise));
+        st.fulfilled.push_back(0);
         continue;
       }
-      const std::size_t idx = results.size();
-      results.emplace_back();
-      results.back().id = pr.id;
-      results.back().arrival_seconds = pr.arrival_seconds;
-      results.back().priority = pr.priority;
-      inputs.push_back(std::move(pr.input));
-      promises.push_back(std::move(pr.promise));
-      fulfilled.push_back(0);
-      measured.push_back(0);
-      assigned.push_back(0);
-      if (cached) events.emplace_back();
+      const std::size_t idx = st.results.size();
+      st.results.emplace_back();
+      st.results.back().id = pr.id;
+      st.results.back().arrival_seconds = pr.arrival_seconds;
+      st.results.back().priority = pr.priority;
+      st.inputs.push_back(std::move(pr.input));
+      st.promises.push_back(std::move(pr.promise));
+      st.fulfilled.push_back(0);
+      st.measured.push_back(0);
+      st.assigned.push_back(0);
+      if (cached) st.events.emplace_back();
       try {
         ArrivalInfo info{idx, pr.arrival_seconds, pr.priority, {}, false};
         if (batching.wants_digests()) {
           // O(points) content hash, computed only for digest-aware
           // policies, from the drained tensor before any worker can
           // borrow it.
-          info.digest = input_content_digest(inputs.back().coords(),
-                                             inputs.back().stride());
+          info.digest = input_content_digest(st.inputs.back().coords(),
+                                             st.inputs.back().stride());
           info.has_digest = true;
         }
         std::vector<DispatchBatch> closed = batching.on_arrival(info);
-        for (DispatchBatch& b : closed) append_batch_locked(std::move(b));
-        work.push_back({idx, &inputs.back(), &results.back(),
-                        cached ? &events.back() : nullptr});
-        try_place_locked();
+        for (DispatchBatch& b : closed)
+          append_batch_locked(st, std::move(b));
+        st.work.push_back({idx, &st.inputs.back(), &st.results.back(),
+                           cached ? &st.events.back() : nullptr});
+        try_place_locked(st, placer, queue);
       } catch (...) {
-        fail_locked(std::current_exception());
+        fail_locked(st, std::current_exception());
         queue.close();
         errored = true;
       }
@@ -1115,59 +1162,68 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
     // One new work item per iteration — wake one worker; a failure set
     // producer_done, so every worker must see it.
     if (errored)
-      cv.notify_all();
+      st.cv.notify_all();
     else
-      cv.notify_one();
+      st.cv.notify_one();
   }
   {
     bool errored;
     {
-      std::lock_guard<std::mutex> lock(mu);
-      errored = static_cast<bool>(first_error);
+      MutexLock lock(st.mu);
+      errored = static_cast<bool>(st.first_error);
     }
     if (!errored) {
       try {
         std::vector<DispatchBatch> tail = batching.flush();
-        std::lock_guard<std::mutex> lock(mu);
-        for (DispatchBatch& b : tail) append_batch_locked(std::move(b));
-        try_place_locked();
+        MutexLock lock(st.mu);
+        for (DispatchBatch& b : tail) append_batch_locked(st, std::move(b));
+        try_place_locked(st, placer, queue);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
-        fail_locked(std::current_exception());
+        MutexLock lock(st.mu);
+        fail_locked(st, std::current_exception());
       }
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu);
-    producer_done = true;
+    MutexLock lock(st.mu);
+    st.producer_done = true;
   }
-  cv.notify_all();
+  st.cv.notify_all();
   for (std::thread& t : threads) t.join();
 
   // Everything is measured now; any still-unplaced batches place here
   // (and a policy that failed to cover the stream is a contract error).
   {
-    std::lock_guard<std::mutex> lock(mu);
-    try_place_locked();
-    if (!first_error) {
+    MutexLock lock(st.mu);
+    try_place_locked(st, placer, queue);
+    if (!st.first_error) {
       // Fault mode: drain the remaining fault events and retries so
       // every admitted request is served or carries a typed failure.
       try {
         placer.finish_stream();
       } catch (...) {
-        fail_locked(std::current_exception());
+        fail_locked(st, std::current_exception());
       }
     }
-    if (!first_error &&
-        (next_place != plan.size() ||
-         placer.accounted_requests() != results.size()))
-      fail_locked(std::make_exception_ptr(std::invalid_argument(
-          "serve_stream: batching policy left " +
-          std::to_string(results.size() - placer.accounted_requests()) +
-          " request(s) undispatched at end of stream")));
+    if (!st.first_error &&
+        (st.next_place != st.plan.size() ||
+         placer.accounted_requests() != st.results.size()))
+      fail_locked(st,
+                  std::make_exception_ptr(std::invalid_argument(
+                      "serve_stream: batching policy left " +
+                      std::to_string(st.results.size() -
+                                     placer.accounted_requests()) +
+                      " request(s) undispatched at end of stream")));
   }
 
-  if (first_error) {
+  // The joins above ended all concurrency; the guarded state is still
+  // read under st.mu so the annotations stay honest.
+  std::exception_ptr failure;
+  {
+    MutexLock lock(st.mu);
+    failure = st.first_error;
+  }
+  if (failure) {
     // Reset the batching policy (a failed stream skipped the normal
     // flush) so a caller-supplied instance can serve the next session;
     // discard whatever it still had pending.
@@ -1176,14 +1232,18 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
     } catch (...) {
     }
     // Every unfulfilled handle observes the failure, then rethrow.
-    for (std::size_t i = 0; i < promises.size(); ++i)
-      if (!fulfilled[i]) promises[i].set_exception(first_error);
-    std::rethrow_exception(first_error);
+    MutexLock lock(st.mu);
+    for (std::size_t i = 0; i < st.promises.size(); ++i)
+      if (!st.fulfilled[i]) st.promises[i].set_exception(failure);
+    std::rethrow_exception(failure);
   }
 
   report.batches = placer.batch_records();
-  report.requests.assign(std::make_move_iterator(results.begin()),
-                         std::make_move_iterator(results.end()));
+  {
+    MutexLock lock(st.mu);
+    report.requests.assign(std::make_move_iterator(st.results.begin()),
+                           std::make_move_iterator(st.results.end()));
+  }
   report.stats = placer.finalize(
       report.requests.empty() ? 0.0
                               : report.requests.front().arrival_seconds);
@@ -1249,7 +1309,7 @@ Server::Server(ServerConfig config) : cfg_(std::move(config)) {
 Server::~Server() { stop(); }
 
 void Server::start(ModelFn model) {
-  std::lock_guard<std::mutex> lock(life_mu_);
+  MutexLock lock(life_mu_);
   if (running_)
     throw std::logic_error(
         "Server::start: a session is already running (drain() or stop() "
@@ -1271,10 +1331,17 @@ void Server::start(ModelFn model) {
   std::shared_ptr<RoutingPolicy> routing = cfg_.routing;
   if (!routing) routing = make_routing_policy(cfg_.shard.route);
   running_ = true;
-  loop_ = std::thread([this, model = std::move(model), batching, routing] {
+  // The serving thread gets the queue pointer by value: it must not
+  // read the guarded queue_ member (it never takes life_mu_ — drain()
+  // holds that lock across the join). The session owns *q until the
+  // join in drain()/stop(), so the pointer outlives the thread.
+  RequestQueue* q = queue_.get();
+  loop_ = std::thread([this, q, model = std::move(model), batching,
+                       routing] {
     try {
-      report_ = serve_stream(model, *queue_, cfg_, *batching, *routing,
-                             &spare_contexts_);
+      report_ =
+          serve_stream(model, *q, cfg_, *batching, *routing,
+                      &spare_contexts_);
     } catch (...) {
       error_ = std::current_exception();
     }
@@ -1283,6 +1350,12 @@ void Server::start(ModelFn model) {
 
 StreamHandle Server::submit(SparseTensor input, double arrival_seconds,
                             Priority priority) {
+  // life_mu_ (not just the running_ atomic): a submit racing drain()'s
+  // start()-replacement of queue_ must never dereference the old queue
+  // after its session freed it. Admission never blocks inside the
+  // queue, so the lock hold is short; a submit arriving while drain()
+  // joins simply waits and then gets the typed error.
+  MutexLock lock(life_mu_);
   if (!running_ || !queue_)
     throw std::logic_error(
         "Server::submit: no session is running (call start() before "
@@ -1293,6 +1366,7 @@ StreamHandle Server::submit(SparseTensor input, double arrival_seconds,
 std::optional<StreamHandle> Server::try_submit(SparseTensor input,
                                                double arrival_seconds,
                                                Priority priority) {
+  MutexLock lock(life_mu_);
   if (!running_ || !queue_)
     throw std::logic_error(
         "Server::try_submit: no session is running (call start() before "
@@ -1304,7 +1378,7 @@ StreamReport Server::drain() {
   // life_mu_ serializes against stop()/start(): whichever of a racing
   // drain/stop pair runs second sees running_ already cleared and gets
   // the typed error / no-op instead of a second join (UB).
-  std::lock_guard<std::mutex> lock(life_mu_);
+  MutexLock lock(life_mu_);
   if (!running_)
     throw std::logic_error(
         "Server::drain: no session is running (already drained or "
@@ -1317,7 +1391,7 @@ StreamReport Server::drain() {
 }
 
 void Server::stop() {
-  std::lock_guard<std::mutex> lock(life_mu_);
+  MutexLock lock(life_mu_);
   if (!running_) {
     if (loop_.joinable()) loop_.join();
     return;
@@ -1340,10 +1414,12 @@ BatchReport Server::run_batch(const ModelFn& model,
 }
 
 std::size_t Server::depth() const {
+  MutexLock lock(life_mu_);
   return running_ && queue_ ? queue_->depth() : 0;
 }
 
 std::size_t Server::rejected() const {
+  MutexLock lock(life_mu_);
   return running_ && queue_ ? queue_->rejected() : 0;
 }
 

@@ -47,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "serve/batch_runner.hpp"
 #include "serve/fault.hpp"
 #include "serve/serve_policies.hpp"
@@ -231,7 +232,10 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
 /// serialized against each other internally, so misuse from multiple
 /// controlling threads (drain racing stop, concurrent start) surfaces
 /// as a typed std::logic_error on the loser — never a hang, a
-/// double-join, or UB.
+/// double-join, or UB. Admission shares that lock: a submit racing a
+/// drain/start cycle either lands in the closing session's queue
+/// (resolving through its handle) or observes the session gone and
+/// gets the typed error — it can never dereference a freed queue.
 class Server {
  public:
   /// Validates the configuration (std::invalid_argument): workers
@@ -301,14 +305,22 @@ class Server {
   }
 
  private:
+  /// Immutable after construction (safe to read without life_mu_).
   ServerConfig cfg_;
-  std::unique_ptr<RequestQueue> queue_;
-  std::thread loop_;
   /// Serializes start/drain/stop so lifecycle misuse (drain racing
-  /// stop, concurrent start) is a typed error, never a double-join.
-  /// submit/try_submit stay lock-free on the running_ atomic.
-  mutable std::mutex life_mu_;
+  /// stop, concurrent start) is a typed error, never a double-join —
+  /// and guards queue_ so admission can never race start()'s queue
+  /// replacement into a freed RequestQueue. The serving thread never
+  /// takes this lock (drain() holds it across the join).
+  mutable Mutex life_mu_;
+  std::unique_ptr<RequestQueue> queue_ TS_GUARDED_BY(life_mu_);
+  std::thread loop_;
   std::atomic<bool> running_{false};
+  /// Session outcome and warm contexts: written by the serving thread,
+  /// read/reset only between sessions after loop_.join() — the join's
+  /// happens-before is the synchronization, not a lock (annotating
+  /// them under life_mu_ would force the serving thread to take it and
+  /// deadlock against drain's join).
   StreamReport report_;
   std::exception_ptr error_;
   /// Warm contexts handed back by the session's workers, reused by the

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <random>
 #include <sstream>
 #include <stdexcept>
@@ -260,6 +261,55 @@ TEST(Server, DrainRacingStopIsATypedErrorNeverAHang) {
     server.start(small_unet(15));
     server.stop();
   }
+}
+
+TEST(Server, SubmitRacingDrainStartCyclesNeverTouchesAFreedQueue) {
+  // Regression: submit/try_submit used to read the queue_ pointer
+  // outside life_mu_, so a laggard producer racing a drain()+start()
+  // cycle could call into the old session's freed RequestQueue (a
+  // use-after-free the thread-safety annotations now reject at compile
+  // time under Clang). Producers hammer admission across restart
+  // cycles; every call must either land in a live session's queue or
+  // surface the typed logic_error. Run under TSan in CI.
+  serve::ServerConfig cfg;
+  cfg.with_device(rtx2080ti())
+      .with_engine(torchsparse_config())
+      // A small queue bounds each cycle's drain work: producers mostly
+      // see a full queue (nullopt), which is admission traffic all the
+      // same — the lock-ordering under test, not throughput.
+      .with_queue_depth(8);
+  serve::Server server(cfg);
+  const SparseTensor x = random_tensor(40, 8, 4, 16);
+  std::atomic<bool> done{false};
+  std::atomic<int> admitted{0}, refused{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&] {
+      // Arrival stamps must be non-decreasing per session; a shared
+      // far-future stamp keeps concurrent producers mutually valid.
+      while (!done) {
+        try {
+          if (server.try_submit(x, 1e6).has_value())
+            ++admitted;
+          else
+            ++refused;  // full queue or closing session
+        } catch (const std::logic_error&) {
+          ++refused;  // between sessions: typed, never a crash
+        }
+      }
+    });
+  }
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    server.start(small_unet(17));
+    // Give producers a window to land submissions in this session.
+    (void)server.try_submit(x, 1e6);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    server.stop();  // frees this session's queue; admission must not UAF
+  }
+  done = true;
+  for (std::thread& t : producers) t.join();
+  EXPECT_GT(admitted + refused, 0);
+  EXPECT_FALSE(server.running());
 }
 
 // --- Legacy wrapper <-> Server session bit-equivalence ----------------
