@@ -81,7 +81,7 @@ MapCachePayload KernelMapCache::get_or_build(
     const MapCacheKey& key, const std::function<MapCachePayload()>& build,
     bool* was_hit) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.lookups;
     if (auto it = entries_.find(key); it != entries_.end()) {
       Entry& e = it->second;
@@ -98,14 +98,18 @@ MapCachePayload KernelMapCache::get_or_build(
 
   // Build outside the lock: concurrent misses on one key may duplicate
   // wall work during warmup, but never block the whole pool on one build.
+  // det-lint: allow(wall-clock): host-side build-time measurement seam —
+  // feeds MapCacheStats observability only, never a modeled statistic
+  // (modeled accounting is the deterministic MapCacheReplay).
   const auto t0 = std::chrono::steady_clock::now();
   MapCachePayload built = build();
   const double wall =
+      // det-lint: allow(wall-clock): same measurement seam as above.
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   const std::size_t bytes = map_cache_payload_bytes(built);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.build_wall_seconds += wall;
   if (auto it = entries_.find(key); it != entries_.end()) {
     // A racing builder inserted first; share its payload so every holder
@@ -131,20 +135,20 @@ MapCachePayload KernelMapCache::get_or_build(
 }
 
 MapCachePayload KernelMapCache::peek(const MapCacheKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (auto it = entries_.find(key); it != entries_.end())
     return it->second.payload;
   return {};
 }
 
 bool KernelMapCache::contains(const MapCacheKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.find(key) != entries_.end();
 }
 
 KernelMapCache::RecordOutcome KernelMapCache::record_lookup(
     const MapCacheKey& key, std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.lookups;
   RecordOutcome out;
   if (auto it = entries_.find(key); it != entries_.end()) {
@@ -176,7 +180,7 @@ KernelMapCache::RecordOutcome KernelMapCache::record_lookup(
 
 bool KernelMapCache::admit(const MapCacheKey& key, MapCachePayload payload,
                            double build_wall_seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (auto it = entries_.find(key); it != entries_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return true;
@@ -197,9 +201,8 @@ bool KernelMapCache::admit(const MapCacheKey& key, MapCachePayload payload,
   return true;
 }
 
-KernelMapCache::RecordOutcome KernelMapCache::admit_record(
+KernelMapCache::RecordOutcome KernelMapCache::admit_record_locked(
     const MapCacheKey& key, std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
   RecordOutcome out;
   if (auto it = entries_.find(key); it != entries_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
@@ -220,18 +223,30 @@ KernelMapCache::RecordOutcome KernelMapCache::admit_record(
   return out;
 }
 
+KernelMapCache::RecordOutcome KernelMapCache::admit_record(
+    const MapCacheKey& key, std::size_t bytes) {
+  MutexLock lock(mu_);
+  return admit_record_locked(key, bytes);
+}
+
 std::vector<KernelMapCache::RecordOutcome> KernelMapCache::reseed_record(
     const MapCacheSnapshot& snapshot) {
-  clear();
+  // One lock acquisition for the whole drop + re-admit compound. The old
+  // clear(); admit_record()-per-entry sequence released the lock between
+  // steps, so a concurrent stats()/contains() reader could observe the
+  // half-reseeded population — the kind of lock-scope gap the
+  // -Wthread-safety pass exists to make structurally impossible.
+  MutexLock lock(mu_);
+  clear_locked();
   std::vector<RecordOutcome> outcomes;
   outcomes.reserve(snapshot.entries.size());
   for (const MapCacheSnapshotEntry& e : snapshot.entries)
-    outcomes.push_back(admit_record(e.key, e.bytes));
+    outcomes.push_back(admit_record_locked(e.key, e.bytes));
   return outcomes;
 }
 
 MapCacheSnapshot KernelMapCache::export_snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MapCacheSnapshot snap;
   snap.byte_budget = budget_;
   snap.entries.reserve(entries_.size());
@@ -255,12 +270,16 @@ void KernelMapCache::import_snapshot(const MapCacheSnapshot& snapshot) {
 }
 
 MapCacheStats KernelMapCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void KernelMapCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  clear_locked();
+}
+
+void KernelMapCache::clear_locked() {
   entries_.clear();
   lru_.clear();
   stats_.entries = 0;

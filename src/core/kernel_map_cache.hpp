@@ -33,11 +33,11 @@
 #include <iosfwd>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/conv_config.hpp"
+#include "core/sync.hpp"
 #include "core/downsample.hpp"
 #include "core/kernel_map.hpp"
 #include "gpusim/timeline.hpp"
@@ -205,6 +205,9 @@ class KernelMapCache {
   /// restored residency and eviction order match import_snapshot's).
   /// Returns one RecordOutcome per manifest entry, in order, so an
   /// external ownership index can mirror the rebuilt population.
+  /// Atomic: the drop and every re-admission happen under one lock
+  /// acquisition, so a concurrent reader never observes the half-reseeded
+  /// population.
   std::vector<RecordOutcome> reseed_record(const MapCacheSnapshot& snapshot);
 
   /// Captures the full population — every entry's key, payload, bytes,
@@ -244,13 +247,21 @@ class KernelMapCache {
   /// `evicted` is non-null each victim key is appended (LRU order) —
   /// record_lookup uses this to report population deltas.
   void evict_to_fit_locked(std::size_t incoming_bytes,
-                           std::vector<MapCacheKey>* evicted = nullptr);
+                           std::vector<MapCacheKey>* evicted = nullptr)
+      TS_REQUIRES(mu_);
+  /// Lock-held bodies of admit_record and clear, shared by the public
+  /// entry points and the atomic reseed_record compound.
+  RecordOutcome admit_record_locked(const MapCacheKey& key, std::size_t bytes)
+      TS_REQUIRES(mu_);
+  void clear_locked() TS_REQUIRES(mu_);
 
+  /// Immutable after construction (safe to read without mu_).
   std::size_t budget_;
-  mutable std::mutex mu_;
-  std::list<MapCacheKey> lru_;  // front = most recently used
-  std::unordered_map<MapCacheKey, Entry, MapCacheKeyHash> entries_;
-  MapCacheStats stats_;
+  mutable Mutex mu_;
+  std::list<MapCacheKey> lru_ TS_GUARDED_BY(mu_);  // front = MRU
+  std::unordered_map<MapCacheKey, Entry, MapCacheKeyHash> entries_
+      TS_GUARDED_BY(mu_);
+  MapCacheStats stats_ TS_GUARDED_BY(mu_);
 };
 
 // ---------------------------------------------------------------------

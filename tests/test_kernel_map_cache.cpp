@@ -4,8 +4,10 @@
 // are deterministic for any worker count.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <random>
 #include <sstream>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -407,6 +409,40 @@ TEST(MapCacheSnapshot, SmallerBudgetKeepsMruSuffix) {
   EXPECT_TRUE(small.contains(k2));
   EXPECT_TRUE(small.contains(k3));
   EXPECT_EQ(small.stats().entries, 2u);
+}
+
+TEST(MapCacheSnapshot, ReseedRecordIsAtomicUnderConcurrentReaders) {
+  // Regression: reseed_record used to release the lock between its
+  // clear() and each per-entry admit_record(), so a concurrent reader
+  // could observe the half-reseeded population. It is now a single
+  // lock-held compound: every stats() observation lands on either the
+  // pre-reseed population (empty here) or the full manifest — never a
+  // strict subset of it mid-rebuild. Run under TSan in CI.
+  constexpr std::size_t kEntries = 16;
+  MapCacheSnapshot manifest;
+  manifest.byte_budget = std::size_t(1) << 20;
+  for (std::size_t i = 0; i < kEntries; ++i)
+    manifest.entries.push_back(
+        {MapCacheKey{100 + static_cast<uint64_t>(i), 0}, MapCachePayload{},
+         256, 0.0});
+
+  KernelMapCache cache(std::size_t(1) << 20);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> partial_seen{false};
+  std::thread reader([&] {
+    while (!stop) {
+      const std::size_t n = cache.stats().entries;
+      if (n != 0 && n != kEntries) partial_seen = true;
+    }
+  });
+  for (int round = 0; round < 200; ++round) {
+    const auto outcomes = cache.reseed_record(manifest);
+    ASSERT_EQ(outcomes.size(), kEntries);
+  }
+  stop = true;
+  reader.join();
+  EXPECT_FALSE(partial_seen);
+  EXPECT_EQ(cache.stats().entries, kEntries);
 }
 
 TEST(MapCacheSnapshot, RecordModeCacheRefusesPayloadExport) {
