@@ -224,6 +224,9 @@ void DeviceGroup::invalidate_shard_cache(int device) {
   s.cache = std::make_unique<KernelMapCache>(map_cache_bytes_);
   // Purge the crashed shard from the owner index. Full scan — crashes
   // are rare events, not the routing hot path.
+  // det-lint: allow(unordered-iter): order-independent purge — every
+  // entry is visited and mutated the same way regardless of iteration
+  // order, and nothing downstream observes the order.
   for (auto it = owners_.begin(); it != owners_.end();) {
     std::vector<int>& owners = it->second;
     const auto pos = std::find(owners.begin(), owners.end(), device);
