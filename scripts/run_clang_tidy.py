@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over the repo's translation units in parallel.
+
+Drives the .clang-tidy configuration (bugprone/concurrency/performance
+families; see docs/ANALYSIS.md) against a compile_commands.json build
+database, which CMake emits when configured with
+`-DCMAKE_EXPORT_COMPILE_COMMANDS=ON` (on by default in this repo's
+CMakeLists). Typical use:
+
+    cmake -S . -B build            # writes build/compile_commands.json
+    python3 scripts/run_clang_tidy.py --build-dir build
+
+Only first-party sources are checked (src/ by default; --also-tests
+adds tests/ and bench/). Findings are compiler-style diagnostics;
+WarningsAsErrors in .clang-tidy makes any finding fail the run, so CI
+can gate on the exit status alone. Exit: 0 clean, 1 findings, 2 setup
+problems (no binary, no database) — unless --allow-missing turns the
+setup problems into a skip for machines without clang-tidy installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+
+CANDIDATE_BINARIES = (
+    "clang-tidy",
+    "clang-tidy-20", "clang-tidy-19", "clang-tidy-18", "clang-tidy-17",
+    "clang-tidy-16", "clang-tidy-15", "clang-tidy-14",
+)
+
+
+def find_clang_tidy(explicit: str | None) -> str | None:
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in CANDIDATE_BINARIES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def first_party_sources(build_dir: str, roots: list[str]) -> list[str]:
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        return []
+    with open(db_path, encoding="utf-8") as f:
+        db = json.load(f)
+    abs_roots = [os.path.abspath(r) + os.sep for r in roots]
+    files = sorted({os.path.abspath(entry["file"]) for entry in db})
+    return [f for f in files
+            if any(f.startswith(root) for root in abs_roots)]
+
+
+def run_one(args) -> tuple[str, int, str]:
+    binary, build_dir, path = args
+    proc = subprocess.run(
+        [binary, "-p", build_dir, "--quiet", path],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    return path, proc.returncode, proc.stdout
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build",
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: first of "
+                             "clang-tidy, clang-tidy-20..14 on PATH)")
+    parser.add_argument("--jobs", type=int,
+                        default=multiprocessing.cpu_count(),
+                        help="parallel clang-tidy processes")
+    parser.add_argument("--also-tests", action="store_true",
+                        help="also check tests/ and bench/ sources")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="exit 0 (skip) when clang-tidy or the "
+                             "compile database is absent — for local "
+                             "machines without LLVM installed")
+    args = parser.parse_args(argv)
+
+    binary = find_clang_tidy(args.clang_tidy)
+    if not binary:
+        msg = "run_clang_tidy: no clang-tidy binary on PATH"
+        if args.allow_missing:
+            print(f"{msg}; skipping (--allow-missing)")
+            return 0
+        print(msg, file=sys.stderr)
+        return 2
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    roots = [os.path.join(repo, "src")]
+    if args.also_tests:
+        roots += [os.path.join(repo, "tests"), os.path.join(repo, "bench")]
+    files = first_party_sources(args.build_dir, roots)
+    if not files:
+        msg = (f"run_clang_tidy: no first-party sources in "
+               f"{args.build_dir}/compile_commands.json (configure with "
+               f"-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+        if args.allow_missing:
+            print(f"{msg}; skipping (--allow-missing)")
+            return 0
+        print(msg, file=sys.stderr)
+        return 2
+
+    print(f"run_clang_tidy: {binary}, {len(files)} files, "
+          f"{args.jobs} jobs")
+    failures = 0
+    with multiprocessing.Pool(args.jobs) as pool:
+        work = [(binary, args.build_dir, f) for f in files]
+        for path, code, output in pool.imap_unordered(run_one, work):
+            if code != 0 or output.strip():
+                failures += 1
+                rel = os.path.relpath(path, repo)
+                sys.stdout.write(f"--- {rel}\n{output}\n")
+    if failures:
+        print(f"run_clang_tidy: findings in {failures} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
