@@ -13,7 +13,13 @@ Usage:
 
 Default directories: src/serve src/core src/gpusim (the API-redesign
 surface, the kernel-engine surface it sits on, and the device-spec
-registry the fleet layer consumes).
+registry the fleet layer consumes) plus tests and bench, whose shared
+headers (e.g. bench/bench_util.hpp) are included from the repo root and
+rot just as easily as the library's.
+
+Headers under src/ are compiled as they are included in the tree
+(#include "serve/server.hpp", -Isrc); headers anywhere else compile as
+repo-root-relative includes (#include "bench/bench_util.hpp", -I.).
 """
 
 import argparse
@@ -24,13 +30,17 @@ import tempfile
 
 
 def headers_under(repo, rel_dir):
+    # src/ headers are included src-relative throughout the tree; anything
+    # else (tests/, bench/) is included repo-root-relative.
+    base = os.path.join(repo, "src") if rel_dir.split(os.sep)[0] == "src" \
+        else repo
     root = os.path.join(repo, rel_dir)
     found = []
     for dirpath, _, files in os.walk(root):
         for name in sorted(files):
             if name.endswith(".hpp") or name.endswith(".h"):
                 path = os.path.join(dirpath, name)
-                found.append(os.path.relpath(path, os.path.join(repo, "src")))
+                found.append(os.path.relpath(path, base))
     return found
 
 
@@ -39,7 +49,8 @@ def main():
     ap.add_argument("--compiler", default=os.environ.get("CXX", "g++"))
     ap.add_argument("--std", default="c++20")
     ap.add_argument("dirs", nargs="*",
-                    default=["src/serve", "src/core", "src/gpusim"])
+                    default=["src/serve", "src/core", "src/gpusim",
+                             "tests", "bench"])
     args = ap.parse_args()
 
     repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -61,7 +72,8 @@ def main():
                 f.write(f'#include "{header}"\n')
             cmd = [
                 args.compiler, f"-std={args.std}", "-fsyntax-only",
-                "-Wall", "-Wextra", "-Werror", f"-I{include_dir}", tu,
+                "-Wall", "-Wextra", "-Werror",
+                f"-I{include_dir}", f"-I{repo}", tu,
             ]
             proc = subprocess.run(cmd, capture_output=True, text=True)
             status = "ok" if proc.returncode == 0 else "FAIL"
