@@ -5,8 +5,9 @@ Each tracked bench prints machine-readable "@metric <name> <value>" lines
 (see bench/bench_util.hpp).  This script runs the fig13 (mapping), fig14
 (serving throughput), fig16 (kernel-map cache), fig17 (multi-device
 sharding), fig18 (priority classes), fig19 (heterogeneous fleets), fig20
-(warm-start serving), and fig21 (fault-tolerant serving) binaries,
-collects their metrics, and writes one BENCH_<fig>.json per bench.
+(warm-start serving), fig21 (fault-tolerant serving), and fig22
+(multi-model serving) binaries, collects their metrics, and writes one
+BENCH_<fig>.json per bench.
 
 Modeled metrics are produced by the deterministic cost model, so they are
 bit-reproducible across machines; the CI regression gate (--check)
@@ -41,6 +42,7 @@ BENCHES = {
     "fig19": "bench_fig19_fleet",
     "fig20": "bench_fig20_warm_start",
     "fig21": "bench_fig21_faults",
+    "fig22": "bench_fig22_multimodel",
 }
 PRESET_SCALE = {"ci": "0.2", "full": ""}
 TOLERANCE = 0.20

@@ -65,9 +65,13 @@ std::shared_ptr<const std::vector<Coord>> resolve_output_coords(
 
   std::shared_ptr<const std::vector<Coord>> coords;
   if (ctx.map_cache) {
-    const MapCacheKey ck = downsample_cache_key(
-        x.coords(), geom.kernel_size, geom.stride, ctx.cfg.fused_downsample,
-        ctx.cfg.simplified_control);
+    // The model namespace salts the digest so two models with identical
+    // geometry resolve disjoint cache entries (salt 0 = identity).
+    const MapCacheKey ck = salt_cache_key(
+        downsample_cache_key(x.coords(), geom.kernel_size, geom.stride,
+                             ctx.cfg.fused_downsample,
+                             ctx.cfg.simplified_control),
+        ctx.cache_namespace);
     bool hit = false;
     const MapCachePayload payload = ctx.map_cache->get_or_build(
         ck,
@@ -125,8 +129,9 @@ std::shared_ptr<const KernelMap> resolve_kernel_map(
 
   std::shared_ptr<const KernelMap> km;
   if (ctx.map_cache) {
-    const MapCacheKey ck =
-        kernel_map_cache_key(x.coords(), out_coords, geom, opts);
+    const MapCacheKey ck = salt_cache_key(
+        kernel_map_cache_key(x.coords(), out_coords, geom, opts),
+        ctx.cache_namespace);
     bool hit = false;
     const MapCachePayload payload = ctx.map_cache->get_or_build(
         ck,

@@ -106,6 +106,14 @@ struct ExecContext {
   /// results are bit-identical with or without it (the content key proves
   /// the cached product equals what the cold path would rebuild).
   std::shared_ptr<KernelMapCache> map_cache;
+  /// Model/namespace salt mixed into every cache digest this context
+  /// resolves (salt_cache_key). 0 — the default and the single-model
+  /// serving path — is the identity, keeping legacy digests and warm
+  /// snapshots byte-stable; a multi-model serve::Server stamps each
+  /// request's context with its model's namespace so two models never
+  /// alias each other's cache entries. Survives reset_context (a
+  /// multi-model worker restamps it per request anyway).
+  uint64_t cache_namespace = 0;
   /// When non-null, mapping-stage cache accounting is deferred: lookups
   /// charge the cold path into the timeline and append a MapCacheEvent
   /// here, and the owner replays the events in submission order

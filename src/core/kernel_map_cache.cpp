@@ -61,6 +61,16 @@ MapCacheKey input_content_digest(const std::vector<Coord>& coords,
   return {lo, hi};
 }
 
+MapCacheKey salt_cache_key(const MapCacheKey& key, uint64_t ns) {
+  // Namespace 0 must be the exact identity (not a mix of zero): the
+  // single-model digest space predates namespaces, and warm-start
+  // snapshots saved by salt-free deployments must keep hitting.
+  if (ns == 0) return key;
+  uint64_t lo = key.lo, hi = key.hi;
+  mix2(ns, lo, hi);
+  return {lo, hi};
+}
+
 std::size_t map_cache_payload_bytes(const MapCachePayload& p) {
   std::size_t bytes = sizeof(MapCachePayload);
   if (p.kmap) {

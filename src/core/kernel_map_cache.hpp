@@ -81,6 +81,17 @@ MapCacheKey downsample_cache_key(const std::vector<Coord>& in_coords,
 MapCacheKey input_content_digest(const std::vector<Coord>& coords,
                                  int stride);
 
+/// Mixes a model/namespace salt into a content digest. Namespace 0 is
+/// the identity — the legacy single-model digest space, so existing
+/// digests, .tsmc snapshots, and bench baselines are byte-unchanged —
+/// while any nonzero namespace remaps the key through an independent
+/// splitmix chain. Two models hosted on one serve::Server get distinct
+/// namespaces (ExecContext::cache_namespace), so identical geometry
+/// under different models can never alias one cache entry: a cross-
+/// namespace collision is exactly as unlikely as any other 128-bit
+/// digest collision.
+MapCacheKey salt_cache_key(const MapCacheKey& key, uint64_t ns);
+
 /// A cached mapping-stage product: exactly one of `kmap` (kernel map) or
 /// `coords` (downsampled output coordinates, with the counters that
 /// reproduce its cold modeled charge) is set.

@@ -15,6 +15,7 @@ ExecContext make_run_context(const DeviceSpec& dev, const EngineConfig& cfg,
   ctx.simulate_cache = opt.simulate_cache;
   ctx.tuned = opt.tuned;
   ctx.map_cache = opt.map_cache;
+  ctx.cache_namespace = opt.cache_namespace;
   return ctx;
 }
 
@@ -23,9 +24,12 @@ void reset_context(ExecContext& ctx) {
   ctx.l2.reset();
   ctx.layer_id = -1;
   ctx.cache_events = nullptr;
-  // ctx.map_cache and ctx.device_index are intentionally kept: warm
-  // kernel maps are the point of sharing the cache across requests, and
-  // a serving worker's pool provenance doesn't change between requests.
+  // ctx.map_cache, ctx.cache_namespace, and ctx.device_index are
+  // intentionally kept: warm kernel maps are the point of sharing the
+  // cache across requests, the digest namespace belongs to the options
+  // the context was built from (multi-model workers restamp it per
+  // request), and a serving worker's pool provenance doesn't change
+  // between requests.
 }
 
 void reset_context(ExecContext& ctx, int device_index) {

@@ -32,6 +32,12 @@ struct RunOptions {
   /// from these options (null = disabled). See core/kernel_map_cache.hpp;
   /// serving pools size it via serve::BatchOptions::map_cache_bytes.
   std::shared_ptr<KernelMapCache> map_cache;
+  /// Cache-digest namespace salt (ExecContext::cache_namespace): every
+  /// digest resolved under these options is remapped by salt_cache_key.
+  /// 0 (the default) is the identity — the legacy single-model digest
+  /// space. Multi-model serving stamps per-request namespaces itself;
+  /// set this only to isolate whole deployments sharing one cache.
+  uint64_t cache_namespace = 0;
   /// Serve-path copy elision: when true, runners that own their inputs
   /// privately (the streaming queue does) move each input into the run
   /// via the rvalue run_in_context overload instead of deep-copying it.

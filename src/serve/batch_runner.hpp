@@ -144,6 +144,9 @@ struct StreamBatchRecord {
   double finish_seconds = 0;      // last member's completion
   int lane = 0;                   // worker lane it ran on (within device)
   int device = 0;                 // device shard it was routed to
+  /// Registry index of the model the whole batch ran under (batches
+  /// never mix models; 0 on single-model streams).
+  int model = 0;
   /// Placement attempts this batch took (1 = no shard failure ever
   /// touched it; > 1 = redispatched after fault losses). The record
   /// describes the attempt that finally served the batch.
@@ -186,6 +189,11 @@ struct StreamStats {
   /// that saw no traffic). Single-class streams put everything in the
   /// submitting class's entry.
   std::vector<PriorityClassStats> per_class;
+  /// Per-model modeled outcome (size == the session's registry size; 1
+  /// on single-model streams, where entry 0 mirrors the stream totals).
+  /// Latency percentiles, admission rejections, and namespaced cache
+  /// warmth per model — the tenant-facing view of a shared fleet.
+  std::vector<ModelStats> per_model;
   /// Deterministic (submission-order replay) kernel-map cache outcome
   /// summed over all device shards; zeros when the cache is disabled.
   MapCacheReplayStats map_cache;

@@ -32,18 +32,26 @@ RequestQueue::RequestQueue(QueueOptions opt) : opt_(opt) {
 
 StreamHandle RequestQueue::admit_locked(SparseTensor&& input,
                                         double arrival_seconds,
-                                        Priority priority) {
+                                        Priority priority, int model) {
   PendingRequest req;
   req.id = next_id_++;
   req.input = std::move(input);
   req.arrival_seconds = arrival_seconds;
   req.priority = priority;
+  req.model = model;
   StreamHandle handle(req.id, req.promise.get_future().share());
   last_arrival_ = arrival_seconds;
   queue_.push_back(std::move(req));
   ++class_depth_[static_cast<std::size_t>(priority)];
   cv_.notify_one();
   return handle;
+}
+
+void RequestQueue::count_rejection_locked(int model) {
+  ++rejected_;
+  const auto slot = static_cast<std::size_t>(model);
+  if (model_rejected_.size() <= slot) model_rejected_.resize(slot + 1, 0);
+  ++model_rejected_[slot];
 }
 
 bool RequestQueue::full_locked(Priority priority) const {
@@ -72,8 +80,9 @@ bool RequestQueue::preempt_locked(Priority incoming) {
       "RequestQueue: request " + std::to_string(v.id) +
       " preempted by a higher-priority submission under full queue")));
   --class_depth_[static_cast<std::size_t>(v.priority)];
+  const int victim_model = v.model;
   queue_.erase(queue_.begin() + victim);
-  ++rejected_;
+  count_rejection_locked(victim_model);
   space_cv_.notify_all();  // the victim's class slot freed
   return true;
 }
@@ -92,12 +101,23 @@ void validate_priority(const char* who, Priority priority) {
         " outside [0, " + std::to_string(kNumPriorityClasses) + ")");
 }
 
+/// Model ids index per-model ledgers (here and in StreamStats); a
+/// negative id is a caller bug, rejected at the admission boundary. The
+/// upper bound is the serving session's registry size, which the queue
+/// doesn't know — the serving loop validates it when draining.
+void validate_model(const char* who, int model) {
+  if (model < 0)
+    throw std::invalid_argument(std::string(who) + ": model id " +
+                                std::to_string(model) + " must be >= 0");
+}
+
 }  // namespace
 
 StreamHandle RequestQueue::submit(SparseTensor input, double arrival_seconds,
-                                  Priority priority) {
+                                  Priority priority, int model) {
   MutexLock lock(mu_);
   validate_priority("RequestQueue::submit", priority);
+  validate_model("RequestQueue::submit", model);
   if (!std::isfinite(arrival_seconds) || arrival_seconds < 0)
     throw std::invalid_argument(
         "RequestQueue::submit: arrival time must be finite and >= 0");
@@ -107,31 +127,33 @@ StreamHandle RequestQueue::submit(SparseTensor input, double arrival_seconds,
         std::to_string(arrival_seconds) + " after " +
         std::to_string(last_arrival_) + ")");
   if (closed_) {
-    ++rejected_;
+    count_rejection_locked(model);
     throw AdmissionError("RequestQueue::submit: queue is closed");
   }
   const std::size_t cls = static_cast<std::size_t>(priority);
   if (opt_.class_max_depth[cls] > 0 &&
       class_depth_[cls] >= opt_.class_max_depth[cls]) {
-    ++rejected_;
+    count_rejection_locked(model);
     throw AdmissionError(
         "RequestQueue::submit: class " +
         std::string(to_string(priority)) + " depth limit reached (" +
         std::to_string(opt_.class_max_depth[cls]) + " pending)");
   }
   if (queue_.size() >= opt_.max_depth && !preempt_locked(priority)) {
-    ++rejected_;
+    count_rejection_locked(model);
     throw AdmissionError(
         "RequestQueue::submit: queue depth limit reached (" +
         std::to_string(opt_.max_depth) + " pending)");
   }
-  return admit_locked(std::move(input), arrival_seconds, priority);
+  return admit_locked(std::move(input), arrival_seconds, priority, model);
 }
 
 std::optional<StreamHandle> RequestQueue::try_submit(
-    SparseTensor input, double arrival_seconds, Priority priority) {
+    SparseTensor input, double arrival_seconds, Priority priority,
+    int model) {
   MutexLock lock(mu_);
   validate_priority("RequestQueue::try_submit", priority);
+  validate_model("RequestQueue::try_submit", model);
   if (!std::isfinite(arrival_seconds) || arrival_seconds < 0)
     throw std::invalid_argument(
         "RequestQueue::try_submit: arrival time must be finite and >= 0");
@@ -143,17 +165,18 @@ std::optional<StreamHandle> RequestQueue::try_submit(
       (opt_.class_max_depth[cls] > 0 &&
        class_depth_[cls] >= opt_.class_max_depth[cls]) ||
       (queue_.size() >= opt_.max_depth && !preempt_locked(priority))) {
-    ++rejected_;
+    count_rejection_locked(model);
     return std::nullopt;
   }
-  return admit_locked(std::move(input), arrival_seconds, priority);
+  return admit_locked(std::move(input), arrival_seconds, priority, model);
 }
 
 StreamHandle RequestQueue::submit_wait(SparseTensor input,
                                        double arrival_seconds,
-                                       Priority priority) {
+                                       Priority priority, int model) {
   MutexLock lock(mu_);
   validate_priority("RequestQueue::submit_wait", priority);
+  validate_model("RequestQueue::submit_wait", model);
   if (!std::isfinite(arrival_seconds) || arrival_seconds < 0)
     throw std::invalid_argument(
         "RequestQueue::submit_wait: arrival time must be finite and >= 0");
@@ -163,7 +186,7 @@ StreamHandle RequestQueue::submit_wait(SparseTensor input,
   // deadlock a shutdown.
   while (!closed_ && full_locked(priority)) space_cv_.wait(mu_);
   if (closed_) {
-    ++rejected_;
+    count_rejection_locked(model);
     throw AdmissionError(
         "RequestQueue::submit_wait: queue closed while waiting for a "
         "slot");
@@ -175,7 +198,7 @@ StreamHandle RequestQueue::submit_wait(SparseTensor input,
         "RequestQueue::submit_wait: arrival times must be non-decreasing "
         "(got " + std::to_string(arrival_seconds) + " after " +
         std::to_string(last_arrival_) + ")");
-  return admit_locked(std::move(input), arrival_seconds, priority);
+  return admit_locked(std::move(input), arrival_seconds, priority, model);
 }
 
 void RequestQueue::close() {
@@ -203,6 +226,11 @@ std::size_t RequestQueue::submitted() const {
 std::size_t RequestQueue::rejected() const {
   MutexLock lock(mu_);
   return rejected_;
+}
+
+std::vector<std::size_t> RequestQueue::rejected_by_model() const {
+  MutexLock lock(mu_);
+  return model_rejected_;
 }
 
 bool RequestQueue::wait_pop(PendingRequest& out) {

@@ -29,6 +29,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/sparse_tensor.hpp"
 #include "core/sync.hpp"
@@ -90,6 +91,9 @@ struct StreamResult {
   Timeline timeline;               // identical to serial run_model
   double arrival_seconds = 0;      // modeled submit stamp
   Priority priority = Priority::kNormal;  // submitted priority class
+  /// Registry index of the model that served this request (0 on a
+  /// single-model deployment — the legacy value, bit-identical paths).
+  int model = 0;
   double service_seconds = 0;      // modeled single-request runtime
   double start_seconds = 0;        // modeled execution start on its lane
   double finish_seconds = 0;       // start + service
@@ -208,6 +212,10 @@ struct PendingRequest {
   SparseTensor input;
   double arrival_seconds = 0;
   Priority priority = Priority::kNormal;
+  /// Registry index of the model this request targets (0 = the first /
+  /// only model). Validated non-negative at admission; the serving loop
+  /// checks it against the session's registry.
+  int model = 0;
   std::promise<StreamResult> promise;
 };
 
@@ -223,22 +231,23 @@ class RequestQueue {
  public:
   explicit RequestQueue(QueueOptions opt = {});
 
-  /// Enqueues a request with a modeled arrival stamp and priority
-  /// class, and returns its handle. Preconditions
-  /// (std::invalid_argument): `arrival_seconds` is finite,
-  /// non-negative, and non-decreasing across submissions. Throws
-  /// AdmissionError when the queue is closed or `max_depth` requests
-  /// are already pending and no lower-class request can be preempted;
-  /// the rejection is counted.
+  /// Enqueues a request with a modeled arrival stamp, priority class,
+  /// and target model (registry index; 0 = single-model legacy), and
+  /// returns its handle. Preconditions (std::invalid_argument):
+  /// `arrival_seconds` is finite, non-negative, and non-decreasing
+  /// across submissions; `model` >= 0. Throws AdmissionError when the
+  /// queue is closed or `max_depth` requests are already pending and no
+  /// lower-class request can be preempted; the rejection is counted
+  /// (globally and per model).
   StreamHandle submit(SparseTensor input, double arrival_seconds,
-                      Priority priority = Priority::kNormal);
+                      Priority priority = Priority::kNormal, int model = 0);
 
   /// Non-throwing admission: nullopt instead of AdmissionError. Invalid
   /// arrival stamps still throw std::invalid_argument (caller bug, not
   /// load shedding).
   std::optional<StreamHandle> try_submit(
       SparseTensor input, double arrival_seconds,
-      Priority priority = Priority::kNormal);
+      Priority priority = Priority::kNormal, int model = 0);
 
   /// Blocking admission: instead of shedding when the queue (or the
   /// request's class) is full, waits until the consumer drains a slot —
@@ -249,7 +258,8 @@ class RequestQueue {
   /// producers blocked at once, coordinate stamps externally or expect
   /// std::invalid_argument on wake.
   StreamHandle submit_wait(SparseTensor input, double arrival_seconds,
-                           Priority priority = Priority::kNormal);
+                           Priority priority = Priority::kNormal,
+                           int model = 0);
 
   /// Marks the end of the stream: subsequent submissions are rejected and
   /// wait_pop returns false once the backlog drains. Idempotent.
@@ -265,6 +275,11 @@ class RequestQueue {
   std::size_t submitted() const;
   std::size_t rejected() const;
 
+  /// Per-model rejection totals, indexed by model id (grown on demand:
+  /// the vector covers the highest model id that ever saw a rejection).
+  /// Feeds StreamStats::per_model rejection accounting.
+  std::vector<std::size_t> rejected_by_model() const;
+
   /// Consumer side (the serving loop): blocks until a request is
   /// available or the queue is closed and empty. Returns false — without
   /// touching `out` — only in the closed-and-drained terminal state.
@@ -274,7 +289,10 @@ class RequestQueue {
 
  private:
   StreamHandle admit_locked(SparseTensor&& input, double arrival_seconds,
-                            Priority priority) TS_REQUIRES(mu_);
+                            Priority priority, int model) TS_REQUIRES(mu_);
+  /// Counts one rejection, both globally and against `model`'s slot in
+  /// the per-model ledger (grown on demand).
+  void count_rejection_locked(int model) TS_REQUIRES(mu_);
   /// Preemption shed: evicts the newest pending request of the lowest
   /// class if that class is strictly below `incoming`. Returns true on
   /// eviction (a slot is now free).
@@ -295,6 +313,8 @@ class RequestQueue {
   double last_arrival_ TS_GUARDED_BY(mu_) = 0;
   std::size_t next_id_ TS_GUARDED_BY(mu_) = 0;
   std::size_t rejected_ TS_GUARDED_BY(mu_) = 0;
+  /// Per-model rejection ledger (indexed by model id, grown on demand).
+  std::vector<std::size_t> model_rejected_ TS_GUARDED_BY(mu_);
   /// Pending requests per priority class (class_max_depth accounting).
   std::array<std::size_t, kNumPriorityClasses> class_depth_
       TS_GUARDED_BY(mu_){};

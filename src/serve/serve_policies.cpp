@@ -23,8 +23,9 @@ const char* to_string(Priority p) {
 // ---------------------------------------------------------------------
 
 SloBatchingPolicy::SloBatchingPolicy(BatcherOptions opt,
-                                     PriorityOptions priority)
-    : opt_(opt), prio_(priority) {
+                                     PriorityOptions priority,
+                                     std::vector<ModelBatchingInfo> models)
+    : opt_(opt), prio_(priority), models_(std::move(models)) {
   if (opt_.max_batch < 1) opt_.max_batch = 1;
   if (!(opt_.slo_budget_seconds >= 0) ||
       !std::isfinite(opt_.slo_budget_seconds))
@@ -34,6 +35,34 @@ SloBatchingPolicy::SloBatchingPolicy(BatcherOptions opt,
     throw std::invalid_argument(
         "SloBatchingPolicy: aging_seconds must be > 0 (infinity = aging "
         "off)");
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    const ModelBatchingInfo& info = models_[m];
+    if (!(info.weight > 0) || !std::isfinite(info.weight))
+      throw std::invalid_argument(
+          "SloBatchingPolicy: model " + std::to_string(m) +
+          " weight must be finite and > 0");
+    // A negative budget means "inherit"; a non-negative one must be a
+    // usable deadline offset.
+    if (info.slo_budget_seconds >= 0 &&
+        !std::isfinite(info.slo_budget_seconds))
+      throw std::invalid_argument(
+          "SloBatchingPolicy: model " + std::to_string(m) +
+          " slo_budget_seconds must be finite (or < 0 to inherit)");
+    if (std::isnan(info.slo_budget_seconds))
+      throw std::invalid_argument(
+          "SloBatchingPolicy: model " + std::to_string(m) +
+          " slo_budget_seconds must not be NaN");
+  }
+  credit_.assign(models_.size(), 0.0);
+}
+
+double SloBatchingPolicy::budget(int model) const {
+  if (model >= 0 && static_cast<std::size_t>(model) < models_.size()) {
+    const double b = models_[static_cast<std::size_t>(model)]
+                         .slo_budget_seconds;
+    if (b >= 0) return b;
+  }
+  return opt_.slo_budget_seconds;
 }
 
 int SloBatchingPolicy::effective_class(const Pending& p, double now) const {
@@ -79,7 +108,8 @@ std::vector<std::size_t> SloBatchingPolicy::select_members(
 }
 
 void SloBatchingPolicy::dispatch_at(double when,
-                                    std::vector<DispatchBatch>& out) {
+                                    std::vector<DispatchBatch>& out,
+                                    int forced_model) {
   const double stamp = std::max(when, last_dispatch_);
   // Strict-priority-plus-aging selection among requests that had
   // arrived by the dispatch stamp; later arrivals stay pending (a batch
@@ -97,6 +127,60 @@ void SloBatchingPolicy::dispatch_at(double when,
                      std::make_tuple(effective_class(pb, stamp), pb.arrival,
                                      pb.id);
             });
+  // Cross-model arbitration (registries of 2+ models only — the legacy
+  // single-model path never enters this block, keeping its plans
+  // structurally untouched): confine the batch to one model, chosen by
+  // deficit round-robin within the top eligible effective class, unless
+  // a deadline firing forces the model.
+  int chosen = 0;
+  if (multi_model() && !eligible.empty()) {
+    // Dispatch opportunity: every model with eligible work in the top
+    // effective class earns its weight. The class gate keeps strict
+    // priority dominant — a model with only low-class pending work
+    // neither earns credit nor wins while a higher class is waiting.
+    const int top = effective_class(pending_[eligible.front()], stamp);
+    std::vector<char> candidate(models_.size(), 0);
+    for (const std::size_t pos : eligible) {
+      const Pending& p = pending_[pos];
+      if (effective_class(p, stamp) == top)
+        candidate[static_cast<std::size_t>(p.model)] = 1;
+    }
+    for (std::size_t m = 0; m < models_.size(); ++m)
+      if (candidate[m]) credit_[m] += models_[m].weight;
+    // A forced model (deadline firing) must have eligible work — the
+    // firing request itself arrived by the deadline stamp.
+    bool forced_ok = false;
+    if (forced_model >= 0 &&
+        static_cast<std::size_t>(forced_model) < models_.size()) {
+      for (const std::size_t pos : eligible)
+        if (pending_[pos].model == forced_model) {
+          forced_ok = true;
+          break;
+        }
+    }
+    if (forced_ok) {
+      chosen = forced_model;
+    } else {
+      // Richest candidate wins; strict > keeps the lowest model id on
+      // exact ties (deterministic — credits are pure FP functions of
+      // the fed stream).
+      chosen = -1;
+      for (std::size_t m = 0; m < models_.size(); ++m) {
+        if (!candidate[m]) continue;
+        if (chosen < 0 || credit_[m] > credit_[static_cast<std::size_t>(
+                                           chosen)])
+          chosen = static_cast<int>(m);
+      }
+      if (chosen < 0) chosen = 0;  // unreachable: eligible is non-empty
+    }
+    // Filter the sorted eligible set to the chosen model; order (and
+    // therefore the select_members contract) is preserved.
+    std::vector<std::size_t> mine;
+    mine.reserve(eligible.size());
+    for (const std::size_t pos : eligible)
+      if (pending_[pos].model == chosen) mine.push_back(pos);
+    eligible.swap(mine);
+  }
   // Membership is the policy-specific part (base: the first batch_cap();
   // dedup: whole digest groups); the trigger and stamp machinery around
   // it is shared.
@@ -105,8 +189,12 @@ void SloBatchingPolicy::dispatch_at(double when,
     throw std::logic_error(
         "BatchingPolicy: select_members took no member from a non-empty "
         "eligible set — the dispatch sweep would never terminate");
+  if (multi_model())
+    credit_[static_cast<std::size_t>(chosen)] -=
+        static_cast<double>(taken.size());
   DispatchBatch batch;
   batch.dispatch_seconds = stamp;
+  batch.model = taken.empty() ? chosen : pending_[taken.front()].model;
   batch.members.reserve(taken.size());
   for (const std::size_t pos : taken)
     batch.members.push_back(pending_[pos].id);
@@ -131,6 +219,21 @@ std::vector<DispatchBatch> SloBatchingPolicy::on_arrival(
         "SloBatchingPolicy::on_arrival: arrival times must be "
         "non-decreasing (got " + std::to_string(arrival.arrival_seconds) +
         " after " + std::to_string(last_arrival_) + ")");
+  // Model ids index the registry table (and the credit ledger); an
+  // unregistered id would corrupt both, so it dies at the feed boundary.
+  if (models_.empty()) {
+    if (arrival.model != 0)
+      throw std::invalid_argument(
+          "SloBatchingPolicy::on_arrival: model " +
+          std::to_string(arrival.model) +
+          " on a single-model policy (only model 0 exists)");
+  } else if (arrival.model < 0 ||
+             static_cast<std::size_t>(arrival.model) >= models_.size()) {
+    throw std::invalid_argument(
+        "SloBatchingPolicy::on_arrival: model " +
+        std::to_string(arrival.model) + " outside the registry [0, " +
+        std::to_string(models_.size()) + ")");
+  }
 
   std::vector<DispatchBatch> out;
   // Deadline sweep: any pending request whose wait budget ran out
@@ -139,17 +242,36 @@ std::vector<DispatchBatch> SloBatchingPolicy::on_arrival(
   // dispatched batch is guaranteed at least one member (the request
   // whose deadline fired), so the sweep terminates.
   if (opt_.policy == BatchPolicy::kSloAware) {
-    while (!pending_.empty()) {
-      double oldest = pending_.front().arrival;
-      for (const Pending& p : pending_) oldest = std::min(oldest, p.arrival);
-      const double deadline = oldest + opt_.slo_budget_seconds;
-      if (!(arrival.arrival_seconds > deadline)) break;
-      dispatch_at(deadline, out);
+    if (multi_model()) {
+      // Per-model budgets: the earliest (arrival + budget(model)) expiry
+      // fires, and the dispatch is forced onto the firing request's
+      // model — a quiet model's deadline can never be out-credited.
+      while (!pending_.empty()) {
+        double deadline = std::numeric_limits<double>::infinity();
+        int firing = -1;
+        for (const Pending& p : pending_) {
+          const double d = p.arrival + budget(p.model);
+          if (d < deadline) {  // strict: ties keep the earliest-fed
+            deadline = d;
+            firing = p.model;
+          }
+        }
+        if (!(arrival.arrival_seconds > deadline)) break;
+        dispatch_at(deadline, out, firing);
+      }
+    } else {
+      while (!pending_.empty()) {
+        double oldest = pending_.front().arrival;
+        for (const Pending& p : pending_) oldest = std::min(oldest, p.arrival);
+        const double deadline = oldest + opt_.slo_budget_seconds;
+        if (!(arrival.arrival_seconds > deadline)) break;
+        dispatch_at(deadline, out);
+      }
     }
   }
 
   pending_.push_back({arrival.id, arrival.arrival_seconds, arrival.priority,
-                      arrival.digest, arrival.has_digest});
+                      arrival.model, arrival.digest, arrival.has_digest});
   last_arrival_ = arrival.arrival_seconds;
   any_arrival_ = true;
 
@@ -168,6 +290,9 @@ std::vector<DispatchBatch> SloBatchingPolicy::flush() {
   last_arrival_ = 0;
   last_dispatch_ = 0;
   any_arrival_ = false;
+  // Every stream starts from the same fair state — carried-over credit
+  // would make one session's plan depend on the previous session's mix.
+  credit_.assign(models_.size(), 0.0);
   return out;
 }
 
@@ -192,8 +317,9 @@ std::vector<DispatchBatch> plan_with(
 // ---------------------------------------------------------------------
 
 DedupBatchingPolicy::DedupBatchingPolicy(BatcherOptions opt,
-                                         PriorityOptions priority)
-    : SloBatchingPolicy(opt, priority) {}
+                                         PriorityOptions priority,
+                                         std::vector<ModelBatchingInfo> models)
+    : SloBatchingPolicy(opt, priority, std::move(models)) {}
 
 bool DedupBatchingPolicy::class_full(double now) const {
   const std::vector<Pending>& pending = pending_requests();

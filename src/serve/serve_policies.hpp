@@ -47,6 +47,9 @@ struct ArrivalInfo {
   std::size_t id = 0;
   double arrival_seconds = 0;
   Priority priority = Priority::kNormal;
+  /// Registry index of the request's target model (0 on single-model
+  /// streams). Validated against the policy's model table on feed.
+  int model = 0;
   /// input_content_digest of the request's tensor; meaningful only when
   /// has_digest is set (the serving loop computes digests only for
   /// policies that want them).
@@ -65,6 +68,11 @@ struct ArrivalInfo {
 struct DispatchBatch {
   std::vector<std::size_t> members;
   double dispatch_seconds = 0;
+  /// Registry index of the model every member targets. Batches never mix
+  /// models — one batch is one kernel launch group under one model's
+  /// tuned parameters and cache namespace — so this is a batch-level
+  /// field, not per member. 0 on single-model streams.
+  int model = 0;
 };
 
 /// Batch-formation interface. Driven by the single serving loop in
@@ -120,12 +128,44 @@ class BatchingPolicy {
 /// priority, all three policies reproduce DynamicBatcher's plan
 /// batch-for-batch and stamp-for-stamp (pinned by test) — which is how
 /// the legacy BatchRunner::serve wrapper stays bit-identical.
+/// Per-model batching parameters for a multi-model SloBatchingPolicy:
+/// the model's SLO wait budget (deadline trigger) and its deficit-round-
+/// robin weight (cross-model fairness share).
+struct ModelBatchingInfo {
+  /// Wait budget for this model's deadline trigger; a negative value
+  /// (the default) inherits BatcherOptions::slo_budget_seconds.
+  double slo_budget_seconds = -1;
+  /// Relative dispatch share under contention (deficit round-robin
+  /// credit earned per dispatch opportunity). Must be finite and > 0.
+  double weight = 1.0;
+};
+
 class SloBatchingPolicy : public BatchingPolicy {
  public:
   /// Preconditions (std::invalid_argument): slo_budget_seconds finite
-  /// and >= 0; priority.aging_seconds > 0 (infinity = aging off).
+  /// and >= 0; priority.aging_seconds > 0 (infinity = aging off); every
+  /// ModelBatchingInfo has finite weight > 0 and a finite-or-negative
+  /// SLO budget.
+  ///
+  /// `models` describes the multi-model registry. Empty (the default)
+  /// or a single entry keeps the legacy single-model discipline —
+  /// structurally bit-identical dispatch plans, pinned by test. With
+  /// two or more entries the policy becomes model-aware:
+  ///  * Batches are single-model (DispatchBatch::model): one batch is
+  ///    one launch group under one model's tuned parameters.
+  ///  * Cross-model fairness is deficit round-robin *within* the top
+  ///    effective priority class: at each dispatch, every model with
+  ///    eligible top-class requests earns its weight in credit, the
+  ///    richest model (ties -> lowest id) dispatches, and its credit is
+  ///    debited by the members taken. Strict priority still dominates —
+  ///    DRR only arbitrates among models competing at the same class.
+  ///  * The deadline trigger honors per-model SLO budgets: the earliest
+  ///    (arrival + budget(model)) expiry fires, and the dispatch is
+  ///    forced onto the firing request's model so a quiet model's
+  ///    deadline can never be starved by a busy model's credit lead.
   explicit SloBatchingPolicy(BatcherOptions opt,
-                             PriorityOptions priority = {});
+                             PriorityOptions priority = {},
+                             std::vector<ModelBatchingInfo> models = {});
 
   std::vector<DispatchBatch> on_arrival(const ArrivalInfo& arrival) override;
   std::vector<DispatchBatch> flush() override;
@@ -134,6 +174,7 @@ class SloBatchingPolicy : public BatchingPolicy {
 
   const BatcherOptions& options() const { return opt_; }
   const PriorityOptions& priority_options() const { return prio_; }
+  const std::vector<ModelBatchingInfo>& models() const { return models_; }
 
   /// Convenience for offline sweeps: plans a whole arrival trace at
   /// once — on_arrival over each entry, then flush. `policy`-object
@@ -147,6 +188,7 @@ class SloBatchingPolicy : public BatchingPolicy {
     std::size_t id = 0;
     double arrival = 0;
     Priority priority = Priority::kNormal;
+    int model = 0;
     MapCacheKey digest;
     bool has_digest = false;
   };
@@ -171,11 +213,29 @@ class SloBatchingPolicy : public BatchingPolicy {
  private:
   /// Dispatches one batch at `when`: strict-priority-plus-aging
   /// selection among requests arrived by `when`, through the
-  /// select_members hook.
-  void dispatch_at(double when, std::vector<DispatchBatch>& out);
+  /// select_members hook. On a multi-model policy the batch is confined
+  /// to one model — `forced_model` (a deadline firing) when valid, the
+  /// deficit-round-robin winner otherwise; -1 always means "let DRR
+  /// decide". Single-model policies ignore the parameter entirely.
+  void dispatch_at(double when, std::vector<DispatchBatch>& out,
+                   int forced_model = -1);
+
+  /// True when the policy arbitrates across a real registry (two or
+  /// more models); single-entry and empty tables run the legacy path.
+  bool multi_model() const { return models_.size() > 1; }
+
+  /// Effective SLO wait budget for `model` (the per-model override, or
+  /// BatcherOptions::slo_budget_seconds when inherited / unregistered).
+  double budget(int model) const;
 
   BatcherOptions opt_;
   PriorityOptions prio_;
+  /// Registry-aligned model table (empty = legacy single-model).
+  std::vector<ModelBatchingInfo> models_;
+  /// Deficit-round-robin credit per model (parallel to models_): earned
+  /// at each dispatch opportunity, spent by winning members. Reset by
+  /// flush() so every stream starts from the same fair state.
+  std::vector<double> credit_;
   std::vector<Pending> pending_;  // arrival order
   double last_arrival_ = 0;
   double last_dispatch_ = 0;
@@ -218,7 +278,8 @@ std::vector<DispatchBatch> plan_with(BatchingPolicy& policy,
 class DedupBatchingPolicy final : public SloBatchingPolicy {
  public:
   explicit DedupBatchingPolicy(BatcherOptions opt,
-                               PriorityOptions priority = {});
+                               PriorityOptions priority = {},
+                               std::vector<ModelBatchingInfo> models = {});
 
   bool wants_digests() const override { return true; }
   const char* name() const override { return "slo-dedup"; }

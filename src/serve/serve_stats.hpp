@@ -35,6 +35,39 @@ struct PriorityClassStats {
   double e2e_p99_seconds = 0;
 };
 
+/// One model's modeled outcome within a served stream
+/// (StreamStats::per_model) — the per-model mirror of
+/// PriorityClassStats, extended with the admission and cache-warmth
+/// counters a multi-model operator watches per tenant. Percentiles are
+/// over the model's own requests; zeros when the model saw no traffic.
+/// Deterministic and worker-count invariant like every other modeled
+/// serve statistic.
+struct ModelStats {
+  /// Registry index this entry describes (position in per_model).
+  int model = 0;
+  std::size_t completed = 0;
+  /// Admitted-but-failed requests (typed ServeErrorCode results).
+  std::size_t failed = 0;
+  /// Extra placement attempts fault losses forced on this model's
+  /// served requests (sum of attempts - 1).
+  std::size_t retries = 0;
+  /// Admission-control rejections of this model's submissions
+  /// (RequestQueue::rejected_by_model).
+  std::size_t rejected = 0;
+  /// Deterministic kernel-map cache outcome over this model's requests:
+  /// warm lookups vs all lookups under the submission-order replay.
+  /// Namespaced digests make these counters tenant-true — another
+  /// model's identical input can never inflate a model's warm hits.
+  std::size_t cache_hits = 0;
+  std::size_t cache_lookups = 0;
+  double queue_wait_p50_seconds = 0;
+  double queue_wait_p90_seconds = 0;
+  double queue_wait_p99_seconds = 0;
+  double e2e_p50_seconds = 0;
+  double e2e_p90_seconds = 0;
+  double e2e_p99_seconds = 0;
+};
+
 /// Nearest-rank percentile of an ascending-sorted sample.
 ///
 /// Definition: the smallest element whose rank r (1-based) satisfies

@@ -127,6 +127,44 @@ ServerConfig& ServerConfig::with_class_queue_depth(Priority cls,
   queue.class_max_depth[static_cast<std::size_t>(c)] = depth;
   return *this;
 }
+ServerConfig& ServerConfig::with_model(std::string name, ModelFn fn,
+                                       double slo_budget_seconds,
+                                       Priority default_priority,
+                                       double weight) {
+  ModelEntry entry;
+  entry.name = std::move(name);
+  entry.fn = std::move(fn);
+  entry.slo_budget_seconds = slo_budget_seconds;
+  entry.default_priority = default_priority;
+  entry.weight = weight;
+  return with_model(std::move(entry));
+}
+ServerConfig& ServerConfig::with_model(ModelEntry entry) {
+  // The namespace IS the registry index: model 0 keeps the legacy digest
+  // space, later models get independent remaps. Stamping here (and again
+  // in Server's constructor) makes cross-model isolation structural.
+  entry.cache_namespace = static_cast<uint64_t>(models.size());
+  models.push_back(std::move(entry));
+  return *this;
+}
+ServerConfig& ServerConfig::with_model_tuned(
+    int model, std::unordered_map<int, GroupParams> tuned) {
+  if (model < 0 || static_cast<std::size_t>(model) >= models.size())
+    throw std::invalid_argument(
+        "ServerConfig::with_model_tuned: model " + std::to_string(model) +
+        " outside the registry [0, " + std::to_string(models.size()) + ")");
+  models[static_cast<std::size_t>(model)].tuned = std::move(tuned);
+  return *this;
+}
+
+std::vector<ModelBatchingInfo> model_batching_infos(
+    const std::vector<ModelEntry>& models) {
+  std::vector<ModelBatchingInfo> infos;
+  infos.reserve(models.size());
+  for (const ModelEntry& m : models)
+    infos.push_back(ModelBatchingInfo{m.slo_budget_seconds, m.weight});
+  return infos;
+}
 
 // ---------------------------------------------------------------------
 // Incremental placement
@@ -141,7 +179,7 @@ namespace {
 /// the single-device replay bit-for-bit. Goes through the group (not
 /// the raw cache) so the digest->owner index tracks every admission
 /// and eviction.
-void replay_event(DeviceGroup& group, int device, const MapCacheEvent& ev,
+bool replay_event(DeviceGroup& group, int device, const MapCacheEvent& ev,
                   Timeline& t, MapCacheReplayStats& st) {
   ++st.lookups;
   const KernelMapCache::RecordOutcome out =
@@ -149,11 +187,12 @@ void replay_event(DeviceGroup& group, int device, const MapCacheEvent& ev,
   st.evictions += out.evictions;
   if (!out.hit) {
     ++st.misses;
-    return;
+    return false;
   }
   ++st.hits;
   apply_map_cache_hit(ev, t);
   st.modeled_seconds_saved += ev.cold_seconds - ev.hit_seconds;
+  return true;
 }
 
 using RequestAt = std::function<StreamResult&(std::size_t)>;
@@ -196,7 +235,8 @@ class StreamPlacer {
                int workers_per_device, double batch_overhead_seconds,
                RequestAt request_at, EventsAt events_at, bool cached,
                FaultInjector* injector = nullptr,
-               std::function<void(std::size_t)> on_final = {})
+               std::function<void(std::size_t)> on_final = {},
+               int num_models = 1)
       : group_(group),
         routing_(routing),
         workers_(std::max(workers_per_device, 1)),
@@ -207,10 +247,18 @@ class StreamPlacer {
         injector_(injector),
         on_final_(std::move(on_final)),
         class_waits_(kNumPriorityClasses),
-        class_e2es_(kNumPriorityClasses) {
+        class_e2es_(kNumPriorityClasses),
+        num_models_(std::max(num_models, 1)) {
     if (!std::isfinite(overhead_) || overhead_ < 0)
       throw std::invalid_argument(
           "schedule_stream: batch_overhead_seconds must be finite and >= 0");
+    const std::size_t nm = static_cast<std::size_t>(num_models_);
+    model_waits_.resize(nm);
+    model_e2es_.resize(nm);
+    model_failed_.assign(nm, 0);
+    model_retries_.assign(nm, 0);
+    model_cache_hits_.assign(nm, 0);
+    model_cache_lookups_.assign(nm, 0);
     group_.begin_schedule(workers_);
     if (injector_) {
       injector_->reset();
@@ -313,6 +361,19 @@ class StreamPlacer {
       pc.failed = class_failed_[static_cast<std::size_t>(c)];
       pc.retries = class_retries_[static_cast<std::size_t>(c)];
     }
+    // Per-model counters (rejections are the caller's to fill — only
+    // the admission queue knows them). Completed counts are final here:
+    // every placed request pushed its wait sample already.
+    s.per_model.resize(static_cast<std::size_t>(num_models_));
+    for (int m = 0; m < num_models_; ++m) {
+      ModelStats& pm = s.per_model[static_cast<std::size_t>(m)];
+      pm.model = m;
+      pm.completed = model_waits_[static_cast<std::size_t>(m)].size();
+      pm.failed = model_failed_[static_cast<std::size_t>(m)];
+      pm.retries = model_retries_[static_cast<std::size_t>(m)];
+      pm.cache_hits = model_cache_hits_[static_cast<std::size_t>(m)];
+      pm.cache_lookups = model_cache_lookups_[static_cast<std::size_t>(m)];
+    }
     if (placed_requests_ == 0) {
       for (int d = 0; d < group_.size(); ++d)
         s.per_device[static_cast<std::size_t>(d)] = group_.stats(d);
@@ -350,6 +411,20 @@ class StreamPlacer {
       pc.e2e_p50_seconds = percentile(e, 0.50);
       pc.e2e_p90_seconds = percentile(e, 0.90);
       pc.e2e_p99_seconds = percentile(e, 0.99);
+    }
+    for (int m = 0; m < num_models_; ++m) {
+      ModelStats& pm = s.per_model[static_cast<std::size_t>(m)];
+      std::vector<double>& w = model_waits_[static_cast<std::size_t>(m)];
+      std::vector<double>& e = model_e2es_[static_cast<std::size_t>(m)];
+      if (w.empty()) continue;
+      std::sort(w.begin(), w.end());
+      std::sort(e.begin(), e.end());
+      pm.queue_wait_p50_seconds = percentile(w, 0.50);
+      pm.queue_wait_p90_seconds = percentile(w, 0.90);
+      pm.queue_wait_p99_seconds = percentile(w, 0.99);
+      pm.e2e_p50_seconds = percentile(e, 0.50);
+      pm.e2e_p90_seconds = percentile(e, 0.90);
+      pm.e2e_p99_seconds = percentile(e, 0.99);
     }
     s.aggregate = aggregate_;
 
@@ -425,10 +500,17 @@ class StreamPlacer {
   void replay_members(int dev, const std::vector<std::size_t>& members) {
     for (const std::size_t m : members) {
       StreamResult& r = request_at_(m);
+      // Callers guarantee r.model < num_models_ (validated at the feed
+      // boundary); namespaced keys make these per-model counters
+      // tenant-true.
+      const std::size_t mdl = static_cast<std::size_t>(r.model);
       if (const std::vector<MapCacheEvent>* evs = events_at_(m))
-        for (const MapCacheEvent& ev : *evs)
-          replay_event(group_, dev, ev, r.timeline,
-                       group_.stats(dev).map_cache);
+        for (const MapCacheEvent& ev : *evs) {
+          const bool hit = replay_event(group_, dev, ev, r.timeline,
+                                        group_.stats(dev).map_cache);
+          ++model_cache_lookups_[mdl];
+          if (hit) ++model_cache_hits_[mdl];
+        }
       r.service_seconds = r.timeline.total_seconds();
     }
   }
@@ -467,6 +549,9 @@ class StreamPlacer {
       class_waits_[static_cast<std::size_t>(cls)].push_back(
           r.queue_wait_seconds);
       class_e2es_[static_cast<std::size_t>(cls)].push_back(r.e2e_seconds);
+      const std::size_t mdl = static_cast<std::size_t>(r.model);
+      model_waits_[mdl].push_back(r.queue_wait_seconds);
+      model_e2es_[mdl].push_back(r.e2e_seconds);
       sum_service_ += r.service_seconds;
       aggregate_ += r.timeline;
       ++placed_requests_;
@@ -474,14 +559,15 @@ class StreamPlacer {
         retries_total_ += static_cast<std::size_t>(attempts - 1);
         class_retries_[static_cast<std::size_t>(cls)] +=
             static_cast<std::size_t>(attempts - 1);
+        model_retries_[mdl] += static_cast<std::size_t>(attempts - 1);
         retry_waits_.push_back(retry_wait);
       }
       if (on_final_) on_final_(m);
     }
     last_finish_ = std::max(last_finish_, cursor);
-    records_.push_back(StreamBatchRecord{id, members.front(),
-                                         members.size(), d0, start, cursor,
-                                         lane, dev, attempts});
+    records_.push_back(StreamBatchRecord{
+        id, members.front(), members.size(), d0, start, cursor, lane, dev,
+        request_at_(members.front()).model, attempts});
     ++placed_batches_;
   }
 
@@ -719,11 +805,14 @@ class StreamPlacer {
       r.batch_size = members.size();
       if (device >= 0) r.device = device;
       const std::size_t cls = static_cast<std::size_t>(r.priority);
+      const std::size_t mdl = static_cast<std::size_t>(r.model);
       ++failed_;
       ++class_failed_[cls];
+      ++model_failed_[mdl];
       if (attempts_so_far > 1) {
         retries_total_ += static_cast<std::size_t>(attempts_so_far - 1);
         class_retries_[cls] += static_cast<std::size_t>(attempts_so_far - 1);
+        model_retries_[mdl] += static_cast<std::size_t>(attempts_so_far - 1);
       }
       if (on_final_) on_final_(m);
     }
@@ -745,6 +834,11 @@ class StreamPlacer {
   std::vector<StreamBatchRecord> records_;
   std::vector<double> waits_, e2es_;
   std::vector<std::vector<double>> class_waits_, class_e2es_;
+  /// Per-model accounting, parallel to the registry (size num_models_).
+  int num_models_ = 1;
+  std::vector<std::vector<double>> model_waits_, model_e2es_;
+  std::vector<std::size_t> model_failed_, model_retries_;
+  std::vector<std::size_t> model_cache_hits_, model_cache_lookups_;
   double sum_service_ = 0;
   double last_finish_ = 0;
   Timeline aggregate_;
@@ -778,6 +872,16 @@ StreamStats schedule_stream_dispatch(
   // Validate the whole plan before mutating anything: members must
   // partition [0, requests.size()) and no batch may dispatch before one
   // of its members arrives.
+  // Per-model stat vectors are sized off the request stream: model ids
+  // must be non-negative, and every batch must be single-model (its
+  // members' ids matching the batch's own).
+  int num_models = 1;
+  for (const StreamResult& r : requests) {
+    if (r.model < 0)
+      throw std::invalid_argument(
+          "schedule_stream_dispatch: request model ids must be >= 0");
+    num_models = std::max(num_models, r.model + 1);
+  }
   std::vector<char> assigned(requests.size(), 0);
   std::size_t covered = 0;
   for (const DispatchBatch& b : plan) {
@@ -793,6 +897,11 @@ StreamStats schedule_stream_dispatch(
         throw std::invalid_argument(
             "schedule_stream_dispatch: batch dispatched before member "
             "arrival");
+      if (requests[m].model != b.model)
+        throw std::invalid_argument(
+            "schedule_stream_dispatch: batch " + std::to_string(b.model) +
+            " mixes models (member " + std::to_string(m) + " targets " +
+            std::to_string(requests[m].model) + ")");
       assigned[m] = 1;
       ++covered;
     }
@@ -817,7 +926,7 @@ StreamStats schedule_stream_dispatch(
       [events](std::size_t i) {
         return events ? &(*events)[i] : nullptr;
       },
-      events != nullptr, injector ? &*injector : nullptr);
+      events != nullptr, injector ? &*injector : nullptr, {}, num_models);
   for (const DispatchBatch& b : plan) placer.feed(b);
   placer.finish_stream();
   if (batches) *batches = placer.batch_records();
@@ -963,10 +1072,22 @@ void append_batch_locked(StreamShared& st, DispatchBatch&& b)
 
 }  // namespace
 
-StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
-                          const ServerConfig& config,
+StreamReport serve_stream(const std::vector<ModelEntry>& models,
+                          RequestQueue& queue, const ServerConfig& config,
                           BatchingPolicy& batching, RoutingPolicy& routing,
                           std::vector<ExecContext>* context_pool) {
+  if (models.empty())
+    throw std::invalid_argument("serve_stream: empty model registry");
+  for (const ModelEntry& m : models)
+    if (!m.fn)
+      throw std::invalid_argument("serve_stream: model '" + m.name +
+                                  "' has a null ModelFn");
+  // Tuned-parameter restamping is per-request work on the hot path;
+  // skip it entirely (keeping the legacy single-model path bit- and
+  // work-identical) unless some entry actually overrides the store.
+  bool per_model_tuned = false;
+  for (const ModelEntry& m : models)
+    if (!m.tuned.empty()) per_model_tuned = true;
   const int workers = std::max(config.workers, 1);
   // A non-empty fleet names the shards explicitly; otherwise the group
   // is shard.devices homogeneous copies of the reference device.
@@ -1019,7 +1140,7 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
   StreamPlacer placer(group, routing, workers, config.batch_overhead_seconds,
                       SharedRequestAt{&st}, SharedEventsAt{&st, cached},
                       cached, injector ? &*injector : nullptr,
-                      SharedOnFinal{&st});
+                      SharedOnFinal{&st}, static_cast<int>(models.size()));
 
   // Batch membership only shapes the modeled schedule, so measurement
   // starts the moment a request is drained — no need to wait for its
@@ -1056,13 +1177,28 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
       }
       try {
         Timeline t;
+        // The coordinator validated the model index before queuing the
+        // work item, so this resolution cannot be out of range.
+        const ModelEntry& entry =
+            models[static_cast<std::size_t>(item.result->model)];
         auto run_one = [&](ExecContext& c) {
+          // Per-request context restamp: every digest this request
+          // resolves lives in its model's namespace, and the model's
+          // tuned grouping parameters (when present) override the
+          // config-wide store. Entry namespace 0 (the legacy / model-0
+          // space) inherits the RunOptions namespace so single-model
+          // registries stay bit-identical to the ModelFn overload.
+          c.cache_namespace = entry.cache_namespace != 0
+                                  ? entry.cache_namespace
+                                  : run.cache_namespace;
+          if (per_model_tuned)
+            c.tuned = entry.tuned.empty() ? run.tuned : entry.tuned;
           if (item.events) c.cache_events = item.events;
           // borrow_input: the queue owns the drained tensor and nothing
           // reads it after measurement, so steal it instead of copying.
           return run.borrow_input
-                     ? run_in_context(model, std::move(*item.input), c)
-                     : run_in_context(model, *item.input, c);
+                     ? run_in_context(entry.fn, std::move(*item.input), c)
+                     : run_in_context(entry.fn, *item.input, c);
         };
         if (config.reuse_context) {
           if (!ctx)
@@ -1131,6 +1267,7 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
       st.results.back().id = pr.id;
       st.results.back().arrival_seconds = pr.arrival_seconds;
       st.results.back().priority = pr.priority;
+      st.results.back().model = pr.model;
       st.inputs.push_back(std::move(pr.input));
       st.promises.push_back(std::move(pr.promise));
       st.fulfilled.push_back(0);
@@ -1138,13 +1275,27 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
       st.assigned.push_back(0);
       if (cached) st.events.emplace_back();
       try {
-        ArrivalInfo info{idx, pr.arrival_seconds, pr.priority, {}, false};
+        // The queue guarantees model >= 0; the registry bound is this
+        // session's to enforce. Throwing here fails the stream through
+        // the established path — every outstanding handle receives the
+        // error.
+        if (static_cast<std::size_t>(pr.model) >= models.size())
+          throw std::invalid_argument(
+              "serve_stream: request targets model " +
+              std::to_string(pr.model) + " but the registry has " +
+              std::to_string(models.size()) + " model(s)");
+        ArrivalInfo info{idx, pr.arrival_seconds, pr.priority, pr.model,
+                         {}, false};
         if (batching.wants_digests()) {
           // O(points) content hash, computed only for digest-aware
           // policies, from the drained tensor before any worker can
-          // borrow it.
-          info.digest = input_content_digest(st.inputs.back().coords(),
-                                             st.inputs.back().stride());
+          // borrow it. Salted into the model's namespace so dedup can
+          // never coalesce identical inputs across tenants (model 0's
+          // namespace is 0 — the digest is untouched on legacy paths).
+          info.digest = salt_cache_key(
+              input_content_digest(st.inputs.back().coords(),
+                                   st.inputs.back().stride()),
+              models[static_cast<std::size_t>(pr.model)].cache_namespace);
           info.has_digest = true;
         }
         std::vector<DispatchBatch> closed = batching.on_arrival(info);
@@ -1248,7 +1399,28 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
       report.requests.empty() ? 0.0
                               : report.requests.front().arrival_seconds);
   report.stats.rejected = queue.rejected();
+  // Admission rejections never reach the placer, so the per-model
+  // breakdown is filled from the queue here (the vector only grows to
+  // the highest model that was actually rejected).
+  const std::vector<std::size_t> rejected = queue.rejected_by_model();
+  for (std::size_t m = 0;
+       m < report.stats.per_model.size() && m < rejected.size(); ++m)
+    report.stats.per_model[m].rejected = rejected[m];
   return report;
+}
+
+StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
+                          const ServerConfig& config,
+                          BatchingPolicy& batching, RoutingPolicy& routing,
+                          std::vector<ExecContext>* context_pool) {
+  if (!model) throw std::invalid_argument("serve_stream: null model");
+  // One default entry in namespace 0 with no overrides: the registry
+  // path degenerates to exactly the legacy behavior (pinned by test).
+  std::vector<ModelEntry> models(1);
+  models[0].name = "default";
+  models[0].fn = model;
+  return serve_stream(models, queue, config, batching, routing,
+                      context_pool);
 }
 
 // ---------------------------------------------------------------------
@@ -1287,13 +1459,47 @@ Server::Server(ServerConfig config) : cfg_(std::move(config)) {
   if (cfg_.fault_plan)
     validate_fault_plan(*cfg_.fault_plan, cfg_.shard.devices);
   validate_fault_tolerance(cfg_.fault_tolerance);
+  // Model-registry validation: every entry callable, uniquely and
+  // non-emptily named, with finite knobs. Cache namespaces are forced to
+  // the registry index regardless of what the caller stamped — digest
+  // isolation is structural, and entry 0 keeps the legacy namespace so
+  // a one-entry registry is bit-identical to start(model).
+  for (std::size_t i = 0; i < cfg_.models.size(); ++i) {
+    ModelEntry& m = cfg_.models[i];
+    if (!m.fn)
+      throw std::invalid_argument("Server: model '" + m.name +
+                                  "' has a null ModelFn");
+    if (m.name.empty())
+      throw std::invalid_argument("Server: model " + std::to_string(i) +
+                                  " has an empty name");
+    for (std::size_t j = 0; j < i; ++j)
+      if (cfg_.models[j].name == m.name)
+        throw std::invalid_argument("Server: duplicate model name '" +
+                                    m.name + "'");
+    if (!std::isfinite(m.weight) || m.weight <= 0)
+      throw std::invalid_argument("Server: model '" + m.name +
+                                  "' weight must be finite and > 0");
+    if (std::isnan(m.slo_budget_seconds) ||
+        (m.slo_budget_seconds >= 0 && !std::isfinite(m.slo_budget_seconds)))
+      throw std::invalid_argument(
+          "Server: model '" + m.name +
+          "' slo_budget_seconds must be finite (or negative to inherit)");
+    const int cls = static_cast<int>(m.default_priority);
+    if (cls < 0 || cls >= kNumPriorityClasses)
+      throw std::invalid_argument("Server: model '" + m.name +
+                                  "' has an invalid default_priority");
+    m.cache_namespace = static_cast<std::uint64_t>(i);
+  }
   // Validate the default policy knobs eagerly (throws invalid_argument)
-  // so a bad configuration fails at construction, not at start().
+  // so a bad configuration fails at construction, not at start() —
+  // including the per-model batching contract the registry implies.
   if (!cfg_.batching) {
     if (cfg_.dedup_batching)
-      DedupBatchingPolicy probe(cfg_.batcher, cfg_.priority);
+      DedupBatchingPolicy probe(cfg_.batcher, cfg_.priority,
+                                model_batching_infos(cfg_.models));
     else
-      SloBatchingPolicy probe(cfg_.batcher, cfg_.priority);
+      SloBatchingPolicy probe(cfg_.batcher, cfg_.priority,
+                              model_batching_infos(cfg_.models));
   }
   if (!cfg_.run.map_cache && cfg_.map_cache_bytes > 0)
     cfg_.run.map_cache =
@@ -1308,25 +1514,25 @@ Server::Server(ServerConfig config) : cfg_(std::move(config)) {
 
 Server::~Server() { stop(); }
 
-void Server::start(ModelFn model) {
-  MutexLock lock(life_mu_);
+void Server::launch_locked(ModelFn legacy_model) {
   if (running_)
     throw std::logic_error(
         "Server::start: a session is already running (drain() or stop() "
         "it before starting another)");
-  if (!model) throw std::invalid_argument("Server::start: null model");
   if (loop_.joinable()) loop_.join();
   queue_ = std::make_unique<RequestQueue>(cfg_.queue);
   report_ = StreamReport{};
   error_ = nullptr;
   std::shared_ptr<BatchingPolicy> batching = cfg_.batching;
   if (!batching) {
+    // An empty registry contributes an empty info vector, which keeps
+    // the policies on their (bit-identical) single-model code paths.
     if (cfg_.dedup_batching)
-      batching = std::make_shared<DedupBatchingPolicy>(cfg_.batcher,
-                                                       cfg_.priority);
+      batching = std::make_shared<DedupBatchingPolicy>(
+          cfg_.batcher, cfg_.priority, model_batching_infos(cfg_.models));
     else
-      batching = std::make_shared<SloBatchingPolicy>(cfg_.batcher,
-                                                     cfg_.priority);
+      batching = std::make_shared<SloBatchingPolicy>(
+          cfg_.batcher, cfg_.priority, model_batching_infos(cfg_.models));
   }
   std::shared_ptr<RoutingPolicy> routing = cfg_.routing;
   if (!routing) routing = make_routing_policy(cfg_.shard.route);
@@ -1336,16 +1542,38 @@ void Server::start(ModelFn model) {
   // holds that lock across the join). The session owns *q until the
   // join in drain()/stop(), so the pointer outlives the thread.
   RequestQueue* q = queue_.get();
-  loop_ = std::thread([this, q, model = std::move(model), batching,
+  loop_ = std::thread([this, q, model = std::move(legacy_model), batching,
                        routing] {
     try {
-      report_ =
-          serve_stream(model, *q, cfg_, *batching, *routing,
-                      &spare_contexts_);
+      report_ = model ? serve_stream(model, *q, cfg_, *batching, *routing,
+                                     &spare_contexts_)
+                      : serve_stream(cfg_.models, *q, cfg_, *batching,
+                                     *routing, &spare_contexts_);
     } catch (...) {
       error_ = std::current_exception();
     }
   });
+}
+
+void Server::start(ModelFn model) {
+  MutexLock lock(life_mu_);
+  if (!model) throw std::invalid_argument("Server::start: null model");
+  if (!cfg_.models.empty())
+    throw std::invalid_argument(
+        "Server::start(model): this server hosts a model registry "
+        "(ServerConfig::with_model); open sessions with start() and "
+        "submit with submit_to()");
+  launch_locked(std::move(model));
+}
+
+void Server::start() {
+  MutexLock lock(life_mu_);
+  if (cfg_.models.empty())
+    throw std::logic_error(
+        "Server::start(): no models registered (populate "
+        "ServerConfig::with_model, or serve a single ModelFn through "
+        "start(model))");
+  launch_locked(nullptr);
 }
 
 StreamHandle Server::submit(SparseTensor input, double arrival_seconds,
@@ -1372,6 +1600,54 @@ std::optional<StreamHandle> Server::try_submit(SparseTensor input,
         "Server::try_submit: no session is running (call start() before "
         "submitting; a drained or stopped session does not admit)");
   return queue_->try_submit(std::move(input), arrival_seconds, priority);
+}
+
+Priority Server::resolve_submission(
+    int model, const std::optional<Priority>& priority) const {
+  if (cfg_.models.empty())
+    throw std::logic_error(
+        "Server::submit_to: this server has no model registry "
+        "(single-model deployments submit with submit())");
+  if (model < 0 || static_cast<std::size_t>(model) >= cfg_.models.size())
+    throw std::invalid_argument(
+        "Server::submit_to: model " + std::to_string(model) +
+        " is not registered (registry has " +
+        std::to_string(cfg_.models.size()) + " model(s))");
+  return priority ? *priority
+                  : cfg_.models[static_cast<std::size_t>(model)]
+                        .default_priority;
+}
+
+StreamHandle Server::submit_to(int model, SparseTensor input,
+                               double arrival_seconds,
+                               std::optional<Priority> priority) {
+  MutexLock lock(life_mu_);
+  if (!running_ || !queue_)
+    throw std::logic_error(
+        "Server::submit_to: no session is running (call start() before "
+        "submitting; a drained or stopped session does not admit)");
+  const Priority effective = resolve_submission(model, priority);
+  return queue_->submit(std::move(input), arrival_seconds, effective,
+                        model);
+}
+
+std::optional<StreamHandle> Server::try_submit_to(
+    int model, SparseTensor input, double arrival_seconds,
+    std::optional<Priority> priority) {
+  MutexLock lock(life_mu_);
+  if (!running_ || !queue_)
+    throw std::logic_error(
+        "Server::try_submit_to: no session is running (call start() "
+        "before submitting; a drained or stopped session does not admit)");
+  const Priority effective = resolve_submission(model, priority);
+  return queue_->try_submit(std::move(input), arrival_seconds, effective,
+                            model);
+}
+
+int Server::model_id(const std::string& name) const {
+  for (std::size_t i = 0; i < cfg_.models.size(); ++i)
+    if (cfg_.models[i].name == name) return static_cast<int>(i);
+  return -1;
 }
 
 StreamReport Server::drain() {

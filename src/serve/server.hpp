@@ -45,6 +45,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/sync.hpp"
@@ -53,6 +54,41 @@
 #include "serve/serve_policies.hpp"
 
 namespace ts::serve {
+
+/// One hosted model of a multi-model deployment (ServerConfig::models).
+/// Requests name a model by registry index (submit_to / RequestQueue's
+/// `model` field); the serving session resolves the entry per request —
+/// its ModelFn, tuned parameters, cache namespace, SLO budget, and
+/// fairness weight — so one fleet serves heterogeneous models with
+/// per-model guarantees. Register through ServerConfig::with_model,
+/// which stamps the isolation namespace.
+struct ModelEntry {
+  /// Registry name (unique, non-empty); resolvable via
+  /// Server::model_id.
+  std::string name;
+  ModelFn fn;
+  /// Per-model SLO wait budget for the batcher's deadline trigger; a
+  /// negative value (the default) inherits
+  /// BatcherOptions::slo_budget_seconds.
+  double slo_budget_seconds = -1;
+  /// Priority class stamped on submit_to calls that don't specify one.
+  Priority default_priority = Priority::kNormal;
+  /// Deficit-round-robin fairness weight (relative dispatch share under
+  /// cross-model contention). Must be finite and > 0.
+  double weight = 1.0;
+  /// Kernel-map digest namespace (salt_cache_key): with_model stamps
+  /// this to the registry index — and Server's constructor re-stamps it
+  /// — so model 0 keeps the legacy digest space (warm snapshots stay
+  /// valid, single-model registries are digest-identical to the
+  /// model-less path) while every later model gets an independent
+  /// remap, making cross-model cache collisions impossible by
+  /// construction rather than by configuration discipline.
+  uint64_t cache_namespace = 0;
+  /// Per-model tuned grouping parameters (Alg. 5 output, typically from
+  /// a TunedParamStore lookup for this model's workload). Empty (the
+  /// default) inherits RunOptions::tuned.
+  std::unordered_map<int, GroupParams> tuned;
+};
 
 /// One unified deployment description: device/engine, worker pool,
 /// per-request run options, admission, batching, sharding, and the
@@ -126,6 +162,14 @@ struct ServerConfig {
   /// when `fault_plan` is active (validated at Server construction
   /// either way).
   FaultToleranceOptions fault_tolerance;
+  /// Multi-model registry (empty = the legacy single-model deployment:
+  /// start(model) supplies the one ModelFn and every submission is
+  /// model 0). With entries, sessions open with start() — no argument —
+  /// and submissions target entries by index (submit_to) or name
+  /// (model_id). A one-entry registry is bit-identical to the same
+  /// deployment through start(model): namespace 0, inherited SLO, no
+  /// contending model, pinned by test. Populate through with_model.
+  std::vector<ModelEntry> models;
 
   ServerConfig& with_device(DeviceSpec d);
   ServerConfig& with_engine(EngineConfig e);
@@ -169,7 +213,32 @@ struct ServerConfig {
   /// sheds them at admission instead of queueing them into hopeless
   /// deadlines.
   ServerConfig& with_class_queue_depth(Priority cls, std::size_t depth);
+  /// Registers one hosted model; registry index = registration order.
+  /// `slo_budget_seconds` < 0 inherits the batcher's budget;
+  /// `default_priority` stamps submissions that don't pick a class;
+  /// `weight` is the model's DRR fairness share. The entry's cache
+  /// namespace is stamped to its registry index (see ModelEntry).
+  ServerConfig& with_model(std::string name, ModelFn fn,
+                           double slo_budget_seconds = -1,
+                           Priority default_priority = Priority::kNormal,
+                           double weight = 1.0);
+  /// Full-entry overload (per-model tuned parameters etc.). The
+  /// cache_namespace field is overwritten with the registry index —
+  /// isolation is structural, not configurable.
+  ServerConfig& with_model(ModelEntry entry);
+  /// Installs per-model tuned grouping parameters on an already
+  /// registered model (std::invalid_argument on an unknown index).
+  ServerConfig& with_model_tuned(int model,
+                                 std::unordered_map<int, GroupParams> tuned);
 };
+
+/// The ModelBatchingInfo table a registry induces (one entry per model:
+/// its SLO budget and DRR weight) — what the server feeds its default
+/// SloBatchingPolicy/DedupBatchingPolicy so batching sees the same
+/// per-model contract the submission path enforces. Exposed for callers
+/// wiring custom policies to a registry config.
+std::vector<ModelBatchingInfo> model_batching_infos(
+    const std::vector<ModelEntry>& models);
 
 /// Generalized one-shot modeled scheduler: places `plan` (explicit,
 /// possibly non-contiguous member lists, in dispatch order) over the
@@ -217,6 +286,23 @@ StreamReport serve_stream(const ModelFn& model, RequestQueue& queue,
                           BatchingPolicy& batching, RoutingPolicy& routing,
                           std::vector<ExecContext>* context_pool = nullptr);
 
+/// Multi-model serving session: like serve_stream above, but requests
+/// resolve against `models` (by PendingRequest::model). Workers restamp
+/// their context per request — the entry's ModelFn, tuned parameters,
+/// and cache namespace — so every digest a request resolves lives in
+/// its model's namespace and two models can never alias each other's
+/// kernel-map entries. Dedup digests are salted the same way, keeping
+/// duplicate grouping within a model. The single-model overload above
+/// delegates here with one default entry (namespace 0, inherited
+/// everything) and is bit-identical by construction. Preconditions
+/// (std::invalid_argument): `models` non-empty with non-null fns; a
+/// drained request targeting an index outside the registry fails the
+/// stream (every unfulfilled handle receives the error).
+StreamReport serve_stream(const std::vector<ModelEntry>& models,
+                          RequestQueue& queue, const ServerConfig& config,
+                          BatchingPolicy& batching, RoutingPolicy& routing,
+                          std::vector<ExecContext>* context_pool = nullptr);
+
 /// Long-lived serving session host: owns the admission queue, the
 /// serving thread, and warm per-worker contexts kept across sessions.
 ///
@@ -251,9 +337,18 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Opens a serving session: fresh queue, background serving thread.
-  /// Precondition (std::logic_error): no session is running.
+  /// Opens a serving session over the single supplied model — the
+  /// legacy entry point, for deployments with no registry.
+  /// Preconditions: no session is running (std::logic_error); the
+  /// config has no registered models (std::invalid_argument — a
+  /// registry deployment opens sessions with the no-argument start()).
   void start(ModelFn model);
+
+  /// Opens a serving session over the configured model registry
+  /// (ServerConfig::with_model). Preconditions: no session is running
+  /// (std::logic_error); at least one model is registered
+  /// (std::logic_error).
+  void start();
 
   /// True between start() and drain()/stop().
   bool running() const { return running_; }
@@ -273,6 +368,27 @@ class Server {
   std::optional<StreamHandle> try_submit(
       SparseTensor input, double arrival_seconds,
       Priority priority = Priority::kNormal);
+
+  /// Submits one request to a specific registry model. `model` must
+  /// index the registry (std::invalid_argument otherwise; 0 is also
+  /// valid on a registry-less deployment, where it means "the" model).
+  /// When `priority` is nullopt the entry's default_priority applies —
+  /// the per-model class default. Same admission and incremental-
+  /// fulfillment semantics as submit().
+  StreamHandle submit_to(int model, SparseTensor input,
+                         double arrival_seconds,
+                         std::optional<Priority> priority = std::nullopt);
+
+  /// Non-throwing submit_to: nullopt instead of AdmissionError (bad
+  /// model indices and lifecycle misuse still throw — caller bugs, not
+  /// load shedding).
+  std::optional<StreamHandle> try_submit_to(
+      int model, SparseTensor input, double arrival_seconds,
+      std::optional<Priority> priority = std::nullopt);
+
+  /// Registry index of the named model, or -1 when no such model is
+  /// registered.
+  int model_id(const std::string& name) const;
 
   /// Ends the session: closes the queue, joins the serving thread, and
   /// returns the session's report (rethrows the serving error if the
@@ -305,6 +421,15 @@ class Server {
   }
 
  private:
+  /// Shared session launcher behind start()/start(model): replaces the
+  /// queue, builds the session policies, and spawns the serving thread.
+  /// A null `legacy_model` serves the configured registry.
+  void launch_locked(ModelFn legacy_model) TS_REQUIRES(life_mu_);
+  /// Validates a submission's model index against the registry and
+  /// resolves its effective priority (explicit, or the entry default).
+  Priority resolve_submission(int model,
+                              const std::optional<Priority>& priority) const;
+
   /// Immutable after construction (safe to read without life_mu_).
   ServerConfig cfg_;
   /// Serializes start/drain/stop so lifecycle misuse (drain racing

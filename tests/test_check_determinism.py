@@ -166,6 +166,19 @@ class SuppressionGrammar(unittest.TestCase):
         self.assertEqual(det.lint_text("x.cpp", text), [])
 
 
+class DefaultScanCoverage(unittest.TestCase):
+    def test_traffic_generators_are_scanned_by_default(self):
+        # The trace-driven traffic generators feed arrival timestamps
+        # straight into modeled stats, so they must sit inside the
+        # lint's default scan set — a regression here would let wall
+        # clocks or unseeded randomness into the submission schedule.
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        rel = {os.path.relpath(p, root)
+               for p in det.collect_files(root, det.DEFAULT_DIRS)}
+        self.assertIn(os.path.join("src", "serve", "traffic.cpp"), rel)
+        self.assertIn(os.path.join("src", "serve", "traffic.hpp"), rel)
+
+
 class CliEntryPoint(unittest.TestCase):
     def test_scan_reports_and_exits_nonzero(self):
         with tempfile.TemporaryDirectory() as root:

@@ -646,5 +646,52 @@ TEST(KernelMapCacheServe, BorrowedRunInContextMatchesCopy) {
   expect_same_timeline(copied, borrowed);
 }
 
+TEST(MapCacheKey, NamespaceSaltIdentityAndDistinctness) {
+  const MapCacheKey k{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  // Namespace 0 is the exact identity: the legacy digest space, so
+  // existing .tsmc snapshots and baselines keep resolving byte-for-byte.
+  EXPECT_EQ(salt_cache_key(k, 0), k);
+  // Nonzero namespaces remap deterministically and pairwise-distinctly.
+  const MapCacheKey a = salt_cache_key(k, 1);
+  const MapCacheKey b = salt_cache_key(k, 2);
+  EXPECT_EQ(a, salt_cache_key(k, 1));
+  EXPECT_NE(a, k);
+  EXPECT_NE(b, k);
+  EXPECT_NE(a, b);
+  // Distinct base keys stay distinct inside one namespace (the salt is
+  // a bijective mix, not a projection).
+  const MapCacheKey k2{k.lo + 1, k.hi};
+  EXPECT_NE(salt_cache_key(k2, 1), a);
+}
+
+TEST(KernelMapCache, NamespacesIsolateModelsSharingOneCache) {
+  // Cross-model isolation regression: two tenants with byte-identical
+  // inputs share one wall-clock cache. Distinct namespaces must make
+  // the second tenant's first run fully cold (no hits borrowed from
+  // tenant 0), while a repeat inside one namespace stays warm.
+  const SparseTensor input = random_tensor(250, 13, 4, 5);
+  const ModelFn model = small_unet(11);
+  RunOptions opt;
+  opt.map_cache = std::make_shared<KernelMapCache>(std::size_t(64) << 20);
+  auto run_ns = [&](uint64_t ns) {
+    RunOptions o = opt;
+    o.cache_namespace = ns;
+    ExecContext ctx =
+        make_run_context(rtx2080ti(), torchsparse_config(), o);
+    return run_in_context(model, input, ctx);
+  };
+  const Timeline cold0 = run_ns(0);
+  const std::size_t hits_after_tenant0 = opt.map_cache->stats().hits;
+  const Timeline cold1 = run_ns(1);
+  // Not one hit crossed the namespace boundary, and the isolated cold
+  // run charges exactly what tenant 0's cold run charged.
+  EXPECT_EQ(opt.map_cache->stats().hits, hits_after_tenant0);
+  expect_same_timeline(cold0, cold1);
+  const Timeline warm1 = run_ns(1);
+  EXPECT_GT(opt.map_cache->stats().hits, hits_after_tenant0);
+  EXPECT_LT(warm1.stage_seconds(Stage::kMapping),
+            cold1.stage_seconds(Stage::kMapping));
+}
+
 }  // namespace
 }  // namespace ts

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <random>
 #include <sstream>
 #include <stdexcept>
@@ -128,6 +129,22 @@ void expect_same_report(const serve::StreamReport& a,
                      b.stats.per_class[c].e2e_p99_seconds);
     EXPECT_DOUBLE_EQ(a.stats.per_class[c].queue_wait_p99_seconds,
                      b.stats.per_class[c].queue_wait_p99_seconds);
+  }
+  ASSERT_EQ(a.stats.per_model.size(), b.stats.per_model.size());
+  for (std::size_t m = 0; m < a.stats.per_model.size(); ++m) {
+    EXPECT_EQ(a.stats.per_model[m].completed,
+              b.stats.per_model[m].completed);
+    EXPECT_EQ(a.stats.per_model[m].failed, b.stats.per_model[m].failed);
+    EXPECT_EQ(a.stats.per_model[m].rejected,
+              b.stats.per_model[m].rejected);
+    EXPECT_EQ(a.stats.per_model[m].cache_hits,
+              b.stats.per_model[m].cache_hits);
+    EXPECT_EQ(a.stats.per_model[m].cache_lookups,
+              b.stats.per_model[m].cache_lookups);
+    EXPECT_DOUBLE_EQ(a.stats.per_model[m].queue_wait_p99_seconds,
+                     b.stats.per_model[m].queue_wait_p99_seconds);
+    EXPECT_DOUBLE_EQ(a.stats.per_model[m].e2e_p99_seconds,
+                     b.stats.per_model[m].e2e_p99_seconds);
   }
 }
 
@@ -911,6 +928,232 @@ TEST(Server, RunBatchMatchesBatchRunnerRun) {
   }
   EXPECT_DOUBLE_EQ(via_server.stats.makespan_seconds,
                    direct.stats.makespan_seconds);
+}
+
+// --- Multi-model registry ---------------------------------------------
+
+TEST(MultiModel, OneEntryRegistryBitEqualsLegacySession) {
+  // The equivalence pin the whole registry design hangs on: a
+  // single-entry registry (namespace 0, inherited SLO, no contending
+  // model) must serve bit-identically to the same deployment through
+  // start(model) — schedule, stats, cache accounting, everything.
+  const ModelFn model = small_unet(51);
+  const auto stream = duplicate_stream(10, 5100);
+  auto base_config = [&] {
+    serve::ServerConfig cfg;
+    cfg.with_device(rtx2080ti())
+        .with_engine(torchsparse_config())
+        .with_workers(2)
+        .with_map_cache_bytes(std::size_t(64) << 20)
+        .with_queue_depth(stream.size() + 1)
+        .with_batch_overhead(0.0005)
+        .with_devices(2)
+        .with_route(serve::RoutePolicy::kCacheAffinity);
+    serve::BatcherOptions b;
+    b.policy = serve::BatchPolicy::kSloAware;
+    b.max_batch = 3;
+    b.slo_budget_seconds = 0.004;
+    cfg.with_batcher(b);
+    return cfg;
+  };
+
+  serve::Server legacy(base_config());
+  legacy.start(model);
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    legacy.submit(stream[i], 0.002 * static_cast<double>(i));
+  const serve::StreamReport via_legacy = legacy.drain();
+
+  serve::ServerConfig registry_cfg = base_config();
+  registry_cfg.with_model("minkunet", model);
+  serve::Server registry(registry_cfg);
+  EXPECT_EQ(registry.model_id("minkunet"), 0);
+  EXPECT_EQ(registry.model_id("missing"), -1);
+  registry.start();
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    registry.submit_to(0, stream[i], 0.002 * static_cast<double>(i));
+  const serve::StreamReport via_registry = registry.drain();
+
+  expect_same_report(via_legacy, via_registry);
+  ASSERT_EQ(via_registry.stats.per_model.size(), 1u);
+  EXPECT_EQ(via_registry.stats.per_model[0].model, 0);
+  EXPECT_EQ(via_registry.stats.per_model[0].completed, stream.size());
+  for (const serve::StreamResult& r : via_registry.requests)
+    EXPECT_EQ(r.model, 0);
+  for (const serve::StreamBatchRecord& b : via_registry.batches)
+    EXPECT_EQ(b.model, 0);
+}
+
+TEST(MultiModel, DeficitRoundRobinAlternatesContendingModels) {
+  // Two equal-weight models with backlogged same-class work must share
+  // dispatch opportunities via DRR instead of one model draining first.
+  serve::BatcherOptions b;
+  b.policy = serve::BatchPolicy::kSloAware;
+  b.max_batch = 2;
+  b.slo_budget_seconds = 1.0;
+  const std::vector<serve::ModelBatchingInfo> models(2);
+  serve::SloBatchingPolicy policy(b, {}, models);
+  std::vector<serve::DispatchBatch> out;
+  for (std::size_t i = 0; i < 8; ++i) {
+    serve::ArrivalInfo info{i, 0.0005 * static_cast<double>(i),
+                            serve::Priority::kNormal,
+                            static_cast<int>(i % 2), {}, false};
+    for (auto& batch : policy.on_arrival(info))
+      out.push_back(std::move(batch));
+  }
+  for (auto& batch : policy.flush()) out.push_back(std::move(batch));
+  ASSERT_EQ(out.size(), 8u);  // per-dispatch model filter: singletons
+  std::size_t covered = 0;
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    // Alternation: ties break to model 0, then the debit hands the
+    // next opportunity to model 1, and so on.
+    EXPECT_EQ(out[k].model, static_cast<int>(k % 2)) << "batch " << k;
+    for (const std::size_t m : out[k].members) {
+      EXPECT_EQ(static_cast<int>(m % 2), out[k].model);
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, 8u);
+}
+
+TEST(MultiModel, PerModelSloOverridesDeadline) {
+  // Model 1 carries a 1 ms budget against a 100 ms config default: its
+  // requests must fire at arrival + 0.001 while model 0 keeps waiting.
+  serve::BatcherOptions b;
+  b.policy = serve::BatchPolicy::kSloAware;
+  b.max_batch = 8;
+  b.slo_budget_seconds = 0.1;
+  std::vector<serve::ModelBatchingInfo> models(2);
+  models[1].slo_budget_seconds = 0.001;
+  serve::SloBatchingPolicy policy(b, {}, models);
+  EXPECT_TRUE(policy.on_arrival({0, 0.0, serve::Priority::kNormal, 0,
+                                 {}, false}).empty());
+  EXPECT_TRUE(policy.on_arrival({1, 0.0002, serve::Priority::kNormal, 1,
+                                 {}, false}).empty());
+  // A late third arrival pushes the modeled clock past model 1's
+  // deadline (0.0012) but nowhere near model 0's (0.1).
+  const auto fired = policy.on_arrival({2, 0.05, serve::Priority::kNormal,
+                                        0, {}, false});
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].model, 1);
+  ASSERT_EQ(fired[0].members.size(), 1u);
+  EXPECT_EQ(fired[0].members[0], 1u);
+  EXPECT_DOUBLE_EQ(fired[0].dispatch_seconds, 0.0012);
+  policy.flush();
+}
+
+TEST(MultiModel, SubmitToResolvesEntryDefaultPriority) {
+  const ModelFn model = small_unet(52);
+  serve::ServerConfig cfg;
+  cfg.with_device(rtx2080ti())
+      .with_engine(torchsparse_config())
+      .with_queue_depth(8)
+      .with_model("seg", model, /*slo_budget_seconds=*/-1,
+                  serve::Priority::kHigh);
+  serve::Server server(cfg);
+  server.start();
+  auto h_default = server.submit_to(0, random_tensor(120, 12, 4, 1), 0.0);
+  auto h_explicit = server.submit_to(0, random_tensor(130, 12, 4, 2),
+                                     0.001, serve::Priority::kLow);
+  const serve::StreamReport report = server.drain();
+  EXPECT_EQ(h_default.get().priority, serve::Priority::kHigh);
+  EXPECT_EQ(h_explicit.get().priority, serve::Priority::kLow);
+  ASSERT_EQ(report.stats.per_model.size(), 1u);
+  EXPECT_EQ(report.stats.per_model[0].completed, 2u);
+}
+
+TEST(MultiModel, TwoModelSessionSplitsStatsByModel) {
+  const ModelFn seg = small_unet(53);
+  const ModelFn det = small_unet(54);
+  serve::ServerConfig cfg;
+  cfg.with_device(rtx2080ti())
+      .with_engine(torchsparse_config())
+      .with_workers(2)
+      .with_map_cache_bytes(std::size_t(64) << 20)
+      .with_queue_depth(32)
+      .with_model("seg", seg)
+      .with_model("det", det);
+  serve::Server server(cfg);
+  EXPECT_EQ(server.model_id("det"), 1);
+  server.start();
+  const auto stream = duplicate_stream(12, 5300);
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    server.submit_to(static_cast<int>(i % 2), stream[i],
+                     0.002 * static_cast<double>(i));
+  const serve::StreamReport report = server.drain();
+
+  ASSERT_EQ(report.stats.per_model.size(), 2u);
+  EXPECT_EQ(report.stats.per_model[0].completed, 6u);
+  EXPECT_EQ(report.stats.per_model[1].completed, 6u);
+  EXPECT_GT(report.stats.per_model[0].e2e_p99_seconds, 0.0);
+  EXPECT_GT(report.stats.per_model[1].e2e_p99_seconds, 0.0);
+  ASSERT_EQ(report.requests.size(), stream.size());
+  for (std::size_t i = 0; i < report.requests.size(); ++i)
+    EXPECT_EQ(report.requests[i].model, static_cast<int>(i % 2));
+  // Batches never mix models: every request's serving batch carries
+  // the request's own model id (members need not be index-contiguous,
+  // so group through batch_id rather than [first, first + size)).
+  std::map<std::size_t, int> batch_model;
+  for (const serve::StreamBatchRecord& b : report.batches)
+    batch_model[b.batch_id] = b.model;
+  for (const serve::StreamResult& r : report.requests) {
+    const auto it = batch_model.find(r.batch_id);
+    ASSERT_NE(it, batch_model.end());
+    EXPECT_EQ(r.model, it->second);
+  }
+  // The duplicate stream repeats each tensor under BOTH models: the
+  // namespace salt must keep those lookups from ever crossing tenants,
+  // and the per-model split must cover the session totals.
+  EXPECT_EQ(report.stats.per_model[0].cache_lookups +
+                report.stats.per_model[1].cache_lookups,
+            report.stats.map_cache.lookups);
+}
+
+TEST(MultiModel, RegistryAndLifecycleValidation) {
+  const ModelFn model = small_unet(55);
+
+  serve::ServerConfig dup;
+  dup.with_model("a", model).with_model("a", model);
+  EXPECT_THROW(serve::Server{dup}, std::invalid_argument);
+
+  serve::ServerConfig unnamed;
+  unnamed.with_model("", model);
+  EXPECT_THROW(serve::Server{unnamed}, std::invalid_argument);
+
+  serve::ServerConfig null_fn;
+  null_fn.with_model("a", ModelFn{});
+  EXPECT_THROW(serve::Server{null_fn}, std::invalid_argument);
+
+  serve::ServerConfig bad_weight;
+  bad_weight.with_model("a", model, -1, serve::Priority::kNormal, 0.0);
+  EXPECT_THROW(serve::Server{bad_weight}, std::invalid_argument);
+
+  serve::ServerConfig bad_tuned;
+  bad_tuned.with_model("a", model);
+  EXPECT_THROW(bad_tuned.with_model_tuned(3, {}), std::invalid_argument);
+
+  // Lifecycle mismatches: a registry server refuses start(model); a
+  // legacy server refuses start() and submit_to().
+  serve::ServerConfig registry_cfg;
+  registry_cfg.with_device(rtx2080ti())
+      .with_engine(torchsparse_config())
+      .with_model("a", model);
+  serve::Server registry(registry_cfg);
+  EXPECT_THROW(registry.start(model), std::invalid_argument);
+  registry.start();
+  EXPECT_THROW(registry.submit_to(1, random_tensor(100, 12, 4, 9), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(registry.submit_to(-1, random_tensor(100, 12, 4, 9), 0.0),
+               std::invalid_argument);
+  registry.stop();
+
+  serve::ServerConfig legacy_cfg;
+  legacy_cfg.with_device(rtx2080ti()).with_engine(torchsparse_config());
+  serve::Server legacy(legacy_cfg);
+  EXPECT_THROW(legacy.start(), std::logic_error);
+  legacy.start(model);
+  EXPECT_THROW(legacy.submit_to(0, random_tensor(100, 12, 4, 9), 0.0),
+               std::logic_error);
+  legacy.stop();
 }
 
 }  // namespace

@@ -814,5 +814,112 @@ TEST(ResetContext, ReusedContextMatchesFreshContextBitForBit) {
   expect_same_timeline(second, fresh);
 }
 
+// --- Per-model stream statistics --------------------------------------
+
+TEST(PerModelStats, InvariantAcrossWorkerAndDeviceCounts) {
+  // StreamStats::per_model mirrors per_class: a deterministic function
+  // of the (input, arrival, priority, model) stream and the config.
+  // `workers` is a modeled lanes-per-device knob, so wait/e2e
+  // percentiles legitimately shift with it under contention — what IS
+  // invariant across worker counts are the count-type stats (the same
+  // contract ServeEquivalence pins for the aggregate stream). Repeat
+  // runs of one config must match bit-for-bit, percentiles included.
+  const ModelFn seg = small_unet(61);
+  const ModelFn det = small_unet(62);
+  const auto batch = make_batch(10, 6100);
+  auto serve_with = [&](int workers, int devices) {
+    serve::ServerConfig cfg;
+    cfg.with_device(rtx2080ti())
+        .with_engine(torchsparse_config())
+        .with_workers(workers)
+        .with_map_cache_bytes(std::size_t(64) << 20)
+        .with_queue_depth(batch.size() + 1)
+        .with_devices(devices)
+        .with_route(serve::RoutePolicy::kCacheAffinity)
+        .with_model("seg", seg)
+        .with_model("det", det);
+    serve::Server server(cfg);
+    server.start();
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      server.submit_to(static_cast<int>(i % 2), batch[i],
+                       0.001 * static_cast<double>(i),
+                       i % 3 == 0 ? serve::Priority::kHigh
+                                  : serve::Priority::kNormal);
+    return server.drain();
+  };
+  for (const int devices : {1, 2}) {
+    const serve::StreamReport w1 = serve_with(1, devices);
+    const serve::StreamReport w4 = serve_with(4, devices);
+    const serve::StreamReport w4b = serve_with(4, devices);
+    ASSERT_EQ(w1.stats.per_model.size(), 2u);
+    ASSERT_EQ(w4.stats.per_model.size(), 2u);
+    ASSERT_EQ(w4b.stats.per_model.size(), 2u);
+    for (std::size_t m = 0; m < 2; ++m) {
+      const serve::ModelStats& a = w1.stats.per_model[m];
+      const serve::ModelStats& b = w4.stats.per_model[m];
+      EXPECT_EQ(a.model, b.model);
+      EXPECT_EQ(a.completed, b.completed);
+      EXPECT_EQ(a.failed, b.failed);
+      EXPECT_EQ(a.retries, b.retries);
+      EXPECT_EQ(a.rejected, b.rejected);
+      EXPECT_EQ(a.cache_hits, b.cache_hits);
+      EXPECT_EQ(a.cache_lookups, b.cache_lookups);
+      EXPECT_EQ(a.completed, 5u);
+
+      const serve::ModelStats& c = w4b.stats.per_model[m];
+      EXPECT_EQ(b.model, c.model);
+      EXPECT_EQ(b.completed, c.completed);
+      EXPECT_EQ(b.failed, c.failed);
+      EXPECT_EQ(b.retries, c.retries);
+      EXPECT_EQ(b.rejected, c.rejected);
+      EXPECT_EQ(b.cache_hits, c.cache_hits);
+      EXPECT_EQ(b.cache_lookups, c.cache_lookups);
+      EXPECT_DOUBLE_EQ(b.queue_wait_p50_seconds, c.queue_wait_p50_seconds);
+      EXPECT_DOUBLE_EQ(b.queue_wait_p90_seconds, c.queue_wait_p90_seconds);
+      EXPECT_DOUBLE_EQ(b.queue_wait_p99_seconds, c.queue_wait_p99_seconds);
+      EXPECT_DOUBLE_EQ(b.e2e_p50_seconds, c.e2e_p50_seconds);
+      EXPECT_DOUBLE_EQ(b.e2e_p90_seconds, c.e2e_p90_seconds);
+      EXPECT_DOUBLE_EQ(b.e2e_p99_seconds, c.e2e_p99_seconds);
+    }
+  }
+}
+
+TEST(PerModelStats, AdmissionRejectionsAreSplitByModel) {
+  const auto batch = make_batch(5, 6200);
+  std::vector<serve::ModelEntry> models(2);
+  models[0].name = "a";
+  models[0].fn = small_unet(63);
+  models[1].name = "b";
+  models[1].fn = small_unet(64);
+
+  serve::QueueOptions qopt;
+  qopt.max_depth = 4;
+  serve::RequestQueue queue(qopt);
+  queue.submit(batch[0], 0.000, serve::Priority::kNormal, /*model=*/0);
+  queue.submit(batch[1], 0.001, serve::Priority::kNormal, /*model=*/1);
+  queue.submit(batch[2], 0.002, serve::Priority::kNormal, /*model=*/0);
+  queue.submit(batch[3], 0.003, serve::Priority::kNormal, /*model=*/1);
+  // Depth-capped: the fifth submission sheds, charged to ITS model.
+  EXPECT_EQ(queue.try_submit(batch[4], 0.004, serve::Priority::kNormal,
+                             /*model=*/1),
+            std::nullopt);
+  queue.close();
+
+  serve::ServerConfig cfg;
+  cfg.with_device(rtx2080ti()).with_engine(torchsparse_config());
+  serve::SloBatchingPolicy batching(cfg.batcher, cfg.priority,
+                                    serve::model_batching_infos(models));
+  const auto routing = serve::make_routing_policy(cfg.shard.route);
+  const serve::StreamReport report =
+      serve::serve_stream(models, queue, cfg, batching, *routing);
+
+  EXPECT_EQ(report.stats.rejected, 1u);
+  ASSERT_EQ(report.stats.per_model.size(), 2u);
+  EXPECT_EQ(report.stats.per_model[0].completed, 2u);
+  EXPECT_EQ(report.stats.per_model[1].completed, 2u);
+  EXPECT_EQ(report.stats.per_model[0].rejected, 0u);
+  EXPECT_EQ(report.stats.per_model[1].rejected, 1u);
+}
+
 }  // namespace
 }  // namespace ts
